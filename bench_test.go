@@ -1,0 +1,230 @@
+// Package pace hosts the benchmark harness that regenerates every table
+// and figure of the PACE evaluation (§7). One benchmark corresponds to
+// one table/figure; DESIGN.md carries the full mapping. Benchmarks print
+// nothing (output goes to io.Discard) — run cmd/experiments to see the
+// paper-layout rows; run these to measure the substrate's cost and to
+// verify every experiment executes end to end.
+//
+// Benchmarks use the quick profile: reduced workload sizes and schedules
+// so the full suite finishes in minutes. `go test -bench=. -benchtime=1x`
+// runs each experiment exactly once.
+package pace
+
+import (
+	"io"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/experiments"
+)
+
+// benchCfg is the quick profile shared by all benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Scale:          0.05,
+		Seed:           5,
+		TrainQueries:   200,
+		TestQueries:    60,
+		NumPoison:      50,
+		Hidden:         16,
+		Epochs:         30,
+		Inner:          10,
+		Outer:          8,
+		SpecBlackBoxes: 1,
+		E2EQueries:     8,
+	}.WithDefaults()
+}
+
+func runOnce(b *testing.B, f func() error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := f(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6to9_AvgQError regenerates the mean-Q-error comparison
+// of Figures 6–9 (all six CE models × six methods) on dmv.
+func BenchmarkFigure6to9_AvgQError(b *testing.B) {
+	runOnce(b, func() error {
+		res, err := experiments.RunMatrix("dmv", ce.Types(), benchCfg())
+		if err != nil {
+			return err
+		}
+		res.PrintMean(io.Discard)
+		return nil
+	})
+}
+
+// BenchmarkTable3_PercentileQError regenerates the percentile rows of
+// Table 3 for the four main models on tpch.
+func BenchmarkTable3_PercentileQError(b *testing.B) {
+	models := []ce.Type{ce.FCN, ce.FCNPool, ce.MSCN, ce.RNN}
+	runOnce(b, func() error {
+		res, err := experiments.RunMatrix("tpch", models, benchCfg())
+		if err != nil {
+			return err
+		}
+		res.PrintPercentiles(io.Discard, models)
+		return nil
+	})
+}
+
+// BenchmarkTable4_LSTMLinear regenerates the LSTM/Linear tail rows of
+// Table 4 on dmv.
+func BenchmarkTable4_LSTMLinear(b *testing.B) {
+	models := []ce.Type{ce.LSTM, ce.Linear}
+	runOnce(b, func() error {
+		res, err := experiments.RunMatrix("dmv", models, benchCfg())
+		if err != nil {
+			return err
+		}
+		res.PrintTail(io.Discard, models)
+		return nil
+	})
+}
+
+// BenchmarkTable5_E2ELatency regenerates the end-to-end plan-cost rows of
+// Table 5 on tpch with the FCN target.
+func BenchmarkTable5_E2ELatency(b *testing.B) {
+	models := []ce.Type{ce.FCN}
+	runOnce(b, func() error {
+		res, err := experiments.RunMatrix("tpch", models, benchCfg())
+		if err != nil {
+			return err
+		}
+		res.PrintE2E(io.Discard, models)
+		return nil
+	})
+}
+
+// BenchmarkTable6_SpeculationAccuracy regenerates the model-type
+// speculation accuracy of Table 6 on dmv.
+func BenchmarkTable6_SpeculationAccuracy(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunSpeculation(io.Discard, benchCfg(), []string{"dmv"})
+	})
+}
+
+// BenchmarkTable7_IncorrectSpeculation regenerates the wrong-surrogate
+// decrease matrix of Table 7 for a three-type subset.
+func BenchmarkTable7_IncorrectSpeculation(b *testing.B) {
+	types := []ce.Type{ce.FCN, ce.MSCN, ce.Linear}
+	runOnce(b, func() error {
+		return experiments.RunWrongType(io.Discard, benchCfg(), types)
+	})
+}
+
+// BenchmarkFigure10_TrainingStrategy regenerates the combined-vs-direct
+// surrogate-loss comparison of Figure 10 for the FCN target.
+func BenchmarkFigure10_TrainingStrategy(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunTrainingStrategy(io.Discard, benchCfg(), []ce.Type{ce.FCN})
+	})
+}
+
+// BenchmarkFigure11_InconsistentHyperparams regenerates the
+// hyperparameter-mismatch sweep of Figure 11 (imdb, FCN).
+func BenchmarkFigure11_InconsistentHyperparams(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunHyperMismatch(io.Discard, benchCfg())
+	})
+}
+
+// BenchmarkTable8_PoisonBudget regenerates the poisoning-budget sweep of
+// Table 8 on dmv.
+func BenchmarkTable8_PoisonBudget(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunBudget(io.Discard, benchCfg(), []string{"dmv"})
+	})
+}
+
+// BenchmarkTable9_Overhead regenerates the PACE overhead rows of Table 9
+// on dmv.
+func BenchmarkTable9_Overhead(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunOverhead(io.Discard, benchCfg(), []string{"dmv"})
+	})
+}
+
+// BenchmarkTable10_OverheadByCount regenerates the overhead-by-budget
+// rows of Table 10 on dmv.
+func BenchmarkTable10_OverheadByCount(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunOverheadByCount(io.Discard, benchCfg())
+	})
+}
+
+// BenchmarkFigure12_BasicVsOptimized regenerates the basic-vs-accelerated
+// algorithm comparison of Figure 12 for the FCN target.
+func BenchmarkFigure12_BasicVsOptimized(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunBasicVsOptimized(io.Discard, benchCfg(), []ce.Type{ce.FCN})
+	})
+}
+
+// BenchmarkFigure13_AnomalyDetector regenerates the detector
+// effectiveness/normality trade-off of Figure 13 on dmv.
+func BenchmarkFigure13_AnomalyDetector(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunDetectorEffect(io.Discard, benchCfg())
+	})
+}
+
+// BenchmarkFigure14_Incremental regenerates the incremental
+// train-and-attack rounds of Figure 14 on dmv.
+func BenchmarkFigure14_Incremental(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunIncremental(io.Discard, benchCfg(), []string{"dmv"})
+	})
+}
+
+// BenchmarkFigure15_Convergence regenerates the objective convergence
+// curve of Figure 15 on dmv.
+func BenchmarkFigure15_Convergence(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunConvergence(io.Discard, benchCfg(), []string{"dmv"})
+	})
+}
+
+// BenchmarkAblation_AttackComponents measures the ablation study of the
+// attack trainer's design choices (hypergradient, inference ascent,
+// validity widening, budget selection) on dmv.
+func BenchmarkAblation_AttackComponents(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunAblations(io.Discard, benchCfg())
+	})
+}
+
+// BenchmarkExtension_RobustnessAdvisor measures the §8 future-work
+// robustness advisor: every CE model attacked and ranked by degradation.
+func BenchmarkExtension_RobustnessAdvisor(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunRobustnessAdvisor(io.Discard, benchCfg(), "dmv")
+	})
+}
+
+// BenchmarkExtension_TraditionalComparison measures the learned-vs-
+// traditional (histogram/sampling) comparison under poisoning on tpch.
+func BenchmarkExtension_TraditionalComparison(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunTraditionalComparison(io.Discard, benchCfg(), "tpch")
+	})
+}
+
+// BenchmarkExtension_RegularizationDefense measures the dropout-as-
+// defense sweep: clean vs attacked accuracy per dropout rate on dmv.
+func BenchmarkExtension_RegularizationDefense(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunRegularizationDefense(io.Discard, benchCfg())
+	})
+}
+
+// BenchmarkExtension_DriftStudy measures the drift study: estimator
+// accuracy on a post-drift workload, stale vs adapted.
+func BenchmarkExtension_DriftStudy(b *testing.B) {
+	runOnce(b, func() error {
+		return experiments.RunDriftStudy(io.Discard, benchCfg())
+	})
+}

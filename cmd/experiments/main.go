@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic substrate and prints them in paper layout. Each experiment is
+// selectable by its paper label; "all" runs the entire evaluation.
+//
+// Example:
+//
+//	experiments -exp fig6 -datasets dmv,tpch
+//	experiments -exp all -full > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pace/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift or all")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
+		full     = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}.WithDefaults()
+	if *full {
+		cfg = experiments.Full()
+		cfg.Seed = *seed
+	}
+
+	var dsList []string
+	if *datasets != "" {
+		dsList = strings.Split(*datasets, ",")
+	}
+
+	type runner struct {
+		name string
+		run  func() error
+	}
+	out := os.Stdout
+	all := []runner{
+		{"fig6", func() error { return experiments.RunQErrorTables(out, cfg, dsList) }},
+		{"table6", func() error { return experiments.RunSpeculation(out, cfg, dsList) }},
+		{"table7", func() error { return experiments.RunWrongType(out, cfg, nil) }},
+		{"fig10", func() error { return experiments.RunTrainingStrategy(out, cfg, nil) }},
+		{"fig11", func() error { return experiments.RunHyperMismatch(out, cfg) }},
+		{"table8", func() error { return experiments.RunBudget(out, cfg, dsList) }},
+		{"table9", func() error { return experiments.RunOverhead(out, cfg, dsList) }},
+		{"table10", func() error { return experiments.RunOverheadByCount(out, cfg) }},
+		{"fig12", func() error { return experiments.RunBasicVsOptimized(out, cfg, nil) }},
+		{"fig13", func() error { return experiments.RunDetectorEffect(out, cfg) }},
+		{"fig14", func() error { return experiments.RunIncremental(out, cfg, dsList) }},
+		{"fig15", func() error { return experiments.RunConvergence(out, cfg, dsList) }},
+		{"ablations", func() error { return experiments.RunAblations(out, cfg) }},
+		{"advisor", func() error { return experiments.RunRobustnessAdvisor(out, cfg, "dmv") }},
+		{"traditional", func() error { return experiments.RunTraditionalComparison(out, cfg, "tpch") }},
+		{"regularization", func() error { return experiments.RunRegularizationDefense(out, cfg) }},
+		{"drift", func() error { return experiments.RunDriftStudy(out, cfg) }},
+	}
+	aliases := map[string]string{
+		"fig7": "fig6", "fig8": "fig6", "fig9": "fig6",
+		"table3": "fig6", "table4": "fig6", "table5": "fig6",
+	}
+
+	want := strings.ToLower(*exp)
+	if a, ok := aliases[want]; ok {
+		fmt.Fprintf(out, "(%s is produced by the %s run)\n", want, a)
+		want = a
+	}
+
+	start := time.Now()
+	ran := false
+	for _, r := range all {
+		if want != "all" && want != r.name {
+			continue
+		}
+		ran = true
+		if err := r.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Second))
+}

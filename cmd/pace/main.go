@@ -1,0 +1,105 @@
+// Command pace runs one full PACE attack end to end against a freshly
+// trained black-box cardinality estimator on a synthetic dataset:
+// model-type speculation, surrogate training, adversarial generator +
+// detector training, poisoning-workload generation, and the incremental
+// update of the target — then reports before/after accuracy and the
+// poisoning workload's normality.
+//
+// Example:
+//
+//	pace -dataset dmv -model fcn -poison 120 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/experiments"
+	"pace/internal/metrics"
+	"pace/internal/workload"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
+		modelName   = flag.String("model", "fcn", "target CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
+		poison      = flag.Int("poison", 0, "poisoning-query budget (0 = profile default)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
+		speculate   = flag.Bool("speculate", false, "speculate the model type instead of assuming it")
+		noDetector  = flag.Bool("no-detector", false, "disable the anomaly-detector confrontation")
+	)
+	flag.Parse()
+
+	typ, err := ce.ParseType(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, NumPoison: *poison}.WithDefaults()
+	w, err := experiments.NewWorld(*datasetName, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dataset %s: %d tables, %d rows; workload: %d train / %d test\n",
+		*datasetName, len(w.DS.Tables), w.DS.TotalRows(), len(w.Train), len(w.Test))
+
+	bb := w.NewBlackBox(typ, 1)
+	qs := workload.Queries(w.Test)
+	cards := experiments.Cards(w.Test)
+	before := metrics.Summarize(bb.QErrors(qs, cards))
+	fmt.Printf("target %s trained; clean test Q-error: %s\n", typ, before)
+
+	rng := rand.New(rand.NewSource(*seed))
+	runCfg := core.Config{
+		NumPoison:       cfg.NumPoison,
+		DisableDetector: *noDetector,
+		Generator:       w.GenCfg(),
+		Trainer:         w.TrainerCfg(),
+	}
+	runCfg.Surrogate.Queries = cfg.TrainQueries
+	runCfg.Surrogate.HP = w.HP()
+	runCfg.Surrogate.Train = w.TrainCfg()
+	runCfg.Speculation.CandidateTrainQueries = cfg.TrainQueries / 2
+	runCfg.Speculation.HP = w.HP()
+	runCfg.Speculation.Train = w.TrainCfg()
+	if !*speculate {
+		forced := typ
+		runCfg.ForceType = &forced
+	}
+
+	res, err := core.Run(bb, w.WGen, w.Test, w.History, runCfg, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attack failed:", err)
+		os.Exit(1)
+	}
+
+	if *speculate {
+		fmt.Printf("speculated type: %s (similarities:", res.SpeculatedType)
+		for _, t := range ce.Types() {
+			fmt.Printf(" %s=%.3f", t, res.Similarities[t])
+		}
+		fmt.Println(")")
+	}
+	after := metrics.Summarize(bb.QErrors(qs, cards))
+
+	hEnc := experiments.Encodings(w.History, w.DS)
+	pEnc := make([][]float64, len(res.Poison))
+	for i, q := range res.Poison {
+		pEnc[i] = q.Encode(w.DS.Meta)
+	}
+
+	fmt.Printf("\npoisoned with %d queries (train %v, generate %v, attack %v)\n",
+		len(res.Poison), res.TrainTime.Round(1e6), res.GenTime.Round(1e6), res.AttackTime.Round(1e6))
+	fmt.Printf("test Q-error before: %s\n", before)
+	fmt.Printf("test Q-error after:  %s\n", after)
+	fmt.Printf("mean degradation: %.1f×\n", after.Mean/before.Mean)
+	fmt.Printf("poison/history JS divergence: %.4f\n", metrics.JSDivergence(hEnc, pEnc, 10))
+}

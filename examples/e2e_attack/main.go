@@ -1,0 +1,69 @@
+// E2E attack: from poisoned estimates to slow query plans.
+//
+// The paper's Case 2 (malicious competitor): the attacker degrades a
+// rented cloud database by poisoning its cardinality estimator, and the
+// damage shows up as end-to-end latency. This example reproduces the
+// causal chain on the TPC-H-shaped dataset: the cost-based optimizer
+// plans 20 multi-table join queries with (a) true cardinalities, (b) the
+// clean estimator and (c) the poisoned estimator, and every plan is then
+// executed with true cardinalities — bad estimates buy real extra work.
+//
+// Run: go run ./examples/e2e_attack
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/experiments"
+	"pace/internal/qopt"
+	"pace/internal/query"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 3, Outer: 10}.WithDefaults()
+	world, err := experiments.NewWorld("tpch", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := world.NewBlackBox(ce.FCN, 1)
+
+	// The 20 multi-table join queries whose latency we care about.
+	var joins []*query.Query
+	for len(joins) < 20 {
+		l := world.WGen.Random(1)
+		if l[0].Q.NumTables() >= 2 {
+			joins = append(joins, l[0].Q)
+		}
+	}
+
+	opt := qopt.New(world.DS, world.Eng)
+	optimal := opt.Latency(joins, opt.TrueEstimate())
+	clean := opt.Latency(joins, target.Estimate)
+
+	// Poison the estimator.
+	forced := ce.FCN
+	attackCfg := core.Config{
+		NumPoison: cfg.NumPoison,
+		ForceType: &forced,
+		Generator: world.GenCfg(),
+		Trainer:   world.TrainerCfg(),
+	}
+	attackCfg.Surrogate.Queries = cfg.TrainQueries
+	attackCfg.Surrogate.HP = world.HP()
+	attackCfg.Surrogate.Train = world.TrainCfg()
+	if _, err := core.Run(target, world.WGen, world.Test, world.History,
+		attackCfg, rand.New(rand.NewSource(3))); err != nil {
+		log.Fatal(err)
+	}
+	poisoned := opt.Latency(joins, target.Estimate)
+
+	fmt.Println("summed plan cost of 20 multi-join queries (row operations):")
+	fmt.Printf("  true-cardinality plans:      %12.0f\n", optimal)
+	fmt.Printf("  clean-estimator plans:       %12.0f (%.2f× optimal)\n", clean, clean/optimal)
+	fmt.Printf("  poisoned-estimator plans:    %12.0f (%.2f× optimal, %.2f× clean)\n",
+		poisoned, poisoned/optimal, poisoned/clean)
+}

@@ -1,0 +1,63 @@
+// Quickstart: poison a learned cardinality estimator in ~20 lines.
+//
+// A synthetic DMV-shaped database is built, a query-driven FCN estimator
+// is trained on historical queries (the target — visible to us only as a
+// black box), and the full PACE pipeline is run against it: surrogate
+// acquisition, adversarial generator + detector training, poisoning
+// query generation and the target's incremental update. The target's
+// test accuracy before and after tells the story.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/experiments"
+	"pace/internal/metrics"
+	"pace/internal/workload"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 7}.WithDefaults()
+	world, err := experiments.NewWorld("dmv", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The victim: a query-driven FCN estimator, already deployed and
+	// incrementally retraining on executed queries.
+	target := world.NewBlackBox(ce.FCN, 1)
+
+	queries := workload.Queries(world.Test)
+	cards := experiments.Cards(world.Test)
+	before := metrics.Mean(target.QErrors(queries, cards))
+
+	// The attacker: SQL access, schema knowledge, COUNT(*) and EXPLAIN.
+	forced := ce.FCN // see examples/speculation for the black-box case
+	attackCfg := core.Config{
+		NumPoison: cfg.NumPoison,
+		ForceType: &forced,
+		Generator: world.GenCfg(),
+		Trainer:   world.TrainerCfg(),
+	}
+	attackCfg.Surrogate.Queries = cfg.TrainQueries
+	attackCfg.Surrogate.HP = world.HP()
+	attackCfg.Surrogate.Train = world.TrainCfg()
+
+	res, err := core.Run(target, world.WGen, world.Test, world.History,
+		attackCfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	after := metrics.Mean(target.QErrors(queries, cards))
+	fmt.Printf("poisoning queries executed: %d\n", len(res.Poison))
+	fmt.Printf("mean test Q-error: %.2f → %.2f (%.1f×)\n", before, after, after/before)
+	fmt.Printf("attack wall time: train %v, generate %v, update %v\n",
+		res.TrainTime.Round(1e6), res.GenTime.Round(1e6), res.AttackTime.Round(1e6))
+}

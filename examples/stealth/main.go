@@ -1,0 +1,75 @@
+// Stealth: keeping the poisoning workload statistically unremarkable.
+//
+// A database that screens incoming queries for anomalies would discard a
+// blatantly weird poisoning workload before the CE model ever retrains
+// on it (PACE §6). This example trains the VAE anomaly detector on the
+// historical workload, then trains the poisoning generator twice — with
+// and without the adversarial detector confrontation — and compares the
+// two workloads' detection rates, Jensen-Shannon divergence from
+// history, and attack effectiveness: the stealthy attack gives up a
+// little damage to stay under the radar.
+//
+// Run: go run ./examples/stealth
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/experiments"
+	"pace/internal/generator"
+	"pace/internal/metrics"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+func main() {
+	cfg := experiments.Config{Seed: 9}.WithDefaults()
+	world, err := experiments.NewWorld("dmv", cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := world.NewBlackBox(ce.FCN, 1)
+	sur := world.NewSurrogate(target, ce.FCN, 1)
+	det := world.NewDetector(1)
+	hEnc := experiments.Encodings(world.History, world.DS)
+
+	run := func(useDetector bool, seed int64) ([]*query.Query, []float64) {
+		rng := rand.New(rand.NewSource(seed))
+		gen := generator.New(world.DS.Meta, world.DS.Joinable, world.GenCfg(), rng)
+		d := det
+		if !useDetector {
+			d = nil
+		}
+		tr := core.NewTrainer(sur, gen, d, core.EngineOracle(world.WGen),
+			core.MakeTestSamples(sur, world.Test), world.TrainerCfg(), rng)
+		tr.TrainAccelerated()
+		return tr.GeneratePoison(cfg.NumPoison)
+	}
+
+	report := func(name string, qs []*query.Query, cards []float64) {
+		enc := make([][]float64, len(qs))
+		flagged := 0
+		for i, q := range qs {
+			enc[i] = q.Encode(world.DS.Meta)
+			if det.IsAbnormal(enc[i]) {
+				flagged++
+			}
+		}
+		twin := world.NewBlackBox(ce.FCN, 1)
+		clean := metrics.Mean(twin.QErrors(workload.Queries(world.Test), experiments.Cards(world.Test)))
+		twin.ExecuteWorkload(qs, cards)
+		after := metrics.Mean(twin.QErrors(workload.Queries(world.Test), experiments.Cards(world.Test)))
+		fmt.Printf("%-22s flagged %3d/%d  JS divergence %.4f  Q-error %.2f → %.2f\n",
+			name, flagged, len(qs), metrics.JSDivergence(hEnc, enc, 10), clean, after)
+	}
+
+	fmt.Printf("detector threshold ε = %.4f (calibrated on history)\n\n", det.Threshold())
+	loudQ, loudC := run(false, 101)
+	report("without confrontation:", loudQ, loudC)
+	softQ, softC := run(true, 102)
+	report("with confrontation:", softQ, softC)
+}

@@ -1,0 +1,139 @@
+// Package ce implements the six neural query-driven cardinality
+// estimation models PACE attacks (§7.1): FCN, FCN+Pool, MSCN, RNN, LSTM
+// and Linear. All models share one contract: they consume the PACE §5.2
+// query encoding, emit a normalized log-cardinality through a final
+// sigmoid (the paper's "last activation layer limits the normalized
+// value"), and support backpropagation to both parameters and the input
+// encoding — the white-box capability the attack's gradients need.
+package ce
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// Type identifies a CE model architecture.
+type Type int
+
+// The six model families of the paper, in its order.
+const (
+	FCN Type = iota
+	FCNPool
+	MSCN
+	RNN
+	LSTM
+	Linear
+)
+
+// Types lists all model types in paper order.
+func Types() []Type { return []Type{FCN, FCNPool, MSCN, RNN, LSTM, Linear} }
+
+// String returns the paper's name for the model type.
+func (t Type) String() string {
+	switch t {
+	case FCN:
+		return "FCN"
+	case FCNPool:
+		return "FCN+Pool"
+	case MSCN:
+		return "MSCN"
+	case RNN:
+		return "RNN"
+	case LSTM:
+		return "LSTM"
+	case Linear:
+		return "Linear"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType resolves a model-type name (case-insensitive; "fcn+pool" and
+// "fcnpool" both work) to its Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToLower(s) {
+	case "fcn":
+		return FCN, nil
+	case "fcnpool", "fcn+pool":
+		return FCNPool, nil
+	case "mscn":
+		return MSCN, nil
+	case "rnn":
+		return RNN, nil
+	case "lstm":
+		return LSTM, nil
+	case "linear":
+		return Linear, nil
+	default:
+		return 0, fmt.Errorf("ce: unknown model type %q (want fcn, fcnpool, mscn, rnn, lstm or linear)", s)
+	}
+}
+
+// Model is one CE network: a differentiable map from a query encoding to
+// a normalized log-cardinality in (0, 1). Backward must follow the
+// Forward whose cached state it consumes; it accumulates parameter
+// gradients and returns dL/dEncoding.
+type Model interface {
+	nn.Module
+	Type() Type
+	Meta() *query.Meta
+	Forward(v []float64) float64
+	Backward(dOut float64) []float64
+}
+
+// HyperParams configure a model's capacity. Zero values select the
+// defaults the paper's Table 2 stands in for.
+type HyperParams struct {
+	// Hidden is the hidden width (default 32).
+	Hidden int
+	// Layers is the number of hidden layers for MLP-style models
+	// (default 3).
+	Layers int
+	// Dropout inserts inverted-dropout layers with this drop probability
+	// after every hidden activation of the FCN model (0 disables). The
+	// regularization-as-defense experiments use it: stochastic updates
+	// blunt the coherent gradients poisoning relies on.
+	Dropout float64
+}
+
+// Trainable is implemented by models whose behaviour differs between
+// training and inference (dropout); Estimator flips it around
+// optimization.
+type Trainable interface {
+	SetTraining(on bool)
+}
+
+func (h HyperParams) withDefaults() HyperParams {
+	if h.Hidden == 0 {
+		h.Hidden = 32
+	}
+	if h.Layers == 0 {
+		h.Layers = 3
+	}
+	return h
+}
+
+// New constructs a CE model of the given type over the schema meta.
+func New(t Type, meta *query.Meta, hp HyperParams, rng *rand.Rand) Model {
+	hp = hp.withDefaults()
+	switch t {
+	case FCN:
+		return newFCN(meta, hp, rng)
+	case FCNPool:
+		return newFCNPool(meta, hp, rng)
+	case MSCN:
+		return newMSCN(meta, hp, rng)
+	case RNN:
+		return newRNNModel(meta, hp, rng)
+	case LSTM:
+		return newLSTMModel(meta, hp, rng)
+	case Linear:
+		return newLinear(meta, rng)
+	default:
+		panic(fmt.Sprintf("ce: unknown model type %d", int(t)))
+	}
+}

@@ -1,0 +1,407 @@
+package ce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+func ceTestMeta() *query.Meta {
+	return &query.Meta{
+		TableNames: []string{"t0", "t1", "t2"},
+		AttrNames:  []string{"t0.a", "t0.b", "t1.a", "t2.a", "t2.b"},
+		AttrOffset: []int{0, 2, 3, 5},
+	}
+}
+
+// testEncoding builds an encoding joining t0 and t1 with a couple of
+// predicates.
+func testEncoding(m *query.Meta) []float64 {
+	q := query.New(m)
+	q.Tables[0], q.Tables[1] = true, true
+	q.Bounds[0] = [2]float64{0.2, 0.7}
+	q.Bounds[2] = [2]float64{0.1, 0.5}
+	q.Normalize(m)
+	return q.Encode(m)
+}
+
+func TestModelTypeString(t *testing.T) {
+	names := map[Type]string{
+		FCN: "FCN", FCNPool: "FCN+Pool", MSCN: "MSCN",
+		RNN: "RNN", LSTM: "LSTM", Linear: "Linear",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(typ), typ.String(), want)
+		}
+	}
+	if Type(99).String() != "Type(99)" {
+		t.Error("unknown type String format")
+	}
+	if len(Types()) != 6 {
+		t.Errorf("Types() lists %d types, want 6", len(Types()))
+	}
+}
+
+func TestAllModelsForwardInRange(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(1))
+	v := testEncoding(m)
+	for _, typ := range Types() {
+		model := New(typ, m, HyperParams{Hidden: 8, Layers: 2}, rng)
+		out := model.Forward(v)
+		if out <= 0 || out >= 1 {
+			t.Errorf("%s output %g outside (0,1)", typ, out)
+		}
+		if model.Type() != typ {
+			t.Errorf("Type() = %v, want %v", model.Type(), typ)
+		}
+		if model.Meta() != m {
+			t.Errorf("%s Meta() does not round-trip", typ)
+		}
+	}
+}
+
+func TestAllModelsGradients(t *testing.T) {
+	m := ceTestMeta()
+	v := testEncoding(m)
+	for _, typ := range Types() {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(2))
+			model := New(typ, m, HyperParams{Hidden: 6, Layers: 2}, rng)
+			loss := func() float64 {
+				out := model.Forward(v)
+				return out * out
+			}
+			nn.ZeroGrads(model.Params())
+			out := model.Forward(v)
+			dx := model.Backward(2 * out)
+
+			analytic := nn.FlattenGrads(model.Params())
+			numeric := nn.NumericGrad(loss, model.Params(), 1e-5)
+			if d := nn.MaxAbsDiff(analytic, numeric); d > 1e-6 {
+				t.Errorf("parameter gradient mismatch: %g", d)
+			}
+			numericX := nn.NumericInputGrad(loss, v, 1e-6)
+			if d := nn.MaxAbsDiff(dx, numericX); d > 1e-5 {
+				t.Errorf("input gradient mismatch: %g", d)
+			}
+		})
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	n := DefaultNormalizer()
+	for _, card := range []float64{0, 1, 10, 12345, 9.9e11} {
+		y := n.Norm(card)
+		if y < 0 || y > 1 {
+			t.Errorf("Norm(%g) = %g outside [0,1]", card, y)
+		}
+		back := n.Denorm(y)
+		if math.Abs(back-card) > 1e-6*(card+1) {
+			t.Errorf("Denorm(Norm(%g)) = %g", card, back)
+		}
+	}
+	if n.Norm(-5) != 0 {
+		t.Error("negative cardinality should normalize to 0")
+	}
+	if n.Norm(math.Exp2(60)) != 1 {
+		t.Error("huge cardinality should clamp to 1")
+	}
+	if n.Denorm(-0.5) != 0 {
+		t.Error("Denorm below range should clamp to 0")
+	}
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, truth, want float64 }{
+		{10, 10, 1},
+		{100, 10, 10},
+		{10, 100, 10},
+		{0.1, 10, 10}, // floored at 1
+		{5, 0.2, 5},   // truth floored at 1
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QError(%g,%g) = %g, want %g", c.est, c.truth, got, c.want)
+		}
+	}
+}
+
+func TestQErrorProperties(t *testing.T) {
+	// Q-error is symmetric and always >= 1.
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.01, math.Abs(b)+0.01
+		q1, q2 := QError(a, b), QError(b, a)
+		return q1 >= 1 && math.Abs(q1-q2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// synthetic teaching task: cardinality is determined by the volume of the
+// predicate box on table t0.
+func syntheticSamples(m *query.Meta, n int, rng *rand.Rand, norm Normalizer) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		q := query.New(m)
+		q.Tables[0] = true
+		w1 := 0.1 + rng.Float64()*0.9
+		w2 := 0.1 + rng.Float64()*0.9
+		q.Bounds[0] = [2]float64{0, w1}
+		q.Bounds[1] = [2]float64{0, w2}
+		q.Normalize(m)
+		card := 1 + 1e6*w1*w2
+		out = append(out, Sample{V: q.Encode(m), Y: norm.Norm(card)})
+	}
+	return out
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	m := ceTestMeta()
+	for _, typ := range []Type{FCN, MSCN, LSTM} {
+		typ := typ
+		t.Run(typ.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			model := New(typ, m, HyperParams{Hidden: 16, Layers: 2}, rng)
+			est := NewEstimator(model, TrainConfig{Epochs: 30, Batch: 16}, rng)
+			samples := syntheticSamples(m, 200, rng, est.Norm)
+			before := est.Loss(samples)
+			est.Train(samples)
+			after := est.Loss(samples)
+			if after >= before {
+				t.Errorf("loss did not decrease: %g → %g", before, after)
+			}
+			if after > before*0.5 {
+				t.Errorf("loss barely decreased: %g → %g", before, after)
+			}
+		})
+	}
+}
+
+func TestUpdateMovesTowardNewLabels(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(4))
+	model := New(FCN, m, HyperParams{Hidden: 16, Layers: 2}, rng)
+	est := NewEstimator(model, TrainConfig{Epochs: 20, Batch: 16, UpdateIters: 10}, rng)
+	samples := syntheticSamples(m, 150, rng, est.Norm)
+	est.Train(samples)
+
+	// Relabel a few queries with wildly wrong cardinalities and update.
+	poisoned := make([]Sample, 10)
+	copy(poisoned, samples[:10])
+	for i := range poisoned {
+		poisoned[i].Y = 1 - poisoned[i].Y
+	}
+	lossBefore := est.Loss(poisoned)
+	est.Update(poisoned)
+	lossAfter := est.Loss(poisoned)
+	if lossAfter >= lossBefore {
+		t.Errorf("update did not move toward new labels: %g → %g", lossBefore, lossAfter)
+	}
+}
+
+func TestUpdateStepMatchesManualSGD(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(5))
+	model := New(Linear, m, HyperParams{}, rng)
+	est := NewEstimator(model, TrainConfig{UpdateLR: 0.1}, rng)
+	samples := syntheticSamples(m, 5, rng, est.Norm)
+
+	// Manual: θ' = θ − η/N Σ ∇loss.
+	ps := model.Params()
+	before := nn.FlattenParams(ps)
+	nn.ZeroGrads(ps)
+	for _, s := range samples {
+		out := model.Forward(s.V)
+		model.Backward(2 * (out - s.Y))
+	}
+	grads := nn.FlattenGrads(ps)
+	want := make([]float64, len(before))
+	for i := range want {
+		want[i] = before[i] - 0.1/float64(len(samples))*grads[i]
+	}
+	nn.ZeroGrads(ps)
+
+	est.UpdateStep(samples)
+	got := nn.FlattenParams(ps)
+	if d := nn.MaxAbsDiff(got, want); d > 1e-12 {
+		t.Errorf("UpdateStep deviates from plain SGD by %g", d)
+	}
+}
+
+func TestUpdateEmptyWorkloadIsNoop(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(6))
+	model := New(FCN, m, HyperParams{Hidden: 8, Layers: 2}, rng)
+	est := NewEstimator(model, TrainConfig{}, rng)
+	before := nn.FlattenParams(model.Params())
+	est.Update(nil)
+	if nn.MaxAbsDiff(before, nn.FlattenParams(model.Params())) != 0 {
+		t.Error("empty update changed parameters")
+	}
+}
+
+func TestSnapshotRestoreEstimator(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(7))
+	model := New(FCN, m, HyperParams{Hidden: 8, Layers: 2}, rng)
+	est := NewEstimator(model, TrainConfig{}, rng)
+	samples := syntheticSamples(m, 20, rng, est.Norm)
+	snap := est.Snapshot()
+	est.Update(samples)
+	est.Restore(snap)
+	v := testEncoding(m)
+	out1 := est.EstimateNorm(v)
+	est.Restore(snap)
+	out2 := est.EstimateNorm(v)
+	if out1 != out2 {
+		t.Error("Restore is not idempotent")
+	}
+}
+
+func TestBlackBoxHidesModelButUpdates(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(8))
+	model := New(MSCN, m, HyperParams{Hidden: 8, Layers: 2}, rng)
+	est := NewEstimator(model, TrainConfig{Epochs: 5}, rng)
+	bb := AsBlackBox(est)
+
+	q := query.New(m)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0.1, 0.9}
+	q.Normalize(m)
+
+	before := bb.Estimate(q)
+	if before < 0 {
+		t.Fatal("negative estimate")
+	}
+	_, lat := bb.EstimateTimed(q)
+	if lat < 0 {
+		t.Error("negative latency")
+	}
+	bb.ExecuteWorkload([]*query.Query{q}, []float64{1e9})
+	after := bb.Estimate(q)
+	if before == after {
+		t.Error("ExecuteWorkload did not change the model")
+	}
+	if bb.Unwrap() != est {
+		t.Error("Unwrap does not return the wrapped estimator")
+	}
+	qe := bb.QErrors([]*query.Query{q}, []float64{100})
+	if len(qe) != 1 || qe[0] < 1 {
+		t.Errorf("QErrors = %v", qe)
+	}
+}
+
+func TestEstimatorQErrors(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(9))
+	model := New(Linear, m, HyperParams{}, rng)
+	est := NewEstimator(model, TrainConfig{}, rng)
+	q := query.New(m)
+	q.Tables[0] = true
+	q.Normalize(m)
+	errs := est.QErrors([]*query.Query{q, q}, []float64{10, 1000})
+	if len(errs) != 2 {
+		t.Fatalf("got %d q-errors", len(errs))
+	}
+	for _, e := range errs {
+		if e < 1 {
+			t.Errorf("q-error %g < 1", e)
+		}
+	}
+}
+
+func TestSeqModelNoTables(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(10))
+	for _, typ := range []Type{RNN, LSTM, MSCN} {
+		model := New(typ, m, HyperParams{Hidden: 4, Layers: 2}, rng)
+		v := make([]float64, m.Dim()) // no tables joined
+		out := model.Forward(v)
+		if math.IsNaN(out) {
+			t.Errorf("%s produced NaN on empty query", typ)
+		}
+		dx := model.Backward(1)
+		if len(dx) != m.Dim() {
+			t.Errorf("%s empty-query input grad dim %d, want %d", typ, len(dx), m.Dim())
+		}
+	}
+}
+
+func TestHyperParamDefaults(t *testing.T) {
+	hp := HyperParams{}.withDefaults()
+	if hp.Hidden != 32 || hp.Layers != 3 {
+		t.Errorf("defaults = %+v", hp)
+	}
+	cfg := TrainConfig{}.withDefaults()
+	if cfg.Epochs != 60 || cfg.Batch != 32 || cfg.UpdateIters != 10 {
+		t.Errorf("train defaults = %+v", cfg)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"fcn": FCN, "FCN": FCN, "fcnpool": FCNPool, "fcn+pool": FCNPool,
+		"MSCN": MSCN, "rnn": RNN, "LSTM": LSTM, "Linear": Linear,
+	}
+	for s, want := range cases {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseType("transformer"); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestEstimatorSaveLoad(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(30))
+	e1 := NewEstimator(New(FCN, m, HyperParams{Hidden: 8, Layers: 2}, rng), TrainConfig{Epochs: 5}, rng)
+	samples := syntheticSamples(m, 40, rng, e1.Norm)
+	e1.Train(samples)
+
+	e2 := NewEstimator(New(FCN, m, HyperParams{Hidden: 8, Layers: 2},
+		rand.New(rand.NewSource(31))), TrainConfig{}, rng)
+	if err := e2.Load(e1.Save()); err != nil {
+		t.Fatal(err)
+	}
+	v := testEncoding(m)
+	if e1.EstimateNorm(v) != e2.EstimateNorm(v) {
+		t.Error("loaded estimator disagrees with saved")
+	}
+
+	wrong := NewEstimator(New(FCN, m, HyperParams{Hidden: 12, Layers: 2},
+		rand.New(rand.NewSource(32))), TrainConfig{}, rng)
+	if err := wrong.Load(e1.Save()); err == nil {
+		t.Error("architecture mismatch accepted")
+	}
+}
+
+func TestFCNWithDropout(t *testing.T) {
+	m := ceTestMeta()
+	rng := rand.New(rand.NewSource(40))
+	model := New(FCN, m, HyperParams{Hidden: 16, Layers: 2, Dropout: 0.2}, rng)
+	est := NewEstimator(model, TrainConfig{Epochs: 25, Batch: 16}, rng)
+	samples := syntheticSamples(m, 150, rng, est.Norm)
+	est.Train(samples)
+
+	// Inference must be deterministic (dropout off outside Train/Update).
+	v := testEncoding(m)
+	if est.EstimateNorm(v) != est.EstimateNorm(v) {
+		t.Error("inference is stochastic: dropout left in training mode")
+	}
+	// And the regularized model still learns.
+	if loss := est.Loss(samples); loss > 0.02 {
+		t.Errorf("dropout-regularized FCN did not fit: loss %g", loss)
+	}
+}

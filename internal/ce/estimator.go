@@ -1,0 +1,278 @@
+package ce
+
+import (
+	"math/rand"
+	"time"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// Sample is one training example: an encoded query and its normalized
+// log-cardinality target.
+type Sample struct {
+	V []float64
+	Y float64
+}
+
+// TrainConfig controls Estimator training.
+type TrainConfig struct {
+	// Epochs over the training workload (default 60).
+	Epochs int
+	// Batch is the minibatch size (default 32).
+	Batch int
+	// LR is the Adam learning rate for initial training (default 5e-3).
+	LR float64
+	// UpdateLR is the plain-SGD learning rate η of a single Eq. 9 step
+	// (default 0.05). UpdateStep — the step the attack's one-step
+	// hypergradient unrolls through — uses it.
+	UpdateLR float64
+	// UpdateIters is T, the number of incremental update iterations
+	// (epochs of minibatch Adam at UpdateAdamLR) the model runs on newly
+	// executed queries (default 10, the paper's setting). Online learned
+	// CE deployments fit incoming queries continuously, which is exactly
+	// what poisoning exploits.
+	UpdateIters int
+	// UpdateAdamLR is the Adam learning rate of the incremental update
+	// (default 1e-3, the paper's η). It is deliberately lower than the
+	// initial-training LR: a gentle update barely moves a model on
+	// consistent new queries (Linear stays robust, Random poison is
+	// harmless) while still absorbing the coherent distortions PACE's
+	// poison carries.
+	UpdateAdamLR float64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 5e-3
+	}
+	if c.UpdateLR == 0 {
+		c.UpdateLR = 0.05
+	}
+	if c.UpdateIters == 0 {
+		c.UpdateIters = 10
+	}
+	if c.UpdateAdamLR == 0 {
+		c.UpdateAdamLR = 1e-3
+	}
+	return c
+}
+
+// Estimator wraps a Model with cardinality normalization, Q-error-oriented
+// training, and the incremental-update mechanism poisoning exploits.
+type Estimator struct {
+	M    Model
+	Norm Normalizer
+	Cfg  TrainConfig
+
+	opt *nn.Adam
+	rng *rand.Rand
+}
+
+// NewEstimator wraps model m.
+func NewEstimator(m Model, cfg TrainConfig, rng *rand.Rand) *Estimator {
+	cfg = cfg.withDefaults()
+	return &Estimator{
+		M:    m,
+		Norm: DefaultNormalizer(),
+		Cfg:  cfg,
+		opt:  nn.NewAdam(m.Params(), cfg.LR),
+		rng:  rng,
+	}
+}
+
+// MakeSamples encodes queries and normalizes their cardinalities.
+func (e *Estimator) MakeSamples(qs []*query.Query, cards []float64) []Sample {
+	out := make([]Sample, len(qs))
+	for i, q := range qs {
+		out[i] = Sample{V: q.Encode(e.M.Meta()), Y: e.Norm.Norm(cards[i])}
+	}
+	return out
+}
+
+// Train fits the model to the samples with Adam on squared log-space
+// error (the smooth surrogate of Q-error the paper's Eq. 1 minimizes).
+func (e *Estimator) Train(samples []Sample) {
+	e.setTraining(true)
+	defer e.setTraining(false)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for ep := 0; ep < e.Cfg.Epochs; ep++ {
+		e.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += e.Cfg.Batch {
+			hi := lo + e.Cfg.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			for _, i := range idx[lo:hi] {
+				s := samples[i]
+				out := e.M.Forward(s.V)
+				e.M.Backward(2 * (out - s.Y))
+			}
+			e.opt.Step(1 / float64(hi-lo))
+		}
+	}
+}
+
+// Loss returns the mean squared log-space error over the samples.
+func (e *Estimator) Loss(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		d := e.M.Forward(s.V) - s.Y
+		sum += d * d
+	}
+	return sum / float64(len(samples))
+}
+
+// Update performs the incremental update on newly executed queries: T
+// epochs of minibatch Adam over the new samples, the way online learned
+// CE systems absorb fresh workload. This is the mechanism the poisoning
+// queries enter through.
+func (e *Estimator) Update(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	e.setTraining(true)
+	defer e.setTraining(false)
+	opt := nn.NewAdam(e.M.Params(), e.Cfg.UpdateAdamLR)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for it := 0; it < e.Cfg.UpdateIters; it++ {
+		e.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += e.Cfg.Batch {
+			hi := lo + e.Cfg.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			for _, i := range idx[lo:hi] {
+				s := samples[i]
+				out := e.M.Forward(s.V)
+				e.M.Backward(2 * (out - s.Y))
+			}
+			opt.Step(1 / float64(hi-lo))
+		}
+	}
+}
+
+// UpdateStep performs a single Eq. 9 step: θ ← θ − η·∇L(samples).
+func (e *Estimator) UpdateStep(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	ps := e.M.Params()
+	nn.ZeroGrads(ps)
+	for _, s := range samples {
+		out := e.M.Forward(s.V)
+		e.M.Backward(2 * (out - s.Y))
+	}
+	scale := e.Cfg.UpdateLR / float64(len(samples))
+	for _, p := range ps {
+		for i := range p.W {
+			p.W[i] -= scale * p.G[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// setTraining flips the model's train/eval behaviour when it has any
+// (dropout layers).
+func (e *Estimator) setTraining(on bool) {
+	if t, ok := e.M.(Trainable); ok {
+		t.SetTraining(on)
+	}
+}
+
+// EstimateNorm returns the model's normalized prediction for an encoded
+// query.
+func (e *Estimator) EstimateNorm(v []float64) float64 { return e.M.Forward(v) }
+
+// Estimate returns the model's cardinality estimate for a query.
+func (e *Estimator) Estimate(q *query.Query) float64 {
+	return e.Norm.Denorm(e.M.Forward(q.Encode(e.M.Meta())))
+}
+
+// QErrors evaluates the Q-error of the model on every (query, cardinality)
+// pair.
+func (e *Estimator) QErrors(qs []*query.Query, cards []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = QError(e.Estimate(q), cards[i])
+	}
+	return out
+}
+
+// Save serializes the model's parameters into a binary blob; Load
+// restores them into an estimator with the same architecture. Together
+// they let a trained estimator persist across processes.
+func (e *Estimator) Save() []byte { return nn.SaveParams(e.M.Params()) }
+
+// Load restores parameters saved by Save. It returns an error if the
+// blob's shapes do not match this estimator's architecture.
+func (e *Estimator) Load(blob []byte) error { return nn.LoadParams(e.M.Params(), blob) }
+
+// Snapshot captures the model's current parameters.
+func (e *Estimator) Snapshot() *nn.Snapshot { return nn.TakeSnapshot(e.M.Params()) }
+
+// Restore rewinds the model to a snapshot.
+func (e *Estimator) Restore(s *nn.Snapshot) { s.Restore(e.M.Params()) }
+
+// BlackBox restricts an Estimator to the interface the threat model gives
+// the attacker: cardinality estimates (the "Explain" command) and the
+// implicit incremental updates triggered by executed queries. The model's
+// type and parameters stay hidden behind it.
+type BlackBox struct {
+	est *Estimator
+}
+
+// AsBlackBox hides an estimator behind the black-box interface.
+func AsBlackBox(e *Estimator) *BlackBox { return &BlackBox{est: e} }
+
+// Estimate returns the black box's cardinality estimate for q.
+func (b *BlackBox) Estimate(q *query.Query) float64 { return b.est.Estimate(q) }
+
+// EstimateTimed returns the estimate together with the observed inference
+// latency — the side channel model-type speculation uses.
+func (b *BlackBox) EstimateTimed(q *query.Query) (float64, time.Duration) {
+	start := time.Now()
+	est := b.est.Estimate(q)
+	return est, time.Since(start)
+}
+
+// ExecuteWorkload models running queries against the database: the hidden
+// CE model incrementally retrains on the executed queries and their true
+// cardinalities (the update mechanism of §2.2). Zero-cardinality queries
+// are eliminated, as the paper prescribes for the training phase.
+func (b *BlackBox) ExecuteWorkload(qs []*query.Query, cards []float64) {
+	keepQ := make([]*query.Query, 0, len(qs))
+	keepC := make([]float64, 0, len(cards))
+	for i, q := range qs {
+		if cards[i] >= 1 {
+			keepQ = append(keepQ, q)
+			keepC = append(keepC, cards[i])
+		}
+	}
+	b.est.Update(b.est.MakeSamples(keepQ, keepC))
+}
+
+// QErrors evaluates the black box on a labeled test workload. (Evaluation
+// is the experimenter's capability, not the attacker's.)
+func (b *BlackBox) QErrors(qs []*query.Query, cards []float64) []float64 {
+	return b.est.QErrors(qs, cards)
+}
+
+// Unwrap exposes the underlying estimator for experiment code that must
+// inspect the hidden model (never used on the attack path).
+func (b *BlackBox) Unwrap() *Estimator { return b.est }

@@ -1,0 +1,130 @@
+package ce
+
+import (
+	"math/rand"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// mlpModel covers the three models that consume the raw encoding through
+// dense stacks: FCN, Linear, and (via branches) FCN+Pool's components.
+type mlpModel struct {
+	typ  Type
+	meta *query.Meta
+	net  *nn.MLP
+	out  float64
+}
+
+func newFCN(meta *query.Meta, hp HyperParams, rng *rand.Rand) Model {
+	sizes := []int{meta.Dim()}
+	for i := 0; i < hp.Layers; i++ {
+		sizes = append(sizes, hp.Hidden)
+	}
+	sizes = append(sizes, 1)
+	net := nn.NewMLP("fcn", sizes, nn.NewReLU, nn.NewSigmoid, rng)
+	if hp.Dropout > 0 {
+		net = withDropout(net, hp.Dropout, rng)
+	}
+	return &mlpModel{typ: FCN, meta: meta, net: net}
+}
+
+// withDropout inserts a dropout layer after every hidden activation
+// (i.e., after each non-final Activation in the stack).
+func withDropout(m *nn.MLP, p float64, rng *rand.Rand) *nn.MLP {
+	out := &nn.MLP{}
+	for i, l := range m.Layers {
+		out.Layers = append(out.Layers, l)
+		if _, ok := l.(*nn.Activation); ok && i < len(m.Layers)-1 {
+			out.Layers = append(out.Layers, nn.NewDropout(p, rng))
+		}
+	}
+	return out
+}
+
+func newLinear(meta *query.Meta, rng *rand.Rand) Model {
+	return &mlpModel{
+		typ:  Linear,
+		meta: meta,
+		net:  nn.NewMLP("linear", []int{meta.Dim(), 1}, nil, nn.NewSigmoid, rng),
+	}
+}
+
+func (m *mlpModel) Type() Type          { return m.typ }
+func (m *mlpModel) Meta() *query.Meta   { return m.meta }
+func (m *mlpModel) Params() []*nn.Param { return m.net.Params() }
+
+// SetTraining implements Trainable (only FCN carries dropout layers, but
+// the flip is harmless for the others).
+func (m *mlpModel) SetTraining(on bool) { nn.TrainingMode(on, m.net) }
+func (m *mlpModel) Forward(v []float64) float64 {
+	m.out = m.net.Forward(v)[0]
+	return m.out
+}
+func (m *mlpModel) Backward(dOut float64) []float64 {
+	return m.net.Backward([]float64{dOut})
+}
+
+// fcnPool is the paper's FCN+Pool (Kim et al. 2022): three parallel fully
+// connected branches whose outputs are mean-pooled and passed through a
+// dense head.
+type fcnPool struct {
+	meta     *query.Meta
+	branches []*nn.MLP
+	head     *nn.MLP
+	x        []float64
+}
+
+func newFCNPool(meta *query.Meta, hp HyperParams, rng *rand.Rand) Model {
+	p := &fcnPool{meta: meta}
+	for b := 0; b < 3; b++ {
+		sizes := []int{meta.Dim()}
+		for i := 0; i < hp.Layers-1; i++ {
+			sizes = append(sizes, hp.Hidden)
+		}
+		p.branches = append(p.branches,
+			nn.NewMLP("fcnpool.branch", sizes, nn.NewReLU, nn.NewReLU, rng))
+	}
+	p.head = nn.NewMLP("fcnpool.head", []int{hp.Hidden, 1}, nil, nn.NewSigmoid, rng)
+	return p
+}
+
+func (p *fcnPool) Type() Type        { return FCNPool }
+func (p *fcnPool) Meta() *query.Meta { return p.meta }
+
+func (p *fcnPool) Params() []*nn.Param {
+	var ps []*nn.Param
+	for _, b := range p.branches {
+		ps = append(ps, b.Params()...)
+	}
+	return append(ps, p.head.Params()...)
+}
+
+func (p *fcnPool) Forward(v []float64) float64 {
+	p.x = v
+	var pooled []float64
+	for _, b := range p.branches {
+		h := b.Forward(v)
+		if pooled == nil {
+			pooled = make([]float64, len(h))
+		}
+		nn.AddScaled(pooled, 1.0/float64(len(p.branches)), h)
+	}
+	return p.head.Forward(pooled)[0]
+}
+
+func (p *fcnPool) Backward(dOut float64) []float64 {
+	dPool := p.head.Backward([]float64{dOut})
+	dx := make([]float64, len(p.x))
+	scale := 1.0 / float64(len(p.branches))
+	for _, b := range p.branches {
+		// Re-run the branch forward to restore its layer caches
+		// (they were clobbered by the later branches' passes), then
+		// backpropagate its share of the pooled gradient.
+		b.Forward(p.x)
+		dBranch := make([]float64, len(dPool))
+		nn.AddScaled(dBranch, scale, dPool)
+		nn.AddScaled(dx, 1, b.Backward(dBranch))
+	}
+	return dx
+}

@@ -1,0 +1,54 @@
+package ce
+
+import "math"
+
+// Normalizer maps cardinalities to the (0, 1) range the models' sigmoid
+// heads produce, via a capped log2 transform: Norm(c) = log2(c+1)/LogCap.
+type Normalizer struct {
+	// LogCap is the log2 cardinality treated as 1.0. The default 40
+	// covers cardinalities up to ~10^12.
+	LogCap float64
+}
+
+// DefaultNormalizer returns the normalizer used throughout the
+// reproduction.
+func DefaultNormalizer() Normalizer { return Normalizer{LogCap: 40} }
+
+// Norm maps a cardinality to [0, 1].
+func (n Normalizer) Norm(card float64) float64 {
+	if card < 0 {
+		card = 0
+	}
+	v := math.Log2(card+1) / n.LogCap
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// Denorm inverts Norm.
+func (n Normalizer) Denorm(y float64) float64 {
+	if y < 0 {
+		y = 0
+	}
+	if y > 1 {
+		y = 1
+	}
+	return math.Exp2(y*n.LogCap) - 1
+}
+
+// QError is the paper's accuracy metric (Moerkotte et al. 2009):
+// max(est/true, true/est), with both sides floored at 1 to keep the
+// metric defined for sub-one estimates.
+func QError(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}

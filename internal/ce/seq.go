@@ -1,0 +1,98 @@
+package ce
+
+import (
+	"math/rand"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// seqModel covers the RNN and LSTM estimators (Ortiz et al. 2019): the
+// query is unrolled into one step per attribute of each joined table —
+// [position ‖ join bit ‖ lo ‖ hi] — so inference latency grows with the
+// number of columns in the query, the diagnostic model-type speculation
+// exploits (§4.1).
+type seqModel struct {
+	typ  Type
+	meta *query.Meta
+	cell nn.SeqModule
+	head *nn.MLP
+
+	x     []float64
+	attrs []int // global attribute index of every sequence step
+}
+
+const seqStepDim = 4
+
+func newRNNModel(meta *query.Meta, hp HyperParams, rng *rand.Rand) Model {
+	return &seqModel{
+		typ:  RNN,
+		meta: meta,
+		cell: nn.NewRNN("rnn.cell", seqStepDim, hp.Hidden, rng),
+		head: nn.NewMLP("rnn.head", []int{hp.Hidden, 1}, nil, nn.NewSigmoid, rng),
+	}
+}
+
+func newLSTMModel(meta *query.Meta, hp HyperParams, rng *rand.Rand) Model {
+	return &seqModel{
+		typ:  LSTM,
+		meta: meta,
+		cell: nn.NewLSTM("lstm.cell", seqStepDim, hp.Hidden, rng),
+		head: nn.NewMLP("lstm.head", []int{hp.Hidden, 1}, nil, nn.NewSigmoid, rng),
+	}
+}
+
+func (s *seqModel) Type() Type        { return s.typ }
+func (s *seqModel) Meta() *query.Meta { return s.meta }
+
+func (s *seqModel) Params() []*nn.Param {
+	return append(s.cell.Params(), s.head.Params()...)
+}
+
+// sequence unrolls the encoding into per-attribute steps for the joined
+// tables, recording which global attribute each step covers.
+func (s *seqModel) sequence(v []float64) [][]float64 {
+	nT := s.meta.NumTables()
+	nA := s.meta.NumAttrs()
+	s.attrs = s.attrs[:0]
+	var xs [][]float64
+	for t := 0; t < nT; t++ {
+		if v[t] <= 0.5 {
+			continue
+		}
+		lo, hi := s.meta.Attrs(t)
+		for a := lo; a < hi; a++ {
+			xs = append(xs, []float64{
+				float64(a) / float64(nA),
+				v[t],
+				v[nT+2*a],
+				v[nT+2*a+1],
+			})
+			s.attrs = append(s.attrs, a)
+		}
+	}
+	return xs
+}
+
+func (s *seqModel) Forward(v []float64) float64 {
+	s.x = v
+	h := s.cell.ForwardSeq(s.sequence(v))
+	return s.head.Forward(h)[0]
+}
+
+func (s *seqModel) Backward(dOut float64) []float64 {
+	dh := s.head.Backward([]float64{dOut})
+	dx := make([]float64, len(s.x))
+	if len(s.attrs) == 0 {
+		return dx
+	}
+	dxs := s.cell.BackwardSeq(dh)
+	nT := s.meta.NumTables()
+	for i, a := range s.attrs {
+		t := s.meta.TableOf(a)
+		dx[t] += dxs[i][1]
+		dx[nT+2*a] += dxs[i][2]
+		dx[nT+2*a+1] += dxs[i][3]
+	}
+	return dx
+}

@@ -1,0 +1,253 @@
+// Package classic implements the two traditional cardinality estimators
+// the paper positions learned CE against (§1: "higher performance than
+// traditional estimation methods such as histograms and sampling").
+// Neither is query-driven — they summarize the data, not the workload —
+// so neither can be poisoned through executed queries. They serve as the
+// un-attackable reference line in the robustness experiments and as
+// drop-in estimators for the qopt optimizer.
+package classic
+
+import (
+	"math/rand"
+	"sort"
+
+	"pace/internal/dataset"
+	"pace/internal/query"
+)
+
+// Histogram estimates cardinalities from per-column equi-width histograms
+// under the attribute-value-independence assumption, with PK-FK join
+// fanout statistics for multi-table queries — the textbook System-R-style
+// estimator.
+type Histogram struct {
+	ds   *dataset.Dataset
+	bins int
+	// hist[t][c] is the normalized-value histogram of table t, column c.
+	hist [][][]float64
+	// fanout[e] is the average number of child rows per parent row of
+	// dataset edge e.
+	fanout []float64
+}
+
+// NewHistogram builds histograms with the given number of equi-width bins
+// (default 32 when bins <= 0).
+func NewHistogram(ds *dataset.Dataset, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 32
+	}
+	h := &Histogram{ds: ds, bins: bins}
+	h.hist = make([][][]float64, len(ds.Tables))
+	for ti, t := range ds.Tables {
+		h.hist[ti] = make([][]float64, len(t.Cols))
+		for ci, col := range t.Cols {
+			counts := make([]float64, bins)
+			for _, v := range col {
+				b := int(v * float64(bins))
+				if b >= bins {
+					b = bins - 1
+				}
+				counts[b]++
+			}
+			h.hist[ti][ci] = counts
+		}
+	}
+	h.fanout = make([]float64, len(ds.Edges))
+	for ei, e := range ds.Edges {
+		h.fanout[ei] = float64(len(e.Refs)) / float64(ds.Tables[e.Parent].Rows)
+	}
+	return h
+}
+
+// selectivity estimates the fraction of table t's rows passing the
+// query's predicates on t, assuming attribute independence.
+func (h *Histogram) selectivity(t int, q *query.Query) float64 {
+	lo, hi := h.ds.Meta.Attrs(t)
+	rows := float64(h.ds.Tables[t].Rows)
+	sel := 1.0
+	for a := lo; a < hi; a++ {
+		b := q.Bounds[a]
+		if b[0] <= 0 && b[1] >= 1 {
+			continue
+		}
+		counts := h.hist[t][a-lo]
+		var pass float64
+		for bin, c := range counts {
+			binLo := float64(bin) / float64(h.bins)
+			binHi := float64(bin+1) / float64(h.bins)
+			overlap := overlapFrac(binLo, binHi, b[0], b[1])
+			pass += c * overlap
+		}
+		sel *= pass / rows
+	}
+	return sel
+}
+
+// overlapFrac returns the fraction of [binLo, binHi) covered by [lo, hi].
+func overlapFrac(binLo, binHi, lo, hi float64) float64 {
+	l := binLo
+	if lo > l {
+		l = lo
+	}
+	r := binHi
+	if hi < r {
+		r = hi
+	}
+	if r <= l {
+		return 0
+	}
+	return (r - l) / (binHi - binLo)
+}
+
+// Estimate returns the histogram-based cardinality estimate of q.
+// Multi-table estimates start from the "deepest" table's filtered row
+// count and multiply the parent sides' selectivities and the child sides'
+// fanouts along the join tree — exact for uniform fanout, an estimate
+// otherwise.
+func (h *Histogram) Estimate(q *query.Query) float64 {
+	var selected []int
+	for t, in := range q.Tables {
+		if in {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 {
+		return 0
+	}
+	// Root the traversal at the first selected table; every joined
+	// child edge multiplies by (fanout × child selectivity), every
+	// joined parent edge by the parent's selectivity.
+	est := float64(h.ds.Tables[selected[0]].Rows) * h.selectivity(selected[0], q)
+	visited := map[int]bool{selected[0]: true}
+	frontier := []int{selected[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for ei, e := range h.ds.Edges {
+			var other int
+			var isChild bool
+			switch {
+			case e.Parent == cur:
+				other, isChild = e.Child, true
+			case e.Child == cur:
+				other, isChild = e.Parent, false
+			default:
+				continue
+			}
+			if visited[other] || !q.Tables[other] {
+				continue
+			}
+			visited[other] = true
+			frontier = append(frontier, other)
+			if isChild {
+				est *= h.fanout[ei] * h.selectivity(other, q)
+			} else {
+				est *= h.selectivity(other, q)
+			}
+		}
+	}
+	return est
+}
+
+// Sampler estimates cardinalities by evaluating queries on uniform row
+// samples, following FK references exactly within the sampled rows (a
+// join-synopsis-style sampler).
+type Sampler struct {
+	ds *dataset.Dataset
+	// rows[t] holds the sampled row indexes of table t, sorted.
+	rows [][]int
+	// scale[t] = |T| / |sample of T|.
+	scale []float64
+}
+
+// NewSampler draws a uniform sample of frac of every table's rows
+// (at least 10 rows per table, at most the full table).
+func NewSampler(ds *dataset.Dataset, frac float64, rng *rand.Rand) *Sampler {
+	s := &Sampler{ds: ds}
+	s.rows = make([][]int, len(ds.Tables))
+	s.scale = make([]float64, len(ds.Tables))
+	for ti, t := range ds.Tables {
+		n := int(float64(t.Rows) * frac)
+		if n < 10 {
+			n = 10
+		}
+		if n > t.Rows {
+			n = t.Rows
+		}
+		perm := rng.Perm(t.Rows)[:n]
+		sort.Ints(perm)
+		s.rows[ti] = perm
+		s.scale[ti] = float64(t.Rows) / float64(n)
+	}
+	return s
+}
+
+// passes reports whether row r of table t satisfies the query's
+// predicates on t.
+func (s *Sampler) passes(t, r int, q *query.Query) bool {
+	lo, hi := s.ds.Meta.Attrs(t)
+	tab := s.ds.Tables[t]
+	for a := lo; a < hi; a++ {
+		b := q.Bounds[a]
+		if b[0] <= 0 && b[1] >= 1 {
+			continue
+		}
+		v := tab.Cols[a-lo][r]
+		if v < b[0] || v > b[1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Estimate returns the sampling-based cardinality estimate: the number of
+// sampled root rows whose full join combination passes, scaled up by the
+// root's sampling rate. Joins follow the FK references of the sampled
+// rows exactly (parents are always resolvable; child sides are estimated
+// through per-parent expected counts over the child sample).
+func (s *Sampler) Estimate(q *query.Query) float64 {
+	var selected []int
+	for t, in := range q.Tables {
+		if in {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 {
+		return 0
+	}
+	root := selected[0]
+	var total float64
+	for _, r := range s.rows[root] {
+		total += s.joinWeight(root, -1, r, q)
+	}
+	return total * s.scale[root]
+}
+
+// joinWeight returns the expected number of join combinations rooted at
+// row r of table t over the selected subtree (entered via edge fromEdge).
+func (s *Sampler) joinWeight(t, fromEdge, r int, q *query.Query) float64 {
+	if !s.passes(t, r, q) {
+		return 0
+	}
+	w := 1.0
+	for ei, e := range s.ds.Edges {
+		if ei == fromEdge {
+			continue
+		}
+		switch {
+		case e.Child == t && q.Tables[e.Parent]:
+			// Parent side: exactly resolvable through the reference.
+			w *= s.joinWeight(e.Parent, ei, e.Refs[r], q)
+		case e.Parent == t && q.Tables[e.Child]:
+			// Child side: expected matching children estimated from
+			// the child sample, scaled up.
+			var sum float64
+			for _, cr := range s.rows[e.Child] {
+				if e.Refs[cr] == r {
+					sum += s.joinWeight(e.Child, ei, cr, q)
+				}
+			}
+			w *= sum * s.scale[e.Child]
+		}
+	}
+	return w
+}

@@ -1,0 +1,122 @@
+package classic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/dataset"
+	"pace/internal/engine"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+func classicSetup(t *testing.T, name string, seed int64) (*dataset.Dataset, *engine.Engine, *workload.Generator) {
+	t.Helper()
+	ds, err := dataset.Build(name, dataset.Config{Scale: 0.2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(ds)
+	return ds, eng, workload.NewGenerator(ds, eng, rand.New(rand.NewSource(seed)))
+}
+
+func meanQErr(estimate func(*query.Query) float64, w []workload.Labeled) float64 {
+	var s float64
+	for _, l := range w {
+		s += ce.QError(estimate(l.Q), l.Card)
+	}
+	return s / float64(len(w))
+}
+
+func TestHistogramSingleTableAccuracy(t *testing.T) {
+	ds, _, gen := classicSetup(t, "dmv", 1)
+	h := NewHistogram(ds, 32)
+	w := gen.Random(60)
+	qe := meanQErr(h.Estimate, w)
+	t.Logf("histogram mean q-error on dmv: %.2f", qe)
+	// Correlated columns break independence, but single-table estimates
+	// should still be within a couple orders of magnitude.
+	if qe > 100 {
+		t.Errorf("histogram mean q-error %.1f too large", qe)
+	}
+}
+
+func TestHistogramOpenQueryIsExactish(t *testing.T) {
+	ds, eng, _ := classicSetup(t, "tpch", 2)
+	h := NewHistogram(ds, 32)
+	q := query.New(ds.Meta)
+	q.Tables[ds.TableIndex("lineitem")] = true
+	est := h.Estimate(q)
+	truth, _ := eng.Cardinality(q)
+	if math.Abs(est-truth) > 1e-9 {
+		t.Errorf("open single-table estimate %g != %g", est, truth)
+	}
+	// Open two-table PK-FK join: |child| exactly under uniform-fanout
+	// accounting from either traversal direction.
+	q.Tables[ds.TableIndex("orders")] = true
+	est = h.Estimate(q)
+	truth, _ = eng.Cardinality(q)
+	if est < truth*0.5 || est > truth*2 {
+		t.Errorf("open join estimate %g far from %g", est, truth)
+	}
+}
+
+func TestSamplerSingleTableAccuracy(t *testing.T) {
+	ds, _, gen := classicSetup(t, "dmv", 3)
+	s := NewSampler(ds, 0.3, rand.New(rand.NewSource(3)))
+	w := gen.Random(60)
+	qe := meanQErr(s.Estimate, w)
+	t.Logf("sampler mean q-error on dmv: %.2f", qe)
+	if qe > 50 {
+		t.Errorf("sampler mean q-error %.1f too large", qe)
+	}
+}
+
+func TestSamplerFullSampleIsExact(t *testing.T) {
+	// With frac=1 the sampler sees every row; single-table estimates
+	// must be exact and join estimates exact too (references resolve
+	// exactly and the child side is fully enumerated).
+	ds, eng, gen := classicSetup(t, "tpch", 4)
+	s := NewSampler(ds, 1.0, rand.New(rand.NewSource(4)))
+	gen.MaxJoinTables = 3
+	for _, l := range gen.Random(25) {
+		est := s.Estimate(l.Q)
+		truth, _ := eng.Cardinality(l.Q)
+		if math.Abs(est-truth) > 1e-6*(truth+1) {
+			t.Fatalf("full-sample estimate %g != %g for %s", est, truth, l.Q.SQL(ds.Meta))
+		}
+	}
+}
+
+func TestEstimatorsHandleEmptySelection(t *testing.T) {
+	ds, _, _ := classicSetup(t, "dmv", 5)
+	h := NewHistogram(ds, 0) // default bins
+	s := NewSampler(ds, 0.1, rand.New(rand.NewSource(5)))
+	empty := query.New(ds.Meta)
+	if h.Estimate(empty) != 0 || s.Estimate(empty) != 0 {
+		t.Error("empty table set should estimate 0")
+	}
+}
+
+func TestClassicEstimatorsAreMonotone(t *testing.T) {
+	ds, _, gen := classicSetup(t, "stats", 6)
+	h := NewHistogram(ds, 32)
+	s := NewSampler(ds, 0.4, rand.New(rand.NewSource(6)))
+	for i := 0; i < 20; i++ {
+		l := gen.Random(1)[0]
+		wide := l.Q.Clone()
+		for a := range wide.Bounds {
+			b := wide.Bounds[a]
+			wide.Bounds[a] = [2]float64{b[0] * 0.5, b[1] + (1-b[1])*0.5}
+		}
+		wide.Normalize(ds.Meta)
+		if h.Estimate(wide) < h.Estimate(l.Q)-1e-9 {
+			t.Fatal("histogram estimate not monotone under widening")
+		}
+		if s.Estimate(wide) < s.Estimate(l.Q)-1e-9 {
+			t.Fatal("sampler estimate not monotone under widening")
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/generator"
+	"pace/internal/nn"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+// Method identifies a poisoning-query crafting method: PACE or one of the
+// paper's four baselines (§7.1).
+type Method int
+
+// The six rows of the paper's comparison tables, in its order.
+const (
+	Clean Method = iota // no attack
+	Random
+	LbS    // loss-based selection
+	Greedy // greedy search
+	LbG    // loss-based generation
+	PACE
+)
+
+// Methods lists every attack method (excluding Clean) in paper order.
+func Methods() []Method { return []Method{Random, LbS, Greedy, LbG, PACE} }
+
+// AllRows lists Clean plus every attack method, the row order of the
+// paper's tables.
+func AllRows() []Method { return []Method{Clean, Random, LbS, Greedy, LbG, PACE} }
+
+// String returns the paper's label for the method.
+func (m Method) String() string {
+	switch m {
+	case Clean:
+		return "Clean"
+	case Random:
+		return "Random"
+	case LbS:
+		return "Lb-S"
+	case Greedy:
+		return "Greedy"
+	case LbG:
+		return "Lb-G"
+	case PACE:
+		return "PACE"
+	default:
+		return "Method(?)"
+	}
+}
+
+// RandomPoison crafts n poisoning queries by random generation — the
+// Random baseline.
+func RandomPoison(gen *workload.Generator, n int) ([]*query.Query, []float64) {
+	w := gen.Random(n)
+	return workload.Queries(w), cardsOf(w)
+}
+
+// LbSPoison crafts n poisoning queries by loss-based selection: generate
+// 10n random queries and keep the n that maximize the inference loss of
+// the (unpoisoned) surrogate.
+func LbSPoison(sur *ce.Estimator, gen *workload.Generator, n int) ([]*query.Query, []float64) {
+	pool := gen.Random(10 * n)
+	type scored struct {
+		idx  int
+		loss float64
+	}
+	scores := make([]scored, len(pool))
+	for i, l := range pool {
+		v := l.Q.Encode(sur.M.Meta())
+		d := sur.M.Forward(v) - sur.Norm.Norm(l.Card)
+		scores[i] = scored{idx: i, loss: d * d}
+	}
+	// Partial selection sort of the top n by loss.
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < len(scores); j++ {
+			if scores[j].loss > scores[best].loss {
+				best = j
+			}
+		}
+		scores[i], scores[best] = scores[best], scores[i]
+	}
+	qs := make([]*query.Query, n)
+	cards := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l := pool[scores[i].idx]
+		qs[i], cards[i] = l.Q, l.Card
+	}
+	return qs, cards
+}
+
+// GreedyPoison crafts n poisoning queries by greedy search: for each
+// query, choose a random valid join pattern, draw 10 candidate range
+// conditions per attribute, and greedily keep, attribute by attribute,
+// the condition that maximizes the unpoisoned surrogate's inference loss.
+func GreedyPoison(sur *ce.Estimator, gen *workload.Generator, oracle Oracle, n int, rng *rand.Rand) ([]*query.Query, []float64) {
+	meta := sur.M.Meta()
+	qs := make([]*query.Query, 0, n)
+	cards := make([]float64, 0, n)
+	for len(qs) < n {
+		q := query.New(meta)
+		// Random connected join pattern via the workload generator's
+		// subtree machinery: draw a random query and keep its tables.
+		proto := gen.RandomQuery()
+		copy(q.Tables, proto.Tables)
+
+		for t, in := range q.Tables {
+			if !in {
+				continue
+			}
+			lo, hi := meta.Attrs(t)
+			for a := lo; a < hi; a++ {
+				bestLoss := -1.0
+				bestBounds := [2]float64{0, 1}
+				for c := 0; c < 10; c++ {
+					lb := rng.Float64()
+					ub := lb + rng.Float64()*(1-lb)
+					q.Bounds[a] = [2]float64{lb, ub}
+					card := oracle(q)
+					if card < 1 {
+						continue
+					}
+					v := q.Encode(meta)
+					d := sur.M.Forward(v) - sur.Norm.Norm(card)
+					if loss := d * d; loss > bestLoss {
+						bestLoss = loss
+						bestBounds = q.Bounds[a]
+					}
+				}
+				q.Bounds[a] = bestBounds
+			}
+		}
+		q.Normalize(meta)
+		card := oracle(q)
+		if card < 1 {
+			continue
+		}
+		qs = append(qs, q)
+		cards = append(cards, card)
+	}
+	return qs, cards
+}
+
+// LbGConfig controls the loss-based-generation baseline.
+type LbGConfig struct {
+	// Iters is the number of generator training steps (default 400,
+	// matching PACE's total inner iterations).
+	Iters int
+	// Batch is the per-step batch size (default 64).
+	Batch int
+}
+
+func (c LbGConfig) withDefaults() LbGConfig {
+	if c.Iters == 0 {
+		c.Iters = 400
+	}
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	return c
+}
+
+// LbGPoison crafts n poisoning queries by loss-based generation: the same
+// generator architecture as PACE, trained to maximize the inference loss
+// of the UNPOISONED surrogate (the crucial difference from PACE, which
+// maximizes the post-update loss). Like PACE's trainer, empty queries get
+// a widening gradient — without it the loss-ascent drives the generator
+// over the empty-cardinality cliff and every crafted query is eliminated
+// before it can poison anything — and the final workload is resampled to
+// non-empty queries.
+func LbGPoison(sur *ce.Estimator, gen *generator.Generator, oracle Oracle,
+	cfg LbGConfig, n int, rng *rand.Rand) ([]*query.Query, []float64) {
+	cfg = cfg.withDefaults()
+	meta := sur.M.Meta()
+	genParams := append(gen.Gj.Params(), gen.Params()...)
+	bestScore := -1.0
+	var bestSnap *nn.Snapshot
+	for it := 0; it < cfg.Iters; it++ {
+		batch := gen.Generate(cfg.Batch, rng)
+		gen.TrainJoin(batch)
+		// Score this state: summed inference loss of the batch's VALID
+		// queries — empty queries are eliminated by the target and
+		// score zero. The best-scoring generator state is kept, since
+		// unconstrained loss-ascent eventually saturates past the
+		// empty-cardinality cliff and cannot come back.
+		var score float64
+		for _, s := range batch {
+			card := oracle(s.Query)
+			if card < 1 {
+				gen.Backward(s, wideningGrad(meta, s))
+				continue
+			}
+			out := sur.M.Forward(s.V)
+			d := out - sur.Norm.Norm(card)
+			score += d * d
+			dv := sur.M.Backward(2 * d)
+			// Ascent on the inference loss: feed −grad to the
+			// minimizing optimizer, normalized per sample.
+			scale := sliceScale(dv)
+			neg := make([]float64, len(dv))
+			for j := range neg {
+				neg[j] = -scale * dv[j]
+			}
+			gen.Backward(s, neg)
+		}
+		if score > bestScore {
+			bestScore = score
+			bestSnap = nn.TakeSnapshot(genParams)
+		}
+		zeroSurrogateGrads(sur)
+		gen.Step(len(batch))
+	}
+	if bestSnap != nil {
+		bestSnap.Restore(genParams)
+	}
+
+	qs := make([]*query.Query, 0, n)
+	cards := make([]float64, 0, n)
+	var spareQ []*query.Query
+	var spareC []float64
+	for attempt := 0; len(qs) < n && attempt < 20*n; attempt++ {
+		s := gen.GenerateOne(rng)
+		card := oracle(s.Query)
+		if card >= 1 {
+			qs = append(qs, s.Query)
+			cards = append(cards, card)
+		} else if len(spareQ) < n {
+			spareQ = append(spareQ, s.Query)
+			spareC = append(spareC, card)
+		}
+	}
+	for i := 0; len(qs) < n && i < len(spareQ); i++ {
+		qs = append(qs, spareQ[i])
+		cards = append(cards, spareC[i])
+	}
+	return qs, cards
+}
+
+// wideningGrad is the unit-scale minimization direction that widens an
+// empty query's predicates (see Trainer.addWideningGrad).
+func wideningGrad(meta *query.Meta, s *generator.Sample) []float64 {
+	nT := meta.NumTables()
+	dV := make([]float64, meta.Dim())
+	for a := 0; a < meta.NumAttrs(); a++ {
+		if s.BJ[meta.TableOf(a)] <= 0.5 {
+			continue
+		}
+		dV[nT+2*a] += 1
+		dV[nT+2*a+1] -= 1
+	}
+	if norm := nn.Norm(dV); norm > 0 {
+		nn.Scale(dV, 1/norm)
+	}
+	return dV
+}
+
+func zeroSurrogateGrads(sur *ce.Estimator) {
+	for _, p := range sur.M.Params() {
+		p.ZeroGrad()
+	}
+}
+
+func cardsOf(w []workload.Labeled) []float64 {
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i].Card
+	}
+	return out
+}

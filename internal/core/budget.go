@@ -1,0 +1,74 @@
+package core
+
+import (
+	"pace/internal/ce"
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// BudgetConfig controls the budget-constrained attack of the paper's
+// second future-work direction (§8): when the attacker can only afford a
+// limited number of poisoning queries, an over-generated candidate pool
+// is scored by estimated damage on the surrogate and the strongest
+// subset is kept — the greedy relaxation of the paper's proposed
+// penalty-function formulation.
+type BudgetConfig struct {
+	// PoolMult over-generates PoolMult×budget candidates (default 4).
+	PoolMult int
+	// ScoreTestBatch bounds the test samples used per candidate score
+	// (default 32).
+	ScoreTestBatch int
+}
+
+func (c BudgetConfig) withDefaults() BudgetConfig {
+	if c.PoolMult == 0 {
+		c.PoolMult = 4
+	}
+	if c.ScoreTestBatch == 0 {
+		c.ScoreTestBatch = 32
+	}
+	return c
+}
+
+// GeneratePoisonBudget draws PoolMult candidate workloads of `budget`
+// queries each from the trained generator, scores every candidate group
+// by the surrogate's post-update test loss (the full T-iteration update,
+// so within-group coherence — which most of the damage comes from — is
+// preserved), and returns the strongest group. The surrogate is restored
+// after every probe.
+func (t *Trainer) GeneratePoisonBudget(budget int, cfg BudgetConfig) ([]*query.Query, []float64) {
+	cfg = cfg.withDefaults()
+
+	testBatch := t.Test
+	if len(testBatch) > cfg.ScoreTestBatch {
+		testBatch = testBatch[:cfg.ScoreTestBatch]
+	}
+
+	ps := t.Sur.M.Params()
+	snap := nn.TakeSnapshot(ps)
+	bestDamage := -1.0
+	var bestQ []*query.Query
+	var bestC []float64
+	for g := 0; g < cfg.PoolMult; g++ {
+		qs, cards := t.GeneratePoison(budget)
+		var valid []ce.Sample
+		for i := range qs {
+			if cards[i] >= 1 {
+				valid = append(valid, ce.Sample{
+					V: qs[i].Encode(t.Sur.M.Meta()),
+					Y: t.Sur.Norm.Norm(cards[i]),
+				})
+			}
+		}
+		if len(valid) > 0 {
+			t.Sur.Update(valid)
+		}
+		loss, _ := t.testLossAndGrad(testBatch)
+		snap.Restore(ps)
+		if loss > bestDamage {
+			bestDamage = loss
+			bestQ, bestC = qs, cards
+		}
+	}
+	return bestQ, bestC
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+func TestGeneratePoisonBudgetShape(t *testing.T) {
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 16, InnerIters: 4, OuterIters: 3})
+	tr.TrainAccelerated()
+
+	before := nn.FlattenParams(f.sur.M.Params())
+	qs, cards := tr.GeneratePoisonBudget(20, BudgetConfig{})
+	if len(qs) != 20 || len(cards) != 20 {
+		t.Fatalf("got %d/%d, want 20/20", len(qs), len(cards))
+	}
+	if nn.MaxAbsDiff(before, nn.FlattenParams(f.sur.M.Params())) != 0 {
+		t.Error("budget scoring did not restore the surrogate")
+	}
+	for i, q := range qs {
+		if !q.Connected(f.wgen.DS.Joinable) {
+			t.Fatalf("budget query %d disconnected", i)
+		}
+	}
+}
+
+// applyPoison updates the fixture surrogate with a poisoning workload and
+// returns the resulting test loss (surrogate restored afterwards).
+func applyPoison(f *fixture, qs []*query.Query, cards []float64) float64 {
+	snap := f.sur.Snapshot()
+	var valid []ce.Sample
+	for i := range qs {
+		if cards[i] >= 1 {
+			valid = append(valid, ce.Sample{
+				V: qs[i].Encode(f.wgen.DS.Meta),
+				Y: f.sur.Norm.Norm(cards[i]),
+			})
+		}
+	}
+	f.sur.Update(valid)
+	loss := f.sur.Loss(f.test)
+	f.sur.Restore(snap)
+	return loss
+}
+
+func TestBudgetSelectionBeatsUnselected(t *testing.T) {
+	// The selected subset's damage must be at least comparable to an
+	// equal-size unselected draw from the same generator — the point of
+	// spending the scoring budget.
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 24, InnerIters: 8, OuterIters: 5})
+	tr.TrainAccelerated()
+
+	sel, selC := tr.GeneratePoisonBudget(25, BudgetConfig{PoolMult: 4})
+	raw, rawC := tr.GeneratePoison(25)
+
+	selDamage := applyPoison(f, sel, selC)
+	rawDamage := applyPoison(f, raw, rawC)
+	t.Logf("selected damage=%.6f unselected=%.6f", selDamage, rawDamage)
+	if selDamage < rawDamage*0.8 {
+		t.Errorf("budget selection (%.6f) much weaker than raw draw (%.6f)", selDamage, rawDamage)
+	}
+}
+
+func TestBudgetConfigDefaults(t *testing.T) {
+	c := BudgetConfig{}.withDefaults()
+	if c.PoolMult != 4 || c.ScoreTestBatch != 32 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestDisableHypergradientStillTrains(t *testing.T) {
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{
+		Batch: 16, InnerIters: 4, OuterIters: 3, DisableHypergradient: true,
+	})
+	tr.TrainAccelerated()
+	if len(tr.Objective) != 3 {
+		t.Fatalf("objective curve %d points, want 3", len(tr.Objective))
+	}
+	qs, cards := tr.GeneratePoison(10)
+	if len(qs) != 10 || len(cards) != 10 {
+		t.Error("ablated trainer cannot generate poison")
+	}
+}
+
+func TestNegativeWeightsDisableSignals(t *testing.T) {
+	if weightOf(-1) != 0 || weightOf(0.5) != 0.5 {
+		t.Error("weightOf semantics wrong")
+	}
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{
+		Batch: 8, InnerIters: 2, OuterIters: 2,
+		InferenceWeight: -1, ValidityWeight: -1,
+	})
+	tr.TrainAccelerated() // must not panic or flip signs
+	if len(tr.Objective) != 2 {
+		t.Error("training with disabled signals did not run")
+	}
+}
+
+func TestEarlyStoppingPatience(t *testing.T) {
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{
+		Batch: 8, InnerIters: 2, OuterIters: 30, Patience: 2,
+	})
+	tr.TrainAccelerated()
+	if len(tr.Objective) >= 30 {
+		t.Errorf("patience did not stop training: ran %d/30 outer loops", len(tr.Objective))
+	}
+	if len(tr.Objective) < 2 {
+		t.Errorf("training stopped implausibly early: %d loops", len(tr.Objective))
+	}
+}
+
+func TestBestTrackerRestoresOptimum(t *testing.T) {
+	// After training, the generator must be the best-objective state
+	// seen at any outer-loop boundary: re-evaluating the objective with
+	// the same fixed evaluation noise reproduces the curve's maximum
+	// (or the untrained baseline if training never improved on it).
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 16, InnerIters: 4, OuterIters: 6})
+	baseline := tr.objectiveValue()
+	tr.TrainAccelerated()
+	final := tr.objectiveValue()
+
+	best := baseline
+	for _, obj := range tr.Objective {
+		if obj > best {
+			best = obj
+		}
+	}
+	if diff := final - best; diff < -1e-12 || diff > 1e-12 {
+		t.Errorf("final objective %g != curve best %g", final, best)
+	}
+}

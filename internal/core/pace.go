@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/detector"
+	"pace/internal/generator"
+	"pace/internal/query"
+	"pace/internal/surrogate"
+	"pace/internal/workload"
+)
+
+// Algorithm selects the generator-training algorithm of §5.3.
+type Algorithm int
+
+const (
+	// Accelerated is the progressive-update algorithm of Fig. 5(b) /
+	// Algorithm 1 — the PACE default.
+	Accelerated Algorithm = iota
+	// Basic is the alternating algorithm of Fig. 5(a), kept for the
+	// Fig. 12 ablation.
+	Basic
+)
+
+// Config assembles the full PACE pipeline configuration.
+type Config struct {
+	// NumPoison is the size of the final poisoning workload (default
+	// 450, the paper's 5% of a 10 000-query training history... scaled).
+	NumPoison int
+	// Algorithm selects Accelerated (default) or Basic.
+	Algorithm Algorithm
+	// UseDetector enables the §6 anomaly-detector confrontation
+	// (default true; set DisableDetector to turn off).
+	DisableDetector bool
+	// ForceType skips model-type speculation and uses the given type
+	// (the Table 7 wrong-surrogate experiments). Leave nil for the
+	// normal pipeline.
+	ForceType *ce.Type
+	// DetectorPercentile calibrates the anomaly threshold ε to this
+	// percentile of the historical workload's reconstruction errors
+	// (default 90; set negative to keep the detector's absolute ε).
+	DetectorPercentile float64
+
+	Speculation surrogate.SpeculationConfig
+	Surrogate   surrogate.TrainConfig
+	Generator   generator.Config
+	Detector    detector.Config
+	Trainer     TrainerConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumPoison == 0 {
+		c.NumPoison = 450
+	}
+	if c.DetectorPercentile == 0 {
+		c.DetectorPercentile = 90
+	}
+	return c
+}
+
+// Result is the outcome of a full PACE run.
+type Result struct {
+	// SpeculatedType is the architecture speculation chose (or the
+	// forced type).
+	SpeculatedType ce.Type
+	// Similarities are the per-type speculation scores (nil when the
+	// type was forced).
+	Similarities map[ce.Type]float64
+	// Surrogate is the trained white-box stand-in.
+	Surrogate *ce.Estimator
+	// Poison is the final poisoning workload with true cardinalities.
+	Poison      []*query.Query
+	PoisonCards []float64
+	// Objective is the convergence curve (one value per outer loop).
+	Objective []float64
+	// TrainTime covers surrogate acquisition + generator training;
+	// GenTime covers drawing the final poisoning workload; AttackTime
+	// covers the target's incremental update on it.
+	TrainTime, GenTime, AttackTime time.Duration
+}
+
+// Run executes the complete PACE attack of §3 against a black-box CE
+// model: speculate and train a surrogate (§4), adversarially train the
+// poisoning generator with the anomaly detector (§5–6), generate the
+// poisoning workload, and execute it against the target (§3.4).
+//
+// wgen supplies the attacker's query-generation and COUNT(*) machinery
+// over the target database; test is the workload whose estimation error
+// the attack maximizes; history is the historical workload the detector
+// learns normality from.
+func Run(bb *ce.BlackBox, wgen *workload.Generator, test, history []workload.Labeled,
+	cfg Config, rng *rand.Rand) (*Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Result{}
+	oracle := EngineOracle(wgen)
+
+	trainStart := time.Now()
+
+	// Stage (a): surrogate acquisition.
+	if cfg.ForceType != nil {
+		res.SpeculatedType = *cfg.ForceType
+	} else {
+		spec, err := surrogate.Speculate(bb, wgen, cfg.Speculation, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: speculation failed: %w", err)
+		}
+		res.SpeculatedType = spec.Type
+		res.Similarities = spec.Similarities
+	}
+	res.Surrogate = surrogate.Train(bb, res.SpeculatedType, wgen, cfg.Surrogate, rng)
+
+	// Stage (b): generator (+ detector) training.
+	gen := generator.New(wgen.DS.Meta, wgen.DS.Joinable, cfg.Generator, rng)
+	var det *detector.Detector
+	if !cfg.DisableDetector {
+		det = detector.New(wgen.DS.Meta.Dim(), cfg.Detector, rng)
+		hEnc := encodings(history, wgen)
+		det.Train(hEnc)
+		if cfg.DetectorPercentile > 0 {
+			det.CalibrateThreshold(hEnc, cfg.DetectorPercentile)
+		}
+	}
+	testSamples := MakeTestSamples(res.Surrogate, test)
+	trainer := NewTrainer(res.Surrogate, gen, det, oracle, testSamples, cfg.Trainer, rng)
+	switch cfg.Algorithm {
+	case Basic:
+		trainer.TrainBasic()
+	default:
+		trainer.TrainAccelerated()
+	}
+	res.Objective = trainer.Objective
+	res.TrainTime = time.Since(trainStart)
+
+	// Stage (c): attack.
+	genStart := time.Now()
+	res.Poison, res.PoisonCards = trainer.GeneratePoison(cfg.NumPoison)
+	res.GenTime = time.Since(genStart)
+
+	attackStart := time.Now()
+	bb.ExecuteWorkload(res.Poison, res.PoisonCards)
+	res.AttackTime = time.Since(attackStart)
+	return res, nil
+}
+
+// EngineOracle adapts the workload generator's exact engine into the
+// attacker's COUNT(*) oracle (invalid queries count as zero).
+func EngineOracle(wgen *workload.Generator) Oracle {
+	return func(q *query.Query) float64 {
+		card, err := wgen.Eng.Cardinality(q)
+		if err != nil {
+			return 0
+		}
+		return card
+	}
+}
+
+// MakeTestSamples normalizes a labeled test workload against the
+// surrogate's normalizer.
+func MakeTestSamples(sur *ce.Estimator, test []workload.Labeled) []ce.Sample {
+	return sur.MakeSamples(workload.Queries(test), cardsOf(test))
+}
+
+func encodings(w []workload.Labeled, wgen *workload.Generator) [][]float64 {
+	out := make([][]float64, len(w))
+	for i, l := range w {
+		out[i] = l.Q.Encode(wgen.DS.Meta)
+	}
+	return out
+}
+
+// CraftPoison produces a poisoning workload of size n with the given
+// baseline method against a trained surrogate. PACE itself must go
+// through Run (it needs the full trainer); passing PACE here panics.
+func CraftPoison(m Method, sur *ce.Estimator, wgen *workload.Generator,
+	genCfg generator.Config, n int, rng *rand.Rand) ([]*query.Query, []float64) {
+	oracle := EngineOracle(wgen)
+	switch m {
+	case Random:
+		return RandomPoison(wgen, n)
+	case LbS:
+		return LbSPoison(sur, wgen, n)
+	case Greedy:
+		return GreedyPoison(sur, wgen, oracle, n, rng)
+	case LbG:
+		gen := generator.New(wgen.DS.Meta, wgen.DS.Joinable, genCfg, rng)
+		return LbGPoison(sur, gen, oracle, LbGConfig{}, n, rng)
+	default:
+		panic(fmt.Sprintf("core: CraftPoison does not implement %v", m))
+	}
+}

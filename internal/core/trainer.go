@@ -1,0 +1,534 @@
+// Package core is the PACE attack system itself (§3, §5, §6): training a
+// poisoning-query generator against a white-box surrogate CE model so
+// that, when the generated queries are executed and the target model
+// incrementally retrains on them, its estimation error on a test workload
+// is maximized.
+//
+// The bivariate optimization of Eq. 10 couples the generator parameters
+// with the surrogate parameters that change under the poisoning update of
+// Eq. 9. The gradient of the post-update test loss with respect to a
+// poisoning query requires the mixed second derivative
+// ∇²_{v,θ} ℓ(θ; v, y); it is computed here with a central-difference
+// Hessian-vector product needing only first-order machinery:
+//
+//	∇_v L_test(θ−η∇_θℓ) ≈ −η·[∇_v ℓ(θ+δu; v) − ∇_v ℓ(θ−δu; v)]·‖g‖/(2δ)
+//
+// where g = ∇_θ L_test at the updated parameters and u = g/‖g‖.
+package core
+
+import (
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/detector"
+	"pace/internal/generator"
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// Oracle is the attacker's COUNT(*) capability: the true cardinality of
+// any crafted query (§2.2, adversary's capacity).
+type Oracle func(*query.Query) float64
+
+// TrainerConfig controls poisoning-generator training.
+type TrainerConfig struct {
+	// Batch is the number of poisoning queries generated per inner
+	// iteration (default 64).
+	Batch int
+	// InnerIters is n, the inner-loop length of Algorithm 1 (default 20).
+	InnerIters int
+	// OuterIters is the number of outer loops (default 20, the paper's
+	// setting for both algorithms).
+	OuterIters int
+	// TestBatch bounds how many test samples are used per objective
+	// gradient (default 64; 0 < TestBatch ≤ len(test)).
+	TestBatch int
+	// Delta is the finite-difference step of the Hessian-vector product
+	// (default 1e-3).
+	Delta float64
+	// DetectorWeight is λ, the relative weight of the anomaly detector's
+	// reconstruction gradient against the attack gradient (default 0.5).
+	DetectorWeight float64
+	// ValidityWeight is the weight of the widening gradient applied to
+	// zero-cardinality samples (default 1). Empty queries are eliminated
+	// from the target's update (§2.1), so they poison nothing; the most
+	// damaging queries sit just above the empty cliff (tiny but nonzero
+	// cardinality), and this signal keeps the generator from falling
+	// off it.
+	ValidityWeight float64
+	// InferenceWeight is γ, the weight of the inference-loss-ascent
+	// component ∇_v ℓ(θ_i; v, y) mixed into the attack gradient
+	// (default 0.5). The hypergradient alone vanishes wherever the
+	// surrogate already fits the generated queries (θ′ ≈ θ ⇒ no
+	// post-update signal), stalling training; queries the current model
+	// mispredicts are the raw material poisoning needs, and this term
+	// supplies a nonzero direction toward them.
+	InferenceWeight float64
+	// BasicGenSteps is m, the per-outer-loop generator steps of the
+	// basic algorithm (default 20).
+	BasicGenSteps int
+	// DisableHypergradient drops the bivariate-optimization term,
+	// leaving only the inference-ascent and validity signals — the
+	// ablation that reduces PACE to Lb-G-with-extras.
+	DisableHypergradient bool
+	// Patience enables convergence-based early stopping: training ends
+	// when the objective has not improved for Patience consecutive
+	// outer loops (the paper's "stop training until convergence").
+	// 0 disables early stopping (run all OuterIters).
+	Patience int
+}
+
+// weightOf treats negative configured weights as disabled (0); zero was
+// already replaced by the default.
+func weightOf(w float64) float64 {
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+func (c TrainerConfig) withDefaults() TrainerConfig {
+	if c.Batch == 0 {
+		c.Batch = 64
+	}
+	if c.InnerIters == 0 {
+		c.InnerIters = 20
+	}
+	if c.OuterIters == 0 {
+		c.OuterIters = 20
+	}
+	if c.TestBatch == 0 {
+		c.TestBatch = 64
+	}
+	if c.Delta == 0 {
+		c.Delta = 1e-3
+	}
+	if c.DetectorWeight == 0 {
+		c.DetectorWeight = 0.5
+	}
+	if c.ValidityWeight == 0 {
+		c.ValidityWeight = 1
+	}
+	if c.InferenceWeight == 0 {
+		c.InferenceWeight = 0.5
+	}
+	if c.BasicGenSteps == 0 {
+		c.BasicGenSteps = 20
+	}
+	return c
+}
+
+// Trainer optimizes a poisoning generator against a surrogate model.
+type Trainer struct {
+	Sur    *ce.Estimator
+	Gen    *generator.Generator
+	Det    *detector.Detector // nil disables the confrontation of §6.2
+	Oracle Oracle
+	Test   []ce.Sample
+	Cfg    TrainerConfig
+
+	// Objective records the post-update test loss at the end of every
+	// outer loop — the convergence curve of Fig. 15 (as the generator's
+	// loss −L_test, it declines; as the objective, it rises).
+	Objective []float64
+
+	rng *rand.Rand
+	// evalSeed fixes the noise used by objectiveValue so the recorded
+	// convergence curve reflects generator progress, not batch noise.
+	evalSeed int64
+}
+
+// NewTrainer assembles a trainer. det may be nil (PACE-Without Detector).
+func NewTrainer(sur *ce.Estimator, gen *generator.Generator, det *detector.Detector,
+	oracle Oracle, test []ce.Sample, cfg TrainerConfig, rng *rand.Rand) *Trainer {
+	return &Trainer{
+		Sur: sur, Gen: gen, Det: det,
+		Oracle: oracle, Test: test,
+		Cfg:      cfg.withDefaults(),
+		rng:      rng,
+		evalSeed: rng.Int63(),
+	}
+}
+
+// label turns generated samples into CE training samples using the
+// oracle; zero-cardinality queries yield ok=false (the target filters
+// them out of its update, so they carry no poisoning gradient).
+func (t *Trainer) label(batch []*generator.Sample) ([]ce.Sample, []bool) {
+	samples := make([]ce.Sample, len(batch))
+	ok := make([]bool, len(batch))
+	for i, s := range batch {
+		card := t.Oracle(s.Query)
+		if card >= 1 {
+			samples[i] = ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)}
+			ok[i] = true
+		}
+	}
+	return samples, ok
+}
+
+// testBatch samples a minibatch of the test workload.
+func (t *Trainer) testBatch() []ce.Sample {
+	n := t.Cfg.TestBatch
+	if n >= len(t.Test) {
+		return t.Test
+	}
+	out := make([]ce.Sample, n)
+	perm := t.rng.Perm(len(t.Test))
+	for i := 0; i < n; i++ {
+		out[i] = t.Test[perm[i]]
+	}
+	return out
+}
+
+// testLossAndGrad computes L_test = mean (f(v)−y)² over the batch and
+// accumulates ∇_θ L_test, returned flattened. Parameter gradients are
+// cleared afterwards.
+func (t *Trainer) testLossAndGrad(batch []ce.Sample) (float64, []float64) {
+	ps := t.Sur.M.Params()
+	nn.ZeroGrads(ps)
+	var loss float64
+	for _, s := range batch {
+		out := t.Sur.M.Forward(s.V)
+		d := out - s.Y
+		loss += d * d
+		t.Sur.M.Backward(2 * d / float64(len(batch)))
+	}
+	g := nn.FlattenGrads(ps)
+	nn.ZeroGrads(ps)
+	return loss / float64(len(batch)), g
+}
+
+// inputGrads computes ∇_v ℓ(θ; v, y) for every valid poisoning sample at
+// the surrogate's current parameters. Parameter gradients are cleared.
+func (t *Trainer) inputGrads(samples []ce.Sample, ok []bool) [][]float64 {
+	out := make([][]float64, len(samples))
+	for i, s := range samples {
+		if !ok[i] {
+			continue
+		}
+		o := t.Sur.M.Forward(s.V)
+		out[i] = t.Sur.M.Backward(2 * (o - s.Y))
+	}
+	nn.ZeroGrads(t.Sur.M.Params())
+	return out
+}
+
+// attackGrads computes the hypergradient dL_test(θ')/dv for every valid
+// sample via the finite-difference HVP, where θ' is the surrogate after
+// one Eq. 9 step on the batch. The surrogate is restored to its entry
+// parameters before returning.
+func (t *Trainer) attackGrads(samples []ce.Sample, ok []bool) [][]float64 {
+	ps := t.Sur.M.Params()
+	snap := nn.TakeSnapshot(ps)
+
+	// One-step lookahead θ → θ′, then g = ∇_θ L_test(θ′).
+	valid := filterSamples(samples, ok)
+	if len(valid) == 0 {
+		return make([][]float64, len(samples))
+	}
+	t.Sur.UpdateStep(valid)
+	_, g := t.testLossAndGrad(t.testBatch())
+	snap.Restore(ps)
+
+	gNorm := nn.Norm(g)
+	if gNorm == 0 {
+		return make([][]float64, len(samples))
+	}
+	u := nn.CopyOf(g)
+	nn.Scale(u, 1/gNorm)
+
+	delta := t.Cfg.Delta
+	nn.AddToParams(ps, delta, u)
+	plus := t.inputGrads(samples, ok)
+	snap.Restore(ps)
+	nn.AddToParams(ps, -delta, u)
+	minus := t.inputGrads(samples, ok)
+	snap.Restore(ps)
+
+	// dL_test/dv_j = −(η/N)·∇_v[∇_θℓᵀg] with the mixed derivative from
+	// the central difference. The sign makes this the ASCENT direction
+	// for the objective.
+	eta := t.Sur.Cfg.UpdateLR
+	coef := -eta / float64(len(valid)) * gNorm / (2 * delta)
+	out := make([][]float64, len(samples))
+	for i := range samples {
+		if !ok[i] {
+			continue
+		}
+		dv := make([]float64, len(plus[i]))
+		for j := range dv {
+			dv[j] = coef * (plus[i][j] - minus[i][j])
+		}
+		out[i] = dv
+	}
+	return out
+}
+
+func filterSamples(samples []ce.Sample, ok []bool) []ce.Sample {
+	var out []ce.Sample
+	for i := range samples {
+		if ok[i] {
+			out = append(out, samples[i])
+		}
+	}
+	return out
+}
+
+// generatorStep applies one generator update from the attack gradients
+// (ascent on the objective), the inference-loss-ascent component, and —
+// when a detector is present — the reconstruction-loss confrontation on
+// abnormal samples (Algorithm 1 lines 13–15). Each signal is normalized
+// to comparable scale before weighting, so the weights are interpretable.
+func (t *Trainer) generatorStep(batch []*generator.Sample, ok []bool, attack, inference [][]float64) {
+	attackScale := batchScale(attack)
+	infScale := batchScale(inference)
+	n := 0
+	for i, s := range batch {
+		dV := make([]float64, len(s.V))
+		if !ok[i] {
+			// Zero-cardinality sample: pull it back over the empty
+			// cliff by widening its predicates (lower the lower
+			// bounds, raise the upper bounds).
+			t.addWideningGrad(s, dV)
+		} else if attack[i] != nil {
+			// Adam minimizes; feed −ascent to maximize the objective.
+			nn.AddScaled(dV, -attackScale, attack[i])
+		}
+		if inference != nil && inference[i] != nil {
+			nn.AddScaled(dV, -weightOf(t.Cfg.InferenceWeight)*infScale, inference[i])
+		}
+		if t.Det != nil {
+			if err, dRec := t.Det.ReconGrad(s.V); err > t.Det.Threshold() {
+				recScale := sliceScale(dRec)
+				nn.AddScaled(dV, weightOf(t.Cfg.DetectorWeight)*recScale, dRec)
+			}
+		}
+		t.Gen.Backward(s, dV)
+		n++
+	}
+	t.Gen.Step(n)
+}
+
+// addWideningGrad adds the validity-restoration gradient for an empty
+// query: a minimization direction that decreases lower bounds and
+// increases upper bounds of the joined tables' predicates, at unit scale
+// times ValidityWeight.
+func (t *Trainer) addWideningGrad(s *generator.Sample, dV []float64) {
+	w := weightOf(t.Cfg.ValidityWeight)
+	if w == 0 {
+		return
+	}
+	nn.AddScaled(dV, w, wideningGrad(t.Gen.Meta(), s))
+}
+
+// batchScale returns 1/(mean per-sample gradient norm) so the attack
+// signal enters the generator at unit scale.
+func batchScale(grads [][]float64) float64 {
+	var sum float64
+	n := 0
+	for _, g := range grads {
+		if g != nil {
+			sum += nn.Norm(g)
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+func sliceScale(g []float64) float64 {
+	norm := nn.Norm(g)
+	if norm == 0 {
+		return 0
+	}
+	return 1 / norm
+}
+
+// TrainAccelerated runs the paper's accelerated algorithm (Fig. 5b,
+// Algorithm 1): inside each outer loop the surrogate's poisoned
+// parameters and the generator interact step by step — one Eq. 9 update
+// of θ per generator step — eliminating the wasted updates of the basic
+// algorithm. Each outer loop starts from the clean surrogate parameters
+// (the attack itself always updates the clean target), and records the
+// post-update objective value.
+func (t *Trainer) TrainAccelerated() {
+	ps := t.Sur.M.Params()
+	clean := nn.TakeSnapshot(ps)
+	best := t.newBestTracker()
+	for outer := 0; outer < t.Cfg.OuterIters; outer++ {
+		for inner := 0; inner < t.Cfg.InnerIters; inner++ {
+			batch := t.Gen.Generate(t.Cfg.Batch, t.rng)
+			t.Gen.TrainJoin(batch)
+			samples, ok := t.label(batch)
+
+			var attack [][]float64
+			if t.Cfg.DisableHypergradient {
+				attack = make([][]float64, len(samples))
+			} else {
+				attack = t.attackGrads(samples, ok)
+			}
+			inference := t.inputGrads(samples, ok)
+			t.generatorStep(batch, ok, attack, inference)
+
+			// Progressive update: advance the poisoned parameters one
+			// step on the just-generated queries (line 20's θ_T is
+			// reached after the inner loop).
+			if valid := filterSamples(samples, ok); len(valid) > 0 {
+				t.Sur.UpdateStep(valid)
+			}
+		}
+		clean.Restore(ps)
+		obj := t.objectiveValue()
+		t.Objective = append(t.Objective, obj)
+		best.consider(obj, len(t.Objective)-1)
+		if t.converged(best) {
+			break
+		}
+	}
+	best.restore()
+}
+
+// converged reports whether the objective has gone Patience outer loops
+// without improving on the best value.
+func (t *Trainer) converged(best *bestTracker) bool {
+	if t.Cfg.Patience <= 0 {
+		return false
+	}
+	return len(t.Objective)-1-best.bestAt >= t.Cfg.Patience
+}
+
+// TrainBasic runs the basic algorithm (Fig. 5a): each outer loop first
+// fully poisons the surrogate (T update steps) on the current generator's
+// queries, then updates the generator for m steps against that FIXED
+// poisoned model — maximizing the poisoned model's inference loss on the
+// generated queries — before re-poisoning from scratch. The two variables
+// never interact within a step, which is exactly the inefficiency §5.3
+// describes.
+func (t *Trainer) TrainBasic() {
+	ps := t.Sur.M.Params()
+	clean := nn.TakeSnapshot(ps)
+	best := t.newBestTracker()
+	for outer := 0; outer < t.Cfg.OuterIters; outer++ {
+		// (1) Poison θ0 → θT with the current generator's queries.
+		batch := t.Gen.Generate(t.Cfg.Batch, t.rng)
+		t.Gen.TrainJoin(batch)
+		samples, ok := t.label(batch)
+		if valid := filterSamples(samples, ok); len(valid) > 0 {
+			t.Sur.Update(valid)
+		}
+
+		// (2) Update the generator for m steps with θT held constant.
+		for step := 0; step < t.Cfg.BasicGenSteps; step++ {
+			b := t.Gen.Generate(t.Cfg.Batch, t.rng)
+			t.Gen.TrainJoin(b)
+			s, okB := t.label(b)
+			grads := t.inputGrads(s, okB)
+			// Ascent on the poisoned model's inference loss only —
+			// the basic algorithm has no per-step coupling.
+			t.generatorStep(b, okB, grads, nil)
+		}
+
+		clean.Restore(ps)
+		obj := t.objectiveValue()
+		t.Objective = append(t.Objective, obj)
+		best.consider(obj, len(t.Objective)-1)
+		if t.converged(best) {
+			break
+		}
+	}
+	best.restore()
+}
+
+// bestTracker keeps the generator snapshot with the highest objective
+// seen at any outer-loop boundary. The bivariate optimization is noisy —
+// the generator can wander past its best state — and the attacker is
+// free to keep the strongest generator observed, so training ends by
+// restoring it.
+type bestTracker struct {
+	gen    *generator.Generator
+	obj    float64
+	snap   *nn.Snapshot
+	bestAt int // Objective index of the best value (-1: untrained baseline)
+}
+
+func (t *Trainer) newBestTracker() *bestTracker {
+	b := &bestTracker{gen: t.Gen, obj: -1, bestAt: -1}
+	// Baseline: the untrained generator, so training can never end
+	// worse than it started.
+	b.consider(t.objectiveValue(), -1)
+	return b
+}
+
+func (b *bestTracker) params() []*nn.Param {
+	return append(b.gen.Gj.Params(), b.gen.Params()...)
+}
+
+func (b *bestTracker) consider(obj float64, at int) {
+	if b.snap == nil || obj > b.obj {
+		b.obj = obj
+		b.bestAt = at
+		b.snap = nn.TakeSnapshot(b.params())
+	}
+}
+
+func (b *bestTracker) restore() {
+	if b.snap != nil {
+		b.snap.Restore(b.params())
+	}
+}
+
+// objectiveValue evaluates Eq. 10 for the current generator: poison the
+// (clean) surrogate for the full T iterations with a batch drawn the way
+// the real attack draws it (non-empty queries, resampled with fixed
+// evaluation noise so the curve tracks generator progress, not batch
+// noise) and return the test loss of the poisoned model. The surrogate is
+// restored afterwards.
+func (t *Trainer) objectiveValue() float64 {
+	ps := t.Sur.M.Params()
+	snap := nn.TakeSnapshot(ps)
+	evalRng := rand.New(rand.NewSource(t.evalSeed))
+	var valid []ce.Sample
+	for attempt := 0; len(valid) < t.Cfg.Batch && attempt < 20*t.Cfg.Batch; attempt++ {
+		s := t.Gen.GenerateOne(evalRng)
+		if card := t.Oracle(s.Query); card >= 1 {
+			valid = append(valid, ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)})
+		}
+	}
+	if len(valid) > 0 {
+		t.Sur.Update(valid)
+	}
+	loss, _ := t.testLossAndGrad(t.Test)
+	snap.Restore(ps)
+	return loss
+}
+
+// GeneratePoison draws the final poisoning workload from the trained
+// generator, labeled with the oracle (the attacker executes the queries,
+// observing their true counts). The attacker holds the COUNT(*) oracle,
+// so empty queries — which the target eliminates from its update and
+// which therefore poison nothing — are resampled away (bounded attempts;
+// any shortfall is filled with the empty draws rather than failing).
+func (t *Trainer) GeneratePoison(n int) ([]*query.Query, []float64) {
+	qs := make([]*query.Query, 0, n)
+	cards := make([]float64, 0, n)
+	var spareQ []*query.Query
+	var spareC []float64
+	for attempt := 0; len(qs) < n && attempt < 20*n; attempt++ {
+		s := t.Gen.GenerateOne(t.rng)
+		card := t.Oracle(s.Query)
+		if card >= 1 {
+			qs = append(qs, s.Query)
+			cards = append(cards, card)
+		} else if len(spareQ) < n {
+			spareQ = append(spareQ, s.Query)
+			spareC = append(spareC, card)
+		}
+	}
+	for i := 0; len(qs) < n && i < len(spareQ); i++ {
+		qs = append(qs, spareQ[i])
+		cards = append(cards, spareC[i])
+	}
+	return qs, cards
+}

@@ -1,0 +1,249 @@
+// Package dataset builds the synthetic relational datasets the
+// reproduction uses in place of the paper's DMV, IMDB, TPC-H and STATS
+// data. Each dataset mirrors the *shape* of its namesake — table count,
+// a PK-FK join graph, skewed and correlated column distributions — while
+// being fully deterministic from a seed.
+//
+// All column values are normalized into [0, 1], which matches the query
+// encoding of PACE §5.2 directly (predicates are normalized bounds), and
+// all join graphs are trees of PK-FK edges, which keeps exact join
+// cardinality computable in linear time (see internal/engine).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pace/internal/query"
+)
+
+// Distribution selects how a synthetic column's values are drawn.
+type Distribution int
+
+// Column value distributions.
+const (
+	Uniform    Distribution = iota
+	Zipf                    // power-law mass near 0
+	Gaussian                // clamped normal around 0.5
+	Correlated              // first column of the table plus noise
+)
+
+// ColumnSpec describes one synthetic column.
+type ColumnSpec struct {
+	Name string
+	Dist Distribution
+	// Distinct quantizes values onto this many distinct levels
+	// (0 means continuous).
+	Distinct int
+}
+
+// TableSpec describes one synthetic table.
+type TableSpec struct {
+	Name string
+	Rows int // base row count, multiplied by Config.Scale
+	Cols []ColumnSpec
+}
+
+// EdgeSpec declares a PK-FK join edge: each row of Child references one
+// row of Parent. ZipfSkew > 0 skews references toward low parent row
+// indexes (hot parents), producing non-uniform join fanout.
+type EdgeSpec struct {
+	Child, Parent string
+	ZipfSkew      float64
+}
+
+// Spec is a full schema blueprint.
+type Spec struct {
+	Name   string
+	Tables []TableSpec
+	Edges  []EdgeSpec
+}
+
+// Table is a materialized synthetic table with column-major storage.
+type Table struct {
+	Name string
+	Rows int
+	// Cols[c][r] is the normalized value of column c at row r.
+	Cols     [][]float64
+	ColNames []string
+}
+
+// Edge is a materialized PK-FK edge of the join graph.
+type Edge struct {
+	Child, Parent int // table indexes
+	// Refs[r] is the parent row index referenced by child row r.
+	Refs []int
+}
+
+// Dataset is a fully materialized synthetic database instance.
+type Dataset struct {
+	Name   string
+	Tables []*Table
+	Edges  []Edge
+	Meta   *query.Meta
+
+	adj [][]bool
+}
+
+// Config controls dataset materialization.
+type Config struct {
+	// Scale multiplies every table's base row count; 0 means 1.0.
+	Scale float64
+	// Seed drives all randomness; the same seed always yields the same
+	// dataset.
+	Seed int64
+}
+
+// Names lists the available built-in datasets in paper order.
+func Names() []string { return []string{"dmv", "imdb", "tpch", "stats"} }
+
+// Build materializes one of the built-in datasets ("dmv", "imdb", "tpch"
+// or "stats").
+func Build(name string, cfg Config) (*Dataset, error) {
+	var spec Spec
+	switch name {
+	case "dmv":
+		spec = dmvSpec()
+	case "imdb":
+		spec = imdbSpec()
+	case "tpch":
+		spec = tpchSpec()
+	case "stats":
+		spec = statsSpec()
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+	return Materialize(spec, cfg)
+}
+
+// Materialize generates a dataset instance from a schema blueprint.
+func Materialize(spec Spec, cfg Config) (*Dataset, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{Name: spec.Name}
+
+	tableIdx := make(map[string]int, len(spec.Tables))
+	for i, ts := range spec.Tables {
+		tableIdx[ts.Name] = i
+		rows := int(float64(ts.Rows) * cfg.Scale)
+		if rows < 2 {
+			rows = 2
+		}
+		d.Tables = append(d.Tables, genTable(ts, rows, rng))
+	}
+
+	for _, es := range spec.Edges {
+		child, parent := tableIdx[es.Child], tableIdx[es.Parent]
+		refs := genRefs(d.Tables[child].Rows, d.Tables[parent].Rows, es.ZipfSkew, rng)
+		d.Edges = append(d.Edges, Edge{Child: child, Parent: parent, Refs: refs})
+	}
+
+	d.Meta = buildMeta(d)
+	d.adj = buildAdj(d)
+	return d, nil
+}
+
+func validateSpec(spec Spec) error {
+	if len(spec.Tables) == 0 {
+		return fmt.Errorf("dataset: spec %q has no tables", spec.Name)
+	}
+	names := make(map[string]bool, len(spec.Tables))
+	for _, t := range spec.Tables {
+		if names[t.Name] {
+			return fmt.Errorf("dataset: duplicate table %q", t.Name)
+		}
+		names[t.Name] = true
+		if len(t.Cols) == 0 {
+			return fmt.Errorf("dataset: table %q has no columns", t.Name)
+		}
+	}
+	for _, e := range spec.Edges {
+		if !names[e.Child] || !names[e.Parent] {
+			return fmt.Errorf("dataset: edge %s→%s references unknown table", e.Child, e.Parent)
+		}
+	}
+	// The engine requires a forest of PK-FK edges: no table may appear
+	// in a cycle, which for |edges| < |tables| plus connectivity checks
+	// reduces to verifying the undirected graph is acyclic.
+	if err := checkForest(spec); err != nil {
+		return err
+	}
+	return nil
+}
+
+func checkForest(spec Spec) error {
+	parent := make(map[string]string)
+	var find func(x string) string
+	find = func(x string) string {
+		if p, ok := parent[x]; ok && p != x {
+			root := find(p)
+			parent[x] = root
+			return root
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	for _, e := range spec.Edges {
+		a, b := find(e.Child), find(e.Parent)
+		if a == b {
+			return fmt.Errorf("dataset: join graph of %q contains a cycle through %s→%s",
+				spec.Name, e.Child, e.Parent)
+		}
+		parent[a] = b
+	}
+	return nil
+}
+
+func buildMeta(d *Dataset) *query.Meta {
+	m := &query.Meta{AttrOffset: []int{0}}
+	for _, t := range d.Tables {
+		m.TableNames = append(m.TableNames, t.Name)
+		for _, cn := range t.ColNames {
+			m.AttrNames = append(m.AttrNames, t.Name+"."+cn)
+		}
+		m.AttrOffset = append(m.AttrOffset, m.AttrOffset[len(m.AttrOffset)-1]+len(t.Cols))
+	}
+	return m
+}
+
+func buildAdj(d *Dataset) [][]bool {
+	n := len(d.Tables)
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range d.Edges {
+		adj[e.Child][e.Parent] = true
+		adj[e.Parent][e.Child] = true
+	}
+	return adj
+}
+
+// Joinable reports whether tables i and j share a PK-FK edge.
+func (d *Dataset) Joinable(i, j int) bool { return d.adj[i][j] }
+
+// TableIndex returns the index of the named table, or -1.
+func (d *Dataset) TableIndex(name string) int {
+	for i, t := range d.Tables {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalRows returns the sum of row counts over all tables.
+func (d *Dataset) TotalRows() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += t.Rows
+	}
+	return n
+}

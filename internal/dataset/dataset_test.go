@@ -1,0 +1,281 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAllDatasets(t *testing.T) {
+	wantTables := map[string]int{"dmv": 1, "imdb": 21, "tpch": 8, "stats": 8}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := Build(name, Config{Scale: 0.1, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Tables) != wantTables[name] {
+				t.Errorf("%s: %d tables, want %d", name, len(d.Tables), wantTables[name])
+			}
+			if err := d.Meta.Validate(); err != nil {
+				t.Errorf("%s meta invalid: %v", name, err)
+			}
+			if len(d.Edges) != len(d.Tables)-1 && name != "dmv" {
+				t.Errorf("%s: %d edges for %d tables, want a spanning tree",
+					name, len(d.Edges), len(d.Tables))
+			}
+		})
+	}
+}
+
+func TestBuildUnknownDataset(t *testing.T) {
+	if _, err := Build("nope", Config{}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestValuesNormalized(t *testing.T) {
+	d, err := Build("tpch", Config{Scale: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range d.Tables {
+		for ci, col := range tab.Cols {
+			for _, v := range col {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s.%s value %g outside [0,1]", tab.Name, tab.ColNames[ci], v)
+				}
+			}
+		}
+	}
+}
+
+func TestRefsInRange(t *testing.T) {
+	d, err := Build("stats", Config{Scale: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d.Edges {
+		child, parent := d.Tables[e.Child], d.Tables[e.Parent]
+		if len(e.Refs) != child.Rows {
+			t.Fatalf("edge %s→%s: %d refs for %d child rows",
+				child.Name, parent.Name, len(e.Refs), child.Rows)
+		}
+		for _, r := range e.Refs {
+			if r < 0 || r >= parent.Rows {
+				t.Fatalf("edge %s→%s: ref %d outside parent rows %d",
+					child.Name, parent.Name, r, parent.Rows)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d1, _ := Build("imdb", Config{Scale: 0.05, Seed: 7})
+	d2, _ := Build("imdb", Config{Scale: 0.05, Seed: 7})
+	if d1.TotalRows() != d2.TotalRows() {
+		t.Fatal("same seed produced different row counts")
+	}
+	for ti := range d1.Tables {
+		for ci := range d1.Tables[ti].Cols {
+			a, b := d1.Tables[ti].Cols[ci], d2.Tables[ti].Cols[ci]
+			for r := range a {
+				if a[r] != b[r] {
+					t.Fatalf("same seed produced different values at %d/%d/%d", ti, ci, r)
+				}
+			}
+		}
+	}
+	d3, _ := Build("imdb", Config{Scale: 0.05, Seed: 8})
+	same := true
+outer:
+	for ti := range d1.Tables {
+		for ci := range d1.Tables[ti].Cols {
+			a, b := d1.Tables[ti].Cols[ci], d3.Tables[ti].Cols[ci]
+			for r := range a {
+				if a[r] != b[r] {
+					same = false
+					break outer
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestScale(t *testing.T) {
+	small, _ := Build("dmv", Config{Scale: 0.1, Seed: 1})
+	big, _ := Build("dmv", Config{Scale: 0.5, Seed: 1})
+	if big.Tables[0].Rows <= small.Tables[0].Rows {
+		t.Errorf("scale 0.5 rows (%d) not larger than scale 0.1 rows (%d)",
+			big.Tables[0].Rows, small.Tables[0].Rows)
+	}
+}
+
+func TestJoinable(t *testing.T) {
+	d, _ := Build("tpch", Config{Scale: 0.05, Seed: 1})
+	li := d.TableIndex("lineitem")
+	or := d.TableIndex("orders")
+	cu := d.TableIndex("customer")
+	if li < 0 || or < 0 || cu < 0 {
+		t.Fatal("expected tables missing")
+	}
+	if !d.Joinable(li, or) || !d.Joinable(or, li) {
+		t.Error("lineitem–orders should be joinable (both directions)")
+	}
+	if d.Joinable(li, cu) {
+		t.Error("lineitem–customer are not directly joinable")
+	}
+}
+
+func TestTableIndexMissing(t *testing.T) {
+	d, _ := Build("dmv", Config{Scale: 0.05, Seed: 1})
+	if d.TableIndex("nope") != -1 {
+		t.Error("TableIndex for missing table should be -1")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	spec := Spec{
+		Name: "cyclic",
+		Tables: []TableSpec{
+			{Name: "a", Rows: 10, Cols: []ColumnSpec{{Name: "x"}}},
+			{Name: "b", Rows: 10, Cols: []ColumnSpec{{Name: "x"}}},
+			{Name: "c", Rows: 10, Cols: []ColumnSpec{{Name: "x"}}},
+		},
+		Edges: []EdgeSpec{
+			{Child: "a", Parent: "b"},
+			{Child: "b", Parent: "c"},
+			{Child: "c", Parent: "a"},
+		},
+	}
+	if _, err := Materialize(spec, Config{Seed: 1}); err == nil {
+		t.Error("cyclic join graph accepted")
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []Spec{
+		{Name: "empty"},
+		{Name: "dup", Tables: []TableSpec{
+			{Name: "a", Rows: 5, Cols: []ColumnSpec{{Name: "x"}}},
+			{Name: "a", Rows: 5, Cols: []ColumnSpec{{Name: "x"}}},
+		}},
+		{Name: "nocols", Tables: []TableSpec{{Name: "a", Rows: 5}}},
+		{Name: "badedge",
+			Tables: []TableSpec{{Name: "a", Rows: 5, Cols: []ColumnSpec{{Name: "x"}}}},
+			Edges:  []EdgeSpec{{Child: "a", Parent: "zzz"}}},
+	}
+	for _, spec := range cases {
+		if _, err := Materialize(spec, Config{Seed: 1}); err == nil {
+			t.Errorf("spec %q accepted, want error", spec.Name)
+		}
+	}
+}
+
+func TestQuantizeProperty(t *testing.T) {
+	// Quantized columns take at most Distinct distinct values, all in [0,1].
+	f := func(seed int64) bool {
+		d, err := Build("dmv", Config{Scale: 0.02, Seed: seed})
+		if err != nil {
+			return false
+		}
+		tab := d.Tables[0]
+		// record_type is quantized to 4 levels.
+		distinct := map[float64]bool{}
+		for _, v := range tab.Cols[0] {
+			distinct[v] = true
+		}
+		return len(distinct) <= 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfSkewConcentratesRefs(t *testing.T) {
+	d, _ := Build("stats", Config{Scale: 0.2, Seed: 5})
+	// votes→posts has skew 1.5: the first 10% of parent rows should
+	// receive well over 10% of references.
+	var votesEdge *Edge
+	vi, pi := d.TableIndex("votes"), d.TableIndex("posts")
+	for i := range d.Edges {
+		if d.Edges[i].Child == vi && d.Edges[i].Parent == pi {
+			votesEdge = &d.Edges[i]
+		}
+	}
+	if votesEdge == nil {
+		t.Fatal("votes→posts edge missing")
+	}
+	cut := d.Tables[pi].Rows / 10
+	hot := 0
+	for _, r := range votesEdge.Refs {
+		if r < cut {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(votesEdge.Refs))
+	if frac < 0.2 {
+		t.Errorf("hot-parent fraction %.3f, want > 0.2 under skew 1.5", frac)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	d, err := Build("tpch", Config{Scale: 0.05, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, len(d.Tables))
+	for i, tab := range d.Tables {
+		before[i] = tab.Rows
+	}
+	d.Grow(0.5, 0.2, rand.New(rand.NewSource(21)))
+	for i, tab := range d.Tables {
+		if tab.Rows <= before[i] {
+			t.Fatalf("table %s did not grow: %d → %d", tab.Name, before[i], tab.Rows)
+		}
+		for ci, col := range tab.Cols {
+			if len(col) != tab.Rows {
+				t.Fatalf("%s col %d has %d values for %d rows", tab.Name, ci, len(col), tab.Rows)
+			}
+			for _, v := range col {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s grown value %g outside [0,1]", tab.Name, v)
+				}
+			}
+		}
+	}
+	for _, e := range d.Edges {
+		if len(e.Refs) != d.Tables[e.Child].Rows {
+			t.Fatalf("edge refs %d != child rows %d", len(e.Refs), d.Tables[e.Child].Rows)
+		}
+		for _, r := range e.Refs {
+			if r < 0 || r >= d.Tables[e.Parent].Rows {
+				t.Fatal("grown ref out of range")
+			}
+		}
+	}
+}
+
+func TestGrowShiftsDistribution(t *testing.T) {
+	d, _ := Build("dmv", Config{Scale: 0.05, Seed: 22})
+	tab := d.Tables[0]
+	oldRows := tab.Rows
+	meanOf := func(vals []float64) float64 {
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s / float64(len(vals))
+	}
+	// weight column (index 7) is continuous; check shift moves its mean.
+	oldMean := meanOf(tab.Cols[7])
+	d.Grow(1.0, 0.3, rand.New(rand.NewSource(22)))
+	newMean := meanOf(tab.Cols[7][oldRows:])
+	if newMean <= oldMean+0.1 {
+		t.Errorf("grown rows mean %.3f not shifted above old mean %.3f", newMean, oldMean)
+	}
+}

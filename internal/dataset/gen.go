@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+)
+
+// genTable materializes one table's columns.
+func genTable(ts TableSpec, rows int, rng *rand.Rand) *Table {
+	t := &Table{Name: ts.Name, Rows: rows}
+	var first []float64
+	for ci, cs := range ts.Cols {
+		vals := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			vals[r] = drawValue(cs.Dist, first, r, rng)
+		}
+		if cs.Distinct > 0 {
+			quantize(vals, cs.Distinct)
+		}
+		if ci == 0 {
+			first = vals
+		}
+		t.Cols = append(t.Cols, vals)
+		t.ColNames = append(t.ColNames, cs.Name)
+	}
+	return t
+}
+
+func drawValue(dist Distribution, first []float64, row int, rng *rand.Rand) float64 {
+	switch dist {
+	case Zipf:
+		// Power-law mass near 0: u^3 concentrates ~87% of values
+		// below 0.5 while keeping a long tail, mimicking the heavy
+		// skew of real categorical/frequency columns.
+		u := rng.Float64()
+		return u * u * u
+	case Gaussian:
+		v := 0.5 + rng.NormFloat64()*0.15
+		return clamp01(v)
+	case Correlated:
+		if first == nil {
+			return rng.Float64()
+		}
+		return clamp01(first[row] + rng.NormFloat64()*0.1)
+	default:
+		return rng.Float64()
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// quantize snaps values onto n equally spaced levels in [0, 1].
+func quantize(vals []float64, n int) {
+	if n < 2 {
+		return
+	}
+	for i, v := range vals {
+		level := math.Floor(v * float64(n))
+		if level >= float64(n) {
+			level = float64(n - 1)
+		}
+		vals[i] = level / float64(n-1)
+	}
+}
+
+// genRefs draws a parent row reference for every child row. skew == 0
+// yields uniform references; skew > 0 yields a power-law concentration on
+// low parent indexes (hot rows with large join fanout).
+func genRefs(childRows, parentRows int, skew float64, rng *rand.Rand) []int {
+	refs := make([]int, childRows)
+	for i := range refs {
+		u := rng.Float64()
+		if skew > 0 {
+			u = math.Pow(u, 1+skew)
+		}
+		r := int(u * float64(parentRows))
+		if r >= parentRows {
+			r = parentRows - 1
+		}
+		refs[i] = r
+	}
+	return refs
+}

@@ -1,0 +1,45 @@
+package dataset
+
+import "math/rand"
+
+// Grow appends frac×Rows new rows to every table, drawing each new value
+// from an existing row of the same column plus a distribution shift and
+// jitter — the workload-drift scenario that motivates incremental CE
+// retraining in the first place (and with it, the poisoning channel).
+// New child rows reference uniformly random rows of the grown parent,
+// existing references stay valid, and the schema meta is unchanged, so
+// engines and estimators built over the dataset keep working (estimators
+// summarizing the old data are now stale, which is the point).
+func (d *Dataset) Grow(frac, shift float64, rng *rand.Rand) {
+	oldRows := make([]int, len(d.Tables))
+	for ti, t := range d.Tables {
+		oldRows[ti] = t.Rows
+		extra := int(float64(t.Rows) * frac)
+		if extra < 1 {
+			extra = 1
+		}
+		for ci := range t.Cols {
+			col := t.Cols[ci]
+			for k := 0; k < extra; k++ {
+				src := col[rng.Intn(t.Rows)]
+				v := src + shift + rng.NormFloat64()*0.02
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				t.Cols[ci] = append(t.Cols[ci], v)
+			}
+		}
+		t.Rows += extra
+	}
+	for ei := range d.Edges {
+		e := &d.Edges[ei]
+		childNew := d.Tables[e.Child].Rows - oldRows[e.Child]
+		parentRows := d.Tables[e.Parent].Rows
+		for k := 0; k < childNew; k++ {
+			e.Refs = append(e.Refs, rng.Intn(parentRows))
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package dataset
+
+// The four built-in schemas mirror the shape of the paper's datasets:
+// table counts, a tree-shaped PK-FK join graph, and a mix of skewed,
+// clustered and correlated columns. Base row counts are laptop-scale; use
+// Config.Scale to grow or shrink every table proportionally.
+
+// dmvSpec mirrors the DMV vehicle-registration dataset: one wide table
+// with 11 attributes of mixed skew.
+func dmvSpec() Spec {
+	return Spec{
+		Name: "dmv",
+		Tables: []TableSpec{
+			{Name: "vehicles", Rows: 16000, Cols: []ColumnSpec{
+				{Name: "record_type", Dist: Zipf, Distinct: 4},
+				{Name: "reg_class", Dist: Zipf, Distinct: 30},
+				{Name: "state", Dist: Zipf, Distinct: 50},
+				{Name: "county", Dist: Uniform, Distinct: 62},
+				{Name: "body_type", Dist: Zipf, Distinct: 24},
+				{Name: "fuel_type", Dist: Zipf, Distinct: 8},
+				{Name: "year", Dist: Gaussian, Distinct: 80},
+				{Name: "weight", Dist: Correlated},
+				{Name: "color", Dist: Uniform, Distinct: 20},
+				{Name: "scofflaw", Dist: Zipf, Distinct: 2},
+				{Name: "suspended", Dist: Zipf, Distinct: 2},
+			}},
+		},
+	}
+}
+
+// imdbSpec mirrors the 21-table IMDB/JOB schema as a snowflake around
+// title, with cast_info and movie_info as the large fact-like tables.
+func imdbSpec() Spec {
+	dim := func(name string, rows int) TableSpec {
+		return TableSpec{Name: name, Rows: rows, Cols: []ColumnSpec{
+			{Name: "kind", Dist: Zipf, Distinct: 16},
+			{Name: "weight", Dist: Uniform},
+		}}
+	}
+	fact := func(name string, rows int) TableSpec {
+		return TableSpec{Name: name, Rows: rows, Cols: []ColumnSpec{
+			{Name: "info", Dist: Zipf, Distinct: 40},
+			{Name: "year", Dist: Gaussian, Distinct: 100},
+			{Name: "score", Dist: Correlated},
+		}}
+	}
+	return Spec{
+		Name: "imdb",
+		Tables: []TableSpec{
+			fact("title", 6000),
+			dim("kind_type", 100),
+			fact("movie_companies", 4000),
+			dim("company_name", 800),
+			dim("company_type", 100),
+			fact("movie_info", 8000),
+			dim("info_type", 110),
+			fact("movie_info_idx", 3000),
+			fact("movie_keyword", 4000),
+			dim("keyword", 1200),
+			fact("cast_info", 9000),
+			dim("name", 2500),
+			dim("role_type", 100),
+			dim("char_name", 2000),
+			fact("aka_title", 1500),
+			fact("movie_link", 1000),
+			dim("link_type", 100),
+			fact("complete_cast", 1200),
+			dim("comp_cast_type", 100),
+			fact("aka_name", 1200),
+			fact("person_info", 2500),
+		},
+		Edges: []EdgeSpec{
+			{Child: "title", Parent: "kind_type", ZipfSkew: 1},
+			{Child: "movie_companies", Parent: "title", ZipfSkew: 0.5},
+			{Child: "movie_companies", Parent: "company_name", ZipfSkew: 1},
+			{Child: "movie_companies", Parent: "company_type"},
+			{Child: "movie_info", Parent: "title", ZipfSkew: 0.5},
+			{Child: "movie_info", Parent: "info_type", ZipfSkew: 1},
+			{Child: "movie_info_idx", Parent: "title"},
+			{Child: "movie_keyword", Parent: "title", ZipfSkew: 0.5},
+			{Child: "movie_keyword", Parent: "keyword", ZipfSkew: 1.5},
+			{Child: "cast_info", Parent: "title", ZipfSkew: 0.5},
+			{Child: "cast_info", Parent: "name", ZipfSkew: 1},
+			{Child: "cast_info", Parent: "role_type", ZipfSkew: 1},
+			{Child: "cast_info", Parent: "char_name"},
+			{Child: "aka_title", Parent: "title", ZipfSkew: 1},
+			{Child: "movie_link", Parent: "title", ZipfSkew: 1},
+			{Child: "movie_link", Parent: "link_type"},
+			{Child: "complete_cast", Parent: "title"},
+			{Child: "complete_cast", Parent: "comp_cast_type"},
+			{Child: "aka_name", Parent: "name", ZipfSkew: 1},
+			{Child: "person_info", Parent: "name", ZipfSkew: 0.5},
+		},
+	}
+}
+
+// tpchSpec mirrors the 8-table TPC-H schema. The supplier→nation edge of
+// the real schema is dropped so the join graph stays a tree (the engine's
+// exact-count algorithm requires acyclic joins); supplier joins through
+// partsupp instead, preserving every query template the benchmark-style
+// workloads use.
+func tpchSpec() Spec {
+	return Spec{
+		Name: "tpch",
+		Tables: []TableSpec{
+			{Name: "region", Rows: 50, Cols: []ColumnSpec{
+				{Name: "r_key", Dist: Uniform, Distinct: 5},
+				{Name: "r_comment_len", Dist: Uniform},
+			}},
+			{Name: "nation", Rows: 250, Cols: []ColumnSpec{
+				{Name: "n_key", Dist: Uniform, Distinct: 25},
+				{Name: "n_weight", Dist: Gaussian},
+			}},
+			{Name: "customer", Rows: 3000, Cols: []ColumnSpec{
+				{Name: "c_mktsegment", Dist: Zipf, Distinct: 5},
+				{Name: "c_acctbal", Dist: Gaussian},
+				{Name: "c_priority", Dist: Correlated},
+			}},
+			{Name: "supplier", Rows: 1000, Cols: []ColumnSpec{
+				{Name: "s_acctbal", Dist: Gaussian},
+				{Name: "s_rating", Dist: Zipf, Distinct: 10},
+			}},
+			{Name: "part", Rows: 2500, Cols: []ColumnSpec{
+				{Name: "p_size", Dist: Uniform, Distinct: 50},
+				{Name: "p_retailprice", Dist: Gaussian},
+				{Name: "p_brand", Dist: Zipf, Distinct: 25},
+			}},
+			{Name: "partsupp", Rows: 6000, Cols: []ColumnSpec{
+				{Name: "ps_availqty", Dist: Uniform, Distinct: 100},
+				{Name: "ps_supplycost", Dist: Gaussian},
+			}},
+			{Name: "orders", Rows: 9000, Cols: []ColumnSpec{
+				{Name: "o_status", Dist: Zipf, Distinct: 3},
+				{Name: "o_totalprice", Dist: Zipf},
+				{Name: "o_date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "lineitem", Rows: 18000, Cols: []ColumnSpec{
+				{Name: "l_quantity", Dist: Uniform, Distinct: 50},
+				{Name: "l_price", Dist: Correlated},
+				{Name: "l_discount", Dist: Zipf, Distinct: 11},
+				{Name: "l_shipdate", Dist: Uniform, Distinct: 365},
+			}},
+		},
+		Edges: []EdgeSpec{
+			{Child: "nation", Parent: "region"},
+			{Child: "customer", Parent: "nation", ZipfSkew: 0.5},
+			{Child: "orders", Parent: "customer", ZipfSkew: 1},
+			{Child: "lineitem", Parent: "orders", ZipfSkew: 0.3},
+			{Child: "lineitem", Parent: "partsupp", ZipfSkew: 0.5},
+			{Child: "partsupp", Parent: "part"},
+			{Child: "partsupp", Parent: "supplier", ZipfSkew: 0.5},
+		},
+	}
+}
+
+// statsSpec mirrors the 8-table STATS (Stack Exchange) schema.
+func statsSpec() Spec {
+	return Spec{
+		Name: "stats",
+		Tables: []TableSpec{
+			{Name: "users", Rows: 2500, Cols: []ColumnSpec{
+				{Name: "reputation", Dist: Zipf},
+				{Name: "age", Dist: Gaussian, Distinct: 80},
+				{Name: "upvotes", Dist: Correlated},
+			}},
+			{Name: "posts", Rows: 9000, Cols: []ColumnSpec{
+				{Name: "score", Dist: Zipf, Distinct: 200},
+				{Name: "viewcount", Dist: Zipf},
+				{Name: "answercount", Dist: Zipf, Distinct: 30},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "comments", Rows: 16000, Cols: []ColumnSpec{
+				{Name: "score", Dist: Zipf, Distinct: 100},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "badges", Rows: 8000, Cols: []ColumnSpec{
+				{Name: "class", Dist: Zipf, Distinct: 3},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "votes", Rows: 20000, Cols: []ColumnSpec{
+				{Name: "votetype", Dist: Zipf, Distinct: 15},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "posthistory", Rows: 12000, Cols: []ColumnSpec{
+				{Name: "type", Dist: Zipf, Distinct: 20},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "postlinks", Rows: 3000, Cols: []ColumnSpec{
+				{Name: "linktype", Dist: Zipf, Distinct: 2},
+				{Name: "date", Dist: Uniform, Distinct: 365},
+			}},
+			{Name: "tags", Rows: 1500, Cols: []ColumnSpec{
+				{Name: "count", Dist: Zipf},
+				{Name: "excerpt_len", Dist: Gaussian},
+			}},
+		},
+		Edges: []EdgeSpec{
+			{Child: "posts", Parent: "users", ZipfSkew: 1},
+			{Child: "comments", Parent: "posts", ZipfSkew: 1},
+			{Child: "badges", Parent: "users", ZipfSkew: 0.5},
+			{Child: "votes", Parent: "posts", ZipfSkew: 1.5},
+			{Child: "posthistory", Parent: "posts", ZipfSkew: 0.5},
+			{Child: "postlinks", Parent: "posts"},
+			{Child: "tags", Parent: "posts", ZipfSkew: 1},
+		},
+	}
+}

@@ -1,0 +1,171 @@
+// Package defense implements the paper's first future-work direction
+// (§8, "Improve the learned database systems"): using PACE itself to
+// harden a learned database. A binary classifier is trained on
+// PACE-generated poisoning queries (positive class) versus historical
+// queries (negative class); deployed in front of the CE model's update
+// path, it screens incoming queries so the model never retrains on
+// recognized poison.
+package defense
+
+import (
+	"math/rand"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// Config sizes and schedules the classifier.
+type Config struct {
+	// Hidden is the MLP hidden width (default 32).
+	Hidden int
+	// Epochs and Batch control training (defaults 40 and 32).
+	Epochs, Batch int
+	// LR is the Adam learning rate (default 3e-3).
+	LR float64
+	// Threshold is the poison-probability cutoff (default 0.5).
+	Threshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 40
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.LR == 0 {
+		c.LR = 3e-3
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.5
+	}
+	return c
+}
+
+// Classifier screens query encodings for poisoning.
+type Classifier struct {
+	cfg Config
+	net *nn.MLP
+	rng *rand.Rand
+}
+
+// New builds an untrained classifier for encodings of dimension dim.
+func New(dim int, cfg Config, rng *rand.Rand) *Classifier {
+	cfg = cfg.withDefaults()
+	return &Classifier{
+		cfg: cfg,
+		net: nn.NewMLP("defense", []int{dim, cfg.Hidden, cfg.Hidden, 1},
+			nn.NewReLU, nn.NewSigmoid, rng),
+		rng: rng,
+	}
+}
+
+// Train fits the classifier with binary cross-entropy on poison
+// (label 1) versus historical (label 0) encodings.
+func (c *Classifier) Train(poison, history [][]float64) {
+	type example struct {
+		v []float64
+		y float64
+	}
+	var examples []example
+	for _, v := range poison {
+		examples = append(examples, example{v, 1})
+	}
+	for _, v := range history {
+		examples = append(examples, example{v, 0})
+	}
+	if len(examples) == 0 {
+		return
+	}
+	opt := nn.NewAdam(c.net.Params(), c.cfg.LR)
+	idx := c.rng.Perm(len(examples))
+	for ep := 0; ep < c.cfg.Epochs; ep++ {
+		c.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += c.cfg.Batch {
+			hi := lo + c.cfg.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			for _, i := range idx[lo:hi] {
+				ex := examples[i]
+				p := nn.Clamp(c.net.Forward(ex.v)[0], 1e-6, 1-1e-6)
+				// d/dp of BCE; the sigmoid head turns this into the
+				// usual (p − y) pre-activation gradient.
+				c.net.Backward([]float64{(p - ex.y) / (p * (1 - p))})
+			}
+			opt.Step(1 / float64(hi-lo))
+		}
+	}
+}
+
+// Score returns the classifier's poison probability for an encoding.
+func (c *Classifier) Score(v []float64) float64 { return c.net.Forward(v)[0] }
+
+// IsPoison reports whether the encoding scores above the threshold.
+func (c *Classifier) IsPoison(v []float64) bool { return c.Score(v) > c.cfg.Threshold }
+
+// Filter splits queries into accepted (below threshold) and rejected,
+// preserving order — the screening step in front of the CE update path.
+func (c *Classifier) Filter(meta *query.Meta, qs []*query.Query) (accepted, rejected []*query.Query) {
+	for _, q := range qs {
+		if c.IsPoison(q.Encode(meta)) {
+			rejected = append(rejected, q)
+		} else {
+			accepted = append(accepted, q)
+		}
+	}
+	return accepted, rejected
+}
+
+// Evaluation summarizes classifier quality on labeled encodings.
+type Evaluation struct {
+	TruePositive, FalsePositive int
+	TrueNegative, FalseNegative int
+}
+
+// Evaluate scores poison and history sets.
+func (c *Classifier) Evaluate(poison, history [][]float64) Evaluation {
+	var e Evaluation
+	for _, v := range poison {
+		if c.IsPoison(v) {
+			e.TruePositive++
+		} else {
+			e.FalseNegative++
+		}
+	}
+	for _, v := range history {
+		if c.IsPoison(v) {
+			e.FalsePositive++
+		} else {
+			e.TrueNegative++
+		}
+	}
+	return e
+}
+
+// Recall is the fraction of poison caught.
+func (e Evaluation) Recall() float64 {
+	if e.TruePositive+e.FalseNegative == 0 {
+		return 0
+	}
+	return float64(e.TruePositive) / float64(e.TruePositive+e.FalseNegative)
+}
+
+// Precision is the fraction of flagged queries that were poison.
+func (e Evaluation) Precision() float64 {
+	if e.TruePositive+e.FalsePositive == 0 {
+		return 0
+	}
+	return float64(e.TruePositive) / float64(e.TruePositive+e.FalsePositive)
+}
+
+// FalsePositiveRate is the fraction of benign queries wrongly flagged.
+func (e Evaluation) FalsePositiveRate() float64 {
+	if e.FalsePositive+e.TrueNegative == 0 {
+		return 0
+	}
+	return float64(e.FalsePositive) / float64(e.FalsePositive+e.TrueNegative)
+}

@@ -1,0 +1,153 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/query"
+)
+
+// synthetic poison cluster: narrow predicates everywhere.
+func poisonEnc(n, dim int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := 0; j < dim; j += 2 {
+			lo := 0.3 + 0.1*rng.Float64()
+			v[j] = lo
+			if j+1 < dim {
+				v[j+1] = lo + 0.02*rng.Float64()
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// synthetic benign queries: moderate ranges.
+func benignEnc(n, dim int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, dim)
+		for j := 0; j < dim; j += 2 {
+			lo := rng.Float64() * 0.5
+			v[j] = lo
+			if j+1 < dim {
+				v[j+1] = lo + 0.3 + rng.Float64()*0.4
+				if v[j+1] > 1 {
+					v[j+1] = 1
+				}
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestClassifierSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dim := 12
+	c := New(dim, Config{Hidden: 16, Epochs: 30}, rng)
+	c.Train(poisonEnc(200, dim, rng), benignEnc(200, dim, rng))
+
+	eval := c.Evaluate(poisonEnc(80, dim, rng), benignEnc(80, dim, rng))
+	if eval.Recall() < 0.8 {
+		t.Errorf("recall %.2f, want >= 0.8", eval.Recall())
+	}
+	if eval.FalsePositiveRate() > 0.2 {
+		t.Errorf("false-positive rate %.2f, want <= 0.2", eval.FalsePositiveRate())
+	}
+	if eval.Precision() < 0.7 {
+		t.Errorf("precision %.2f, want >= 0.7", eval.Precision())
+	}
+}
+
+func TestScoreInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(6, Config{Hidden: 8, Epochs: 5}, rng)
+	c.Train(poisonEnc(20, 6, rng), benignEnc(20, 6, rng))
+	for i := 0; i < 20; i++ {
+		v := benignEnc(1, 6, rng)[0]
+		s := c.Score(v)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %g outside [0,1]", s)
+		}
+	}
+}
+
+func TestTrainEmptyIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(4, Config{}, rng)
+	c.Train(nil, nil) // must not panic
+	if s := c.Score([]float64{0, 0, 0, 0}); s < 0 || s > 1 {
+		t.Errorf("score %g after empty training", s)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	meta := &query.Meta{
+		TableNames: []string{"t"},
+		AttrNames:  []string{"t.a", "t.b"},
+		AttrOffset: []int{0, 2},
+	}
+	dim := meta.Dim() // 1 + 4 = 5
+	c := New(dim, Config{Hidden: 12, Epochs: 30}, rng)
+
+	mkQuery := func(lo, hi float64) *query.Query {
+		q := query.New(meta)
+		q.Tables[0] = true
+		q.Bounds[0] = [2]float64{lo, hi}
+		q.Normalize(meta)
+		return q
+	}
+	var poison, benign [][]float64
+	var poisonQ, benignQ []*query.Query
+	for i := 0; i < 150; i++ {
+		p := mkQuery(0.4+0.1*rng.Float64(), 0.52+0.1*rng.Float64())
+		p.Bounds[0][1] = p.Bounds[0][0] + 0.01 // razor-thin
+		b := mkQuery(rng.Float64()*0.3, 0.6+rng.Float64()*0.4)
+		poison = append(poison, p.Encode(meta))
+		benign = append(benign, b.Encode(meta))
+		if i < 20 {
+			poisonQ = append(poisonQ, p)
+			benignQ = append(benignQ, b)
+		}
+	}
+	c.Train(poison, benign)
+
+	accepted, rejected := c.Filter(meta, append(benignQ, poisonQ...))
+	if len(accepted)+len(rejected) != 40 {
+		t.Fatalf("filter lost queries: %d + %d", len(accepted), len(rejected))
+	}
+	if len(rejected) < 10 {
+		t.Errorf("only %d/20 poison queries rejected", len(rejected))
+	}
+	if len(accepted) < 10 {
+		t.Errorf("only %d/20 benign queries accepted", len(accepted))
+	}
+}
+
+func TestEvaluationMetricsEdgeCases(t *testing.T) {
+	var e Evaluation
+	if e.Recall() != 0 || e.Precision() != 0 || e.FalsePositiveRate() != 0 {
+		t.Error("empty evaluation should report zeros")
+	}
+	e = Evaluation{TruePositive: 8, FalseNegative: 2, FalsePositive: 1, TrueNegative: 9}
+	if e.Recall() != 0.8 {
+		t.Errorf("recall = %g", e.Recall())
+	}
+	if e.Precision() != 8.0/9.0 {
+		t.Errorf("precision = %g", e.Precision())
+	}
+	if e.FalsePositiveRate() != 0.1 {
+		t.Errorf("fpr = %g", e.FalsePositiveRate())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Hidden != 32 || c.Epochs != 40 || c.Threshold != 0.5 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

@@ -1,0 +1,219 @@
+// Package engine is the exact-cardinality oracle of the reproduction: the
+// stand-in for the paper's PostgreSQL COUNT(*) executor. Given a synthetic
+// dataset whose PK-FK join graph is a tree, it computes the exact result
+// cardinality of any connected SPJ query in time linear in the total row
+// count of the joined tables, using a bottom-up join-tree dynamic program.
+//
+// This is the capability the PACE threat model grants the attacker
+// ("attackers are able to get the true labels of crafted queries by
+// executing COUNT(*) SQLs") and the labeling source for CE model training.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"pace/internal/dataset"
+	"pace/internal/query"
+)
+
+// Engine answers exact COUNT(*) queries over a dataset.
+type Engine struct {
+	ds *dataset.Dataset
+	// edgesAt[t] lists the indexes into ds.Edges incident to table t.
+	edgesAt [][]int
+}
+
+// ErrNotConnected is returned for queries whose table set is empty or does
+// not form a connected subgraph of the join tree.
+var ErrNotConnected = errors.New("engine: query tables are not a connected join")
+
+// New builds an engine over ds.
+func New(ds *dataset.Dataset) *Engine {
+	e := &Engine{ds: ds, edgesAt: make([][]int, len(ds.Tables))}
+	for i, edge := range ds.Edges {
+		e.edgesAt[edge.Child] = append(e.edgesAt[edge.Child], i)
+		e.edgesAt[edge.Parent] = append(e.edgesAt[edge.Parent], i)
+	}
+	return e
+}
+
+// Dataset returns the engine's underlying dataset.
+func (e *Engine) Dataset() *dataset.Dataset { return e.ds }
+
+// SelectMask evaluates the query's range predicates on table t and returns
+// one boolean per row.
+func (e *Engine) SelectMask(t int, q *query.Query) []bool {
+	tab := e.ds.Tables[t]
+	lo, hi := e.ds.Meta.Attrs(t)
+	mask := make([]bool, tab.Rows)
+	for r := range mask {
+		mask[r] = true
+	}
+	for a := lo; a < hi; a++ {
+		b := q.Bounds[a]
+		if b[0] <= 0 && b[1] >= 1 {
+			continue
+		}
+		col := tab.Cols[a-lo]
+		for r := 0; r < tab.Rows; r++ {
+			if mask[r] && (col[r] < b[0] || col[r] > b[1]) {
+				mask[r] = false
+			}
+		}
+	}
+	return mask
+}
+
+// TableCount returns the number of rows of table t passing the query's
+// predicates on t.
+func (e *Engine) TableCount(t int, q *query.Query) int {
+	n := 0
+	for _, ok := range e.SelectMask(t, q) {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Cardinality computes the exact COUNT(*) of the SPJ query. The query's
+// tables must form a non-empty connected subtree of the dataset's join
+// graph; otherwise ErrNotConnected is returned.
+func (e *Engine) Cardinality(q *query.Query) (float64, error) {
+	if len(q.Tables) != len(e.ds.Tables) {
+		return 0, fmt.Errorf("engine: query has %d table slots, dataset has %d",
+			len(q.Tables), len(e.ds.Tables))
+	}
+	var selected []int
+	for t, in := range q.Tables {
+		if in {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 {
+		return 0, ErrNotConnected
+	}
+	if !q.Connected(e.ds.Joinable) {
+		return 0, ErrNotConnected
+	}
+	root := selected[0]
+	f, err := e.subtreeCounts(root, -1, q)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, v := range f {
+		total += v
+	}
+	return total, nil
+}
+
+// subtreeCounts returns, for every row of table t, the number of join
+// combinations over the selected subtree rooted at t (entered from edge
+// fromEdge, -1 at the root) that include the row and satisfy every
+// predicate.
+func (e *Engine) subtreeCounts(t, fromEdge int, q *query.Query) ([]float64, error) {
+	tab := e.ds.Tables[t]
+	mask := e.SelectMask(t, q)
+	f := make([]float64, tab.Rows)
+	for r, ok := range mask {
+		if ok {
+			f[r] = 1
+		}
+	}
+	for _, ei := range e.edgesAt[t] {
+		if ei == fromEdge {
+			continue
+		}
+		edge := e.ds.Edges[ei]
+		other := edge.Child
+		if other == t {
+			other = edge.Parent
+		}
+		if !q.Tables[other] {
+			continue
+		}
+		sub, err := e.subtreeCounts(other, ei, q)
+		if err != nil {
+			return nil, err
+		}
+		if edge.Parent == t {
+			// other is an FK child of t: each row of t matches the
+			// sum of its referencing child rows' counts.
+			acc := make([]float64, tab.Rows)
+			for cr, pr := range edge.Refs {
+				acc[pr] += sub[cr]
+			}
+			for r := range f {
+				f[r] *= acc[r]
+			}
+		} else {
+			// other is the FK parent of t: each row of t matches
+			// exactly the count of the single row it references.
+			for r := range f {
+				f[r] *= sub[edge.Refs[r]]
+			}
+		}
+	}
+	return f, nil
+}
+
+// BruteForceCardinality computes the same count by explicit backtracking
+// over row assignments. It is exponential and exists only as a test oracle
+// for small datasets.
+func (e *Engine) BruteForceCardinality(q *query.Query) (float64, error) {
+	var selected []int
+	for t, in := range q.Tables {
+		if in {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 || !q.Connected(e.ds.Joinable) {
+		return 0, ErrNotConnected
+	}
+	masks := make(map[int][]bool, len(selected))
+	for _, t := range selected {
+		masks[t] = e.SelectMask(t, q)
+	}
+	assign := make(map[int]int, len(selected))
+	var count float64
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(selected) {
+			count++
+			return
+		}
+		t := selected[i]
+		for r := 0; r < e.ds.Tables[t].Rows; r++ {
+			if !masks[t][r] {
+				continue
+			}
+			assign[t] = r
+			if e.consistent(assign, t, q) {
+				rec(i + 1)
+			}
+			delete(assign, t)
+		}
+	}
+	rec(0)
+	return count, nil
+}
+
+// consistent checks the FK constraints between the newly assigned table t
+// and all previously assigned tables.
+func (e *Engine) consistent(assign map[int]int, t int, q *query.Query) bool {
+	for _, edge := range e.ds.Edges {
+		if !q.Tables[edge.Child] || !q.Tables[edge.Parent] {
+			continue
+		}
+		cr, cok := assign[edge.Child]
+		pr, pok := assign[edge.Parent]
+		if cok && pok && (edge.Child == t || edge.Parent == t) {
+			if edge.Refs[cr] != pr {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pace/internal/dataset"
+	"pace/internal/query"
+)
+
+// tinySpec builds a 4-table chain-plus-branch schema small enough for the
+// brute-force oracle: a→b→c and d→b.
+func tinySpec() dataset.Spec {
+	tab := func(name string, rows int) dataset.TableSpec {
+		return dataset.TableSpec{Name: name, Rows: rows, Cols: []dataset.ColumnSpec{
+			{Name: "x", Dist: dataset.Uniform},
+			{Name: "y", Dist: dataset.Zipf},
+		}}
+	}
+	return dataset.Spec{
+		Name:   "tiny",
+		Tables: []dataset.TableSpec{tab("a", 12), tab("b", 8), tab("c", 6), tab("d", 10)},
+		Edges: []dataset.EdgeSpec{
+			{Child: "a", Parent: "b", ZipfSkew: 1},
+			{Child: "b", Parent: "c"},
+			{Child: "d", Parent: "b", ZipfSkew: 0.5},
+		},
+	}
+}
+
+func tinyEngine(t *testing.T, seed int64) *Engine {
+	t.Helper()
+	ds, err := dataset.Materialize(tinySpec(), dataset.Config{Scale: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ds)
+}
+
+func randomQuery(m *query.Meta, adj func(i, j int) bool, rng *rand.Rand) *query.Query {
+	for {
+		q := query.New(m)
+		for t := range q.Tables {
+			q.Tables[t] = rng.Float64() < 0.6
+		}
+		if !q.Connected(adj) {
+			continue
+		}
+		for a := range q.Bounds {
+			if rng.Float64() < 0.5 {
+				lo := rng.Float64()
+				hi := lo + rng.Float64()*(1-lo)
+				q.Bounds[a] = [2]float64{lo, hi}
+			}
+		}
+		q.Normalize(m)
+		return q
+	}
+}
+
+func TestCardinalityMatchesBruteForce(t *testing.T) {
+	e := tinyEngine(t, 1)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 60; i++ {
+		q := randomQuery(e.Dataset().Meta, e.Dataset().Joinable, rng)
+		fast, err := e.Cardinality(q)
+		if err != nil {
+			t.Fatalf("Cardinality: %v", err)
+		}
+		slow, err := e.BruteForceCardinality(q)
+		if err != nil {
+			t.Fatalf("BruteForce: %v", err)
+		}
+		if fast != slow {
+			t.Fatalf("query %d: fast=%g brute=%g\nSQL: %s", i, fast, slow,
+				q.SQL(e.Dataset().Meta))
+		}
+	}
+}
+
+func TestSingleTableCount(t *testing.T) {
+	e := tinyEngine(t, 2)
+	m := e.Dataset().Meta
+	q := query.New(m)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0.25, 0.75}
+
+	card, err := e.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual count over the column.
+	want := 0
+	for _, v := range e.Dataset().Tables[0].Cols[0] {
+		if v >= 0.25 && v <= 0.75 {
+			want++
+		}
+	}
+	if card != float64(want) {
+		t.Errorf("cardinality = %g, want %d", card, want)
+	}
+	if got := e.TableCount(0, q); got != want {
+		t.Errorf("TableCount = %d, want %d", got, want)
+	}
+}
+
+func TestOpenQueryIsCrossProductFree(t *testing.T) {
+	// Joining a→b with open bounds must count the child rows exactly
+	// once each (every child row references exactly one parent).
+	e := tinyEngine(t, 3)
+	m := e.Dataset().Meta
+	q := query.New(m)
+	q.Tables[0], q.Tables[1] = true, true
+	card, err := e.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card != float64(e.Dataset().Tables[0].Rows) {
+		t.Errorf("open a⋈b = %g, want %d", card, e.Dataset().Tables[0].Rows)
+	}
+}
+
+func TestDisconnectedRejected(t *testing.T) {
+	e := tinyEngine(t, 4)
+	m := e.Dataset().Meta
+	q := query.New(m)
+	q.Tables[0], q.Tables[2] = true, true // a and c without b
+	if _, err := e.Cardinality(q); err != ErrNotConnected {
+		t.Errorf("err = %v, want ErrNotConnected", err)
+	}
+	empty := query.New(m)
+	if _, err := e.Cardinality(empty); err != ErrNotConnected {
+		t.Errorf("empty query err = %v, want ErrNotConnected", err)
+	}
+}
+
+func TestWrongSlotCount(t *testing.T) {
+	e := tinyEngine(t, 5)
+	q := &query.Query{Tables: []bool{true}, Bounds: [][2]float64{{0, 1}}}
+	if _, err := e.Cardinality(q); err == nil {
+		t.Error("expected error for mismatched table slots")
+	}
+}
+
+func TestSelectMask(t *testing.T) {
+	e := tinyEngine(t, 6)
+	m := e.Dataset().Meta
+	q := query.New(m)
+	q.Tables[1] = true
+	lo, _ := m.Attrs(1)
+	q.Bounds[lo] = [2]float64{0, 0.5}
+	mask := e.SelectMask(1, q)
+	col := e.Dataset().Tables[1].Cols[0]
+	for r, ok := range mask {
+		want := col[r] <= 0.5
+		if ok != want {
+			t.Fatalf("mask[%d] = %v, want %v (value %g)", r, ok, want, col[r])
+		}
+	}
+}
+
+func TestEmptyPredicateRangeGivesZero(t *testing.T) {
+	e := tinyEngine(t, 7)
+	m := e.Dataset().Meta
+	q := query.New(m)
+	q.Tables[0] = true
+	lo, _ := m.Attrs(0)
+	// Range [0.9999, 0.99991] will almost surely be empty over 12 rows;
+	// verify against the brute count either way.
+	q.Bounds[lo] = [2]float64{0.9999, 0.99991}
+	card, err := e.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := e.BruteForceCardinality(q)
+	if card != slow {
+		t.Errorf("card = %g, brute = %g", card, slow)
+	}
+}
+
+// Property: cardinality is monotone — widening any predicate never
+// decreases the count.
+func TestCardinalityMonotoneProperty(t *testing.T) {
+	e := tinyEngine(t, 8)
+	m := e.Dataset().Meta
+	rng := rand.New(rand.NewSource(1234))
+	f := func() bool {
+		q := randomQuery(m, e.Dataset().Joinable, rng)
+		narrow, err := e.Cardinality(q)
+		if err != nil {
+			return false
+		}
+		wide := q.Clone()
+		for a := range wide.Bounds {
+			b := wide.Bounds[a]
+			wide.Bounds[a] = [2]float64{b[0] * 0.5, b[1] + (1-b[1])*0.5}
+		}
+		wide.Normalize(m)
+		w, err := e.Cardinality(wide)
+		if err != nil {
+			return false
+		}
+		return w >= narrow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: join with a fully open FK-parent never changes the count.
+func TestOpenParentJoinInvariant(t *testing.T) {
+	e := tinyEngine(t, 9)
+	m := e.Dataset().Meta
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		// Query on a alone vs a⋈b with b unconstrained and open bounds.
+		q := query.New(m)
+		q.Tables[0] = true
+		lo, hi := m.Attrs(0)
+		for a := lo; a < hi; a++ {
+			if rng.Float64() < 0.7 {
+				l := rng.Float64()
+				q.Bounds[a] = [2]float64{l, l + rng.Float64()*(1-l)}
+			}
+		}
+		q.Normalize(m)
+		alone, err := e.Cardinality(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined := q.Clone()
+		joined.Tables[1] = true
+		jc, err := e.Cardinality(joined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alone != jc {
+			t.Fatalf("iteration %d: alone=%g joined=%g", i, alone, jc)
+		}
+	}
+}
+
+func TestLargeDatasetCardinalitySmoke(t *testing.T) {
+	ds, err := dataset.Build("tpch", dataset.Config{Scale: 0.2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(ds)
+	m := ds.Meta
+	q := query.New(m)
+	q.Tables[ds.TableIndex("lineitem")] = true
+	q.Tables[ds.TableIndex("orders")] = true
+	q.Tables[ds.TableIndex("customer")] = true
+	card, err := e.Cardinality(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(ds.Tables[ds.TableIndex("lineitem")].Rows)
+	if card != want {
+		t.Errorf("open lineitem⋈orders⋈customer = %g, want %g", card, want)
+	}
+}

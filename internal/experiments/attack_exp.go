@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/generator"
+	"pace/internal/metrics"
+	"pace/internal/workload"
+)
+
+// RunBudget reproduces Table 8: the Q-error increase multiple (relative
+// to the clean model) under varying poisoning-query budgets, for the FCN
+// target on dmv and imdb. Budgets are multiples of the profile's default
+// (the paper's 225/450/900/1800 around its default 450).
+func RunBudget(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb"}
+	}
+	budgets := []int{cfg.NumPoison / 2, cfg.NumPoison, 2 * cfg.NumPoison, 4 * cfg.NumPoison}
+	section(out, "Table 8: Q-error increase multiple vs poisoning budget (FCN)")
+	fmt.Fprintf(out, "%-8s", "dataset")
+	for _, b := range budgets {
+		fmt.Fprintf(out, " %10d", b)
+	}
+	fmt.Fprintln(out)
+
+	for _, name := range datasets {
+		w, err := NewWorld(name, cfg)
+		if err != nil {
+			return err
+		}
+		qs := workload.Queries(w.Test)
+		cards := Cards(w.Test)
+		det := w.NewDetector(0)
+		clean := w.NewBlackBox(ce.FCN, 1)
+		cleanErr := metrics.Mean(clean.QErrors(qs, cards))
+		sur := w.NewSurrogate(clean, ce.FCN, 1)
+		tr := w.TrainPACE(sur, det, 1)
+
+		fmt.Fprintf(out, "%-8s", name)
+		for _, b := range budgets {
+			pq, pc := tr.GeneratePoison(b)
+			target := w.NewBlackBox(ce.FCN, 1)
+			target.ExecuteWorkload(pq, pc)
+			mult := metrics.Mean(target.QErrors(qs, cards)) / cleanErr
+			fmt.Fprintf(out, " %10.3g", mult)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// RunOverhead reproduces Table 9: PACE's training, generation, and
+// attacking time for the FCN target on every dataset.
+func RunOverhead(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb", "tpch", "stats"}
+	}
+	section(out, "Table 9: PACE overhead (FCN target)")
+	fmt.Fprintf(out, "%-8s %14s %14s %14s\n", "dataset", "training", "generation", "attacking")
+	for _, name := range datasets {
+		w, err := NewWorld(name, cfg)
+		if err != nil {
+			return err
+		}
+		tTrain, tGen, tAttack, err := overheadOnce(w, cfg, cfg.NumPoison)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-8s %14s %14s %14s\n", name, fmtDur(tTrain), fmtDur(tGen), fmtDur(tAttack))
+	}
+	return nil
+}
+
+// RunOverheadByCount reproduces Table 10: overhead under different
+// poisoning-query counts on dmv. Training time is budget-independent;
+// generation and attacking scale with the count.
+func RunOverheadByCount(out io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	section(out, "Table 10 (dmv): PACE overhead vs number of poisoning queries")
+	fmt.Fprintf(out, "%-10s %14s %14s %14s\n", "queries", "training", "generation", "attacking")
+	for _, n := range []int{cfg.NumPoison / 2, cfg.NumPoison, 2 * cfg.NumPoison} {
+		tTrain, tGen, tAttack, err := overheadOnce(w, cfg, n)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-10d %14s %14s %14s\n", n, fmtDur(tTrain), fmtDur(tGen), fmtDur(tAttack))
+	}
+	return nil
+}
+
+func overheadOnce(w *World, cfg Config, numPoison int) (tTrain, tGen, tAttack time.Duration, err error) {
+	clean := w.NewBlackBox(ce.FCN, 1)
+
+	start := time.Now()
+	det := w.NewDetector(0)
+	sur := w.NewSurrogate(clean, ce.FCN, 1)
+	tr := w.TrainPACE(sur, det, 1)
+	tTrain = time.Since(start)
+
+	start = time.Now()
+	pq, pc := tr.GeneratePoison(numPoison)
+	tGen = time.Since(start)
+
+	target := w.NewBlackBox(ce.FCN, 1)
+	start = time.Now()
+	target.ExecuteWorkload(pq, pc)
+	tAttack = time.Since(start)
+	return tTrain, tGen, tAttack, nil
+}
+
+// RunBasicVsOptimized reproduces Figure 12: the effectiveness and
+// efficiency of the basic (Fig. 5a) versus the accelerated (Fig. 5b)
+// generator-training algorithm on dmv.
+func RunBasicVsOptimized(out io.Writer, cfg Config, models []ce.Type) error {
+	cfg = cfg.WithDefaults()
+	if models == nil {
+		models = []ce.Type{ce.FCN, ce.MSCN, ce.RNN}
+	}
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	section(out, "Figure 12 (dmv): PACE-basic vs PACE-optimized")
+	fmt.Fprintf(out, "%-10s %14s %14s %14s %14s\n",
+		"model", "basic qerr", "optim qerr", "basic time", "optim time")
+	for mi, typ := range models {
+		clean := w.NewBlackBox(typ, int64(mi+1))
+
+		run := func(alg core.Algorithm, off int64) (float64, time.Duration) {
+			sur := w.NewSurrogate(clean, typ, off)
+			rng := rand.New(rand.NewSource(cfg.Seed*32452843 + off))
+			gen := generator.New(w.DS.Meta, w.DS.Joinable, w.GenCfg(), rng)
+			tr := core.NewTrainer(sur, gen, det, core.EngineOracle(w.WGen),
+				core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng)
+			start := time.Now()
+			if alg == core.Basic {
+				tr.TrainBasic()
+			} else {
+				tr.TrainAccelerated()
+			}
+			elapsed := time.Since(start)
+			pq, pc := tr.GeneratePoison(cfg.NumPoison)
+			target := w.NewBlackBox(typ, int64(mi+1))
+			target.ExecuteWorkload(pq, pc)
+			return metrics.Mean(target.QErrors(qs, cards)), elapsed
+		}
+
+		basicErr, basicTime := run(core.Basic, int64(10*mi+1))
+		optErr, optTime := run(core.Accelerated, int64(10*mi+2))
+		fmt.Fprintf(out, "%-10s %14.3g %14.3g %14s %14s\n",
+			typ, basicErr, optErr, fmtDur(basicTime), fmtDur(optTime))
+	}
+	return nil
+}
+
+// RunIncremental reproduces Figure 14: the training workload is split
+// into five parts; after each incremental training round the FCN target
+// is attacked and the post-attack Q-error reported.
+func RunIncremental(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb", "tpch", "stats"}
+	}
+	const rounds = 5
+	section(out, "Figure 14: post-attack mean Q-error after each incremental training round (FCN)")
+	fmt.Fprintf(out, "%-8s", "dataset")
+	for r := 1; r <= rounds; r++ {
+		fmt.Fprintf(out, " %10s", fmt.Sprintf("round %d", r))
+	}
+	fmt.Fprintln(out)
+
+	for _, name := range datasets {
+		w, err := NewWorld(name, cfg)
+		if err != nil {
+			return err
+		}
+		qs := workload.Queries(w.Test)
+		cards := Cards(w.Test)
+		det := w.NewDetector(0)
+		parts := workload.Split(w.Train, rounds)
+
+		// The target trains incrementally; it is attacked after every
+		// round, and the poisoning persists into the next round — the
+		// paper's setting.
+		rng := rand.New(rand.NewSource(cfg.Seed * 7919))
+		model := ce.New(ce.FCN, w.DS.Meta, w.HP(), rng)
+		est := ce.NewEstimator(model, w.TrainCfg(), rng)
+		target := ce.AsBlackBox(est)
+
+		fmt.Fprintf(out, "%-8s", name)
+		for r := 0; r < rounds; r++ {
+			target.ExecuteWorkload(workload.Queries(parts[r]), Cards(parts[r]))
+			sur := w.NewSurrogate(target, ce.FCN, int64(r+1))
+			tr := w.TrainPACE(sur, det, int64(r+1))
+			pq, pc := tr.GeneratePoison(cfg.NumPoison)
+			target.ExecuteWorkload(pq, pc)
+			fmt.Fprintf(out, " %10.3g", metrics.Mean(target.QErrors(qs, cards)))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// RunConvergence reproduces Figure 15: the objective's convergence curve
+// per outer loop for the FCN target on every dataset (reported as the
+// generator's loss −L_test, which declines as the paper plots it).
+func RunConvergence(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb", "tpch", "stats"}
+	}
+	section(out, "Figure 15: generator training loss (−objective) per outer loop (FCN)")
+	for _, name := range datasets {
+		w, err := NewWorld(name, cfg)
+		if err != nil {
+			return err
+		}
+		clean := w.NewBlackBox(ce.FCN, 1)
+		sur := w.NewSurrogate(clean, ce.FCN, 1)
+		tr := w.TrainPACE(sur, w.NewDetector(0), 1)
+		fmt.Fprintf(out, "%-8s", name)
+		for _, obj := range tr.Objective {
+			fmt.Fprintf(out, " %9.3g", -obj)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

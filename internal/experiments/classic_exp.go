@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/classic"
+	"pace/internal/metrics"
+	"pace/internal/qopt"
+	"pace/internal/query"
+	"pace/internal/spn"
+	"pace/internal/workload"
+)
+
+// RunTraditionalComparison contrasts query-driven learned CE with the
+// traditional estimators the paper's introduction positions it against
+// (histograms and sampling), plus a DeepDB-style data-driven SPN, before
+// and after poisoning. Traditional and data-driven estimators summarize the data rather than the workload, so the
+// poisoning channel does not exist for them: whatever accuracy edge a
+// learned model has when clean, a poisoned learned model falls behind the
+// un-attackable baselines — the security cost of learning from queries.
+// Reported per estimator: mean/geometric-mean Q-error on the test
+// workload and the summed E2E plan cost of the multi-join workload.
+func RunTraditionalComparison(out io.Writer, cfg Config, name string) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld(name, cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+
+	clean := w.NewBlackBox(ce.FCN, 1)
+	sur := w.NewSurrogate(clean, ce.FCN, 1)
+	tr := w.TrainPACE(sur, w.NewDetector(0), 1)
+	pq, pc := tr.GeneratePoison(cfg.NumPoison)
+	poisoned := w.NewBlackBox(ce.FCN, 1)
+	poisoned.ExecuteWorkload(pq, pc)
+
+	hist := classic.NewHistogram(w.DS, 32)
+	sampler := classic.NewSampler(w.DS, 0.1, rand.New(rand.NewSource(cfg.Seed)))
+
+	// Multi-join workload for the plan-cost column.
+	var joins []*query.Query
+	for attempts := 0; len(joins) < w.Cfg.E2EQueries && attempts < 200*w.Cfg.E2EQueries; attempts++ {
+		l := w.WGen.Random(1)
+		if l[0].Q.NumTables() >= 2 {
+			joins = append(joins, l[0].Q)
+		}
+	}
+	opt := qopt.New(w.DS, w.Eng)
+
+	section(out, fmt.Sprintf("Learned vs traditional CE under poisoning (%s)", name))
+	fmt.Fprintf(out, "%-24s %12s %12s %14s\n", "estimator", "mean qerr", "geo qerr", "plan cost")
+	row := func(label string, estimate func(*query.Query) float64) {
+		errs := make([]float64, len(qs))
+		for i, q := range qs {
+			errs[i] = ce.QError(estimate(q), cards[i])
+		}
+		var lat float64
+		if len(joins) > 0 {
+			lat = opt.Latency(joins, estimate)
+		}
+		fmt.Fprintf(out, "%-24s %12.3g %12.3g %14.4g\n",
+			label, metrics.Mean(errs), metrics.GeoMean(errs), lat)
+	}
+	row("FCN (clean)", clean.Estimate)
+	row("FCN (PACE-poisoned)", poisoned.Estimate)
+	row("histogram", hist.Estimate)
+	row("sampling (10%)", sampler.Estimate)
+	row("SPN (data-driven)", spn.New(w.DS, spn.Config{}).Estimate)
+	row("(true cardinalities)", opt.TrueEstimate())
+	return nil
+}

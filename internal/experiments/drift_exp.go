@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/classic"
+	"pace/internal/metrics"
+	"pace/internal/query"
+	"pace/internal/spn"
+	"pace/internal/workload"
+)
+
+// RunDriftStudy exposes the security–freshness tension behind the whole
+// attack: the incremental-update channel exists because data drifts. The
+// dataset is grown with a distribution shift, and estimators are scored
+// on a fresh post-drift workload:
+//
+//   - a stale query-driven FCN (update channel closed: safe but wrong),
+//   - the same FCN after incrementally retraining on fresh queries (the
+//     mechanism PACE rides in on: fresh but poisonable),
+//   - stale and rebuilt histogram and SPN (the data-driven alternatives,
+//     which adapt by re-summarizing data, not by trusting queries).
+func RunDriftStudy(out io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	target := w.NewBlackBox(ce.FCN, 1)
+
+	// Estimators built before the drift.
+	staleHist := classic.NewHistogram(w.DS, 32)
+	staleSPN := spn.New(w.DS, spn.Config{})
+
+	// The world drifts: 50% more rows, shifted by +0.2.
+	w.DS.Grow(0.5, 0.2, rand.New(rand.NewSource(cfg.Seed*13)))
+
+	// A fresh post-drift workload (new cardinalities come from the
+	// grown data through the same exact engine).
+	fresh := w.WGen.Random(cfg.TestQueries)
+	qs := workload.Queries(fresh)
+	cards := Cards(fresh)
+
+	row := func(label string, estimate func(q *query.Query) float64) {
+		errs := make([]float64, len(qs))
+		for i, q := range qs {
+			errs[i] = ce.QError(estimate(q), cards[i])
+		}
+		fmt.Fprintf(out, "%-30s %12.3g %12.3g\n",
+			label, metrics.Mean(errs), metrics.GeoMean(errs))
+	}
+
+	section(out, "Drift study (dmv, +50% rows shifted by 0.2): accuracy on a post-drift workload")
+	fmt.Fprintf(out, "%-30s %12s %12s\n", "estimator", "mean qerr", "geo qerr")
+	row("FCN, stale (no updates)", target.Estimate)
+
+	// The update channel at work: the model retrains on a batch of
+	// freshly executed queries (exactly what poisoning hijacks).
+	adapt := w.WGen.Random(cfg.NumPoison)
+	target.ExecuteWorkload(workload.Queries(adapt), Cards(adapt))
+	row("FCN, incrementally updated", target.Estimate)
+
+	row("histogram, stale", staleHist.Estimate)
+	row("histogram, rebuilt", classic.NewHistogram(w.DS, 32).Estimate)
+	row("SPN, stale", staleSPN.Estimate)
+	row("SPN, rebuilt", spn.New(w.DS, spn.Config{}).Estimate)
+	return nil
+}

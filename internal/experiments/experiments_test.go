@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/metrics"
+)
+
+// tinyCfg is a fast profile for CI: small datasets and short schedules.
+func tinyCfg() Config {
+	return Config{
+		Scale:          0.05,
+		Seed:           5,
+		TrainQueries:   200,
+		TestQueries:    60,
+		NumPoison:      50,
+		Hidden:         16,
+		Epochs:         30,
+		Inner:          10,
+		Outer:          8,
+		SpecBlackBoxes: 1,
+		E2EQueries:     6,
+	}.WithDefaults()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.Scale != 0.05 || c.TrainQueries != 240 || c.NumPoison != 60 {
+		t.Errorf("defaults = %+v", c)
+	}
+	f := Full()
+	if f.TrainQueries <= c.TrainQueries {
+		t.Error("Full profile should be heavier than quick")
+	}
+}
+
+func TestNewWorld(t *testing.T) {
+	w, err := NewWorld("tpch", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Train) != 200 || len(w.Test) != 60 {
+		t.Errorf("workload sizes: train=%d test=%d", len(w.Train), len(w.Test))
+	}
+	if len(w.History) != 200 {
+		t.Errorf("history size %d", len(w.History))
+	}
+}
+
+func TestNewWorldUnknownDataset(t *testing.T) {
+	if _, err := NewWorld("nope", tinyCfg()); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestBlackBoxTwinsAreIdentical(t *testing.T) {
+	w, err := NewWorld("dmv", tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := w.NewBlackBox(ce.FCN, 3)
+	b := w.NewBlackBox(ce.FCN, 3)
+	q := w.Test[0].Q
+	if a.Estimate(q) != b.Estimate(q) {
+		t.Error("same seed offset should produce identical black boxes")
+	}
+	c := w.NewBlackBox(ce.FCN, 4)
+	if a.Estimate(q) == c.Estimate(q) {
+		t.Error("different seed offsets should differ")
+	}
+}
+
+func TestRunMatrixSmoke(t *testing.T) {
+	res, err := RunMatrix("dmv", []ce.Type{ce.FCN, ce.Linear}, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []ce.Type{ce.FCN, ce.Linear} {
+		for _, m := range core.AllRows() {
+			cell := res.Cells[typ][m]
+			if cell == nil || len(cell.QErrors) != 60 {
+				t.Fatalf("%v/%v cell missing or wrong size", typ, m)
+			}
+		}
+	}
+	// The headline shape of Figures 6–9, at this seed the full paper
+	// ordering: Clean ≈ Random < Lb-S, Greedy < Lb-G < PACE.
+	m := func(method core.Method) float64 {
+		return metrics.Mean(res.Cells[ce.FCN][method].QErrors)
+	}
+	cleanErr, randErr := m(core.Clean), m(core.Random)
+	lbsErr, greedyErr := m(core.LbS), m(core.Greedy)
+	lbgErr, paceErr := m(core.LbG), m(core.PACE)
+	t.Logf("FCN: clean=%.3g random=%.3g lbs=%.3g greedy=%.3g lbg=%.3g pace=%.3g",
+		cleanErr, randErr, lbsErr, greedyErr, lbgErr, paceErr)
+	if paceErr <= cleanErr {
+		t.Errorf("PACE (%.3g) did not degrade FCN beyond clean (%.3g)", paceErr, cleanErr)
+	}
+	if paceErr <= randErr {
+		t.Errorf("PACE (%.3g) not stronger than Random (%.3g)", paceErr, randErr)
+	}
+	if paceErr <= lbgErr {
+		t.Errorf("PACE (%.3g) not stronger than Lb-G (%.3g)", paceErr, lbgErr)
+	}
+	if lbgErr <= randErr {
+		t.Errorf("Lb-G (%.3g) not stronger than Random (%.3g)", lbgErr, randErr)
+	}
+	// Linear's robustness: the paper finds no method hurts it much.
+	linClean := metrics.Mean(res.Cells[ce.Linear][core.Clean].QErrors)
+	linPACE := metrics.Mean(res.Cells[ce.Linear][core.PACE].QErrors)
+	t.Logf("Linear: clean=%.3g pace=%.3g", linClean, linPACE)
+	if linPACE > linClean*10 {
+		t.Errorf("Linear degraded %.1f× — should be robust", linPACE/linClean)
+	}
+
+	// The printers must produce non-empty output containing the methods.
+	var buf bytes.Buffer
+	res.PrintMean(&buf)
+	res.PrintPercentiles(&buf, []ce.Type{ce.FCN})
+	res.PrintTail(&buf, []ce.Type{ce.Linear})
+	out := buf.String()
+	for _, want := range []string{"PACE", "Clean", "Lb-G", "90th", "max"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q", want)
+		}
+	}
+}
+
+func TestRunMatrixE2EPrint(t *testing.T) {
+	res, err := RunMatrix("tpch", []ce.Type{ce.FCN}, tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.PrintE2E(&buf, []ce.Type{ce.FCN})
+	out := buf.String()
+	if !strings.Contains(out, "Table 5") || !strings.Contains(out, "optimal") {
+		t.Errorf("E2E output malformed:\n%s", out)
+	}
+}
+
+func TestRunConvergenceSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunConvergence(&buf, tinyCfg(), []string{"dmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dmv") {
+		t.Errorf("convergence output missing dataset row:\n%s", buf.String())
+	}
+}
+
+func TestRunBudgetSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunBudget(&buf, tinyCfg(), []string{"dmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 8") {
+		t.Error("budget output missing header")
+	}
+}
+
+func TestRunOverheadSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunOverhead(&buf, tinyCfg(), []string{"dmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunOverheadByCount(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 9") || !strings.Contains(out, "Table 10") {
+		t.Error("overhead output missing headers")
+	}
+}
+
+func TestRunSpeculationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunSpeculation(&buf, tinyCfg(), []string{"dmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table 6") {
+		t.Error("speculation output missing header")
+	}
+}
+
+func TestRunTrainingStrategySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunTrainingStrategy(&buf, tinyCfg(), []ce.Type{ce.FCN}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 10") {
+		t.Error("training-strategy output missing header")
+	}
+}
+
+func TestRunBasicVsOptimizedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunBasicVsOptimized(&buf, tinyCfg(), []ce.Type{ce.FCN}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 12") {
+		t.Error("basic-vs-optimized output missing header")
+	}
+}
+
+func TestRunDetectorEffectSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunDetectorEffect(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 13") || !strings.Contains(out, "without detector") {
+		t.Error("detector-effect output malformed")
+	}
+}
+
+func TestRunIncrementalSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunIncremental(&buf, tinyCfg(), []string{"dmv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 14") {
+		t.Error("incremental output missing header")
+	}
+}
+
+func TestRunAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunAblations(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"full PACE", "no hypergradient", "no inference ascent"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestRunRobustnessAdvisorSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunRobustnessAdvisor(&buf, tinyCfg(), "dmv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recommendation:") {
+		t.Error("advisor output missing recommendation")
+	}
+}
+
+func TestRunTraditionalComparisonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunTraditionalComparison(&buf, tinyCfg(), "tpch"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"histogram", "sampling", "PACE-poisoned"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("traditional comparison missing %q", want)
+		}
+	}
+}
+
+func TestRunRegularizationDefenseSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	var buf bytes.Buffer
+	if err := RunRegularizationDefense(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dropout") {
+		t.Error("regularization output missing header")
+	}
+}
+
+func TestRunDriftStudySmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunDriftStudy(&buf, tinyCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stale", "incrementally updated", "rebuilt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("drift output missing %q", want)
+		}
+	}
+}

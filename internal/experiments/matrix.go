@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/metrics"
+	"pace/internal/qopt"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+// MatrixCell is one (model, method) outcome: the post-attack Q-error
+// distribution on the test workload and the attacked model itself (kept
+// for the Table 5 end-to-end experiment).
+type MatrixCell struct {
+	QErrors []float64
+	BB      *ce.BlackBox
+}
+
+// MatrixResult holds one dataset's (model × method) attack matrix — the
+// raw material of Figures 6–9 and Tables 3, 4 and 5.
+type MatrixResult struct {
+	Dataset string
+	Models  []ce.Type
+	World   *World
+	Cells   map[ce.Type]map[core.Method]*MatrixCell
+}
+
+// RunMatrix attacks every model type on one dataset with every method.
+// The surrogate's architecture is forced to the target's true type here;
+// speculation accuracy has its own experiment (Table 6), and Table 7
+// quantifies how little a wrong type costs.
+func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error) {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &MatrixResult{
+		Dataset: name,
+		Models:  models,
+		World:   w,
+		Cells:   make(map[ce.Type]map[core.Method]*MatrixCell),
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	for mi, typ := range models {
+		cells := make(map[core.Method]*MatrixCell)
+		res.Cells[typ] = cells
+		off := int64(mi + 1)
+
+		clean := w.NewBlackBox(typ, off)
+		cells[core.Clean] = &MatrixCell{QErrors: clean.QErrors(qs, cards), BB: clean}
+
+		sur := w.NewSurrogate(clean, typ, off)
+
+		for _, m := range core.Methods() {
+			target := w.NewBlackBox(typ, off) // identical twin of clean
+			var pq []*query.Query
+			var pc []float64
+			if m == core.PACE {
+				tr := w.TrainPACE(sur, det, off)
+				pq, pc = tr.GeneratePoison(cfg.NumPoison)
+			} else {
+				pq, pc = core.CraftPoison(m, sur, w.WGen, w.GenCfg(), cfg.NumPoison, w.rng)
+			}
+			target.ExecuteWorkload(pq, pc)
+			cells[m] = &MatrixCell{QErrors: target.QErrors(qs, cards), BB: target}
+		}
+	}
+	return res, nil
+}
+
+// PrintMean prints the dataset's mean-Q-error rows — one of Figures 6–9.
+func (r *MatrixResult) PrintMean(out io.Writer) {
+	section(out, fmt.Sprintf("Figure 6-9 (%s): mean test Q-error per CE model and method", r.Dataset))
+	fmt.Fprintf(out, "%-10s", "method")
+	for _, typ := range r.Models {
+		fmt.Fprintf(out, " %12s", typ)
+	}
+	fmt.Fprintln(out)
+	for _, m := range core.AllRows() {
+		fmt.Fprintf(out, "%-10s", m)
+		for _, typ := range r.Models {
+			cell := r.Cells[typ][m]
+			if cell == nil {
+				fmt.Fprintf(out, " %12s", "-")
+				continue
+			}
+			fmt.Fprintf(out, " %12.3g", metrics.Mean(cell.QErrors))
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// PrintPercentiles prints the Table 3 layout (90th/95th/99th/Max) for the
+// given model types.
+func (r *MatrixResult) PrintPercentiles(out io.Writer, models []ce.Type) {
+	section(out, fmt.Sprintf("Table 3 (%s): percentile test Q-error", r.Dataset))
+	fmt.Fprintf(out, "%-10s %-10s %10s %10s %10s %10s\n",
+		"model", "method", "90th", "95th", "99th", "max")
+	for _, typ := range models {
+		if r.Cells[typ] == nil {
+			continue
+		}
+		for _, m := range core.AllRows() {
+			cell := r.Cells[typ][m]
+			if cell == nil {
+				continue
+			}
+			s := metrics.Summarize(cell.QErrors)
+			fmt.Fprintf(out, "%-10s %-10s %10.3g %10.3g %10.3g %10.3g\n",
+				typ, m, s.P90, s.P95, s.P99, s.Max)
+		}
+	}
+}
+
+// PrintTail prints the Table 4 layout (95th/Max) for the given models.
+func (r *MatrixResult) PrintTail(out io.Writer, models []ce.Type) {
+	section(out, fmt.Sprintf("Table 4 (%s): tail test Q-error", r.Dataset))
+	fmt.Fprintf(out, "%-10s %-10s %10s %10s\n", "model", "method", "95th", "max")
+	for _, typ := range models {
+		if r.Cells[typ] == nil {
+			continue
+		}
+		for _, m := range core.AllRows() {
+			cell := r.Cells[typ][m]
+			if cell == nil {
+				continue
+			}
+			s := metrics.Summarize(cell.QErrors)
+			fmt.Fprintf(out, "%-10s %-10s %10.3g %10.3g\n", typ, m, s.P95, s.Max)
+		}
+	}
+}
+
+// PrintE2E plans and executes the dataset's multi-table join workload
+// with every attacked model's estimates and prints the summed true plan
+// cost — the Table 5 end-to-end latency experiment. Models are the 5
+// neural types (the paper omits Linear here).
+func (r *MatrixResult) PrintE2E(out io.Writer, models []ce.Type) {
+	w := r.World
+	opt := qopt.New(w.DS, w.Eng)
+
+	// The paper's 20 multi-table join testing queries.
+	gen := w.WGen
+	var joins []*query.Query
+	for attempts := 0; len(joins) < w.Cfg.E2EQueries && attempts < 200*w.Cfg.E2EQueries; attempts++ {
+		var l []workload.Labeled
+		if r.Dataset == "imdb" || r.Dataset == "stats" {
+			l = gen.Templated(1)
+		} else {
+			l = gen.Random(1)
+		}
+		if l[0].Q.NumTables() >= 2 {
+			joins = append(joins, l[0].Q)
+		}
+	}
+
+	section(out, fmt.Sprintf("Table 5 (%s): E2E plan cost of %d multi-join queries (row-ops)", r.Dataset, len(joins)))
+	fmt.Fprintf(out, "%-10s", "method")
+	for _, typ := range models {
+		fmt.Fprintf(out, " %12s", typ)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-10s", "(optimal)")
+	optLat := opt.Latency(joins, opt.TrueEstimate())
+	for range models {
+		fmt.Fprintf(out, " %12.4g", optLat)
+	}
+	fmt.Fprintln(out)
+	for _, m := range core.AllRows() {
+		fmt.Fprintf(out, "%-10s", m)
+		for _, typ := range models {
+			cell := r.Cells[typ][m]
+			if cell == nil {
+				fmt.Fprintf(out, " %12s", "-")
+				continue
+			}
+			lat := opt.Latency(joins, cell.BB.Estimate)
+			fmt.Fprintf(out, " %12.4g", lat)
+		}
+		fmt.Fprintln(out)
+	}
+}
+
+// RunQErrorTables runs the matrix on every dataset and prints Figures 6–9
+// and Tables 3–5 in paper order. Dataset matrices are independent, so
+// they run concurrently; each dataset's output is buffered and emitted in
+// order, keeping the report deterministic.
+func RunQErrorTables(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb", "tpch", "stats"}
+	}
+	table3Models := []ce.Type{ce.FCN, ce.FCNPool, ce.MSCN, ce.RNN}
+	table4Models := []ce.Type{ce.LSTM, ce.Linear}
+	e2eModels := []ce.Type{ce.FCN, ce.FCNPool, ce.MSCN, ce.RNN, ce.LSTM}
+
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outcomes := make([]outcome, len(datasets))
+	var wg sync.WaitGroup
+	for i, name := range datasets {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			o := &outcomes[i]
+			res, err := RunMatrix(name, ce.Types(), cfg)
+			if err != nil {
+				o.err = err
+				return
+			}
+			res.PrintMean(&o.buf)
+			res.PrintPercentiles(&o.buf, table3Models)
+			res.PrintTail(&o.buf, table4Models)
+			if name != "dmv" { // the paper's Table 5 covers imdb/tpch/stats
+				res.PrintE2E(&o.buf, e2eModels)
+			}
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range outcomes {
+		if outcomes[i].err != nil {
+			return outcomes[i].err
+		}
+		if _, err := out.Write(outcomes[i].buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

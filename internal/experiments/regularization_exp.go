@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pace/internal/ce"
+	"pace/internal/metrics"
+	"pace/internal/workload"
+)
+
+// RunRegularizationDefense tests a training-side mitigation: does dropout
+// regularization in the target's FCN blunt PACE? Poisoning relies on the
+// incremental update absorbing a coherent distortion; stochastic updates
+// both smooth the model (less local memorization to exploit) and add
+// noise to the very gradients the poison was optimized for. For each
+// dropout rate the experiment reports clean accuracy (the price of the
+// defense) and post-attack accuracy (its benefit).
+func RunRegularizationDefense(out io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	section(out, "Regularization as defense (dmv, FCN): dropout vs PACE")
+	fmt.Fprintf(out, "%-12s %14s %14s %14s\n", "dropout", "clean qerr", "attacked qerr", "degradation")
+	for i, p := range []float64{0, 0.1, 0.25} {
+		hp := w.HP()
+		hp.Dropout = p
+		off := int64(i + 1)
+		clean := w.NewBlackBoxHP(ce.FCN, hp, off)
+		cleanErr := metrics.GeoMean(clean.QErrors(qs, cards))
+
+		sur := w.NewSurrogate(clean, ce.FCN, off) // attacker's surrogate has no dropout
+		tr := w.TrainPACE(sur, det, off)
+		pq, pc := tr.GeneratePoison(cfg.NumPoison)
+		target := w.NewBlackBoxHP(ce.FCN, hp, off)
+		target.ExecuteWorkload(pq, pc)
+		attacked := metrics.GeoMean(target.QErrors(qs, cards))
+
+		fmt.Fprintf(out, "%-12.2f %14.3g %14.3g %13.2f×\n",
+			p, cleanErr, attacked, attacked/cleanErr)
+	}
+	return nil
+}

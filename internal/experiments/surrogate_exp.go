@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/metrics"
+	"pace/internal/surrogate"
+	"pace/internal/workload"
+)
+
+// RunSpeculation reproduces Table 6: for every dataset and model type,
+// train several black boxes on fresh random workloads and report how
+// often model-type speculation identifies the architecture.
+func RunSpeculation(out io.Writer, cfg Config, datasets []string) error {
+	cfg = cfg.WithDefaults()
+	if datasets == nil {
+		datasets = []string{"dmv", "imdb", "tpch", "stats"}
+	}
+	section(out, fmt.Sprintf("Table 6: model-type speculation accuracy (%d black boxes per cell)", cfg.SpecBlackBoxes))
+	fmt.Fprintf(out, "%-8s", "dataset")
+	for _, typ := range ce.Types() {
+		fmt.Fprintf(out, " %10s", typ)
+	}
+	fmt.Fprintln(out)
+
+	specCfg := surrogate.SpeculationConfig{
+		CandidateTrainQueries: cfg.TrainQueries / 2,
+		ProbePerGroup:         6,
+		HP:                    ce.HyperParams{Hidden: cfg.Hidden, Layers: cfg.Layers},
+		Train:                 ce.TrainConfig{Epochs: cfg.Epochs / 2, Batch: 32},
+	}
+	for _, name := range datasets {
+		w, err := NewWorld(name, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-8s", name)
+		for _, typ := range ce.Types() {
+			hits := 0
+			for k := 0; k < cfg.SpecBlackBoxes; k++ {
+				bb := w.NewBlackBox(typ, int64(1000+100*int(typ)+k))
+				rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(k)))
+				res, err := surrogate.Speculate(bb, w.WGen, specCfg, rng)
+				if err != nil {
+					return err
+				}
+				if res.Type == typ {
+					hits++
+				}
+			}
+			fmt.Fprintf(out, " %9.0f%%", 100*float64(hits)/float64(cfg.SpecBlackBoxes))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// RunWrongType reproduces Table 7: on dmv, attack each black-box type
+// with every (possibly wrong) surrogate type and report the decrease in
+// attack effectiveness relative to the matched-type attack. types selects
+// the model subset (nil = all six).
+func RunWrongType(out io.Writer, cfg Config, types []ce.Type) error {
+	cfg = cfg.WithDefaults()
+	if types == nil {
+		types = ce.Types()
+	}
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	// effect[bbType][surType] = mean post-attack Q-error.
+	effect := make(map[ce.Type]map[ce.Type]float64)
+	for bi, bbType := range types {
+		effect[bbType] = make(map[ce.Type]float64)
+		clean := w.NewBlackBox(bbType, int64(bi+1))
+		for si, surType := range types {
+			sur := w.NewSurrogate(clean, surType, int64(10*bi+si+1))
+			tr := w.TrainPACE(sur, det, int64(100*bi+si))
+			pq, pc := tr.GeneratePoison(cfg.NumPoison)
+			target := w.NewBlackBox(bbType, int64(bi+1))
+			target.ExecuteWorkload(pq, pc)
+			effect[bbType][surType] = metrics.GeoMean(target.QErrors(qs, cards))
+		}
+	}
+
+	section(out, "Table 7 (dmv): attack-effectiveness decrease under a wrong surrogate type")
+	fmt.Fprintf(out, "%-10s", "bb\\sur")
+	for _, typ := range types {
+		fmt.Fprintf(out, " %10s", typ)
+	}
+	fmt.Fprintln(out)
+	for _, bbType := range types {
+		fmt.Fprintf(out, "%-10s", bbType)
+		matched := effect[bbType][bbType]
+		for _, surType := range types {
+			dec := 0.0
+			if matched > 0 {
+				dec = (matched - effect[bbType][surType]) / matched * 100
+			}
+			if dec < 0 {
+				dec = 0 // a mismatched surrogate occasionally does better
+			}
+			fmt.Fprintf(out, " %9.1f%%", dec)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// RunTrainingStrategy reproduces Figure 10: on dmv, compare the attack
+// effectiveness of PACE with the combined Eq. 7 surrogate loss against
+// direct imitation (Eq. 6), per model type.
+func RunTrainingStrategy(out io.Writer, cfg Config, models []ce.Type) error {
+	cfg = cfg.WithDefaults()
+	if models == nil {
+		models = ce.Types()
+	}
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	section(out, "Figure 10 (dmv): combined surrogate loss (Eq. 7) vs direct imitation (Eq. 6)")
+	fmt.Fprintf(out, "%-10s %14s %14s\n", "model", "combined", "direct")
+	for mi, typ := range models {
+		clean := w.NewBlackBox(typ, int64(mi+1))
+		attackWith := func(strategy surrogate.Strategy, off int64) float64 {
+			rng := rand.New(rand.NewSource(cfg.Seed*104729 + off))
+			sur := surrogate.Train(clean, typ, w.WGen, surrogate.TrainConfig{
+				Queries:  cfg.TrainQueries,
+				Strategy: strategy,
+				HP:       w.HP(),
+				Train:    w.TrainCfg(),
+			}, rng)
+			tr := w.TrainPACE(sur, det, off)
+			pq, pc := tr.GeneratePoison(cfg.NumPoison)
+			target := w.NewBlackBox(typ, int64(mi+1))
+			target.ExecuteWorkload(pq, pc)
+			return metrics.Mean(target.QErrors(qs, cards))
+		}
+		comb := attackWith(surrogate.Combined, int64(10*mi+1))
+		direct := attackWith(surrogate.DirectImitation, int64(10*mi+2))
+		fmt.Fprintf(out, "%-10s %14.3g %14.3g\n", typ, comb, direct)
+	}
+	return nil
+}
+
+// RunHyperMismatch reproduces Figure 11: attack effectiveness when the
+// black box's layer count or hidden width differs from the surrogate's
+// defaults (imdb, FCN). Values are normalized by the matched setting.
+func RunHyperMismatch(out io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld("imdb", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+	det := w.NewDetector(0)
+
+	// degradation runs one attack against a target with hyperparameters
+	// hp — while the SURROGATE keeps the attacker's defaults — and
+	// returns the geometric-mean Q-error degradation factor
+	// (attacked/clean). Ratios of degradation factors between the
+	// mismatched and the matched setting, at the same seed offset,
+	// cancel both target-quality and attack-seed variance.
+	degradation := func(hp ce.HyperParams, off int64) float64 {
+		clean := w.NewBlackBoxHP(ce.FCN, hp, off)
+		cleanErr := metrics.GeoMean(clean.QErrors(qs, cards))
+		sur := w.NewSurrogate(clean, ce.FCN, off) // surrogate keeps defaults
+		tr := w.TrainPACE(sur, det, off)
+		pq, pc := tr.GeneratePoison(cfg.NumPoison)
+		target := w.NewBlackBoxHP(ce.FCN, hp, off)
+		target.ExecuteWorkload(pq, pc)
+		return metrics.GeoMean(target.QErrors(qs, cards)) / cleanErr
+	}
+
+	section(out, "Figure 11 (imdb, FCN): attack effectiveness under hyperparameter mismatch")
+	fmt.Fprintf(out, "(1.0 = matched hyperparameters; degradation-factor ratio, same-seed pairs)\n")
+
+	fmt.Fprintf(out, "%-18s", "bb layers:")
+	for i, layers := range []int{1, 3, 4} {
+		off := int64(10 + i)
+		matched := degradation(w.HP(), off)
+		hp := w.HP()
+		hp.Layers = layers
+		fmt.Fprintf(out, " L=%d:%6.2f", layers, safeRatio(degradation(hp, off), matched))
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "%-18s", "bb hidden scale:")
+	for i, scale := range []float64{0.5, 0.75, 1.5, 2} {
+		off := int64(100 + i)
+		matched := degradation(w.HP(), off)
+		hp := w.HP()
+		hp.Hidden = int(float64(hp.Hidden) * scale)
+		fmt.Fprintf(out, " s=%.2g:%6.2f", scale, safeRatio(degradation(hp, off), matched))
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

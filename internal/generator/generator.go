@@ -1,0 +1,357 @@
+// Package generator implements the PACE poisoning-query generator (§5.2):
+// three cooperating sub-networks fed with Gaussian noise.
+//
+//   - Gj, the join-predicate generator, maps noise to a per-table sigmoid
+//     vector; invalid join patterns (disconnected under the schema's join
+//     graph) are rejection-sampled away and the accepted binary patterns
+//     supervise Gj through the cross-entropy loss of Eq. 8.
+//   - Gl, the lower-bound generator, and Gr, the range-size generator, map
+//     (noise ‖ binary join vector) to per-attribute sigmoids. The upper
+//     bound is lb + rs·(1−lb) — the smooth form of "lower bound plus range
+//     size" that keeps bounds ordered and inside [0, 1] by construction.
+//
+// Attributes of tables outside the join predicate are masked to the open
+// range [0, 1] (and receive no gradient), exactly as §5.2 prescribes.
+package generator
+
+import (
+	"math/rand"
+
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+// Config sizes the generator networks. The defaults mirror the paper's
+// hyperparameter table: Gj has 4 dense layers, Gl and Gr have 5.
+type Config struct {
+	// NoiseDim is the dimension of the Gaussian noise inputs (default 8).
+	NoiseDim int
+	// Hidden is the hidden width of all three networks (default 32).
+	Hidden int
+	// LayersJ, LayersL, LayersR are the total dense-layer counts
+	// (defaults 4, 5, 5).
+	LayersJ, LayersL, LayersR int
+	// MaxReject bounds the join-pattern rejection-sampling attempts per
+	// query before falling back to a random single-table pattern
+	// (default 32).
+	MaxReject int
+	// SnapEps snaps generated bounds within SnapEps of the domain edges
+	// to exactly 0 or 1 (default 0.05; set negative to disable). Data
+	// columns carry probability mass exactly at the edges (skewed and
+	// quantized values), and a sigmoid can approach but never reach
+	// them — without snapping, every "wide open" predicate silently
+	// excludes the edge values. Gradients pass straight through the
+	// snap.
+	SnapEps float64
+	// LR is the Adam learning rate for all generator networks
+	// (default 1e-3, the paper's setting).
+	LR float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NoiseDim == 0 {
+		c.NoiseDim = 8
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.LayersJ == 0 {
+		c.LayersJ = 4
+	}
+	if c.LayersL == 0 {
+		c.LayersL = 5
+	}
+	if c.LayersR == 0 {
+		c.LayersR = 5
+	}
+	if c.MaxReject == 0 {
+		c.MaxReject = 32
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.SnapEps == 0 {
+		c.SnapEps = 0.05
+	}
+	return c
+}
+
+// Generator holds the three sub-generators and their optimizers.
+type Generator struct {
+	meta     *query.Meta
+	joinable func(i, j int) bool
+	cfg      Config
+
+	Gj *nn.MLP
+	Gl *nn.MLP
+	Gr *nn.MLP
+
+	optJ  *nn.Adam
+	optLR *nn.Adam
+}
+
+// New builds a generator over the schema meta; joinable is the schema's
+// join-graph adjacency used for validity checking.
+func New(meta *query.Meta, joinable func(i, j int) bool, cfg Config, rng *rand.Rand) *Generator {
+	cfg = cfg.withDefaults()
+	nT, nA := meta.NumTables(), meta.NumAttrs()
+	g := &Generator{meta: meta, joinable: joinable, cfg: cfg}
+
+	g.Gj = nn.NewMLP("gen.Gj", mlpSizes(cfg.NoiseDim, cfg.Hidden, cfg.LayersJ, nT),
+		nn.NewReLU, nn.NewSigmoid, rng)
+	inLR := cfg.NoiseDim + nT
+	g.Gl = nn.NewMLP("gen.Gl", mlpSizes(inLR, cfg.Hidden, cfg.LayersL, nA),
+		nn.NewReLU, nn.NewSigmoid, rng)
+	g.Gr = nn.NewMLP("gen.Gr", mlpSizes(inLR, cfg.Hidden, cfg.LayersR, nA),
+		nn.NewReLU, nn.NewSigmoid, rng)
+	// Bias the untrained generator toward broad predicates (small lower
+	// bounds, large range sizes). A fresh sigmoid head centers every
+	// bound near 0.5; with one range predicate per attribute that makes
+	// almost every initial query empty, and empty queries are eliminated
+	// from CE training (§2.1) — no cardinality, no gradient, no learning
+	// signal. Starting broad keeps early queries non-empty so the attack
+	// objective can narrow them where it pays off.
+	setOutputBias(g.Gl, -3)
+	setOutputBias(g.Gr, 3)
+
+	g.optJ = nn.NewAdam(g.Gj.Params(), cfg.LR)
+	g.optLR = nn.NewAdam(append(g.Gl.Params(), g.Gr.Params()...), cfg.LR)
+	return g
+}
+
+// setOutputBias sets the bias of an MLP's final dense layer to a constant
+// (the layer before the sigmoid head).
+func setOutputBias(m *nn.MLP, b float64) {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if d, ok := m.Layers[i].(*nn.Dense); ok {
+			for j := range d.B.W {
+				d.B.W[j] = b
+			}
+			return
+		}
+	}
+}
+
+// mlpSizes builds a size chain with `layers` dense layers from in to out.
+func mlpSizes(in, hidden, layers, out int) []int {
+	sizes := []int{in}
+	for i := 0; i < layers-1; i++ {
+		sizes = append(sizes, hidden)
+	}
+	return append(sizes, out)
+}
+
+// Meta returns the schema meta the generator emits queries for.
+func (g *Generator) Meta() *query.Meta { return g.meta }
+
+// Params returns the predicate generators' parameters (Gl and Gr) — the
+// ones updated by the attack objective's gradient. Gj is trained
+// separately through Eq. 8 (see TrainJoin).
+func (g *Generator) Params() []*nn.Param {
+	return append(g.Gl.Params(), g.Gr.Params()...)
+}
+
+// Sample is one generated poisoning query with every intermediate value
+// needed for backprop.
+type Sample struct {
+	// ZJ and Z are the Gaussian noise inputs of Gj and of Gl/Gr.
+	ZJ, Z []float64
+	// VJ is Gj's raw sigmoid output for the accepted pattern; BJ is its
+	// binarization.
+	VJ, BJ []float64
+	// In is the (Z ‖ BJ) input shared by Gl and Gr.
+	In []float64
+	// LB and RS are Gl's and Gr's sigmoid outputs.
+	LB, RS []float64
+	// V is the final query encoding (BJ ‖ bounds, masked).
+	V []float64
+	// Query is the decoded SPJ query.
+	Query *query.Query
+	// Rejected counts how many join patterns were rejected before
+	// acceptance; Fallback reports whether rejection sampling gave up.
+	Rejected int
+	Fallback bool
+}
+
+// Generate draws n poisoning queries.
+func (g *Generator) Generate(n int, rng *rand.Rand) []*Sample {
+	out := make([]*Sample, n)
+	for i := range out {
+		out[i] = g.GenerateOne(rng)
+	}
+	return out
+}
+
+// GenerateOne draws a single poisoning query: rejection-sample a valid
+// join pattern from Gj, then generate masked predicate bounds from Gl/Gr.
+func (g *Generator) GenerateOne(rng *rand.Rand) *Sample {
+	s := &Sample{}
+	nT := g.meta.NumTables()
+
+	for attempt := 0; ; attempt++ {
+		s.ZJ = gaussian(g.cfg.NoiseDim, rng)
+		s.VJ = nn.CopyOf(g.Gj.Forward(s.ZJ))
+		s.BJ = binarize(s.VJ)
+		if validJoin(s.BJ, g.joinable) {
+			break
+		}
+		s.Rejected++
+		if attempt >= g.cfg.MaxReject {
+			// Give up on Gj for this sample: a random single table
+			// is always a valid join predicate.
+			s.BJ = make([]float64, nT)
+			s.BJ[rng.Intn(nT)] = 1
+			s.Fallback = true
+			break
+		}
+	}
+
+	s.Z = gaussian(g.cfg.NoiseDim, rng)
+	s.In = append(nn.CopyOf(s.Z), s.BJ...)
+	s.LB = nn.CopyOf(g.Gl.Forward(s.In))
+	s.RS = nn.CopyOf(g.Gr.Forward(s.In))
+
+	s.V = g.assemble(s)
+	q, err := query.Decode(g.meta, s.V)
+	if err != nil {
+		panic("generator: internal encoding mismatch: " + err.Error())
+	}
+	s.Query = q
+	return s
+}
+
+// assemble builds the encoding from the sample's parts, applying the
+// §5.2 mask: attributes of non-joined tables get the open range [0, 1].
+func (g *Generator) assemble(s *Sample) []float64 {
+	nT, nA := g.meta.NumTables(), g.meta.NumAttrs()
+	v := make([]float64, g.meta.Dim())
+	copy(v, s.BJ)
+	for a := 0; a < nA; a++ {
+		t := g.meta.TableOf(a)
+		if s.BJ[t] > 0.5 {
+			lb := s.LB[a]
+			hi := lb + s.RS[a]*(1-lb)
+			if g.cfg.SnapEps > 0 {
+				if lb < g.cfg.SnapEps {
+					lb = 0
+				}
+				if hi > 1-g.cfg.SnapEps {
+					hi = 1
+				}
+			}
+			v[nT+2*a] = lb
+			v[nT+2*a+1] = hi
+		} else {
+			v[nT+2*a] = 0
+			v[nT+2*a+1] = 1
+		}
+	}
+	return v
+}
+
+// Backward propagates dV — the attack loss gradient with respect to the
+// sample's encoding — into Gl and Gr parameter gradients. It re-runs the
+// forward passes to restore layer caches, so it may be called for any
+// sample in any order. Gradients accumulate until Step.
+func (g *Generator) Backward(s *Sample, dV []float64) {
+	nT, nA := g.meta.NumTables(), g.meta.NumAttrs()
+	dLB := make([]float64, nA)
+	dRS := make([]float64, nA)
+	for a := 0; a < nA; a++ {
+		t := g.meta.TableOf(a)
+		if s.BJ[t] <= 0.5 {
+			continue // masked attribute: no gradient
+		}
+		dLo := dV[nT+2*a]
+		dHi := dV[nT+2*a+1]
+		// v_hi = lb + rs·(1−lb) ⇒ ∂hi/∂lb = 1−rs, ∂hi/∂rs = 1−lb.
+		dLB[a] = dLo + dHi*(1-s.RS[a])
+		dRS[a] = dHi * (1 - s.LB[a])
+	}
+	g.Gl.Forward(s.In)
+	g.Gl.Backward(dLB)
+	g.Gr.Forward(s.In)
+	g.Gr.Backward(dRS)
+}
+
+// Step applies the accumulated Gl/Gr gradients, scaled by 1/batch.
+func (g *Generator) Step(batch int) {
+	if batch <= 0 {
+		batch = 1
+	}
+	g.optLR.Step(1 / float64(batch))
+}
+
+// TrainJoin applies one Eq. 8 cross-entropy step pulling Gj's raw outputs
+// toward the accepted binary join patterns of the batch, which sharpens
+// Gj's ability to emit schema-valid joins. Fallback samples are skipped
+// (their pattern did not come from Gj).
+func (g *Generator) TrainJoin(batch []*Sample) {
+	n := 0
+	for _, s := range batch {
+		if s.Fallback {
+			continue
+		}
+		v := g.Gj.Forward(s.ZJ)
+		d := make([]float64, len(v))
+		for i := range v {
+			// d/dv of binary cross-entropy; the sigmoid output layer
+			// turns this into the usual (v − b) pre-activation grad.
+			p := nn.Clamp(v[i], 1e-6, 1-1e-6)
+			d[i] = (p - s.BJ[i]) / (p * (1 - p))
+		}
+		g.Gj.Backward(d)
+		n++
+	}
+	if n > 0 {
+		g.optJ.Step(1 / float64(n))
+	}
+}
+
+// ValidFraction reports the fraction of n freshly sampled Gj patterns
+// that are schema-valid without rejection (a Gj training diagnostic).
+func (g *Generator) ValidFraction(n int, rng *rand.Rand) float64 {
+	ok := 0
+	for i := 0; i < n; i++ {
+		v := g.Gj.Forward(gaussian(g.cfg.NoiseDim, rng))
+		if validJoin(binarize(v), g.joinable) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(n)
+}
+
+func gaussian(n int, rng *rand.Rand) []float64 {
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	return z
+}
+
+func binarize(v []float64) []float64 {
+	b := make([]float64, len(v))
+	for i, x := range v {
+		if x > 0.5 {
+			b[i] = 1
+		}
+	}
+	return b
+}
+
+// validJoin reports whether the binary pattern selects a non-empty
+// connected table set.
+func validJoin(b []float64, joinable func(i, j int) bool) bool {
+	q := &query.Query{Tables: make([]bool, len(b))}
+	any := false
+	for i, x := range b {
+		if x > 0.5 {
+			q.Tables[i] = true
+			any = true
+		}
+	}
+	if !any {
+		return false
+	}
+	return q.Connected(joinable)
+}

@@ -1,0 +1,253 @@
+package generator
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/dataset"
+	"pace/internal/nn"
+	"pace/internal/query"
+)
+
+func genSetup(t *testing.T, name string, seed int64) (*Generator, *dataset.Dataset, *rand.Rand) {
+	t.Helper()
+	ds, err := dataset.Build(name, dataset.Config{Scale: 0.05, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := New(ds.Meta, ds.Joinable, Config{Hidden: 16}, rng)
+	return g, ds, rng
+}
+
+func TestGeneratedQueriesAreValid(t *testing.T) {
+	for _, name := range []string{"dmv", "tpch", "imdb"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g, ds, rng := genSetup(t, name, 1)
+			for _, s := range g.Generate(40, rng) {
+				if !s.Query.Connected(ds.Joinable) {
+					t.Fatal("generated query has disconnected join")
+				}
+				for a, b := range s.Query.Bounds {
+					if b[0] < 0 || b[1] > 1 || b[0] > b[1] {
+						t.Fatalf("attr %d bounds %v invalid", a, b)
+					}
+				}
+				// Masked attributes must be fully open.
+				for a := range s.Query.Bounds {
+					tbl := ds.Meta.TableOf(a)
+					if !s.Query.Tables[tbl] && s.Query.Bounds[a] != [2]float64{0, 1} {
+						t.Fatalf("non-joined attr %d has bounds %v", a, s.Query.Bounds[a])
+					}
+				}
+				if len(s.V) != ds.Meta.Dim() {
+					t.Fatalf("encoding dim %d, want %d", len(s.V), ds.Meta.Dim())
+				}
+			}
+		})
+	}
+}
+
+func TestUpperBoundConstruction(t *testing.T) {
+	ds, err := dataset.Build("dmv", dataset.Config{Scale: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	g := New(ds.Meta, ds.Joinable, Config{Hidden: 16, SnapEps: -1}, rng)
+	s := g.GenerateOne(rng)
+	nT := ds.Meta.NumTables()
+	for a := 0; a < ds.Meta.NumAttrs(); a++ {
+		tbl := ds.Meta.TableOf(a)
+		if s.BJ[tbl] <= 0.5 {
+			continue
+		}
+		lb, hi := s.V[nT+2*a], s.V[nT+2*a+1]
+		wantHi := s.LB[a] + s.RS[a]*(1-s.LB[a])
+		if lb != s.LB[a] || hi != wantHi {
+			t.Fatalf("attr %d: encoded (%g,%g), want (%g,%g)", a, lb, hi, s.LB[a], wantHi)
+		}
+		if hi < lb || hi > 1 {
+			t.Fatalf("attr %d: hi=%g out of range", a, hi)
+		}
+	}
+}
+
+func TestSnapOpensBroadBounds(t *testing.T) {
+	// With the default bias and snapping, a fresh generator's queries
+	// should be (nearly) fully open and therefore non-empty.
+	g, ds, rng := genSetup(t, "dmv", 12)
+	open := 0
+	total := 0
+	for _, s := range g.Generate(20, rng) {
+		for a, b := range s.Query.Bounds {
+			_ = a
+			total++
+			if b[0] == 0 && b[1] == 1 {
+				open++
+			}
+		}
+	}
+	if open == 0 {
+		t.Error("no generated bound snapped fully open despite broad bias")
+	}
+	_ = ds
+}
+
+func TestBackwardGradientFlow(t *testing.T) {
+	// Validate the generator's analytic gradient chain against finite
+	// differences of a scalar loss on the assembled encoding.
+	ds, err := dataset.Build("tpch", dataset.Config{Scale: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	g := New(ds.Meta, ds.Joinable, Config{Hidden: 16, SnapEps: -1}, rng)
+	s := g.GenerateOne(rng)
+
+	// Loss = 0.5·Σ v_i² over the predicate part of the encoding.
+	loss := func() float64 {
+		lb := g.Gl.Forward(s.In)
+		rs := g.Gr.Forward(s.In)
+		tmp := &Sample{BJ: s.BJ, LB: lb, RS: rs}
+		v := g.assemble(tmp)
+		var sum float64
+		nT := ds.Meta.NumTables()
+		for i := nT; i < len(v); i++ {
+			sum += 0.5 * v[i] * v[i]
+		}
+		return sum
+	}
+
+	// Analytic: dLoss/dV on the predicate part is V itself.
+	dV := make([]float64, len(s.V))
+	nT := ds.Meta.NumTables()
+	for i := nT; i < len(dV); i++ {
+		dV[i] = s.V[i]
+	}
+	ps := g.Params()
+	nn.ZeroGrads(ps)
+	g.Backward(s, dV)
+	analytic := nn.FlattenGrads(ps)
+	numeric := nn.NumericGrad(loss, ps, 1e-5)
+	if d := nn.MaxAbsDiff(analytic, numeric); d > 1e-5 {
+		t.Errorf("generator gradient mismatch: %g", d)
+	}
+}
+
+func TestStepChangesOutput(t *testing.T) {
+	g, ds, rng := genSetup(t, "dmv", 4)
+	s := g.GenerateOne(rng)
+	before := nn.CopyOf(s.V)
+
+	// Push all predicate encodings downward.
+	dV := make([]float64, len(s.V))
+	for i := ds.Meta.NumTables(); i < len(dV); i++ {
+		dV[i] = 1
+	}
+	for i := 0; i < 20; i++ {
+		g.Backward(s, dV)
+		g.Step(1)
+	}
+	lb := g.Gl.Forward(s.In)
+	sum := func(v []float64) float64 {
+		var x float64
+		for _, y := range v {
+			x += y
+		}
+		return x
+	}
+	if sum(lb) >= sum(s.LB) {
+		t.Errorf("descending on encoding did not reduce lower bounds: %g → %g",
+			sum(s.LB), sum(lb))
+	}
+	_ = before
+}
+
+func TestTrainJoinImprovesValidity(t *testing.T) {
+	// On a multi-table schema, an untrained Gj produces many invalid
+	// patterns; Eq. 8 training on accepted patterns should raise the
+	// first-shot validity rate.
+	g, _, rng := genSetup(t, "imdb", 5)
+	before := g.ValidFraction(200, rng)
+	for i := 0; i < 30; i++ {
+		batch := g.Generate(16, rng)
+		g.TrainJoin(batch)
+	}
+	after := g.ValidFraction(200, rng)
+	if after < before {
+		t.Errorf("join validity degraded: %.3f → %.3f", before, after)
+	}
+	if after < 0.3 {
+		t.Errorf("join validity after training only %.3f", after)
+	}
+}
+
+func TestSingleTableSchemaAlwaysValid(t *testing.T) {
+	g, _, rng := genSetup(t, "dmv", 6)
+	for _, s := range g.Generate(20, rng) {
+		if s.Query.NumTables() != 1 {
+			t.Fatalf("dmv query joins %d tables", s.Query.NumTables())
+		}
+	}
+}
+
+func TestFallbackOnHopelessGj(t *testing.T) {
+	// With MaxReject=0 on a multi-table schema, fallback may trigger;
+	// generated samples must still be valid queries.
+	ds, err := dataset.Build("imdb", dataset.Config{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := New(ds.Meta, ds.Joinable, Config{Hidden: 8, MaxReject: 1}, rng)
+	sawFallback := false
+	for i := 0; i < 50; i++ {
+		s := g.GenerateOne(rng)
+		if !s.Query.Connected(ds.Joinable) {
+			t.Fatal("fallback sample invalid")
+		}
+		if s.Fallback {
+			sawFallback = true
+			if s.Query.NumTables() != 1 {
+				t.Error("fallback should pick a single table")
+			}
+		}
+	}
+	_ = sawFallback // fallback is probabilistic; validity is the invariant
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.NoiseDim != 8 || c.LayersJ != 4 || c.LayersL != 5 || c.LayersR != 5 {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	ds, _ := dataset.Build("tpch", dataset.Config{Scale: 0.05, Seed: 8})
+	g1 := New(ds.Meta, ds.Joinable, Config{Hidden: 8}, rand.New(rand.NewSource(9)))
+	g2 := New(ds.Meta, ds.Joinable, Config{Hidden: 8}, rand.New(rand.NewSource(9)))
+	s1 := g1.GenerateOne(rand.New(rand.NewSource(10)))
+	s2 := g2.GenerateOne(rand.New(rand.NewSource(10)))
+	if nn.MaxAbsDiff(s1.V, s2.V) != 0 {
+		t.Error("same seeds produced different samples")
+	}
+}
+
+func TestDecodeEncodingConsistency(t *testing.T) {
+	g, ds, rng := genSetup(t, "stats", 11)
+	for i := 0; i < 10; i++ {
+		s := g.GenerateOne(rng)
+		v2 := s.Query.Encode(ds.Meta)
+		// Join bits and masked bounds round-trip exactly; predicate
+		// bounds may differ only by Normalize's clamping (none needed
+		// here since generation keeps them in range).
+		if nn.MaxAbsDiff(s.V, v2) > 1e-12 {
+			t.Fatalf("sample %d: encoding does not round-trip through Query", i)
+		}
+	}
+}
+
+var _ = query.New // keep query import for documentation examples

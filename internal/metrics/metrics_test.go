@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {20, 1}, {50, 3}, {90, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	s := Summarize(xs)
+	if s.Mean != 50.5 || s.P90 != 90 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if Summarize(nil) != (Summary{}) {
+		t.Error("empty Summarize should be zero")
+	}
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestPercentileOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return Percentile(xs, 50) <= Percentile(xs, 90) &&
+			Percentile(xs, 90) <= Percentile(xs, 99) &&
+			Percentile(xs, 99) <= Percentile(xs, 100)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSDivergenceIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomEncodings(rng, 100, 5)
+	if d := JSDivergence(a, a, 10); d > 1e-9 {
+		t.Errorf("JSD(a,a) = %g, want ~0", d)
+	}
+}
+
+func TestJSDivergenceSeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomEncodings(rng, 200, 4)
+	b := randomEncodings(rng, 200, 4)
+	for i := range b {
+		for j := range b[i] {
+			b[i][j] = 0.9 + 0.1*b[i][j] // mass concentrated near 1
+		}
+	}
+	near := JSDivergence(a, a, 10)
+	far := JSDivergence(a, b, 10)
+	if far <= near {
+		t.Errorf("separated JSD %g not larger than identical %g", far, near)
+	}
+	if far > math.Log(2)+1e-9 {
+		t.Errorf("JSD %g exceeds ln 2 bound", far)
+	}
+}
+
+func TestJSDivergenceEdgeCases(t *testing.T) {
+	if JSDivergence(nil, nil, 10) != 0 {
+		t.Error("empty JSD should be 0")
+	}
+	a := [][]float64{{0.5}}
+	if d := JSDivergence(a, a, 0); d < 0 {
+		t.Error("default bins should work")
+	}
+}
+
+func TestJSDivergenceSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomEncodings(rng, 50, 3)
+	b := randomEncodings(rng, 70, 3)
+	d1, d2 := JSDivergence(a, b, 8), JSDivergence(b, a, 8)
+	if math.Abs(d1-d2) > 1e-9 {
+		t.Errorf("JSD not symmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if got := CosineSimilarity([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("parallel cosine = %g", got)
+	}
+	if got := CosineSimilarity([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Errorf("orthogonal cosine = %g", got)
+	}
+	if got := CosineSimilarity([]float64{1, 1}, []float64{0, 0}); got != 0 {
+		t.Errorf("zero-vector cosine = %g", got)
+	}
+}
+
+func TestCosineSimilarityPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CosineSimilarity([]float64{1}, []float64{1, 2})
+}
+
+func TestCosineBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		c := CosineSimilarity(a, b)
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomEncodings(rng *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+		for j := range out[i] {
+			out[i][j] = rng.Float64()
+		}
+	}
+	return out
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean(1,100) = %g, want 10", got)
+	}
+	// Entries below 1 are floored at the Q-error minimum.
+	if got := GeoMean([]float64{0.001, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean with sub-1 entry = %g, want 10", got)
+	}
+	// Robust to one huge outlier compared with the arithmetic mean.
+	xs := []float64{2, 2, 2, 2, 1e6}
+	if GeoMean(xs) > Mean(xs)/100 {
+		t.Errorf("GeoMean %g not substantially below Mean %g on outlier data",
+			GeoMean(xs), Mean(xs))
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import "math/rand"
+
+// Dropout randomly zeroes a fraction P of its inputs during training,
+// scaling the survivors by 1/(1−P) (inverted dropout), and is the
+// identity in evaluation mode. Training mode is off by default; callers
+// flip it with SetTraining around optimization steps.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	training bool
+	mask     []float64
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// SetTraining switches between the stochastic training behaviour and the
+// deterministic identity.
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Params implements Module; dropout is parameter-free.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (d *Dropout) OutSize(in int) int { return in }
+
+// Forward applies the mask in training mode, identity otherwise.
+func (d *Dropout) Forward(x []float64) []float64 {
+	if !d.training || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.P
+	out := make([]float64, len(x))
+	d.mask = make([]float64, len(x))
+	for i, v := range x {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			out[i] = v / keep
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the cached mask.
+func (d *Dropout) Backward(dy []float64) []float64 {
+	if d.mask == nil {
+		return dy
+	}
+	dx := make([]float64, len(dy))
+	for i, g := range dy {
+		dx[i] = g * d.mask[i]
+	}
+	return dx
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// TrainingMode recursively flips the training flag of every Dropout layer
+// inside the MLPs of ms.
+func TrainingMode(on bool, ms ...*MLP) {
+	for _, m := range ms {
+		for _, l := range m.Layers {
+			if d, ok := l.(*Dropout); ok {
+				d.SetTraining(on)
+			}
+		}
+	}
+}

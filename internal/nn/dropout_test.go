@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDropoutEvalModeIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, rand.New(rand.NewSource(1)))
+	x := []float64{1, 2, 3}
+	out := d.Forward(x)
+	if MaxAbsDiff(out, x) != 0 {
+		t.Error("eval-mode dropout is not the identity")
+	}
+	dy := []float64{0.1, 0.2, 0.3}
+	if MaxAbsDiff(d.Backward(dy), dy) != 0 {
+		t.Error("eval-mode backward is not the identity")
+	}
+}
+
+func TestDropoutTrainingZeroesAndScales(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout(0.5, rng)
+	d.SetTraining(true)
+	x := make([]float64, 1000)
+	for i := range x {
+		x[i] = 1
+	}
+	out := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range out {
+		switch v {
+		case 0:
+			zeros++
+		case 2: // 1/(1−0.5)
+			scaled++
+		default:
+			t.Fatalf("unexpected output %g", v)
+		}
+	}
+	if zeros+scaled != len(x) {
+		t.Fatal("values unaccounted for")
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("dropped %d/1000, want ≈500", zeros)
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := NewDropout(0.3, rng)
+	d.SetTraining(true)
+	x := []float64{1, 1, 1, 1, 1, 1}
+	out := d.Forward(x)
+	dy := []float64{1, 1, 1, 1, 1, 1}
+	dx := d.Backward(dy)
+	for i := range dx {
+		// Gradient flows exactly where the forward let values through.
+		if (out[i] == 0) != (dx[i] == 0) {
+			t.Fatalf("mask mismatch at %d: out=%g dx=%g", i, out[i], dx[i])
+		}
+	}
+}
+
+func TestDropoutExpectationPreserved(t *testing.T) {
+	// Inverted dropout keeps E[output] = input.
+	rng := rand.New(rand.NewSource(4))
+	d := NewDropout(0.4, rng)
+	d.SetTraining(true)
+	x := []float64{1}
+	var sum float64
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		sum += d.Forward(x)[0]
+	}
+	mean := sum / trials
+	if mean < 0.95 || mean > 1.05 {
+		t.Errorf("E[output] = %.3f, want ≈1", mean)
+	}
+}
+
+func TestTrainingModeFlipsMLPDropouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := &MLP{Layers: []Layer{
+		NewDense("d", 3, 3, rng),
+		NewDropout(0.9, rng),
+	}}
+	x := []float64{1, 1, 1}
+	TrainingMode(false, m)
+	a := CopyOf(m.Forward(x))
+	b := m.Forward(x)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("eval mode should be deterministic")
+	}
+	TrainingMode(true, m)
+	sawDiff := false
+	for i := 0; i < 10 && !sawDiff; i++ {
+		if MaxAbsDiff(a, m.Forward(x)) != 0 {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Error("training mode never produced a different output at P=0.9")
+	}
+}

@@ -1,0 +1,55 @@
+package nn
+
+// NumericGrad estimates the gradient of f with respect to every parameter
+// in ps by central finite differences. f must be a pure function of the
+// current parameter values. Used by tests to validate analytic backprop.
+func NumericGrad(f func() float64, ps []*Param, eps float64) []float64 {
+	out := make([]float64, 0, NumParams(ps))
+	for _, p := range ps {
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			fp := f()
+			p.W[i] = orig - eps
+			fm := f()
+			p.W[i] = orig
+			out = append(out, (fp-fm)/(2*eps))
+		}
+	}
+	return out
+}
+
+// NumericInputGrad estimates the gradient of f with respect to the entries
+// of x by central finite differences. f must read x on every call.
+func NumericInputGrad(f func() float64, x []float64, eps float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		fp := f()
+		x[i] = orig - eps
+		fm := f()
+		x[i] = orig
+		out[i] = (fp - fm) / (2 * eps)
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between
+// a and b; it panics if lengths differ.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("nn: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,164 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Layer is a differentiable vector→vector map. Backward must be called
+// immediately after the Forward whose cached state it consumes; it
+// accumulates parameter gradients and returns dL/dx.
+type Layer interface {
+	Module
+	Forward(x []float64) []float64
+	Backward(dy []float64) []float64
+	// OutSize reports the output dimension given an input dimension.
+	OutSize(in int) int
+}
+
+// Dense is a fully connected affine layer y = Wx + b.
+type Dense struct {
+	W *Param // out×in
+	B *Param // out×1
+	x []float64
+}
+
+// NewDense creates a Glorot-initialized in→out dense layer.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{
+		W: NewParam(name+".W", out, in),
+		B: NewParam(name+".b", out, 1),
+	}
+	d.W.GlorotInit(rng)
+	return d
+}
+
+// Params implements Module.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// OutSize implements Layer.
+func (d *Dense) OutSize(int) int { return d.W.Rows }
+
+// Forward computes Wx + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.W.Cols {
+		panic(fmt.Sprintf("nn: Dense %s input %d, want %d", d.W.Name, len(x), d.W.Cols))
+	}
+	d.x = x
+	out := make([]float64, d.W.Rows)
+	for r := 0; r < d.W.Rows; r++ {
+		row := d.W.W[r*d.W.Cols : (r+1)*d.W.Cols]
+		out[r] = Dot(row, x) + d.B.W[r]
+	}
+	return out
+}
+
+// Backward accumulates dL/dW, dL/db and returns dL/dx.
+func (d *Dense) Backward(dy []float64) []float64 {
+	dx := make([]float64, d.W.Cols)
+	for r, g := range dy {
+		row := d.W.W[r*d.W.Cols : (r+1)*d.W.Cols]
+		grow := d.W.G[r*d.W.Cols : (r+1)*d.W.Cols]
+		AddScaled(grow, g, d.x)
+		AddScaled(dx, g, row)
+		d.B.G[r] += g
+	}
+	return dx
+}
+
+// Activation applies an element-wise nonlinearity.
+type Activation struct {
+	kind activationKind
+	y    []float64 // cached outputs
+	x    []float64 // cached inputs (needed by ReLU/LeakyReLU)
+}
+
+type activationKind int
+
+const (
+	actSigmoid activationKind = iota
+	actTanh
+	actReLU
+	actLeakyReLU
+)
+
+// NewSigmoid returns an element-wise logistic activation.
+func NewSigmoid() *Activation { return &Activation{kind: actSigmoid} }
+
+// NewTanh returns an element-wise tanh activation.
+func NewTanh() *Activation { return &Activation{kind: actTanh} }
+
+// NewReLU returns an element-wise rectified-linear activation.
+func NewReLU() *Activation { return &Activation{kind: actReLU} }
+
+// NewLeakyReLU returns max(x, 0.01x).
+func NewLeakyReLU() *Activation { return &Activation{kind: actLeakyReLU} }
+
+// Params implements Module; activations are parameter-free.
+func (a *Activation) Params() []*Param { return nil }
+
+// OutSize implements Layer.
+func (a *Activation) OutSize(in int) int { return in }
+
+// Forward applies the nonlinearity element-wise.
+func (a *Activation) Forward(x []float64) []float64 {
+	a.x = x
+	out := make([]float64, len(x))
+	switch a.kind {
+	case actSigmoid:
+		for i, v := range x {
+			out[i] = Sigmoid(v)
+		}
+	case actTanh:
+		for i, v := range x {
+			out[i] = math.Tanh(v)
+		}
+	case actReLU:
+		for i, v := range x {
+			if v > 0 {
+				out[i] = v
+			}
+		}
+	case actLeakyReLU:
+		for i, v := range x {
+			if v > 0 {
+				out[i] = v
+			} else {
+				out[i] = 0.01 * v
+			}
+		}
+	}
+	a.y = out
+	return out
+}
+
+// Backward returns dL/dx for the cached activation.
+func (a *Activation) Backward(dy []float64) []float64 {
+	dx := make([]float64, len(dy))
+	switch a.kind {
+	case actSigmoid:
+		for i, g := range dy {
+			dx[i] = g * SigmoidPrime(a.y[i])
+		}
+	case actTanh:
+		for i, g := range dy {
+			dx[i] = g * (1 - a.y[i]*a.y[i])
+		}
+	case actReLU:
+		for i, g := range dy {
+			if a.x[i] > 0 {
+				dx[i] = g
+			}
+		}
+	case actLeakyReLU:
+		for i, g := range dy {
+			if a.x[i] > 0 {
+				dx[i] = g
+			} else {
+				dx[i] = 0.01 * g
+			}
+		}
+	}
+	return dx
+}

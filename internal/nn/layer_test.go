@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const gradTol = 1e-6
+
+// scalarLoss squares-and-sums the output of a layer so both parameter and
+// input gradients are exercised through a nontrivial loss.
+func scalarLoss(out []float64) float64 {
+	var s float64
+	for _, v := range out {
+		s += v * v
+	}
+	return 0.5 * s
+}
+
+func lossGrad(out []float64) []float64 { return CopyOf(out) }
+
+func checkLayerGradients(t *testing.T, l Layer, in int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, in)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	f := func() float64 { return scalarLoss(l.Forward(x)) }
+
+	ZeroGrads(l.Params())
+	out := l.Forward(x)
+	dx := l.Backward(lossGrad(out))
+
+	analytic := FlattenGrads(l.Params())
+	numeric := NumericGrad(f, l.Params(), 1e-5)
+	if d := MaxAbsDiff(analytic, numeric); d > gradTol {
+		t.Errorf("parameter gradient mismatch: max diff %g", d)
+	}
+
+	numericX := NumericInputGrad(f, x, 1e-5)
+	if d := MaxAbsDiff(dx, numericX); d > gradTol {
+		t.Errorf("input gradient mismatch: max diff %g", d)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	checkLayerGradients(t, NewDense("d", 5, 3, rng), 5)
+}
+
+func TestActivationGradients(t *testing.T) {
+	cases := map[string]func() *Activation{
+		"sigmoid":   NewSigmoid,
+		"tanh":      NewTanh,
+		"relu":      NewReLU,
+		"leakyrelu": NewLeakyReLU,
+	}
+	for name, mk := range cases {
+		t.Run(name, func(t *testing.T) { checkLayerGradients(t, mk(), 6) })
+	}
+}
+
+func TestMLPGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP("m", []int{4, 8, 8, 2}, NewTanh, NewSigmoid, rng)
+	checkLayerGradients(t, m, 4)
+}
+
+func TestMLPLinearHead(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP("m", []int{3, 5, 1}, NewReLU, nil, rng)
+	out := m.Forward([]float64{1, -2, 0.5})
+	if len(out) != 1 {
+		t.Fatalf("output size = %d, want 1", len(out))
+	}
+	if got := m.OutSize(3); got != 1 {
+		t.Errorf("OutSize = %d, want 1", got)
+	}
+}
+
+func TestDenseForwardKnownValues(t *testing.T) {
+	d := &Dense{W: NewParam("w", 2, 2), B: NewParam("b", 2, 1)}
+	copy(d.W.W, []float64{1, 2, 3, 4})
+	copy(d.B.W, []float64{0.5, -0.5})
+	out := d.Forward([]float64{1, 1})
+	want := []float64{3.5, 6.5}
+	if MaxAbsDiff(out, want) > 1e-12 {
+		t.Errorf("Forward = %v, want %v", out, want)
+	}
+}
+
+func TestDensePanicsOnSizeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := NewDense("d", 3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong input size")
+		}
+	}()
+	d.Forward([]float64{1, 2})
+}
+
+func TestSigmoidProperties(t *testing.T) {
+	// Sigmoid output is always in (0,1) and symmetric: σ(-x) = 1-σ(x).
+	f := func(x float64) bool {
+		if x > 500 {
+			x = 500
+		}
+		if x < -500 {
+			x = -500
+		}
+		y := Sigmoid(x)
+		if y < 0 || y > 1 {
+			return false
+		}
+		return abs(Sigmoid(-x)-(1-y)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,71 @@
+package nn
+
+import "math/rand"
+
+// MLP is a sequential stack of layers.
+type MLP struct {
+	Layers []Layer
+}
+
+// NewMLP builds a dense network with the given layer sizes, e.g.
+// sizes = [8, 64, 64, 1] builds 8→64→64→1. Hidden layers use the given
+// hidden activation; the output layer uses outAct (which may be nil for a
+// purely linear head).
+func NewMLP(name string, sizes []int, hidden func() *Activation, outAct func() *Activation, rng *rand.Rand) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: NewMLP needs at least an input and output size")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		m.Layers = append(m.Layers, NewDense(denseName(name, i), sizes[i], sizes[i+1], rng))
+		last := i+2 == len(sizes)
+		if last {
+			if outAct != nil {
+				m.Layers = append(m.Layers, outAct())
+			}
+		} else if hidden != nil {
+			m.Layers = append(m.Layers, hidden())
+		}
+	}
+	return m
+}
+
+func denseName(name string, i int) string {
+	return name + "." + string(rune('0'+i))
+}
+
+// Params implements Module.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutSize implements Layer.
+func (m *MLP) OutSize(in int) int {
+	for _, l := range m.Layers {
+		in = l.OutSize(in)
+	}
+	return in
+}
+
+// Forward runs x through every layer.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates dy back through every layer, accumulating parameter
+// gradients, and returns dL/dx.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+var _ Layer = (*MLP)(nil)

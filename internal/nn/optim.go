@@ -1,0 +1,108 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to parameters.
+type Optimizer interface {
+	// Step applies one update from the accumulated gradients, then
+	// zeroes them. scale is multiplied into every gradient first
+	// (callers typically pass 1/batchSize).
+	Step(scale float64)
+	// LearningRate reports the optimizer's base learning rate.
+	LearningRate() float64
+}
+
+// SGD is plain stochastic gradient descent, optionally with gradient-norm
+// clipping (Clip <= 0 disables clipping).
+type SGD struct {
+	PS   []*Param
+	LR   float64
+	Clip float64
+}
+
+// NewSGD creates an SGD optimizer over ps.
+func NewSGD(ps []*Param, lr float64) *SGD { return &SGD{PS: ps, LR: lr, Clip: 5} }
+
+// LearningRate implements Optimizer.
+func (s *SGD) LearningRate() float64 { return s.LR }
+
+// Step implements Optimizer.
+func (s *SGD) Step(scale float64) {
+	clip := clipFactor(s.PS, scale, s.Clip)
+	for _, p := range s.PS {
+		for i := range p.W {
+			p.W[i] -= s.LR * scale * clip * p.G[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2014), the optimizer the paper
+// uses for every model, with optional gradient-norm clipping.
+type Adam struct {
+	PS    []*Param
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	Clip  float64
+
+	m, v [][]float64
+	t    int
+}
+
+// NewAdam creates an Adam optimizer with the standard β=(0.9, 0.999),
+// ε=1e-8 hyperparameters.
+func NewAdam(ps []*Param, lr float64) *Adam {
+	a := &Adam{PS: ps, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Clip: 5}
+	a.m = make([][]float64, len(ps))
+	a.v = make([][]float64, len(ps))
+	for i, p := range ps {
+		a.m[i] = make([]float64, len(p.W))
+		a.v[i] = make([]float64, len(p.W))
+	}
+	return a
+}
+
+// LearningRate implements Optimizer.
+func (a *Adam) LearningRate() float64 { return a.LR }
+
+// Step implements Optimizer.
+func (a *Adam) Step(scale float64) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	clip := clipFactor(a.PS, scale, a.Clip)
+	for i, p := range a.PS {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j] * scale * clip
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// clipFactor returns the multiplier that caps the global scaled gradient
+// norm at clip (1 when already within bounds or clipping is disabled).
+func clipFactor(ps []*Param, scale, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	var sq float64
+	for _, p := range ps {
+		for _, g := range p.G {
+			sg := g * scale
+			sq += sg * sg
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= clip || norm == 0 {
+		return 1
+	}
+	return clip / norm
+}

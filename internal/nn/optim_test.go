@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// trainQuadratic minimizes f(w) = ||w - target||^2 with the given optimizer
+// constructor and returns the final distance to the target.
+func trainQuadratic(t *testing.T, mkOpt func(ps []*Param) Optimizer, steps int) float64 {
+	t.Helper()
+	p := NewParam("w", 4, 1)
+	target := []float64{1, -2, 3, 0.5}
+	opt := mkOpt([]*Param{p})
+	for i := 0; i < steps; i++ {
+		for j := range p.W {
+			p.G[j] = 2 * (p.W[j] - target[j])
+		}
+		opt.Step(1)
+	}
+	var d float64
+	for j := range p.W {
+		d += (p.W[j] - target[j]) * (p.W[j] - target[j])
+	}
+	return math.Sqrt(d)
+}
+
+func TestSGDConverges(t *testing.T) {
+	d := trainQuadratic(t, func(ps []*Param) Optimizer { return NewSGD(ps, 0.1) }, 200)
+	if d > 1e-3 {
+		t.Errorf("SGD final distance %g, want < 1e-3", d)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	d := trainQuadratic(t, func(ps []*Param) Optimizer { return NewAdam(ps, 0.05) }, 500)
+	if d > 1e-3 {
+		t.Errorf("Adam final distance %g, want < 1e-3", d)
+	}
+}
+
+func TestStepZeroesGradients(t *testing.T) {
+	p := NewParam("w", 2, 1)
+	p.G[0], p.G[1] = 1, 2
+	NewAdam([]*Param{p}, 0.01).Step(1)
+	if p.G[0] != 0 || p.G[1] != 0 {
+		t.Errorf("gradients not zeroed after Step: %v", p.G)
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.G[0] = 1e6
+	s := &SGD{PS: []*Param{p}, LR: 1, Clip: 1}
+	s.Step(1)
+	// With clipping to norm 1 the update magnitude is exactly LR*1.
+	if math.Abs(p.W[0]) != 1 {
+		t.Errorf("clipped update = %g, want magnitude 1", p.W[0])
+	}
+}
+
+func TestClipDisabled(t *testing.T) {
+	p := NewParam("w", 1, 1)
+	p.G[0] = 10
+	s := &SGD{PS: []*Param{p}, LR: 0.1, Clip: 0}
+	s.Step(1)
+	if math.Abs(p.W[0]+1) > 1e-12 {
+		t.Errorf("unclipped update = %g, want -1", p.W[0])
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := NewMLP("m", []int{3, 4, 1}, NewTanh, nil, rng)
+	ps := m.Params()
+	before := FlattenParams(ps)
+	snap := TakeSnapshot(ps)
+	AddToParams(ps, 1, onesLike(before))
+	if MaxAbsDiff(FlattenParams(ps), before) == 0 {
+		t.Fatal("parameters unchanged after AddToParams")
+	}
+	snap.Restore(ps)
+	if MaxAbsDiff(FlattenParams(ps), before) != 0 {
+		t.Error("Restore did not recover original parameters")
+	}
+}
+
+func TestSetParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := NewMLP("m", []int{2, 3, 1}, NewReLU, nil, rng)
+	ps := m.Params()
+	v := FlattenParams(ps)
+	for i := range v {
+		v[i] += 0.5
+	}
+	SetParams(ps, v)
+	if MaxAbsDiff(FlattenParams(ps), v) != 0 {
+		t.Error("SetParams/FlattenParams round trip mismatch")
+	}
+}
+
+func TestSaveLoadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m1 := NewMLP("m", []int{3, 5, 2}, NewSigmoid, nil, rng)
+	m2 := NewMLP("m", []int{3, 5, 2}, NewSigmoid, nil, rand.New(rand.NewSource(99)))
+	blob := SaveParams(m1.Params())
+	if err := LoadParams(m2.Params(), blob); err != nil {
+		t.Fatalf("LoadParams: %v", err)
+	}
+	if MaxAbsDiff(FlattenParams(m1.Params()), FlattenParams(m2.Params())) != 0 {
+		t.Error("loaded parameters differ from saved")
+	}
+}
+
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m1 := NewMLP("m", []int{3, 5, 2}, nil, nil, rng)
+	m2 := NewMLP("m", []int{3, 4, 2}, nil, nil, rng)
+	blob := SaveParams(m1.Params())
+	if err := LoadParams(m2.Params(), blob); err == nil {
+		t.Error("expected shape-mismatch error, got nil")
+	}
+}
+
+func TestLoadParamsCorruptBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := NewMLP("m", []int{2, 2}, nil, nil, rng)
+	if err := LoadParams(m.Params(), []byte{1, 2, 3}); err == nil {
+		t.Error("expected error for truncated blob, got nil")
+	}
+}
+
+func onesLike(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

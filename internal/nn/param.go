@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable tensor stored flat, with an accumulated gradient of
+// the same shape. A Param with Rows*Cols == len(W) is a matrix; a Param
+// with Rows == len(W), Cols == 1 is a vector (bias).
+type Param struct {
+	Name string
+	W    []float64 // values, row-major
+	G    []float64 // accumulated gradient dL/dW
+	Rows int
+	Cols int
+}
+
+// NewParam allocates a zero-valued rows×cols parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		W:    make([]float64, rows*cols),
+		G:    make([]float64, rows*cols),
+		Rows: rows,
+		Cols: cols,
+	}
+}
+
+// GlorotInit fills p.W with Glorot/Xavier-uniform values appropriate for a
+// rows×cols dense weight (fanOut×fanIn).
+func (p *Param) GlorotInit(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(p.Rows+p.Cols))
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { Zero(p.G) }
+
+// At returns the matrix element at (r, c).
+func (p *Param) At(r, c int) float64 { return p.W[r*p.Cols+c] }
+
+// Module is anything that owns parameters.
+type Module interface {
+	// Params returns the module's learnable parameters. The returned
+	// slice must be stable: the same *Param pointers every call.
+	Params() []*Param
+}
+
+// ParamsOf flattens the parameters of several modules into one slice.
+func ParamsOf(ms ...Module) []*Param {
+	var out []*Param
+	for _, m := range ms {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// NumParams returns the total scalar parameter count of ps.
+func NumParams(ps []*Param) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.W)
+	}
+	return n
+}
+
+// ZeroGrads clears the gradient of every parameter in ps.
+func ZeroGrads(ps []*Param) {
+	for _, p := range ps {
+		p.ZeroGrad()
+	}
+}
+
+// FlattenParams copies all parameter values into a single vector.
+func FlattenParams(ps []*Param) []float64 {
+	out := make([]float64, 0, NumParams(ps))
+	for _, p := range ps {
+		out = append(out, p.W...)
+	}
+	return out
+}
+
+// FlattenGrads copies all parameter gradients into a single vector.
+func FlattenGrads(ps []*Param) []float64 {
+	out := make([]float64, 0, NumParams(ps))
+	for _, p := range ps {
+		out = append(out, p.G...)
+	}
+	return out
+}
+
+// SetParams writes the flat vector v back into the parameters. It panics
+// if len(v) does not match the total parameter count.
+func SetParams(ps []*Param, v []float64) {
+	i := 0
+	for _, p := range ps {
+		copy(p.W, v[i:i+len(p.W)])
+		i += len(p.W)
+	}
+	if i != len(v) {
+		panic("nn: SetParams length mismatch")
+	}
+}
+
+// AddToParams adds scale*v to the flat parameter vector in place.
+func AddToParams(ps []*Param, scale float64, v []float64) {
+	i := 0
+	for _, p := range ps {
+		for j := range p.W {
+			p.W[j] += scale * v[i]
+			i++
+		}
+	}
+	if i != len(v) {
+		panic("nn: AddToParams length mismatch")
+	}
+}
+
+// Snapshot captures the current values of ps so they can be restored later
+// (used for the temporary poisoned-model updates of Algorithm 1).
+type Snapshot struct{ values [][]float64 }
+
+// TakeSnapshot copies the current parameter values.
+func TakeSnapshot(ps []*Param) *Snapshot {
+	s := &Snapshot{values: make([][]float64, len(ps))}
+	for i, p := range ps {
+		s.values[i] = CopyOf(p.W)
+	}
+	return s
+}
+
+// Restore writes the snapshot back into ps. The parameter list must be the
+// same one the snapshot was taken from (same order and shapes).
+func (s *Snapshot) Restore(ps []*Param) {
+	if len(ps) != len(s.values) {
+		panic("nn: Snapshot.Restore param count mismatch")
+	}
+	for i, p := range ps {
+		copy(p.W, s.values[i])
+	}
+}

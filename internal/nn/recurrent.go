@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SeqModule is a differentiable sequence→vector map: it consumes a
+// sequence of input vectors and produces the final hidden state.
+// BackwardSeq must be called immediately after the ForwardSeq whose cached
+// state it consumes.
+type SeqModule interface {
+	Module
+	ForwardSeq(xs [][]float64) []float64
+	BackwardSeq(dh []float64) [][]float64
+	HiddenSize() int
+}
+
+// RNN is a single-layer Elman recurrent network:
+// h_t = tanh(Wx·x_t + Wh·h_{t-1} + b).
+type RNN struct {
+	Wx *Param // hidden×in
+	Wh *Param // hidden×hidden
+	B  *Param // hidden×1
+
+	xs [][]float64
+	hs [][]float64 // hs[0] is the zero initial state; hs[t+1] for step t
+}
+
+// NewRNN creates a Glorot-initialized in→hidden recurrent cell.
+func NewRNN(name string, in, hidden int, rng *rand.Rand) *RNN {
+	r := &RNN{
+		Wx: NewParam(name+".Wx", hidden, in),
+		Wh: NewParam(name+".Wh", hidden, hidden),
+		B:  NewParam(name+".b", hidden, 1),
+	}
+	r.Wx.GlorotInit(rng)
+	r.Wh.GlorotInit(rng)
+	return r
+}
+
+// Params implements Module.
+func (r *RNN) Params() []*Param { return []*Param{r.Wx, r.Wh, r.B} }
+
+// HiddenSize implements SeqModule.
+func (r *RNN) HiddenSize() int { return r.Wx.Rows }
+
+// ForwardSeq processes the sequence and returns the final hidden state.
+func (r *RNN) ForwardSeq(xs [][]float64) []float64 {
+	h := r.Wx.Rows
+	r.xs = xs
+	r.hs = make([][]float64, len(xs)+1)
+	r.hs[0] = make([]float64, h)
+	for t, x := range xs {
+		prev := r.hs[t]
+		cur := make([]float64, h)
+		for i := 0; i < h; i++ {
+			a := r.B.W[i]
+			a += Dot(r.Wx.W[i*r.Wx.Cols:(i+1)*r.Wx.Cols], x)
+			a += Dot(r.Wh.W[i*h:(i+1)*h], prev)
+			cur[i] = math.Tanh(a)
+		}
+		r.hs[t+1] = cur
+	}
+	return r.hs[len(xs)]
+}
+
+// BackwardSeq backpropagates through time from the final hidden state
+// gradient dh, accumulating parameter gradients, and returns dL/dx per step.
+func (r *RNN) BackwardSeq(dh []float64) [][]float64 {
+	h := r.Wx.Rows
+	dxs := make([][]float64, len(r.xs))
+	dhCur := CopyOf(dh)
+	for t := len(r.xs) - 1; t >= 0; t-- {
+		cur := r.hs[t+1]
+		prev := r.hs[t]
+		x := r.xs[t]
+		da := make([]float64, h) // gradient w.r.t. pre-activation
+		for i := 0; i < h; i++ {
+			da[i] = dhCur[i] * (1 - cur[i]*cur[i])
+		}
+		dx := make([]float64, len(x))
+		dhPrev := make([]float64, h)
+		for i := 0; i < h; i++ {
+			g := da[i]
+			r.B.G[i] += g
+			AddScaled(r.Wx.G[i*r.Wx.Cols:(i+1)*r.Wx.Cols], g, x)
+			AddScaled(r.Wh.G[i*h:(i+1)*h], g, prev)
+			AddScaled(dx, g, r.Wx.W[i*r.Wx.Cols:(i+1)*r.Wx.Cols])
+			AddScaled(dhPrev, g, r.Wh.W[i*h:(i+1)*h])
+		}
+		dxs[t] = dx
+		dhCur = dhPrev
+	}
+	return dxs
+}
+
+// LSTM is a single-layer long short-term memory cell with standard gates:
+//
+//	i = σ(Wi·[x,h]+bi), f = σ(Wf·[x,h]+bf), o = σ(Wo·[x,h]+bo),
+//	g = tanh(Wg·[x,h]+bg), c' = f*c + i*g, h' = o*tanh(c').
+type LSTM struct {
+	Wi, Wf, Wo, Wg *Param // hidden×(in+hidden)
+	Bi, Bf, Bo, Bg *Param // hidden×1
+
+	in    int
+	steps []lstmStep
+}
+
+type lstmStep struct {
+	x, hPrev, cPrev []float64
+	i, f, o, g      []float64
+	c, tc, h        []float64 // cell state, tanh(cell), hidden
+}
+
+// NewLSTM creates a Glorot-initialized in→hidden LSTM. The forget-gate bias
+// is initialized to 1, the usual trick to ease gradient flow early in
+// training.
+func NewLSTM(name string, in, hidden int, rng *rand.Rand) *LSTM {
+	mk := func(suffix string) *Param {
+		p := NewParam(name+"."+suffix, hidden, in+hidden)
+		p.GlorotInit(rng)
+		return p
+	}
+	l := &LSTM{
+		Wi: mk("Wi"), Wf: mk("Wf"), Wo: mk("Wo"), Wg: mk("Wg"),
+		Bi: NewParam(name+".bi", hidden, 1),
+		Bf: NewParam(name+".bf", hidden, 1),
+		Bo: NewParam(name+".bo", hidden, 1),
+		Bg: NewParam(name+".bg", hidden, 1),
+		in: in,
+	}
+	for i := range l.Bf.W {
+		l.Bf.W[i] = 1
+	}
+	return l
+}
+
+// Params implements Module.
+func (l *LSTM) Params() []*Param {
+	return []*Param{l.Wi, l.Wf, l.Wo, l.Wg, l.Bi, l.Bf, l.Bo, l.Bg}
+}
+
+// HiddenSize implements SeqModule.
+func (l *LSTM) HiddenSize() int { return l.Wi.Rows }
+
+func gateForward(w *Param, b *Param, xh []float64, act func(float64) float64) []float64 {
+	h := w.Rows
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		out[i] = act(Dot(w.W[i*w.Cols:(i+1)*w.Cols], xh) + b.W[i])
+	}
+	return out
+}
+
+// ForwardSeq processes the sequence and returns the final hidden state.
+func (l *LSTM) ForwardSeq(xs [][]float64) []float64 {
+	h := l.Wi.Rows
+	l.steps = l.steps[:0]
+	hPrev := make([]float64, h)
+	cPrev := make([]float64, h)
+	for _, x := range xs {
+		xh := make([]float64, 0, l.in+h)
+		xh = append(xh, x...)
+		xh = append(xh, hPrev...)
+		st := lstmStep{x: x, hPrev: hPrev, cPrev: cPrev}
+		st.i = gateForward(l.Wi, l.Bi, xh, Sigmoid)
+		st.f = gateForward(l.Wf, l.Bf, xh, Sigmoid)
+		st.o = gateForward(l.Wo, l.Bo, xh, Sigmoid)
+		st.g = gateForward(l.Wg, l.Bg, xh, math.Tanh)
+		st.c = make([]float64, h)
+		st.tc = make([]float64, h)
+		st.h = make([]float64, h)
+		for j := 0; j < h; j++ {
+			st.c[j] = st.f[j]*cPrev[j] + st.i[j]*st.g[j]
+			st.tc[j] = math.Tanh(st.c[j])
+			st.h[j] = st.o[j] * st.tc[j]
+		}
+		l.steps = append(l.steps, st)
+		hPrev, cPrev = st.h, st.c
+	}
+	return hPrev
+}
+
+// BackwardSeq backpropagates through time from the final hidden state
+// gradient, accumulating parameter gradients, and returns dL/dx per step.
+func (l *LSTM) BackwardSeq(dh []float64) [][]float64 {
+	h := l.Wi.Rows
+	dxs := make([][]float64, len(l.steps))
+	dhCur := CopyOf(dh)
+	dcCur := make([]float64, h)
+	for t := len(l.steps) - 1; t >= 0; t-- {
+		st := l.steps[t]
+		xh := make([]float64, 0, l.in+h)
+		xh = append(xh, st.x...)
+		xh = append(xh, st.hPrev...)
+		dxh := make([]float64, l.in+h)
+		dcPrev := make([]float64, h)
+		for j := 0; j < h; j++ {
+			do := dhCur[j] * st.tc[j]
+			dc := dhCur[j]*st.o[j]*(1-st.tc[j]*st.tc[j]) + dcCur[j]
+			di := dc * st.g[j]
+			df := dc * st.cPrev[j]
+			dg := dc * st.i[j]
+			dcPrev[j] = dc * st.f[j]
+
+			dai := di * SigmoidPrime(st.i[j])
+			daf := df * SigmoidPrime(st.f[j])
+			dao := do * SigmoidPrime(st.o[j])
+			dag := dg * (1 - st.g[j]*st.g[j])
+
+			accum := func(w *Param, b *Param, da float64) {
+				b.G[j] += da
+				AddScaled(w.G[j*w.Cols:(j+1)*w.Cols], da, xh)
+				AddScaled(dxh, da, w.W[j*w.Cols:(j+1)*w.Cols])
+			}
+			accum(l.Wi, l.Bi, dai)
+			accum(l.Wf, l.Bf, daf)
+			accum(l.Wo, l.Bo, dao)
+			accum(l.Wg, l.Bg, dag)
+		}
+		dxs[t] = CopyOf(dxh[:l.in])
+		dhCur = CopyOf(dxh[l.in:])
+		dcCur = dcPrev
+	}
+	return dxs
+}
+
+var (
+	_ SeqModule = (*RNN)(nil)
+	_ SeqModule = (*LSTM)(nil)
+)

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func checkSeqGradients(t *testing.T, m SeqModule, in, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	xs := make([][]float64, steps)
+	for i := range xs {
+		xs[i] = make([]float64, in)
+		for j := range xs[i] {
+			xs[i][j] = rng.NormFloat64()
+		}
+	}
+
+	f := func() float64 { return scalarLoss(m.ForwardSeq(xs)) }
+
+	ZeroGrads(m.Params())
+	out := m.ForwardSeq(xs)
+	dxs := m.BackwardSeq(lossGrad(out))
+
+	analytic := FlattenGrads(m.Params())
+	numeric := NumericGrad(f, m.Params(), 1e-5)
+	if d := MaxAbsDiff(analytic, numeric); d > gradTol {
+		t.Errorf("parameter gradient mismatch: max diff %g", d)
+	}
+
+	for ti := range xs {
+		tt := ti
+		fx := func() float64 { return scalarLoss(m.ForwardSeq(xs)) }
+		numericX := NumericInputGrad(fx, xs[tt], 1e-5)
+		if d := MaxAbsDiff(dxs[tt], numericX); d > gradTol {
+			t.Errorf("input gradient mismatch at step %d: max diff %g", tt, d)
+		}
+	}
+}
+
+func TestRNNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	checkSeqGradients(t, NewRNN("r", 3, 4, rng), 3, 4)
+}
+
+func TestLSTMGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	checkSeqGradients(t, NewLSTM("l", 3, 4, rng), 3, 3)
+}
+
+func TestRNNHiddenSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRNN("r", 2, 5, rng)
+	if r.HiddenSize() != 5 {
+		t.Errorf("HiddenSize = %d, want 5", r.HiddenSize())
+	}
+	h := r.ForwardSeq([][]float64{{1, 2}})
+	if len(h) != 5 {
+		t.Errorf("hidden state size = %d, want 5", len(h))
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := NewLSTM("l", 2, 3, rng)
+	for i, b := range l.Bf.W {
+		if b != 1 {
+			t.Errorf("forget bias[%d] = %g, want 1", i, b)
+		}
+	}
+}
+
+func TestLSTMEmptySequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLSTM("l", 2, 3, rng)
+	h := l.ForwardSeq(nil)
+	for _, v := range h {
+		if v != 0 {
+			t.Errorf("empty-sequence hidden state = %v, want zeros", h)
+			break
+		}
+	}
+}
+
+func TestRNNDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	r := NewRNN("r", 2, 3, rng)
+	xs := [][]float64{{0.1, 0.2}, {0.3, -0.4}}
+	h1 := CopyOf(r.ForwardSeq(xs))
+	h2 := r.ForwardSeq(xs)
+	if MaxAbsDiff(h1, h2) != 0 {
+		t.Error("ForwardSeq is not deterministic for identical inputs")
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// SaveParams serializes the parameter values of ps into a compact binary
+// blob. The blob records shapes, so LoadParams can verify compatibility.
+func SaveParams(ps []*Param) []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeU32(uint32(len(ps)))
+	for _, p := range ps {
+		writeU32(uint32(p.Rows))
+		writeU32(uint32(p.Cols))
+		for _, w := range p.W {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(w))
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// LoadParams writes a blob produced by SaveParams back into ps. It returns
+// an error if the shapes recorded in the blob do not match ps.
+func LoadParams(ps []*Param, blob []byte) error {
+	r := bytes.NewReader(blob)
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	n, err := readU32()
+	if err != nil {
+		return fmt.Errorf("nn: corrupt param blob: %w", err)
+	}
+	if int(n) != len(ps) {
+		return fmt.Errorf("nn: param blob has %d tensors, want %d", n, len(ps))
+	}
+	for _, p := range ps {
+		rows, err := readU32()
+		if err != nil {
+			return fmt.Errorf("nn: corrupt param blob: %w", err)
+		}
+		cols, err := readU32()
+		if err != nil {
+			return fmt.Errorf("nn: corrupt param blob: %w", err)
+		}
+		if int(rows) != p.Rows || int(cols) != p.Cols {
+			return fmt.Errorf("nn: param %s shape %dx%d, blob has %dx%d",
+				p.Name, p.Rows, p.Cols, rows, cols)
+		}
+		for i := range p.W {
+			var b [8]byte
+			if _, err := io.ReadFull(r, b[:]); err != nil {
+				return fmt.Errorf("nn: corrupt param blob: %w", err)
+			}
+			p.W[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package nn is a small, dependency-free neural-network engine.
+//
+// It provides the building blocks the PACE reproduction needs: dense and
+// recurrent layers with backpropagation to both parameters and inputs,
+// Adam/SGD optimizers, parameter snapshotting (for the temporary
+// one-step-unrolled CE updates of Algorithm 1), and finite-difference
+// Hessian-vector products (for the bivariate-optimization hypergradient).
+//
+// The engine is deliberately slice-based rather than tensor-based: every
+// model in the paper (the six CE estimators, the three sub-generators and
+// the VAE detector) is a small MLP or single-layer recurrent net, so
+// per-sample forward/backward with gradient accumulation is both simple
+// and fast enough.
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("nn: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AddScaled adds scale*src to dst element-wise. It panics if lengths differ.
+func AddScaled(dst []float64, scale float64, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("nn: AddScaled length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += scale * v
+	}
+}
+
+// Scale multiplies every element of v by s in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Zero sets every element of v to 0.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// CopyOf returns a fresh copy of v.
+func CopyOf(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Clamp returns x restricted to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sigmoid returns 1/(1+e^-x), computed stably for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// SigmoidPrime returns the derivative of Sigmoid expressed in terms of the
+// output y = Sigmoid(x).
+func SigmoidPrime(y float64) float64 { return y * (1 - y) }

@@ -1,0 +1,41 @@
+package qopt
+
+import (
+	"fmt"
+	"strings"
+
+	"pace/internal/dataset"
+)
+
+// Explain renders the plan as an indented EXPLAIN-style tree with
+// estimated (and, after Execute, true) row counts — the view a DBA would
+// use to see how poisoned estimates warped the plan.
+func (p *Plan) Explain(ds *dataset.Dataset) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Plan (est cost %.4g", p.EstCost)
+	if p.TrueCost > 0 {
+		fmt.Fprintf(&b, ", true cost %.4g", p.TrueCost)
+	}
+	b.WriteString(")\n")
+	explainNode(&b, ds, p.Root, 1)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, ds *dataset.Dataset, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.Table >= 0 {
+		fmt.Fprintf(b, "%s Scan %s (est rows %.4g", indent, ds.Tables[n.Table].Name, n.EstRows)
+		if n.TrueRows > 0 {
+			fmt.Fprintf(b, ", true %.4g", n.TrueRows)
+		}
+		b.WriteString(")\n")
+		return
+	}
+	fmt.Fprintf(b, "%s %s (est rows %.4g", indent, n.Op, n.EstRows)
+	if n.TrueRows > 0 {
+		fmt.Fprintf(b, ", true %.4g", n.TrueRows)
+	}
+	b.WriteString(")\n")
+	explainNode(b, ds, n.Left, depth+1)
+	explainNode(b, ds, n.Right, depth+1)
+}

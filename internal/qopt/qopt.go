@@ -1,0 +1,336 @@
+// Package qopt is the cost-based query optimizer substrate behind the
+// paper's end-to-end latency experiments (Table 5). It reproduces the
+// causal chain the paper measures on PostgreSQL: the optimizer picks a
+// join order and physical operators using the (possibly poisoned) CE
+// model's ESTIMATES, and the resulting plan is then costed with the TRUE
+// intermediate cardinalities — so estimation error translates into real
+// extra work, exactly as a mis-planned query burns real time.
+//
+// Plans are left-deep-or-bushy trees found by dynamic programming over
+// connected table subsets. Two physical join operators are modeled:
+//
+//   - hash join: cost = |L| + |R| + |out| (build + probe + emit)
+//   - index nested-loop: cost = |L|·log₂(rows(R)) + |out|, available only
+//     when the inner side is a base table (it needs an index)
+//
+// Leaves are table scans: cost = rows(T), output = σ(T).
+package qopt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pace/internal/dataset"
+	"pace/internal/engine"
+	"pace/internal/query"
+)
+
+// Estimate is a cardinality estimator for connected sub-queries — the
+// optimizer's view of the CE model (e.g. (*ce.BlackBox).Estimate).
+type Estimate func(*query.Query) float64
+
+// Op is a physical join operator.
+type Op int
+
+// Physical operators.
+const (
+	HashJoin Op = iota
+	IndexNestedLoop
+)
+
+// String names the operator.
+func (o Op) String() string {
+	if o == IndexNestedLoop {
+		return "INL"
+	}
+	return "HashJoin"
+}
+
+// Node is one plan-tree node. Leaves have Table >= 0 and no children;
+// inner nodes have both children and a join operator.
+type Node struct {
+	Table       int // leaf: table index; -1 for joins
+	Left, Right *Node
+	Op          Op
+
+	// EstRows is the optimizer's estimated output cardinality;
+	// TrueRows is filled in during execution.
+	EstRows  float64
+	TrueRows float64
+}
+
+// Tables returns the set of table indexes under the node.
+func (n *Node) Tables() []int {
+	if n.Table >= 0 {
+		return []int{n.Table}
+	}
+	return append(n.Left.Tables(), n.Right.Tables()...)
+}
+
+// Plan is an optimized query plan.
+type Plan struct {
+	Root *Node
+	// EstCost is the optimizer's total cost under estimated
+	// cardinalities (the quantity it minimized).
+	EstCost float64
+	// TrueCost is the cost under true cardinalities, filled by Execute.
+	TrueCost float64
+}
+
+// Optimizer plans SPJ queries over one dataset.
+type Optimizer struct {
+	ds  *dataset.Dataset
+	eng *engine.Engine
+}
+
+// New builds an optimizer over ds.
+func New(ds *dataset.Dataset, eng *engine.Engine) *Optimizer {
+	return &Optimizer{ds: ds, eng: eng}
+}
+
+// subQuery builds the query restricted to the table subset mask.
+func (o *Optimizer) subQuery(q *query.Query, mask uint64, tables []int) *query.Query {
+	sq := query.New(o.ds.Meta)
+	for i, t := range tables {
+		if mask&(1<<uint(i)) != 0 {
+			sq.Tables[t] = true
+			lo, hi := o.ds.Meta.Attrs(t)
+			for a := lo; a < hi; a++ {
+				sq.Bounds[a] = q.Bounds[a]
+			}
+		}
+	}
+	return sq
+}
+
+// connected reports whether the masked subset of tables forms a connected
+// subgraph of the join tree.
+func (o *Optimizer) connected(mask uint64, tables []int) bool {
+	var members []int
+	for i, t := range tables {
+		if mask&(1<<uint(i)) != 0 {
+			members = append(members, t)
+		}
+	}
+	if len(members) == 0 {
+		return false
+	}
+	seen := map[int]bool{members[0]: true}
+	frontier := []int{members[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, t := range members {
+			if !seen[t] && o.ds.Joinable(cur, t) {
+				seen[t] = true
+				frontier = append(frontier, t)
+			}
+		}
+	}
+	return len(seen) == len(members)
+}
+
+// joinableMasks reports whether some table in a is adjacent to some table
+// in b.
+func (o *Optimizer) joinableMasks(a, b uint64, tables []int) bool {
+	for i, ti := range tables {
+		if a&(1<<uint(i)) == 0 {
+			continue
+		}
+		for j, tj := range tables {
+			if b&(1<<uint(j)) != 0 && o.ds.Joinable(ti, tj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type dpEntry struct {
+	node *Node
+	cost float64
+	rows float64 // estimated output rows
+}
+
+// Plan finds the minimum-estimated-cost plan for q using est for every
+// intermediate cardinality. It returns an error for queries whose tables
+// do not form a connected join.
+func (o *Optimizer) Plan(q *query.Query, est Estimate) (*Plan, error) {
+	var tables []int
+	for t, in := range q.Tables {
+		if in {
+			tables = append(tables, t)
+		}
+	}
+	if len(tables) == 0 || !q.Connected(o.ds.Joinable) {
+		return nil, fmt.Errorf("qopt: query tables are not a connected join")
+	}
+	if len(tables) > 16 {
+		return nil, fmt.Errorf("qopt: %d tables exceed the DP limit of 16", len(tables))
+	}
+
+	n := len(tables)
+	full := uint64(1)<<uint(n) - 1
+	dp := make(map[uint64]dpEntry, 1<<uint(n))
+
+	// Leaves: scan with selection pushdown.
+	for i, t := range tables {
+		mask := uint64(1) << uint(i)
+		rows := est(o.subQuery(q, mask, tables))
+		if rows < 1 {
+			rows = 1
+		}
+		dp[mask] = dpEntry{
+			node: &Node{Table: t, EstRows: rows},
+			cost: float64(o.ds.Tables[t].Rows),
+			rows: rows,
+		}
+	}
+
+	// DP over connected subsets in increasing popcount order.
+	for size := 2; size <= n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if bits.OnesCount64(mask) != size || !o.connected(mask, tables) {
+				continue
+			}
+			outRows := est(o.subQuery(q, mask, tables))
+			if outRows < 1 {
+				outRows = 1
+			}
+			best := dpEntry{cost: math.Inf(1)}
+			// Enumerate proper sub-splits (left gets the lowest set
+			// bit to break symmetry).
+			lowest := mask & (^mask + 1)
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				if sub&lowest == 0 {
+					continue
+				}
+				other := mask &^ sub
+				l, okL := dp[sub]
+				r, okR := dp[other]
+				if !okL || !okR || !o.joinableMasks(sub, other, tables) {
+					continue
+				}
+				for _, cand := range o.joinCandidates(l, r, other, tables, outRows) {
+					if cand.cost < best.cost {
+						best = cand
+					}
+				}
+			}
+			if !math.IsInf(best.cost, 1) {
+				dp[mask] = best
+			}
+		}
+	}
+
+	final, ok := dp[full]
+	if !ok {
+		return nil, fmt.Errorf("qopt: no plan found (disconnected sub-splits)")
+	}
+	return &Plan{Root: final.node, EstCost: final.cost}, nil
+}
+
+// joinCandidates costs the physical alternatives for joining l and r.
+func (o *Optimizer) joinCandidates(l, r dpEntry, rightMask uint64, tables []int, outRows float64) []dpEntry {
+	var out []dpEntry
+	// Hash join, both orientations cost the same under this model.
+	hj := &Node{Table: -1, Left: l.node, Right: r.node, Op: HashJoin, EstRows: outRows}
+	out = append(out, dpEntry{
+		node: hj,
+		cost: l.cost + r.cost + l.rows + r.rows + outRows,
+		rows: outRows,
+	})
+	// Index nested loop: inner side must be a single base table.
+	if bits.OnesCount64(rightMask) == 1 {
+		t := tables[bits.TrailingZeros64(rightMask)]
+		inl := &Node{Table: -1, Left: l.node, Right: r.node, Op: IndexNestedLoop, EstRows: outRows}
+		probe := math.Log2(float64(o.ds.Tables[t].Rows) + 2)
+		out = append(out, dpEntry{
+			node: inl,
+			// The inner leaf's scan cost is replaced by index probes.
+			cost: l.cost + l.rows*probe + outRows,
+			rows: outRows,
+		})
+	}
+	return out
+}
+
+// Execute costs the chosen plan with TRUE cardinalities from the exact
+// engine — the simulated end-to-end latency, in abstract row-operation
+// units. The plan's TrueCost and every node's TrueRows are filled in.
+func (o *Optimizer) Execute(q *query.Query, p *Plan) (float64, error) {
+	cost, _, err := o.executeNode(q, p.Root)
+	if err != nil {
+		return 0, err
+	}
+	p.TrueCost = cost
+	return cost, nil
+}
+
+func (o *Optimizer) executeNode(q *query.Query, n *Node) (cost, rows float64, err error) {
+	sq := query.New(o.ds.Meta)
+	for _, t := range n.Tables() {
+		sq.Tables[t] = true
+		lo, hi := o.ds.Meta.Attrs(t)
+		for a := lo; a < hi; a++ {
+			sq.Bounds[a] = q.Bounds[a]
+		}
+	}
+	trueRows, err := o.eng.Cardinality(sq)
+	if err != nil {
+		return 0, 0, err
+	}
+	n.TrueRows = trueRows
+
+	if n.Table >= 0 {
+		return float64(o.ds.Tables[n.Table].Rows), trueRows, nil
+	}
+	lc, lr, err := o.executeNode(q, n.Left)
+	if err != nil {
+		return 0, 0, err
+	}
+	rc, rr, err := o.executeNode(q, n.Right)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch n.Op {
+	case IndexNestedLoop:
+		t := n.Right.Tables()[0]
+		probe := math.Log2(float64(o.ds.Tables[t].Rows) + 2)
+		return lc + lr*probe + trueRows, trueRows, nil
+	default:
+		return lc + rc + lr + rr + trueRows, trueRows, nil
+	}
+}
+
+// Latency plans and executes a workload with the given estimator and
+// returns the summed true cost — the Table 5 E2E metric. Queries that
+// cannot be planned are skipped.
+func (o *Optimizer) Latency(qs []*query.Query, est Estimate) float64 {
+	var total float64
+	for _, q := range qs {
+		p, err := o.Plan(q, est)
+		if err != nil {
+			continue
+		}
+		cost, err := o.Execute(q, p)
+		if err != nil {
+			continue
+		}
+		total += cost
+	}
+	return total
+}
+
+// TrueEstimate returns the oracle estimator (plans with perfect
+// cardinalities — the optimal-plan reference).
+func (o *Optimizer) TrueEstimate() Estimate {
+	return func(q *query.Query) float64 {
+		card, err := o.eng.Cardinality(q)
+		if err != nil {
+			return 1
+		}
+		return card
+	}
+}

@@ -1,0 +1,248 @@
+// Package query models the SPJ (select-project-join) queries that
+// query-driven cardinality estimators consume, together with the vector
+// encoding from PACE §5.2: a query is represented as the concatenation of
+// a binary join vector (one bit per table) and, per attribute, the
+// normalized lower and upper bounds of its range predicate ([0,1] when the
+// attribute is unconstrained).
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Meta describes the schema shape a query is encoded against: how many
+// tables there are and which contiguous range of global attribute indexes
+// each table owns.
+type Meta struct {
+	TableNames []string
+	AttrNames  []string
+	// AttrOffset has len(TableNames)+1 entries; the attributes of table
+	// t are the global indexes [AttrOffset[t], AttrOffset[t+1]).
+	AttrOffset []int
+}
+
+// NumTables returns the number of tables in the schema.
+func (m *Meta) NumTables() int { return len(m.TableNames) }
+
+// NumAttrs returns the total number of attributes across all tables.
+func (m *Meta) NumAttrs() int { return m.AttrOffset[len(m.AttrOffset)-1] }
+
+// TableOf returns the table index owning global attribute attr.
+func (m *Meta) TableOf(attr int) int {
+	for t := 0; t < m.NumTables(); t++ {
+		if attr < m.AttrOffset[t+1] {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("query: attribute %d out of range", attr))
+}
+
+// Attrs returns the global attribute index range [lo, hi) of table t.
+func (m *Meta) Attrs(t int) (lo, hi int) { return m.AttrOffset[t], m.AttrOffset[t+1] }
+
+// Dim returns the encoding dimension: one join bit per table plus two
+// bounds per attribute.
+func (m *Meta) Dim() int { return m.NumTables() + 2*m.NumAttrs() }
+
+// Validate checks internal consistency of the Meta.
+func (m *Meta) Validate() error {
+	if len(m.AttrOffset) != len(m.TableNames)+1 {
+		return fmt.Errorf("query: AttrOffset has %d entries, want %d",
+			len(m.AttrOffset), len(m.TableNames)+1)
+	}
+	if m.AttrOffset[0] != 0 {
+		return fmt.Errorf("query: AttrOffset[0] = %d, want 0", m.AttrOffset[0])
+	}
+	for i := 1; i < len(m.AttrOffset); i++ {
+		if m.AttrOffset[i] < m.AttrOffset[i-1] {
+			return fmt.Errorf("query: AttrOffset not monotone at %d", i)
+		}
+	}
+	if len(m.AttrNames) != m.NumAttrs() {
+		return fmt.Errorf("query: %d attr names, want %d", len(m.AttrNames), m.NumAttrs())
+	}
+	return nil
+}
+
+// Query is an SPJ query: a set of joined tables plus per-attribute
+// normalized range predicates.
+type Query struct {
+	// Tables[t] reports whether table t participates in the join.
+	Tables []bool
+	// Bounds[a] holds the normalized [lo, hi] range predicate on global
+	// attribute a. An unconstrained attribute has [0, 1]. Attributes of
+	// tables not in the join must be [0, 1].
+	Bounds [][2]float64
+}
+
+// New returns a query over the given meta with no tables selected and all
+// bounds open.
+func New(m *Meta) *Query {
+	q := &Query{
+		Tables: make([]bool, m.NumTables()),
+		Bounds: make([][2]float64, m.NumAttrs()),
+	}
+	for i := range q.Bounds {
+		q.Bounds[i] = [2]float64{0, 1}
+	}
+	return q
+}
+
+// Clone returns a deep copy of q.
+func (q *Query) Clone() *Query {
+	out := &Query{
+		Tables: make([]bool, len(q.Tables)),
+		Bounds: make([][2]float64, len(q.Bounds)),
+	}
+	copy(out.Tables, q.Tables)
+	copy(out.Bounds, q.Bounds)
+	return out
+}
+
+// NumTables returns how many tables participate in the join.
+func (q *Query) NumTables() int {
+	n := 0
+	for _, b := range q.Tables {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// NumPredicates returns how many attributes carry a non-trivial predicate.
+func (q *Query) NumPredicates() int {
+	n := 0
+	for _, b := range q.Bounds {
+		if b[0] > 0 || b[1] < 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Normalize clamps bounds into [0,1], swaps inverted bounds, and opens the
+// bounds of attributes whose table is not in the join (the masking step of
+// §5.2). It returns q for chaining.
+func (q *Query) Normalize(m *Meta) *Query {
+	for t := 0; t < m.NumTables(); t++ {
+		lo, hi := m.Attrs(t)
+		for a := lo; a < hi; a++ {
+			if !q.Tables[t] {
+				q.Bounds[a] = [2]float64{0, 1}
+				continue
+			}
+			b := q.Bounds[a]
+			b[0] = clamp01(b[0])
+			b[1] = clamp01(b[1])
+			if b[0] > b[1] {
+				b[0], b[1] = b[1], b[0]
+			}
+			q.Bounds[a] = b
+		}
+	}
+	return q
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Encode produces the PACE §5.2 vector representation: join bits followed
+// by per-attribute (lo, hi) pairs.
+func (q *Query) Encode(m *Meta) []float64 {
+	v := make([]float64, 0, m.Dim())
+	for _, in := range q.Tables {
+		if in {
+			v = append(v, 1)
+		} else {
+			v = append(v, 0)
+		}
+	}
+	for _, b := range q.Bounds {
+		v = append(v, b[0], b[1])
+	}
+	return v
+}
+
+// Decode reconstructs a query from its vector encoding, binarizing join
+// bits at 0.5 and normalizing bounds. It returns an error if the vector
+// dimension does not match the meta.
+func Decode(m *Meta, v []float64) (*Query, error) {
+	if len(v) != m.Dim() {
+		return nil, fmt.Errorf("query: decode dim %d, want %d", len(v), m.Dim())
+	}
+	q := New(m)
+	for t := 0; t < m.NumTables(); t++ {
+		q.Tables[t] = v[t] > 0.5
+	}
+	off := m.NumTables()
+	for a := 0; a < m.NumAttrs(); a++ {
+		q.Bounds[a] = [2]float64{v[off+2*a], v[off+2*a+1]}
+	}
+	q.Normalize(m)
+	return q, nil
+}
+
+// SQL renders the query as a SQL COUNT(*) statement against the schema's
+// table and attribute names, with bounds kept in normalized [0,1] form
+// (the synthetic engine's canonical domain).
+func (q *Query) SQL(m *Meta) string {
+	var tables []string
+	for t, in := range q.Tables {
+		if in {
+			tables = append(tables, m.TableNames[t])
+		}
+	}
+	if len(tables) == 0 {
+		return "SELECT COUNT(*) FROM ∅"
+	}
+	var conds []string
+	for a, b := range q.Bounds {
+		if b[0] > 0 || b[1] < 1 {
+			conds = append(conds, fmt.Sprintf("%s BETWEEN %.4f AND %.4f",
+				m.AttrNames[a], b[0], b[1]))
+		}
+	}
+	s := "SELECT COUNT(*) FROM " + strings.Join(tables, ", ")
+	if len(conds) > 0 {
+		s += " WHERE " + strings.Join(conds, " AND ")
+	}
+	return s
+}
+
+// Connected reports whether the tables selected in q form a connected,
+// non-empty subgraph under the adjacency predicate adj (adj(i, j) reports
+// whether tables i and j share a join edge). Single-table queries are
+// trivially connected.
+func (q *Query) Connected(adj func(i, j int) bool) bool {
+	var members []int
+	for t, in := range q.Tables {
+		if in {
+			members = append(members, t)
+		}
+	}
+	if len(members) == 0 {
+		return false
+	}
+	seen := map[int]bool{members[0]: true}
+	frontier := []int{members[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, t := range members {
+			if !seen[t] && (adj(cur, t) || adj(t, cur)) {
+				seen[t] = true
+				frontier = append(frontier, t)
+			}
+		}
+	}
+	return len(seen) == len(members)
+}

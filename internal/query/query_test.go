@@ -1,0 +1,198 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testMeta() *Meta {
+	return &Meta{
+		TableNames: []string{"a", "b", "c"},
+		AttrNames:  []string{"a.x", "a.y", "b.x", "c.x", "c.y", "c.z"},
+		AttrOffset: []int{0, 2, 3, 6},
+	}
+}
+
+func TestMetaValidate(t *testing.T) {
+	m := testMeta()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid meta rejected: %v", err)
+	}
+	bad := &Meta{TableNames: []string{"a"}, AttrNames: []string{"x"}, AttrOffset: []int{0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid meta accepted")
+	}
+	bad2 := testMeta()
+	bad2.AttrNames = bad2.AttrNames[:2]
+	if err := bad2.Validate(); err == nil {
+		t.Error("meta with wrong attr-name count accepted")
+	}
+}
+
+func TestMetaShape(t *testing.T) {
+	m := testMeta()
+	if m.NumTables() != 3 || m.NumAttrs() != 6 {
+		t.Fatalf("NumTables=%d NumAttrs=%d, want 3, 6", m.NumTables(), m.NumAttrs())
+	}
+	if m.Dim() != 3+12 {
+		t.Errorf("Dim = %d, want 15", m.Dim())
+	}
+	if m.TableOf(0) != 0 || m.TableOf(2) != 1 || m.TableOf(5) != 2 {
+		t.Error("TableOf mapping incorrect")
+	}
+	if lo, hi := m.Attrs(2); lo != 3 || hi != 6 {
+		t.Errorf("Attrs(2) = [%d,%d), want [3,6)", lo, hi)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[0], q.Tables[2] = true, true
+	q.Bounds[0] = [2]float64{0.2, 0.7}
+	q.Bounds[4] = [2]float64{0.1, 0.4}
+	q.Normalize(m)
+
+	v := q.Encode(m)
+	if len(v) != m.Dim() {
+		t.Fatalf("encoding dim = %d, want %d", len(v), m.Dim())
+	}
+	got, err := Decode(m, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, q) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, q)
+	}
+}
+
+func TestDecodeDimensionError(t *testing.T) {
+	if _, err := Decode(testMeta(), make([]float64, 3)); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestNormalizeMasksNonJoinedTables(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[1] = true
+	q.Bounds[0] = [2]float64{0.3, 0.6} // attr of table a, which is NOT joined
+	q.Bounds[2] = [2]float64{0.9, 0.1} // inverted bounds on joined table b
+	q.Normalize(m)
+	if q.Bounds[0] != [2]float64{0, 1} {
+		t.Errorf("non-joined attr bounds = %v, want [0,1]", q.Bounds[0])
+	}
+	if q.Bounds[2] != [2]float64{0.1, 0.9} {
+		t.Errorf("inverted bounds = %v, want swapped [0.1,0.9]", q.Bounds[2])
+	}
+}
+
+func TestNormalizeClamps(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{-0.5, 1.7}
+	q.Normalize(m)
+	if q.Bounds[0] != [2]float64{0, 1} {
+		t.Errorf("clamped bounds = %v, want [0,1]", q.Bounds[0])
+	}
+}
+
+func TestCounts(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[0], q.Tables[1] = true, true
+	q.Bounds[0] = [2]float64{0.2, 0.8}
+	q.Bounds[2] = [2]float64{0, 0.5}
+	if got := q.NumTables(); got != 2 {
+		t.Errorf("NumTables = %d, want 2", got)
+	}
+	if got := q.NumPredicates(); got != 2 {
+		t.Errorf("NumPredicates = %d, want 2", got)
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[0] = true
+	q.Bounds[1] = [2]float64{0.25, 0.75}
+	sql := q.SQL(m)
+	for _, want := range []string{"SELECT COUNT(*)", "FROM a", "a.y BETWEEN 0.2500 AND 0.7500"} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL %q missing %q", sql, want)
+		}
+	}
+	empty := New(m)
+	if !strings.Contains(empty.SQL(m), "∅") {
+		t.Error("empty query SQL should mark empty table set")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	m := testMeta()
+	// Join graph: a—b, b—c (a chain).
+	adj := func(i, j int) bool {
+		return (i == 0 && j == 1) || (i == 1 && j == 2)
+	}
+	q := New(m)
+	if q.Connected(adj) {
+		t.Error("empty table set reported connected")
+	}
+	q.Tables[0], q.Tables[2] = true, true // a and c without b: disconnected
+	if q.Connected(adj) {
+		t.Error("disconnected {a,c} reported connected")
+	}
+	q.Tables[1] = true // a—b—c: connected
+	if !q.Connected(adj) {
+		t.Error("connected {a,b,c} reported disconnected")
+	}
+	single := New(m)
+	single.Tables[1] = true
+	if !single.Connected(adj) {
+		t.Error("single table reported disconnected")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := testMeta()
+	q := New(m)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0.1, 0.9}
+	c := q.Clone()
+	c.Tables[0] = false
+	c.Bounds[0] = [2]float64{0, 1}
+	if !q.Tables[0] || q.Bounds[0] != [2]float64{0.1, 0.9} {
+		t.Error("Clone shares state with original")
+	}
+}
+
+// Property: Decode(Encode(q)) is idempotent for any normalized query.
+func TestEncodeDecodeProperty(t *testing.T) {
+	m := testMeta()
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		q := New(m)
+		for t := range q.Tables {
+			q.Tables[t] = rng.Float64() < 0.5
+		}
+		for a := range q.Bounds {
+			lo, hi := rng.Float64(), rng.Float64()
+			q.Bounds[a] = [2]float64{lo, hi}
+		}
+		q.Normalize(m)
+		v := q.Encode(m)
+		got, err := Decode(m, v)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, q)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,379 @@
+// Package spn implements a data-driven cardinality estimator in the
+// style of DeepDB (Hilprecht et al. 2020, "learn from data, not from
+// queries") — the other family of learned CE the paper's §8 discusses.
+// A sum-product network is learned over each table: product nodes split
+// column groups that are (nearly) independent, sum nodes split rows into
+// clusters, and leaves are per-column histograms. Cardinality estimates
+// are probabilities of predicate boxes times row counts, combined across
+// PK-FK joins with fanout statistics.
+//
+// Because it never sees a query, the PACE poisoning channel — executed
+// queries entering incremental retraining — does not exist for it; it
+// appears in the robustness experiments as the data-driven reference.
+package spn
+
+import (
+	"math"
+
+	"pace/internal/dataset"
+	"pace/internal/query"
+)
+
+// Config controls SPN structure learning.
+type Config struct {
+	// MinRows stops row splitting below this cluster size (default 128).
+	MinRows int
+	// MaxDepth bounds the alternation depth (default 6).
+	MaxDepth int
+	// CorrThreshold is the absolute Pearson correlation above which two
+	// columns are kept in the same product-node group (default 0.3).
+	CorrThreshold float64
+	// LeafBins is the histogram resolution of leaves (default 32).
+	LeafBins int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinRows == 0 {
+		c.MinRows = 128
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 6
+	}
+	if c.CorrThreshold == 0 {
+		c.CorrThreshold = 0.3
+	}
+	if c.LeafBins == 0 {
+		c.LeafBins = 32
+	}
+	return c
+}
+
+// node is one SPN node: it returns the probability mass of the predicate
+// box restricted to its column scope and row population.
+type node interface {
+	prob(bounds [][2]float64) float64
+}
+
+// leaf is a single-column histogram.
+type leaf struct {
+	col  int // index within the table
+	bins []float64
+}
+
+func newLeaf(col int, vals []float64, rows []int, nbins int) *leaf {
+	l := &leaf{col: col, bins: make([]float64, nbins)}
+	for _, r := range rows {
+		b := int(vals[r] * float64(nbins))
+		if b >= nbins {
+			b = nbins - 1
+		}
+		l.bins[b]++
+	}
+	total := float64(len(rows))
+	for i := range l.bins {
+		l.bins[i] /= total
+	}
+	return l
+}
+
+func (l *leaf) prob(bounds [][2]float64) float64 {
+	b := bounds[l.col]
+	if b[0] <= 0 && b[1] >= 1 {
+		return 1
+	}
+	nbins := len(l.bins)
+	var p float64
+	for i, mass := range l.bins {
+		if mass == 0 {
+			continue
+		}
+		binLo := float64(i) / float64(nbins)
+		binHi := float64(i+1) / float64(nbins)
+		l := binLo
+		if b[0] > l {
+			l = b[0]
+		}
+		r := binHi
+		if b[1] < r {
+			r = b[1]
+		}
+		if r > l {
+			p += mass * (r - l) / (binHi - binLo)
+		}
+	}
+	return p
+}
+
+// product multiplies independent column groups.
+type product struct{ children []node }
+
+func (p *product) prob(bounds [][2]float64) float64 {
+	out := 1.0
+	for _, c := range p.children {
+		out *= c.prob(bounds)
+	}
+	return out
+}
+
+// sum mixes row clusters.
+type sum struct {
+	weights  []float64
+	children []node
+}
+
+func (s *sum) prob(bounds [][2]float64) float64 {
+	var out float64
+	for i, c := range s.children {
+		out += s.weights[i] * c.prob(bounds)
+	}
+	return out
+}
+
+// TableSPN is a learned SPN over one table.
+type TableSPN struct {
+	root node
+	rows int
+}
+
+// LearnTable builds an SPN over all columns of tab.
+func LearnTable(tab *dataset.Table, cfg Config) *TableSPN {
+	cfg = cfg.withDefaults()
+	rows := make([]int, tab.Rows)
+	for i := range rows {
+		rows[i] = i
+	}
+	cols := make([]int, len(tab.Cols))
+	for i := range cols {
+		cols[i] = i
+	}
+	return &TableSPN{
+		root: build(tab, cols, rows, cfg, cfg.MaxDepth, true),
+		rows: tab.Rows,
+	}
+}
+
+// Selectivity returns the estimated fraction of rows satisfying the
+// per-column bounds (indexed by table-local column).
+func (t *TableSPN) Selectivity(bounds [][2]float64) float64 {
+	return t.root.prob(bounds)
+}
+
+// Rows returns the table's row count.
+func (t *TableSPN) Rows() int { return t.rows }
+
+// build recursively alternates column splits (product) and row splits
+// (sum). tryCols avoids repeated failed column splits on the same
+// population.
+func build(tab *dataset.Table, cols, rows []int, cfg Config, depth int, tryCols bool) node {
+	if len(cols) == 1 {
+		return newLeaf(cols[0], tab.Cols[cols[0]], rows, cfg.LeafBins)
+	}
+	if depth <= 0 || len(rows) < cfg.MinRows {
+		return independentProduct(tab, cols, rows, cfg)
+	}
+	if tryCols {
+		if groups := splitColumns(tab, cols, rows, cfg.CorrThreshold); len(groups) > 1 {
+			p := &product{}
+			for _, g := range groups {
+				p.children = append(p.children, build(tab, g, rows, cfg, depth-1, false))
+			}
+			return p
+		}
+	}
+	left, right := splitRows(tab, cols, rows)
+	if len(left) == 0 || len(right) == 0 {
+		return independentProduct(tab, cols, rows, cfg)
+	}
+	total := float64(len(rows))
+	return &sum{
+		weights: []float64{float64(len(left)) / total, float64(len(right)) / total},
+		children: []node{
+			build(tab, cols, left, cfg, depth-1, true),
+			build(tab, cols, right, cfg, depth-1, true),
+		},
+	}
+}
+
+// independentProduct is the base case: one histogram leaf per column.
+func independentProduct(tab *dataset.Table, cols, rows []int, cfg Config) node {
+	p := &product{}
+	for _, c := range cols {
+		p.children = append(p.children, newLeaf(c, tab.Cols[c], rows, cfg.LeafBins))
+	}
+	if len(p.children) == 1 {
+		return p.children[0]
+	}
+	return p
+}
+
+// splitColumns groups columns by transitive |Pearson correlation| above
+// the threshold (union-find over correlated pairs).
+func splitColumns(tab *dataset.Table, cols, rows []int, threshold float64) [][]int {
+	n := len(cols)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(pearson(tab.Cols[cols[i]], tab.Cols[cols[j]], rows)) >= threshold {
+				parent[find(i)] = find(j)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i, c := range cols {
+		r := find(i)
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+// pearson computes the correlation of two columns over a row subset.
+func pearson(a, b []float64, rows []int) float64 {
+	n := float64(len(rows))
+	if n < 2 {
+		return 0
+	}
+	var sa, sb float64
+	for _, r := range rows {
+		sa += a[r]
+		sb += b[r]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for _, r := range rows {
+		da, db := a[r]-ma, b[r]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// splitRows 2-means-splits the rows along the column with the highest
+// variance (one Lloyd iteration from the median — cheap and adequate for
+// structure learning).
+func splitRows(tab *dataset.Table, cols, rows []int) (left, right []int) {
+	bestCol, bestVar := cols[0], -1.0
+	for _, c := range cols {
+		v := variance(tab.Cols[c], rows)
+		if v > bestVar {
+			bestVar, bestCol = v, c
+		}
+	}
+	col := tab.Cols[bestCol]
+	var mean float64
+	for _, r := range rows {
+		mean += col[r]
+	}
+	mean /= float64(len(rows))
+	for _, r := range rows {
+		if col[r] < mean {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}
+
+func variance(col []float64, rows []int) float64 {
+	n := float64(len(rows))
+	var s, ss float64
+	for _, r := range rows {
+		s += col[r]
+		ss += col[r] * col[r]
+	}
+	m := s / n
+	return ss/n - m*m
+}
+
+// Estimator is a data-driven CE over a whole dataset: one SPN per table
+// plus PK-FK fanout statistics for joins.
+type Estimator struct {
+	ds     *dataset.Dataset
+	tables []*TableSPN
+	fanout []float64
+}
+
+// New learns SPNs over every table of ds.
+func New(ds *dataset.Dataset, cfg Config) *Estimator {
+	e := &Estimator{ds: ds}
+	for _, tab := range ds.Tables {
+		e.tables = append(e.tables, LearnTable(tab, cfg))
+	}
+	e.fanout = make([]float64, len(ds.Edges))
+	for ei, edge := range ds.Edges {
+		e.fanout[ei] = float64(len(edge.Refs)) / float64(ds.Tables[edge.Parent].Rows)
+	}
+	return e
+}
+
+// tableBounds slices the query's global bounds down to table t's columns.
+func (e *Estimator) tableBounds(t int, q *query.Query) [][2]float64 {
+	lo, hi := e.ds.Meta.Attrs(t)
+	return q.Bounds[lo:hi]
+}
+
+// Estimate returns the SPN-based cardinality estimate of q, traversing
+// the join tree like the histogram estimator but with SPN selectivities
+// (which capture intra-table correlations the independence assumption
+// loses).
+func (e *Estimator) Estimate(q *query.Query) float64 {
+	var selected []int
+	for t, in := range q.Tables {
+		if in {
+			selected = append(selected, t)
+		}
+	}
+	if len(selected) == 0 {
+		return 0
+	}
+	root := selected[0]
+	est := float64(e.tables[root].Rows()) * e.tables[root].Selectivity(e.tableBounds(root, q))
+	visited := map[int]bool{root: true}
+	frontier := []int{root}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for ei, edge := range e.ds.Edges {
+			var other int
+			var isChild bool
+			switch {
+			case edge.Parent == cur:
+				other, isChild = edge.Child, true
+			case edge.Child == cur:
+				other, isChild = edge.Parent, false
+			default:
+				continue
+			}
+			if visited[other] || !q.Tables[other] {
+				continue
+			}
+			visited[other] = true
+			frontier = append(frontier, other)
+			sel := e.tables[other].Selectivity(e.tableBounds(other, q))
+			if isChild {
+				est *= e.fanout[ei] * sel
+			} else {
+				est *= sel
+			}
+		}
+	}
+	return est
+}

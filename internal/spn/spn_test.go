@@ -1,0 +1,147 @@
+package spn
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/dataset"
+	"pace/internal/engine"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+func spnSetup(t *testing.T, name string, seed int64) (*dataset.Dataset, *engine.Engine, *workload.Generator) {
+	t.Helper()
+	ds, err := dataset.Build(name, dataset.Config{Scale: 0.2, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(ds)
+	return ds, eng, workload.NewGenerator(ds, eng, rand.New(rand.NewSource(seed)))
+}
+
+func TestSPNSingleTableAccuracy(t *testing.T) {
+	ds, _, gen := spnSetup(t, "dmv", 1)
+	e := New(ds, Config{})
+	w := gen.Random(60)
+	var sum float64
+	for _, l := range w {
+		sum += ce.QError(e.Estimate(l.Q), l.Card)
+	}
+	qe := sum / float64(len(w))
+	t.Logf("SPN mean q-error on dmv: %.2f", qe)
+	if qe > 50 {
+		t.Errorf("SPN mean q-error %.1f too large", qe)
+	}
+}
+
+func TestSPNBeatsIndependenceOnCorrelatedData(t *testing.T) {
+	// Build a two-column table with strong correlation (y ≈ x). An SPN
+	// with row splits should estimate the diagonal box far better than a
+	// pure independence product.
+	rng := rand.New(rand.NewSource(2))
+	spec := dataset.Spec{
+		Name: "corr",
+		Tables: []dataset.TableSpec{{
+			Name: "t", Rows: 4000,
+			Cols: []dataset.ColumnSpec{
+				{Name: "x", Dist: dataset.Uniform},
+				{Name: "y", Dist: dataset.Correlated},
+			},
+		}},
+	}
+	ds, err := dataset.Materialize(spec, dataset.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(ds)
+
+	// Anti-diagonal box: x small AND y large — nearly empty under the
+	// correlation, but "independent" estimators see sel(x)·sel(y).
+	q := query.New(ds.Meta)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0, 0.25}
+	q.Bounds[1] = [2]float64{0.75, 1}
+	truth, _ := eng.Cardinality(q)
+
+	spnEst := New(ds, Config{}).Estimate(q)
+	indep := New(ds, Config{CorrThreshold: 2, MaxDepth: 1, MinRows: 1 << 30}).Estimate(q)
+
+	spnErr := ce.QError(spnEst, truth)
+	indepErr := ce.QError(indep, truth)
+	t.Logf("truth=%.0f spn=%.1f (q=%.2f) independence=%.1f (q=%.2f)",
+		truth, spnEst, spnErr, indep, indepErr)
+	if spnErr >= indepErr {
+		t.Errorf("SPN (%.2f) no better than independence (%.2f) on correlated box", spnErr, indepErr)
+	}
+	_ = rng
+}
+
+func TestSPNJoinEstimates(t *testing.T) {
+	ds, eng, gen := spnSetup(t, "tpch", 3)
+	e := New(ds, Config{})
+	gen.MaxJoinTables = 3
+	var sum float64
+	n := 0
+	for _, l := range gen.Random(40) {
+		if l.Q.NumTables() < 2 {
+			continue
+		}
+		truth, _ := eng.Cardinality(l.Q)
+		sum += ce.QError(e.Estimate(l.Q), truth)
+		n++
+	}
+	if n == 0 {
+		t.Skip("no join queries drawn")
+	}
+	qe := sum / float64(n)
+	t.Logf("SPN mean join q-error on tpch: %.2f (n=%d)", qe, n)
+	if qe > 200 {
+		t.Errorf("SPN join q-error %.1f too large", qe)
+	}
+}
+
+func TestSPNProbabilityAxioms(t *testing.T) {
+	ds, _, _ := spnSetup(t, "stats", 4)
+	spn := LearnTable(ds.Tables[0], Config{})
+	open := make([][2]float64, len(ds.Tables[0].Cols))
+	for i := range open {
+		open[i] = [2]float64{0, 1}
+	}
+	if p := spn.Selectivity(open); p < 0.999 || p > 1.001 {
+		t.Errorf("P(open box) = %g, want 1", p)
+	}
+	empty := make([][2]float64, len(open))
+	for i := range empty {
+		empty[i] = [2]float64{0.5, 0.5}
+	}
+	if p := spn.Selectivity(empty); p < 0 || p > 1 {
+		t.Errorf("P outside [0,1]: %g", p)
+	}
+	// Monotone in box widening.
+	narrow := make([][2]float64, len(open))
+	wide := make([][2]float64, len(open))
+	for i := range narrow {
+		narrow[i] = [2]float64{0.3, 0.5}
+		wide[i] = [2]float64{0.2, 0.7}
+	}
+	if spn.Selectivity(wide) < spn.Selectivity(narrow) {
+		t.Error("selectivity not monotone under widening")
+	}
+}
+
+func TestSPNEmptyQuery(t *testing.T) {
+	ds, _, _ := spnSetup(t, "dmv", 5)
+	e := New(ds, Config{})
+	if e.Estimate(query.New(ds.Meta)) != 0 {
+		t.Error("empty table set should estimate 0")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.MinRows != 128 || c.MaxDepth != 6 || c.LeafBins != 32 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

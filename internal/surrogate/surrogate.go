@@ -1,0 +1,178 @@
+// Package surrogate implements stage (a) of PACE: acquiring a white-box
+// surrogate of the black-box CE model (§4). It first speculates the
+// black box's architecture by comparing (Q-error, latency) performance
+// vectors over diagnostic probe workloads against locally trained
+// candidates of every known type (Eq. 5), then trains a surrogate of the
+// speculated type with the combined imitation + ground-truth loss (Eq. 7).
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/metrics"
+	"pace/internal/query"
+	"pace/internal/workload"
+)
+
+// SpeculationConfig controls model-type speculation.
+type SpeculationConfig struct {
+	// CandidateTrainQueries is the number of random labeled queries each
+	// candidate model is trained on (default 300).
+	CandidateTrainQueries int
+	// ProbePerGroup is the number of probe queries per diagnostic group
+	// (default 8).
+	ProbePerGroup int
+	// LatencyRepeats is how many times each probe estimate is timed,
+	// keeping the minimum (default 3).
+	LatencyRepeats int
+	// HP configures the candidate models (the attacker's default
+	// hyperparameters).
+	HP ce.HyperParams
+	// Train configures candidate training.
+	Train ce.TrainConfig
+}
+
+func (c SpeculationConfig) withDefaults() SpeculationConfig {
+	if c.CandidateTrainQueries == 0 {
+		c.CandidateTrainQueries = 300
+	}
+	if c.ProbePerGroup == 0 {
+		c.ProbePerGroup = 8
+	}
+	if c.LatencyRepeats == 0 {
+		c.LatencyRepeats = 3
+	}
+	return c
+}
+
+// SpeculationResult reports the speculated type and the per-candidate
+// cosine similarities that produced it.
+type SpeculationResult struct {
+	Type         ce.Type
+	Similarities map[ce.Type]float64
+	// Candidates holds the trained candidate estimators so the caller
+	// may reuse the winner as a warm start.
+	Candidates map[ce.Type]*ce.Estimator
+}
+
+// estimateOnly is the narrow view of the black box speculation needs.
+type estimateOnly interface {
+	Estimate(q *query.Query) float64
+}
+
+// Speculate infers the architecture of the black-box model bb by the
+// probe-and-compare procedure of §4.1.
+func Speculate(bb *ce.BlackBox, gen *workload.Generator, cfg SpeculationConfig, rng *rand.Rand) (*SpeculationResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Probe workloads with diverse properties: varying predicate counts
+	// and varying predicate range sizes (§4.1).
+	colProbes, err := gen.ProbeColumns([]int{1, 2, 3}, cfg.ProbePerGroup)
+	if err != nil {
+		return nil, err
+	}
+	rangeProbes, err := gen.ProbeRanges([]float64{0.05, 0.2, 0.5, 0.8}, cfg.ProbePerGroup)
+	if err != nil {
+		return nil, err
+	}
+	groups := groupProbes(colProbes, cfg.ProbePerGroup)
+	groups = append(groups, groupProbes(rangeProbes, cfg.ProbePerGroup)...)
+
+	// Train one candidate per known model type on the attacker's own
+	// random workload.
+	train := gen.Random(cfg.CandidateTrainQueries)
+	candidates := make(map[ce.Type]*ce.Estimator, len(ce.Types()))
+	for _, typ := range ce.Types() {
+		model := ce.New(typ, gen.DS.Meta, cfg.HP, rng)
+		est := ce.NewEstimator(model, cfg.Train, rng)
+		est.Train(est.MakeSamples(workload.Queries(train), cards(train)))
+		candidates[typ] = est
+	}
+
+	// Performance vectors: per group, mean log Q-error and mean
+	// (repeat-min) latency.
+	bbVec := performanceVector(func(q *query.Query) float64 { return bb.Estimate(q) },
+		groups, cfg.LatencyRepeats)
+	res := &SpeculationResult{
+		Similarities: make(map[ce.Type]float64, len(candidates)),
+		Candidates:   candidates,
+	}
+	best := math.Inf(-1)
+	for _, typ := range ce.Types() {
+		est := candidates[typ]
+		v := performanceVector(est.Estimate, groups, cfg.LatencyRepeats)
+		sim := metrics.CosineSimilarity(normalizeDims(bbVec, v))
+		res.Similarities[typ] = sim
+		if sim > best {
+			best = sim
+			res.Type = typ
+		}
+	}
+	return res, nil
+}
+
+func cards(w []workload.Labeled) []float64 {
+	out := make([]float64, len(w))
+	for i := range w {
+		out[i] = w[i].Card
+	}
+	return out
+}
+
+type probeGroup struct{ items []workload.Labeled }
+
+func groupProbes(probes []workload.Labeled, per int) []probeGroup {
+	var out []probeGroup
+	for lo := 0; lo+per <= len(probes); lo += per {
+		out = append(out, probeGroup{items: probes[lo : lo+per]})
+	}
+	return out
+}
+
+// performanceVector evaluates an estimator over every probe group,
+// producing [meanLogQErr_g..., meanLatencyMicros_g...].
+func performanceVector(estimate func(*query.Query) float64, groups []probeGroup, repeats int) []float64 {
+	var errDims, latDims []float64
+	for _, g := range groups {
+		var sumErr, sumLat float64
+		for _, l := range g.items {
+			best := time.Duration(math.MaxInt64)
+			var est float64
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				est = estimate(l.Q)
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			sumErr += math.Log2(ce.QError(est, l.Card))
+			sumLat += float64(best.Nanoseconds()) / 1e3
+		}
+		n := float64(len(g.items))
+		errDims = append(errDims, sumErr/n)
+		latDims = append(latDims, sumLat/n)
+	}
+	return append(errDims, latDims...)
+}
+
+// normalizeDims rescales each dimension of the pair (a, b) by the larger
+// magnitude so Q-error and latency dimensions contribute comparably to
+// the cosine.
+func normalizeDims(a, b []float64) ([]float64, []float64) {
+	na := make([]float64, len(a))
+	nb := make([]float64, len(b))
+	for i := range a {
+		m := math.Max(math.Abs(a[i]), math.Abs(b[i]))
+		if m == 0 {
+			continue
+		}
+		na[i] = a[i] / m
+		nb[i] = b[i] / m
+	}
+	return na, nb
+}
+
+var _ estimateOnly = (*ce.BlackBox)(nil)

@@ -1,0 +1,128 @@
+package surrogate
+
+import (
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/nn"
+	"pace/internal/workload"
+)
+
+// Strategy selects how the surrogate is supervised.
+type Strategy int
+
+const (
+	// Combined is the paper's Eq. 7 loss: imitate the black box's
+	// outputs AND fit the ground-truth cardinalities, which generalizes
+	// better to unseen queries.
+	Combined Strategy = iota
+	// DirectImitation is the Eq. 6 baseline: supervise only with the
+	// black box's outputs (the Fig. 10 ablation).
+	DirectImitation
+)
+
+// TrainConfig controls surrogate training.
+type TrainConfig struct {
+	// Queries is the number of attacker-crafted labeled queries used to
+	// fit the surrogate (default 400).
+	Queries int
+	// Alpha weights the imitation term of Eq. 7; the ground-truth term
+	// gets 1−Alpha (default 0.5). DirectImitation forces Alpha = 1.
+	Alpha float64
+	// Strategy selects Eq. 7 (Combined) or Eq. 6 (DirectImitation).
+	Strategy Strategy
+	// HP configures the surrogate model.
+	HP ce.HyperParams
+	// Train configures the optimizer schedule.
+	Train ce.TrainConfig
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Queries == 0 {
+		c.Queries = 400
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.5
+	}
+	if c.Strategy == DirectImitation {
+		c.Alpha = 1
+	}
+	return c
+}
+
+// Train fits a white-box surrogate of the speculated type to the black
+// box (§4.2). The attacker generates its own queries, labels them with
+// COUNT(*) (the generator's engine), reads the black box's estimates for
+// them, and minimizes
+//
+//	α·(f(x) − fbb(x))² + (1−α)·(f(x) − y)²
+//
+// in normalized log space.
+func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfig, rng *rand.Rand) *ce.Estimator {
+	cfg = cfg.withDefaults()
+	model := ce.New(typ, gen.DS.Meta, cfg.HP, rng)
+	est := ce.NewEstimator(model, cfg.Train, rng)
+
+	train := gen.Random(cfg.Queries)
+	type example struct {
+		v        []float64
+		yBB, yGT float64
+	}
+	examples := make([]example, len(train))
+	for i, l := range train {
+		examples[i] = example{
+			v:   l.Q.Encode(gen.DS.Meta),
+			yBB: est.Norm.Norm(bb.Estimate(l.Q)),
+			yGT: est.Norm.Norm(l.Card),
+		}
+	}
+
+	cfgT := est.Cfg
+	opt := nn.NewAdam(model.Params(), cfgT.LR)
+	idx := make([]int, len(examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for ep := 0; ep < cfgT.Epochs; ep++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for lo := 0; lo < len(idx); lo += cfgT.Batch {
+			hi := lo + cfgT.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			for _, i := range idx[lo:hi] {
+				ex := examples[i]
+				out := model.Forward(ex.v)
+				grad := 2 * cfg.Alpha * (out - ex.yBB)
+				if cfg.Strategy == Combined {
+					grad += 2 * (1 - cfg.Alpha) * (out - ex.yGT)
+				}
+				model.Backward(grad)
+			}
+			opt.Step(1 / float64(hi-lo))
+		}
+	}
+	return est
+}
+
+// Fidelity measures how closely the surrogate imitates the black box: the
+// mean absolute difference of their normalized predictions over a probe
+// workload (0 = identical behaviour). The paper's §7.4 argues surrogate
+// and black box become near-equivalent; this is the observable proxy for
+// parameter similarity available without opening the black box.
+func Fidelity(bb *ce.BlackBox, sur *ce.Estimator, probe []workload.Labeled) float64 {
+	if len(probe) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, l := range probe {
+		a := sur.Norm.Norm(bb.Estimate(l.Q))
+		b := sur.Norm.Norm(sur.Estimate(l.Q))
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(len(probe))
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pace/internal/query"
+)
+
+// persistedQuery is the JSON wire form of one labeled query.
+type persistedQuery struct {
+	Tables []int        `json:"tables"` // indexes of joined tables
+	Bounds [][3]float64 `json:"bounds"` // [attr, lo, hi] for non-open predicates
+	Card   float64      `json:"card"`
+}
+
+// Save writes a labeled workload as JSON, so a workload (historical,
+// test, or poisoning) can be archived and replayed across processes.
+func Save(w io.Writer, m *query.Meta, labeled []Labeled) error {
+	out := make([]persistedQuery, len(labeled))
+	for i, l := range labeled {
+		pq := persistedQuery{Card: l.Card}
+		for t, in := range l.Q.Tables {
+			if in {
+				pq.Tables = append(pq.Tables, t)
+			}
+		}
+		for a, b := range l.Q.Bounds {
+			if b[0] > 0 || b[1] < 1 {
+				pq.Bounds = append(pq.Bounds, [3]float64{float64(a), b[0], b[1]})
+			}
+		}
+		out[i] = pq
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a workload written by Save, validating table and attribute
+// indexes against the schema meta.
+func Load(r io.Reader, m *query.Meta) ([]Labeled, error) {
+	var in []persistedQuery
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	out := make([]Labeled, len(in))
+	for i, pq := range in {
+		q := query.New(m)
+		for _, t := range pq.Tables {
+			if t < 0 || t >= m.NumTables() {
+				return nil, fmt.Errorf("workload: query %d references table %d of %d", i, t, m.NumTables())
+			}
+			q.Tables[t] = true
+		}
+		for _, b := range pq.Bounds {
+			a := int(b[0])
+			if a < 0 || a >= m.NumAttrs() {
+				return nil, fmt.Errorf("workload: query %d references attribute %d of %d", i, a, m.NumAttrs())
+			}
+			q.Bounds[a] = [2]float64{b[1], b[2]}
+		}
+		q.Normalize(m)
+		out[i] = Labeled{Q: q, Card: pq.Card}
+	}
+	return out, nil
+}

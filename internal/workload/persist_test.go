@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := newGen(t, "tpch", 11)
+	w := g.Random(25)
+
+	var buf bytes.Buffer
+	if err := Save(&buf, g.DS.Meta, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf, g.DS.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(w) {
+		t.Fatalf("got %d queries, want %d", len(got), len(w))
+	}
+	for i := range w {
+		if got[i].Card != w[i].Card {
+			t.Fatalf("query %d card %g != %g", i, got[i].Card, w[i].Card)
+		}
+		if !reflect.DeepEqual(got[i].Q, w[i].Q) {
+			t.Fatalf("query %d does not round-trip:\n got %+v\nwant %+v", i, got[i].Q, w[i].Q)
+		}
+	}
+}
+
+func TestLoadRejectsBadIndexes(t *testing.T) {
+	g := newGen(t, "dmv", 12)
+	badTable := `[{"tables":[7],"bounds":[],"card":1}]`
+	if _, err := Load(strings.NewReader(badTable), g.DS.Meta); err == nil {
+		t.Error("out-of-range table accepted")
+	}
+	badAttr := `[{"tables":[0],"bounds":[[99,0.1,0.2]],"card":1}]`
+	if _, err := Load(strings.NewReader(badAttr), g.DS.Meta); err == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	if _, err := Load(strings.NewReader("not json"), g.DS.Meta); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSaveOmitsOpenBounds(t *testing.T) {
+	g := newGen(t, "dmv", 13)
+	w := g.Random(5)
+	var buf bytes.Buffer
+	if err := Save(&buf, g.DS.Meta, w); err != nil {
+		t.Fatal(err)
+	}
+	// No [a, 0, 1] triples: open predicates are implicit.
+	if strings.Contains(buf.String(), ",0,1]") {
+		t.Error("open bounds serialized explicitly")
+	}
+}

@@ -1,0 +1,343 @@
+// Package workload generates the query workloads of the reproduction:
+// random training/testing workloads (the paper's DMV/TPC-H style), a
+// template-driven mode (the paper's IMDB-JOB / STATS-CEB style), and the
+// diagnostic probe workloads that model-type speculation (§4.1) relies on
+// — queries with controlled column counts and predicate range sizes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pace/internal/dataset"
+	"pace/internal/engine"
+	"pace/internal/query"
+)
+
+// Labeled pairs a query with its true cardinality.
+type Labeled struct {
+	Q    *query.Query
+	Card float64
+}
+
+// Generator draws queries over one dataset and labels them with the exact
+// engine. All randomness flows from Rng, so workloads are reproducible.
+type Generator struct {
+	DS  *dataset.Dataset
+	Eng *engine.Engine
+	Rng *rand.Rand
+
+	// MaxJoinTables caps how many tables a random query may join
+	// (0 means min(4, #tables)).
+	MaxJoinTables int
+	// PredProb is the probability that each attribute of a joined
+	// table receives a range predicate (0 means 0.6).
+	PredProb float64
+
+	templates [][]int
+}
+
+// NewGenerator builds a workload generator for ds.
+func NewGenerator(ds *dataset.Dataset, eng *engine.Engine, rng *rand.Rand) *Generator {
+	g := &Generator{DS: ds, Eng: eng, Rng: rng}
+	g.templates = defaultTemplates(ds)
+	return g
+}
+
+func (g *Generator) maxJoin() int {
+	if g.MaxJoinTables > 0 {
+		return g.MaxJoinTables
+	}
+	if n := len(g.DS.Tables); n < 4 {
+		return n
+	}
+	return 4
+}
+
+func (g *Generator) predProb() float64 {
+	if g.PredProb > 0 {
+		return g.PredProb
+	}
+	return 0.6
+}
+
+// RandomQuery draws one random connected SPJ query: a random-walk subtree
+// of the join graph plus data-centered range predicates (each predicate is
+// centered on the value of a randomly sampled row, so selectivities are
+// non-trivial even on skewed columns).
+func (g *Generator) RandomQuery() *query.Query {
+	nTables := 1 + g.Rng.Intn(g.maxJoin())
+	q := query.New(g.DS.Meta)
+	g.selectSubtree(q, nTables)
+	g.fillPredicates(q, g.predProb())
+	return q.Normalize(g.DS.Meta)
+}
+
+// selectSubtree marks a connected set of nTables tables in q via a random
+// walk over the join graph.
+func (g *Generator) selectSubtree(q *query.Query, nTables int) {
+	n := len(g.DS.Tables)
+	start := g.Rng.Intn(n)
+	q.Tables[start] = true
+	frontier := g.neighbors(start, q)
+	for count := 1; count < nTables && len(frontier) > 0; count++ {
+		next := frontier[g.Rng.Intn(len(frontier))]
+		q.Tables[next] = true
+		frontier = nil
+		for t := 0; t < n; t++ {
+			if !q.Tables[t] {
+				continue
+			}
+			frontier = append(frontier, g.neighbors(t, q)...)
+		}
+	}
+}
+
+func (g *Generator) neighbors(t int, q *query.Query) []int {
+	var out []int
+	for o := 0; o < len(g.DS.Tables); o++ {
+		if !q.Tables[o] && g.DS.Joinable(t, o) {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// fillPredicates adds data-centered range predicates to the joined tables
+// of q with per-attribute probability p.
+func (g *Generator) fillPredicates(q *query.Query, p float64) {
+	for t, in := range q.Tables {
+		if !in {
+			continue
+		}
+		lo, hi := g.DS.Meta.Attrs(t)
+		tab := g.DS.Tables[t]
+		for a := lo; a < hi; a++ {
+			if g.Rng.Float64() >= p {
+				continue
+			}
+			q.Bounds[a] = g.centeredRange(tab, a-lo, 0.02+g.Rng.Float64()*0.5)
+		}
+	}
+}
+
+// centeredRange returns a range of the given width centered on the value
+// of a random row of the column.
+func (g *Generator) centeredRange(tab *dataset.Table, col int, width float64) [2]float64 {
+	c := tab.Cols[col][g.Rng.Intn(tab.Rows)]
+	lo := c - width/2
+	hi := c + width/2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return [2]float64{lo, hi}
+}
+
+// Label computes exact cardinalities for qs, dropping queries with zero
+// cardinality (the paper eliminates them during training because Q-error
+// is undefined at zero).
+func (g *Generator) Label(qs []*query.Query) []Labeled {
+	out := make([]Labeled, 0, len(qs))
+	for _, q := range qs {
+		card, err := g.Eng.Cardinality(q)
+		if err != nil || card < 1 {
+			continue
+		}
+		out = append(out, Labeled{Q: q, Card: card})
+	}
+	return out
+}
+
+// Random produces n labeled random queries (re-drawing until n non-empty
+// queries are found).
+func (g *Generator) Random(n int) []Labeled {
+	out := make([]Labeled, 0, n)
+	for len(out) < n {
+		q := g.RandomQuery()
+		card, err := g.Eng.Cardinality(q)
+		if err != nil || card < 1 {
+			continue
+		}
+		out = append(out, Labeled{Q: q, Card: card})
+	}
+	return out
+}
+
+// Templated produces n labeled queries drawn from the dataset's join
+// templates (fixed table sets with randomized predicates), mirroring the
+// paper's use of IMDB-JOB and STATS-CEB templates. For single-table
+// datasets it degrades to Random.
+func (g *Generator) Templated(n int) []Labeled {
+	if len(g.templates) == 0 {
+		return g.Random(n)
+	}
+	out := make([]Labeled, 0, n)
+	for len(out) < n {
+		tmpl := g.templates[g.Rng.Intn(len(g.templates))]
+		q := query.New(g.DS.Meta)
+		for _, t := range tmpl {
+			q.Tables[t] = true
+		}
+		g.fillPredicates(q, g.predProb())
+		q.Normalize(g.DS.Meta)
+		card, err := g.Eng.Cardinality(q)
+		if err != nil || card < 1 {
+			continue
+		}
+		out = append(out, Labeled{Q: q, Card: card})
+	}
+	return out
+}
+
+// defaultTemplates derives join templates from the dataset's join graph:
+// every single edge, plus every 3-table path rooted at the highest-degree
+// table (a fact-table-centric star, like the JOB templates).
+func defaultTemplates(ds *dataset.Dataset) [][]int {
+	if len(ds.Tables) <= 1 {
+		return nil
+	}
+	var out [][]int
+	for _, e := range ds.Edges {
+		out = append(out, []int{e.Child, e.Parent})
+	}
+	deg := make([]int, len(ds.Tables))
+	for _, e := range ds.Edges {
+		deg[e.Child]++
+		deg[e.Parent]++
+	}
+	hub := 0
+	for t := range deg {
+		if deg[t] > deg[hub] {
+			hub = t
+		}
+	}
+	var hubNeighbors []int
+	for t := range ds.Tables {
+		if t != hub && ds.Joinable(hub, t) {
+			hubNeighbors = append(hubNeighbors, t)
+		}
+	}
+	for i := 0; i < len(hubNeighbors); i++ {
+		for j := i + 1; j < len(hubNeighbors); j++ {
+			out = append(out, []int{hub, hubNeighbors[i], hubNeighbors[j]})
+		}
+	}
+	return out
+}
+
+// ProbeColumns generates nPer labeled queries for every predicate count in
+// counts — the "varying the number of columns" axis of the speculation
+// probe workload (§4.1).
+func (g *Generator) ProbeColumns(counts []int, nPer int) ([]Labeled, error) {
+	var out []Labeled
+	for _, nc := range counts {
+		got := 0
+		for attempts := 0; got < nPer; attempts++ {
+			if attempts > 200*nPer {
+				return nil, fmt.Errorf("workload: cannot build probe with %d predicates", nc)
+			}
+			q, ok := g.probeQuery(nc, 0.3)
+			if !ok {
+				continue
+			}
+			card, err := g.Eng.Cardinality(q)
+			if err != nil || card < 1 {
+				continue
+			}
+			out = append(out, Labeled{Q: q, Card: card})
+			got++
+		}
+	}
+	return out, nil
+}
+
+// ProbeRanges generates nPer labeled queries for every predicate width in
+// widths — the "range size of filter predicates" axis of the speculation
+// probe workload (§4.1).
+func (g *Generator) ProbeRanges(widths []float64, nPer int) ([]Labeled, error) {
+	var out []Labeled
+	for _, w := range widths {
+		got := 0
+		for attempts := 0; got < nPer; attempts++ {
+			if attempts > 200*nPer {
+				return nil, fmt.Errorf("workload: cannot build probe with width %g", w)
+			}
+			q, ok := g.probeQuery(2, w)
+			if !ok {
+				continue
+			}
+			card, err := g.Eng.Cardinality(q)
+			if err != nil || card < 1 {
+				continue
+			}
+			out = append(out, Labeled{Q: q, Card: card})
+			got++
+		}
+	}
+	return out, nil
+}
+
+// probeQuery builds a query with exactly nPreds predicates of the given
+// width (0 means random widths), over a random connected table set large
+// enough to host them.
+func (g *Generator) probeQuery(nPreds int, width float64) (*query.Query, bool) {
+	q := query.New(g.DS.Meta)
+	g.selectSubtree(q, 1+g.Rng.Intn(g.maxJoin()))
+	var attrs []int
+	for t, in := range q.Tables {
+		if !in {
+			continue
+		}
+		lo, hi := g.DS.Meta.Attrs(t)
+		for a := lo; a < hi; a++ {
+			attrs = append(attrs, a)
+		}
+	}
+	if len(attrs) < nPreds {
+		return nil, false
+	}
+	g.Rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+	for _, a := range attrs[:nPreds] {
+		w := width
+		if w == 0 {
+			w = 0.02 + g.Rng.Float64()*0.5
+		}
+		t := g.DS.Meta.TableOf(a)
+		lo, _ := g.DS.Meta.Attrs(t)
+		q.Bounds[a] = g.centeredRange(g.DS.Tables[t], a-lo, w)
+	}
+	q.Normalize(g.DS.Meta)
+	return q, true
+}
+
+// Split partitions workload w into k equal consecutive chunks (the paper's
+// incremental-training experiment, Fig 14). The final chunk absorbs any
+// remainder.
+func Split(w []Labeled, k int) [][]Labeled {
+	if k <= 0 {
+		return nil
+	}
+	out := make([][]Labeled, 0, k)
+	size := len(w) / k
+	for i := 0; i < k; i++ {
+		lo := i * size
+		hi := lo + size
+		if i == k-1 {
+			hi = len(w)
+		}
+		out = append(out, w[lo:hi])
+	}
+	return out
+}
+
+// Queries extracts the query list from a labeled workload.
+func Queries(w []Labeled) []*query.Query {
+	out := make([]*query.Query, len(w))
+	for i := range w {
+		out[i] = w[i].Q
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pace/internal/dataset"
+	"pace/internal/engine"
+)
+
+func newGen(t *testing.T, name string, seed int64) *Generator {
+	t.Helper()
+	ds, err := dataset.Build(name, dataset.Config{Scale: 0.1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewGenerator(ds, engine.New(ds), rand.New(rand.NewSource(seed)))
+}
+
+func TestRandomWorkloadValid(t *testing.T) {
+	for _, name := range dataset.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			g := newGen(t, name, 1)
+			w := g.Random(30)
+			if len(w) != 30 {
+				t.Fatalf("got %d queries, want 30", len(w))
+			}
+			for _, l := range w {
+				if l.Card < 1 {
+					t.Errorf("labeled query with cardinality %g < 1", l.Card)
+				}
+				if !l.Q.Connected(g.DS.Joinable) {
+					t.Error("random query not connected")
+				}
+				card, err := g.Eng.Cardinality(l.Q)
+				if err != nil || card != l.Card {
+					t.Errorf("label %g does not match engine %g (err %v)", l.Card, card, err)
+				}
+			}
+		})
+	}
+}
+
+func TestTemplatedWorkload(t *testing.T) {
+	g := newGen(t, "imdb", 2)
+	w := g.Templated(20)
+	if len(w) != 20 {
+		t.Fatalf("got %d queries, want 20", len(w))
+	}
+	multi := 0
+	for _, l := range w {
+		if l.Q.NumTables() >= 2 {
+			multi++
+		}
+	}
+	if multi != 20 {
+		t.Errorf("templated queries joining <2 tables: %d/20 multi", multi)
+	}
+}
+
+func TestTemplatedSingleTableFallsBack(t *testing.T) {
+	g := newGen(t, "dmv", 3)
+	w := g.Templated(10)
+	if len(w) != 10 {
+		t.Fatalf("got %d queries, want 10", len(w))
+	}
+}
+
+func TestProbeColumns(t *testing.T) {
+	g := newGen(t, "tpch", 4)
+	counts := []int{1, 2, 3}
+	w, err := g.ProbeColumns(counts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(counts)*5 {
+		t.Fatalf("got %d probes, want %d", len(w), len(counts)*5)
+	}
+	for i, l := range w {
+		wantPreds := counts[i/5]
+		if got := l.Q.NumPredicates(); got != wantPreds {
+			t.Errorf("probe %d has %d predicates, want %d", i, got, wantPreds)
+		}
+	}
+}
+
+func TestProbeRanges(t *testing.T) {
+	g := newGen(t, "dmv", 5)
+	widths := []float64{0.05, 0.3, 0.8}
+	w, err := g.ProbeRanges(widths, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != len(widths)*4 {
+		t.Fatalf("got %d probes, want %d", len(w), len(widths)*4)
+	}
+	// Wider probes should have (weakly) larger cardinalities on average.
+	avg := func(lo, hi int) float64 {
+		var s float64
+		for _, l := range w[lo:hi] {
+			s += l.Card
+		}
+		return s / float64(hi-lo)
+	}
+	if avg(0, 4) > avg(8, 12) {
+		t.Errorf("width 0.05 avg card %.1f > width 0.8 avg card %.1f", avg(0, 4), avg(8, 12))
+	}
+}
+
+func TestSplit(t *testing.T) {
+	w := make([]Labeled, 17)
+	parts := Split(w, 5)
+	if len(parts) != 5 {
+		t.Fatalf("got %d parts, want 5", len(parts))
+	}
+	total := 0
+	for i, p := range parts {
+		total += len(p)
+		if i < 4 && len(p) != 3 {
+			t.Errorf("part %d has %d items, want 3", i, len(p))
+		}
+	}
+	if total != 17 {
+		t.Errorf("parts total %d, want 17", total)
+	}
+	if Split(w, 0) != nil {
+		t.Error("Split with k=0 should return nil")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	g := newGen(t, "dmv", 6)
+	w := g.Random(5)
+	qs := Queries(w)
+	if len(qs) != 5 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i := range qs {
+		if qs[i] != w[i].Q {
+			t.Error("Queries did not preserve order/pointers")
+		}
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	g1 := newGen(t, "stats", 9)
+	g2 := newGen(t, "stats", 9)
+	w1, w2 := g1.Random(10), g2.Random(10)
+	for i := range w1 {
+		if w1[i].Card != w2[i].Card {
+			t.Fatalf("same seed produced different workloads at %d", i)
+		}
+	}
+}
