@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -53,7 +54,7 @@ func main() {
 	attack := func(off int64) ([]*query.Query, []float64) {
 		sur := w.NewSurrogate(target, typ, off)
 		tr := w.TrainPACE(sur, nil, off)
-		return tr.GeneratePoison(cfg.NumPoison)
+		return tr.GeneratePoison(context.Background(), cfg.NumPoison)
 	}
 	encode := func(list []*query.Query) [][]float64 {
 		out := make([][]float64, len(list))
@@ -77,7 +78,7 @@ func main() {
 	eval := screen.Evaluate(encode(poisonQ), experiments.Encodings(w.WGen.Random(100), w.DS))
 
 	unscreened := w.NewBlackBox(typ, 1)
-	unscreened.ExecuteWorkload(poisonQ, poisonC)
+	unscreened.ExecuteWorkload(context.Background(), poisonQ, poisonC)
 	hit := metrics.Mean(unscreened.QErrors(qs, cards))
 
 	accepted, rejected := screen.Filter(w.DS.Meta, poisonQ)
@@ -90,7 +91,7 @@ func main() {
 		acceptedCards[i] = idx[q]
 	}
 	screened := w.NewBlackBox(typ, 1)
-	screened.ExecuteWorkload(accepted, acceptedCards)
+	screened.ExecuteWorkload(context.Background(), accepted, acceptedCards)
 	defended := metrics.Mean(screened.QErrors(qs, cards))
 
 	fmt.Printf("\nscreen vs fresh attack: recall %.0f%%, precision %.0f%%, false-positive rate %.0f%%\n",

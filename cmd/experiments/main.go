@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift or all")
+		exp      = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift, chaos or all")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
 		full     = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -61,6 +61,7 @@ func main() {
 		{"traditional", func() error { return experiments.RunTraditionalComparison(out, cfg, "tpch") }},
 		{"regularization", func() error { return experiments.RunRegularizationDefense(out, cfg) }},
 		{"drift", func() error { return experiments.RunDriftStudy(out, cfg) }},
+		{"chaos", func() error { return experiments.RunChaos(out, cfg) }},
 	}
 	aliases := map[string]string{
 		"fig7": "fig6", "fig8": "fig6", "fig9": "fig6",

@@ -5,20 +5,31 @@
 // update of the target — then reports before/after accuracy and the
 // poisoning workload's normality.
 //
-// Example:
+// The campaign harness is robust to unreliable targets: -faults injects
+// a named unreliability profile (see internal/faults), -deadline bounds
+// the wall clock, and -checkpoint/-resume persist generator training so
+// a killed campaign can be continued.
+//
+// Examples:
 //
 //	pace -dataset dmv -model fcn -poison 120 -seed 7
+//	pace -faults flaky -checkpoint run.ckpt -deadline 2m
+//	pace -resume run.ckpt -checkpoint run.ckpt
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 
 	"pace/internal/ce"
 	"pace/internal/core"
 	"pace/internal/experiments"
+	"pace/internal/faults"
 	"pace/internal/metrics"
 	"pace/internal/workload"
 )
@@ -32,6 +43,12 @@ func main() {
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		speculate   = flag.Bool("speculate", false, "speculate the model type instead of assuming it")
 		noDetector  = flag.Bool("no-detector", false, "disable the anomaly-detector confrontation")
+
+		faultsName = flag.String("faults", "", "inject an unreliability profile: none, slow, flaky, lossy, noisy, throttled or chaos")
+		deadline   = flag.Duration("deadline", 0, "abort the campaign after this wall-clock duration (0 = none)")
+		checkpoint = flag.String("checkpoint", "", "write generator-training checkpoints to this file")
+		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint every N outer loops")
+		resumePath = flag.String("resume", "", "resume generator training from this checkpoint file")
 	)
 	flag.Parse()
 
@@ -39,6 +56,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	if *deadline > 0 {
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, *deadline)
+		defer cancelT()
 	}
 
 	cfg := experiments.Config{Seed: *seed, Scale: *scale, NumPoison: *poison}.WithDefaults()
@@ -75,18 +100,56 @@ func main() {
 		runCfg.ForceType = &forced
 	}
 
-	res, err := core.Run(bb, w.WGen, w.Test, w.History, runCfg, rng)
+	if *faultsName != "" {
+		prof, err := faults.ByName(*faultsName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runCfg.Faults = faults.NewInjector(prof, *seed)
+		fmt.Printf("fault injection: profile %q\n", prof.Name)
+	}
+	if *checkpoint != "" {
+		runCfg.CheckpointEvery = *ckptEvery
+		runCfg.CheckpointSink = core.FileCheckpointSink(*checkpoint)
+	}
+	if *resumePath != "" {
+		cp, err := core.ReadCheckpointFile(*resumePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cannot resume:", err)
+			os.Exit(2)
+		}
+		runCfg.Resume = cp
+		fmt.Printf("resuming from %s (outer loop %d, algorithm %s)\n",
+			*resumePath, cp.Outer, cp.Algorithm)
+	}
+
+	res, err := core.Run(ctx, bb, w.WGen, w.Test, w.History, runCfg, rng)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "attack failed:", err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "campaign interrupted:", err)
+			if *checkpoint != "" {
+				fmt.Fprintf(os.Stderr, "resume with: pace -resume %s -checkpoint %s\n",
+					*checkpoint, *checkpoint)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "attack failed:", err)
+		}
+		reportReliability(res)
 		os.Exit(1)
 	}
 
 	if *speculate {
-		fmt.Printf("speculated type: %s (similarities:", res.SpeculatedType)
-		for _, t := range ce.Types() {
-			fmt.Printf(" %s=%.3f", t, res.Similarities[t])
+		if res.SpeculationFellBack {
+			fmt.Printf("speculation failed against the unreliable target; fell back to %s\n",
+				res.SpeculatedType)
+		} else {
+			fmt.Printf("speculated type: %s (similarities:", res.SpeculatedType)
+			for _, t := range ce.Types() {
+				fmt.Printf(" %s=%.3f", t, res.Similarities[t])
+			}
+			fmt.Println(")")
 		}
-		fmt.Println(")")
 	}
 	after := metrics.Summarize(bb.QErrors(qs, cards))
 
@@ -102,4 +165,25 @@ func main() {
 	fmt.Printf("test Q-error after:  %s\n", after)
 	fmt.Printf("mean degradation: %.1f×\n", after.Mean/before.Mean)
 	fmt.Printf("poison/history JS divergence: %.4f\n", metrics.JSDivergence(hEnc, pEnc, 10))
+	reportReliability(res)
+}
+
+// reportReliability prints the oracle-traffic statistics and, when fault
+// injection was on, the injector's tallies.
+func reportReliability(res *core.Result) {
+	if res == nil {
+		return
+	}
+	s := res.Stats
+	if s.OracleCalls > 0 {
+		fmt.Printf("oracle traffic: %d calls, %d invalid (%.1f%%), %d failed, %d retried, %d samples skipped\n",
+			s.OracleCalls, s.OracleInvalid, 100*s.InvalidRate(), s.OracleFailed, s.OracleRetries, s.SkippedSamples)
+	}
+	if s.Checkpoints > 0 {
+		fmt.Printf("checkpoints written: %d\n", s.Checkpoints)
+	}
+	if c := res.FaultCounters; c != nil {
+		fmt.Printf("injected faults: %d calls → %d transient errors, %d drops, %d rate-limited, %d noisy labels\n",
+			c.Calls, c.Transients, c.Drops, c.RateLimited, c.NoisyLabels)
+	}
 }

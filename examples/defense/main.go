@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,7 +39,7 @@ func main() {
 	attack := func(off int64) ([]*query.Query, []float64) {
 		sur := world.NewSurrogate(target, ce.FCN, off)
 		tr := world.TrainPACE(sur, nil, off)
-		return tr.GeneratePoison(cfg.NumPoison)
+		return tr.GeneratePoison(context.Background(), cfg.NumPoison)
 	}
 	encode := func(qs []*query.Query) [][]float64 {
 		out := make([][]float64, len(qs))
@@ -63,7 +64,7 @@ func main() {
 
 	// Without the screen: the target retrains on everything.
 	unscreened := world.NewBlackBox(ce.FCN, 1)
-	unscreened.ExecuteWorkload(poisonQ, poisonC)
+	unscreened.ExecuteWorkload(context.Background(), poisonQ, poisonC)
 	hit := metrics.Mean(unscreened.QErrors(qs, cards))
 
 	// With the screen: flagged queries never reach the update path.
@@ -78,7 +79,7 @@ func main() {
 		}
 	}
 	screened := world.NewBlackBox(ce.FCN, 1)
-	screened.ExecuteWorkload(accepted, acceptedCards)
+	screened.ExecuteWorkload(context.Background(), accepted, acceptedCards)
 	defended := metrics.Mean(screened.QErrors(qs, cards))
 
 	benign := world.WGen.Random(100)

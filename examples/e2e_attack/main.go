@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -55,7 +56,7 @@ func main() {
 	attackCfg.Surrogate.Queries = cfg.TrainQueries
 	attackCfg.Surrogate.HP = world.HP()
 	attackCfg.Surrogate.Train = world.TrainCfg()
-	if _, err := core.Run(target, world.WGen, world.Test, world.History,
+	if _, err := core.Run(context.Background(), target, world.WGen, world.Test, world.History,
 		attackCfg, rand.New(rand.NewSource(3))); err != nil {
 		log.Fatal(err)
 	}

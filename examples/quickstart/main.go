@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,7 @@ func main() {
 	attackCfg.Surrogate.HP = world.HP()
 	attackCfg.Surrogate.Train = world.TrainCfg()
 
-	res, err := core.Run(target, world.WGen, world.Test, world.History,
+	res, err := core.Run(context.Background(), target, world.WGen, world.Test, world.History,
 		attackCfg, rand.New(rand.NewSource(7)))
 	if err != nil {
 		log.Fatal(err)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,7 +36,7 @@ func main() {
 	target := world.NewBlackBox(secret, 1)
 
 	rng := rand.New(rand.NewSource(11))
-	spec, err := surrogate.Speculate(target, world.WGen, surrogate.SpeculationConfig{
+	spec, err := surrogate.Speculate(context.Background(), target, world.WGen, surrogate.SpeculationConfig{
 		CandidateTrainQueries: cfg.TrainQueries / 2,
 		HP:                    world.HP(),
 		Train:                 world.TrainCfg(),
@@ -54,14 +55,17 @@ func main() {
 	}
 	fmt.Printf("speculated: %s (actual: %s)\n\n", spec.Type, secret)
 
-	sur := surrogate.Train(target, spec.Type, world.WGen, surrogate.TrainConfig{
+	sur, err := surrogate.Train(context.Background(), target, spec.Type, world.WGen, surrogate.TrainConfig{
 		Queries: cfg.TrainQueries,
 		HP:      world.HP(),
 		Train:   world.TrainCfg(),
 	}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	probe := world.WGen.Random(60)
-	fid := surrogate.Fidelity(target, sur, probe)
+	fid := surrogate.Fidelity(context.Background(), target, sur, probe)
 	fmt.Printf("surrogate fidelity on unseen queries: mean |Δ| = %.4f "+
 		"(normalized log space; 0 = identical behaviour)\n", fid)
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,8 +47,8 @@ func main() {
 		}
 		tr := core.NewTrainer(sur, gen, d, core.EngineOracle(world.WGen),
 			core.MakeTestSamples(sur, world.Test), world.TrainerCfg(), rng)
-		tr.TrainAccelerated()
-		return tr.GeneratePoison(cfg.NumPoison)
+		tr.TrainAccelerated(context.Background())
+		return tr.GeneratePoison(context.Background(), cfg.NumPoison)
 	}
 
 	report := func(name string, qs []*query.Query, cards []float64) {
@@ -61,7 +62,7 @@ func main() {
 		}
 		twin := world.NewBlackBox(ce.FCN, 1)
 		clean := metrics.Mean(twin.QErrors(workload.Queries(world.Test), experiments.Cards(world.Test)))
-		twin.ExecuteWorkload(qs, cards)
+		twin.ExecuteWorkload(context.Background(), qs, cards)
 		after := metrics.Mean(twin.QErrors(workload.Queries(world.Test), experiments.Cards(world.Test)))
 		fmt.Printf("%-22s flagged %3d/%d  JS divergence %.4f  Q-error %.2f → %.2f\n",
 			name, flagged, len(qs), metrics.JSDivergence(hEnc, enc, 10), clean, after)

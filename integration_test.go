@@ -4,6 +4,7 @@
 package pace
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestIntegrationFullAttackChain(t *testing.T) {
 	runCfg.Speculation.HP = w.HP()
 	runCfg.Speculation.Train = w.TrainCfg()
 
-	res, err := core.Run(target, w.WGen, w.Test, w.History, runCfg, rng)
+	res, err := core.Run(context.Background(), target, w.WGen, w.Test, w.History, runCfg, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestIntegrationDefenseBlocksPoison(t *testing.T) {
 	attackPoison := func(off int64) [][]float64 {
 		sur := w.NewSurrogate(target, ce.FCN, off)
 		tr := w.TrainPACE(sur, nil, off)
-		pq, _ := tr.GeneratePoison(cfg.NumPoison)
+		pq, _ := tr.GeneratePoison(context.Background(), cfg.NumPoison)
 		enc := make([][]float64, len(pq))
 		for i, q := range pq {
 			enc[i] = q.Encode(w.DS.Meta)

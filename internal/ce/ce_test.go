@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -286,7 +287,9 @@ func TestBlackBoxHidesModelButUpdates(t *testing.T) {
 	if lat < 0 {
 		t.Error("negative latency")
 	}
-	bb.ExecuteWorkload([]*query.Query{q}, []float64{1e9})
+	if err := bb.ExecuteWorkload(context.Background(), []*query.Query{q}, []float64{1e9}); err != nil {
+		t.Fatal(err)
+	}
 	after := bb.Estimate(q)
 	if before == after {
 		t.Error("ExecuteWorkload did not change the model")

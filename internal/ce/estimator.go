@@ -1,6 +1,7 @@
 package ce
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -229,19 +230,50 @@ func (e *Estimator) Snapshot() *nn.Snapshot { return nn.TakeSnapshot(e.M.Params(
 // Restore rewinds the model to a snapshot.
 func (e *Estimator) Restore(s *nn.Snapshot) { s.Restore(e.M.Params()) }
 
+// Target is the attacker's remote view of the deployed estimator: the
+// estimate channel (the "Explain" command) and the query-execution
+// channel that triggers incremental retraining. Unlike the in-process
+// BlackBox, a Target implementation may be slow, fail transiently, or
+// drop calls — the production deployment is reached over a network —
+// so every method takes a context and can return an error. The attack
+// pipeline (speculation, surrogate training, poison execution) talks
+// only to this interface; internal/faults wraps any Target with an
+// injected unreliability profile.
+type Target interface {
+	// EstimateContext returns the target's cardinality estimate for q.
+	EstimateContext(ctx context.Context, q *query.Query) (float64, error)
+	// ExecuteWorkload runs queries against the database, triggering the
+	// incremental update on the (query, true cardinality) pairs.
+	ExecuteWorkload(ctx context.Context, qs []*query.Query, cards []float64) error
+}
+
 // BlackBox restricts an Estimator to the interface the threat model gives
 // the attacker: cardinality estimates (the "Explain" command) and the
 // implicit incremental updates triggered by executed queries. The model's
-// type and parameters stay hidden behind it.
+// type and parameters stay hidden behind it. BlackBox implements Target
+// as the reliable, in-process deployment; it only fails when the caller's
+// context is already done.
 type BlackBox struct {
 	est *Estimator
 }
 
+var _ Target = (*BlackBox)(nil)
+
 // AsBlackBox hides an estimator behind the black-box interface.
 func AsBlackBox(e *Estimator) *BlackBox { return &BlackBox{est: e} }
 
-// Estimate returns the black box's cardinality estimate for q.
+// Estimate returns the black box's cardinality estimate for q. It is the
+// infallible convenience form of EstimateContext for experiment harness
+// code; the attack path goes through the Target interface.
 func (b *BlackBox) Estimate(q *query.Query) float64 { return b.est.Estimate(q) }
+
+// EstimateContext implements Target.
+func (b *BlackBox) EstimateContext(ctx context.Context, q *query.Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return b.est.Estimate(q), nil
+}
 
 // EstimateTimed returns the estimate together with the observed inference
 // latency — the side channel model-type speculation uses.
@@ -254,8 +286,13 @@ func (b *BlackBox) EstimateTimed(q *query.Query) (float64, time.Duration) {
 // ExecuteWorkload models running queries against the database: the hidden
 // CE model incrementally retrains on the executed queries and their true
 // cardinalities (the update mechanism of §2.2). Zero-cardinality queries
-// are eliminated, as the paper prescribes for the training phase.
-func (b *BlackBox) ExecuteWorkload(qs []*query.Query, cards []float64) {
+// are eliminated, as the paper prescribes for the training phase. The
+// in-process update is not interruptible once started; ctx is only
+// checked on entry.
+func (b *BlackBox) ExecuteWorkload(ctx context.Context, qs []*query.Query, cards []float64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	keepQ := make([]*query.Query, 0, len(qs))
 	keepC := make([]float64, 0, len(cards))
 	for i, q := range qs {
@@ -265,6 +302,7 @@ func (b *BlackBox) ExecuteWorkload(qs []*query.Query, cards []float64) {
 		}
 	}
 	b.est.Update(b.est.MakeSamples(keepQ, keepC))
+	return nil
 }
 
 // QErrors evaluates the black box on a labeled test workload. (Evaluation

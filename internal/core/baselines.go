@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"pace/internal/ce"
@@ -96,11 +97,13 @@ func LbSPoison(sur *ce.Estimator, gen *workload.Generator, n int) ([]*query.Quer
 // query, choose a random valid join pattern, draw 10 candidate range
 // conditions per attribute, and greedily keep, attribute by attribute,
 // the condition that maximizes the unpoisoned surrogate's inference loss.
-func GreedyPoison(sur *ce.Estimator, gen *workload.Generator, oracle Oracle, n int, rng *rand.Rand) ([]*query.Query, []float64) {
+// Oracle failures skip the candidate; attempts are bounded so a dead
+// oracle returns a short workload instead of spinning forever.
+func GreedyPoison(ctx context.Context, sur *ce.Estimator, gen *workload.Generator, oracle Oracle, n int, rng *rand.Rand) ([]*query.Query, []float64) {
 	meta := sur.M.Meta()
 	qs := make([]*query.Query, 0, n)
 	cards := make([]float64, 0, n)
-	for len(qs) < n {
+	for attempt := 0; len(qs) < n && attempt < 20*n && ctx.Err() == nil; attempt++ {
 		q := query.New(meta)
 		// Random connected join pattern via the workload generator's
 		// subtree machinery: draw a random query and keep its tables.
@@ -119,8 +122,8 @@ func GreedyPoison(sur *ce.Estimator, gen *workload.Generator, oracle Oracle, n i
 					lb := rng.Float64()
 					ub := lb + rng.Float64()*(1-lb)
 					q.Bounds[a] = [2]float64{lb, ub}
-					card := oracle(q)
-					if card < 1 {
+					card, err := oracle(ctx, q)
+					if err != nil || card < 1 {
 						continue
 					}
 					v := q.Encode(meta)
@@ -134,8 +137,8 @@ func GreedyPoison(sur *ce.Estimator, gen *workload.Generator, oracle Oracle, n i
 			}
 		}
 		q.Normalize(meta)
-		card := oracle(q)
-		if card < 1 {
+		card, err := oracle(ctx, q)
+		if err != nil || card < 1 {
 			continue
 		}
 		qs = append(qs, q)
@@ -171,7 +174,7 @@ func (c LbGConfig) withDefaults() LbGConfig {
 // over the empty-cardinality cliff and every crafted query is eliminated
 // before it can poison anything — and the final workload is resampled to
 // non-empty queries.
-func LbGPoison(sur *ce.Estimator, gen *generator.Generator, oracle Oracle,
+func LbGPoison(ctx context.Context, sur *ce.Estimator, gen *generator.Generator, oracle Oracle,
 	cfg LbGConfig, n int, rng *rand.Rand) ([]*query.Query, []float64) {
 	cfg = cfg.withDefaults()
 	meta := sur.M.Meta()
@@ -188,7 +191,10 @@ func LbGPoison(sur *ce.Estimator, gen *generator.Generator, oracle Oracle,
 		// empty-cardinality cliff and cannot come back.
 		var score float64
 		for _, s := range batch {
-			card := oracle(s.Query)
+			card, err := oracle(ctx, s.Query)
+			if err != nil {
+				continue // unlabeled sample: no signal either way
+			}
 			if card < 1 {
 				gen.Backward(s, wideningGrad(meta, s))
 				continue
@@ -223,7 +229,10 @@ func LbGPoison(sur *ce.Estimator, gen *generator.Generator, oracle Oracle,
 	var spareC []float64
 	for attempt := 0; len(qs) < n && attempt < 20*n; attempt++ {
 		s := gen.GenerateOne(rng)
-		card := oracle(s.Query)
+		card, err := oracle(ctx, s.Query)
+		if err != nil {
+			continue
+		}
 		if card >= 1 {
 			qs = append(qs, s.Query)
 			cards = append(cards, card)

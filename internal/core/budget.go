@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"pace/internal/ce"
 	"pace/internal/nn"
 	"pace/internal/query"
@@ -21,10 +23,13 @@ type BudgetConfig struct {
 }
 
 func (c BudgetConfig) withDefaults() BudgetConfig {
-	if c.PoolMult == 0 {
+	// Clamp out-of-range values rather than trusting callers: PoolMult
+	// below 1 would generate no candidates at all, a non-positive
+	// ScoreTestBatch would score on an empty test slice.
+	if c.PoolMult < 1 {
 		c.PoolMult = 4
 	}
-	if c.ScoreTestBatch == 0 {
+	if c.ScoreTestBatch < 1 {
 		c.ScoreTestBatch = 32
 	}
 	return c
@@ -36,7 +41,7 @@ func (c BudgetConfig) withDefaults() BudgetConfig {
 // so within-group coherence — which most of the damage comes from — is
 // preserved), and returns the strongest group. The surrogate is restored
 // after every probe.
-func (t *Trainer) GeneratePoisonBudget(budget int, cfg BudgetConfig) ([]*query.Query, []float64) {
+func (t *Trainer) GeneratePoisonBudget(ctx context.Context, budget int, cfg BudgetConfig) ([]*query.Query, []float64) {
 	cfg = cfg.withDefaults()
 
 	testBatch := t.Test
@@ -50,7 +55,7 @@ func (t *Trainer) GeneratePoisonBudget(budget int, cfg BudgetConfig) ([]*query.Q
 	var bestQ []*query.Query
 	var bestC []float64
 	for g := 0; g < cfg.PoolMult; g++ {
-		qs, cards := t.GeneratePoison(budget)
+		qs, cards := t.GeneratePoison(ctx, budget)
 		var valid []ce.Sample
 		for i := range qs {
 			if cards[i] >= 1 {

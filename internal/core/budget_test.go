@@ -11,10 +11,10 @@ import (
 func TestGeneratePoisonBudgetShape(t *testing.T) {
 	f := newFixture(t, 5)
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 16, InnerIters: 4, OuterIters: 3})
-	tr.TrainAccelerated()
+	tr.TrainAccelerated(bgCtx)
 
 	before := nn.FlattenParams(f.sur.M.Params())
-	qs, cards := tr.GeneratePoisonBudget(20, BudgetConfig{})
+	qs, cards := tr.GeneratePoisonBudget(bgCtx, 20, BudgetConfig{})
 	if len(qs) != 20 || len(cards) != 20 {
 		t.Fatalf("got %d/%d, want 20/20", len(qs), len(cards))
 	}
@@ -53,10 +53,10 @@ func TestBudgetSelectionBeatsUnselected(t *testing.T) {
 	// spending the scoring budget.
 	f := newFixture(t, 5)
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 24, InnerIters: 8, OuterIters: 5})
-	tr.TrainAccelerated()
+	tr.TrainAccelerated(bgCtx)
 
-	sel, selC := tr.GeneratePoisonBudget(25, BudgetConfig{PoolMult: 4})
-	raw, rawC := tr.GeneratePoison(25)
+	sel, selC := tr.GeneratePoisonBudget(bgCtx, 25, BudgetConfig{PoolMult: 4})
+	raw, rawC := tr.GeneratePoison(bgCtx, 25)
 
 	selDamage := applyPoison(f, sel, selC)
 	rawDamage := applyPoison(f, raw, rawC)
@@ -78,11 +78,11 @@ func TestDisableHypergradientStillTrains(t *testing.T) {
 	tr := newTrainer(f, nil, TrainerConfig{
 		Batch: 16, InnerIters: 4, OuterIters: 3, DisableHypergradient: true,
 	})
-	tr.TrainAccelerated()
+	tr.TrainAccelerated(bgCtx)
 	if len(tr.Objective) != 3 {
 		t.Fatalf("objective curve %d points, want 3", len(tr.Objective))
 	}
-	qs, cards := tr.GeneratePoison(10)
+	qs, cards := tr.GeneratePoison(bgCtx, 10)
 	if len(qs) != 10 || len(cards) != 10 {
 		t.Error("ablated trainer cannot generate poison")
 	}
@@ -97,7 +97,7 @@ func TestNegativeWeightsDisableSignals(t *testing.T) {
 		Batch: 8, InnerIters: 2, OuterIters: 2,
 		InferenceWeight: -1, ValidityWeight: -1,
 	})
-	tr.TrainAccelerated() // must not panic or flip signs
+	tr.TrainAccelerated(bgCtx) // must not panic or flip signs
 	if len(tr.Objective) != 2 {
 		t.Error("training with disabled signals did not run")
 	}
@@ -108,7 +108,7 @@ func TestEarlyStoppingPatience(t *testing.T) {
 	tr := newTrainer(f, nil, TrainerConfig{
 		Batch: 8, InnerIters: 2, OuterIters: 30, Patience: 2,
 	})
-	tr.TrainAccelerated()
+	tr.TrainAccelerated(bgCtx)
 	if len(tr.Objective) >= 30 {
 		t.Errorf("patience did not stop training: ran %d/30 outer loops", len(tr.Objective))
 	}
@@ -124,9 +124,15 @@ func TestBestTrackerRestoresOptimum(t *testing.T) {
 	// (or the untrained baseline if training never improved on it).
 	f := newFixture(t, 5)
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 16, InnerIters: 4, OuterIters: 6})
-	baseline := tr.objectiveValue()
-	tr.TrainAccelerated()
-	final := tr.objectiveValue()
+	baseline, err := tr.objectiveValue(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainAccelerated(bgCtx)
+	final, err := tr.objectiveValue(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	best := baseline
 	for _, obj := range tr.Objective {

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pace/internal/ce"
+	"pace/internal/nn"
+)
+
+// Algorithm names recorded in checkpoints.
+const (
+	AlgoAccelerated = "accelerated"
+	AlgoBasic       = "basic"
+)
+
+// CheckpointVersion is the current checkpoint format version.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete resumable state of a poisoning-generator
+// training run, taken at an outer-loop boundary (where the surrogate
+// parameters are clean by construction). Binary blobs hold network
+// parameters and optimizer moments via internal/nn's serialization; the
+// envelope is JSON, so a checkpoint file is portable and inspectable.
+//
+// Resume determinism: Outer, BaseSeed and EvalSeed pin the RNG streams
+// of the remaining loops (each outer loop draws from a stream derived
+// from BaseSeed), and Gen carries the generator's Adam moments, so a
+// resumed faultless run replays the uninterrupted objective curve
+// exactly.
+type Checkpoint struct {
+	Version   int     `json:"version"`
+	Algorithm string  `json:"algorithm"`
+	Type      ce.Type `json:"type"`
+	// Outer is the next outer loop to run (loops [0, Outer) completed).
+	Outer     int       `json:"outer"`
+	Objective []float64 `json:"objective"`
+	BestObj   float64   `json:"best_obj"`
+	BestAt    int       `json:"best_at"`
+	BaseSeed  int64     `json:"base_seed"`
+	EvalSeed  int64     `json:"eval_seed"`
+	// Sur holds the clean surrogate parameters; Gen the generator's full
+	// training state (all three networks + both optimizers); BestGen the
+	// parameters of the best generator observed so far.
+	Sur     []byte `json:"sur"`
+	Gen     []byte `json:"gen"`
+	BestGen []byte `json:"best_gen"`
+}
+
+// Marshal encodes the checkpoint for storage.
+func (cp *Checkpoint) Marshal() ([]byte, error) { return json.Marshal(cp) }
+
+// UnmarshalCheckpoint decodes a checkpoint produced by Marshal.
+func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(b, cp); err != nil {
+		return nil, fmt.Errorf("core: corrupt checkpoint: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	return cp, nil
+}
+
+// WriteCheckpointFile atomically persists a checkpoint to path (write to
+// a temp file in the same directory, then rename), so a crash mid-write
+// never corrupts the previous checkpoint.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	b, err := cp.Marshal()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadCheckpointFile loads a checkpoint written by WriteCheckpointFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalCheckpoint(b)
+}
+
+// FileCheckpointSink returns a CheckpointSink that persists every
+// checkpoint to path.
+func FileCheckpointSink(path string) func(*Checkpoint) error {
+	return func(cp *Checkpoint) error { return WriteCheckpointFile(path, cp) }
+}
+
+// maybeCheckpoint emits a checkpoint through the sink after outer loop
+// nextOuter-1 completed, respecting the configured cadence. Called with
+// clean surrogate parameters (outer-loop boundary).
+func (t *Trainer) maybeCheckpoint(nextOuter int, algo string, best *bestTracker) error {
+	if t.CheckpointSink == nil {
+		return nil
+	}
+	every := t.CheckpointEvery
+	if every <= 0 {
+		every = 1
+	}
+	if nextOuter%every != 0 && nextOuter != t.Cfg.OuterIters {
+		return nil
+	}
+	cp, err := t.makeCheckpoint(nextOuter, algo, best)
+	if err != nil {
+		return err
+	}
+	if err := t.CheckpointSink(cp); err != nil {
+		return fmt.Errorf("core: checkpoint sink: %w", err)
+	}
+	t.Stats.Checkpoints++
+	return nil
+}
+
+// makeCheckpoint captures the trainer's state at an outer-loop boundary.
+func (t *Trainer) makeCheckpoint(nextOuter int, algo string, best *bestTracker) (*Checkpoint, error) {
+	cp := &Checkpoint{
+		Version:   CheckpointVersion,
+		Algorithm: algo,
+		Type:      t.Sur.M.Type(),
+		Outer:     nextOuter,
+		Objective: append([]float64(nil), t.Objective...),
+		BestObj:   best.obj,
+		BestAt:    best.bestAt,
+		BaseSeed:  t.baseSeed,
+		EvalSeed:  t.evalSeed,
+		Sur:       nn.SaveParams(t.Sur.M.Params()),
+		Gen:       t.Gen.SaveState(),
+	}
+	if best.snap != nil {
+		// Serialize the best generator by round-tripping through the
+		// live parameters (snapshots are restore-only).
+		all := t.Gen.AllParams()
+		cur := nn.TakeSnapshot(all)
+		best.snap.Restore(all)
+		cp.BestGen = nn.SaveParams(all)
+		cur.Restore(all)
+	}
+	return cp, nil
+}
+
+// Resume rewinds the trainer to a checkpoint: surrogate and generator
+// parameters (with optimizer moments), the objective curve, the RNG
+// seeds and the next outer loop. The trainer must have been built with
+// the same architecture and configuration as the checkpointed run; call
+// Resume before TrainAccelerated/TrainBasic.
+func (t *Trainer) Resume(cp *Checkpoint) error {
+	if cp.Type != t.Sur.M.Type() {
+		return fmt.Errorf("core: checkpoint is for surrogate type %v, trainer has %v", cp.Type, t.Sur.M.Type())
+	}
+	if err := nn.LoadParams(t.Sur.M.Params(), cp.Sur); err != nil {
+		return fmt.Errorf("core: checkpoint surrogate: %w", err)
+	}
+	if err := t.Gen.LoadState(cp.Gen); err != nil {
+		return fmt.Errorf("core: checkpoint generator: %w", err)
+	}
+	t.Objective = append([]float64(nil), cp.Objective...)
+	t.baseSeed = cp.BaseSeed
+	t.evalSeed = cp.EvalSeed
+	t.startOuter = cp.Outer
+	t.resume = cp
+	return nil
+}

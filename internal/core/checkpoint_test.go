@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/nn"
+)
+
+func TestCheckpointMarshalRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Version: CheckpointVersion, Algorithm: AlgoAccelerated, Type: ce.FCN,
+		Outer: 3, Objective: []float64{0.1, 0.2, 0.3},
+		BestObj: 0.3, BestAt: 2, BaseSeed: 42, EvalSeed: 7,
+		Sur: []byte{1, 2, 3}, Gen: []byte{4, 5}, BestGen: []byte{6},
+	}
+	b, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outer != 3 || got.Type != ce.FCN || len(got.Objective) != 3 ||
+		string(got.Sur) != string(cp.Sur) || got.BaseSeed != 42 {
+		t.Errorf("round trip lost state: %+v", got)
+	}
+}
+
+func TestCheckpointVersionRejected(t *testing.T) {
+	cp := &Checkpoint{Version: CheckpointVersion + 1}
+	b, _ := cp.Marshal()
+	if _, err := UnmarshalCheckpoint(b); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := UnmarshalCheckpoint([]byte("{garbage")); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cp := &Checkpoint{Version: CheckpointVersion, Algorithm: AlgoBasic, Outer: 1}
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Outer != 1 || got.Algorithm != AlgoBasic {
+		t.Errorf("file round trip lost state: %+v", got)
+	}
+	if _, err := ReadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestResumeRejectsWrongType(t *testing.T) {
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 8, InnerIters: 2, OuterIters: 2})
+	if err := tr.Resume(&Checkpoint{Type: ce.Linear}); err == nil {
+		t.Error("Resume accepted a checkpoint for a different surrogate type")
+	}
+}
+
+// runCheckpointed trains a fresh, identical fixture with a checkpoint
+// sink, optionally cancelling the campaign after `cancelAfter`
+// checkpoints have been written, and returns the trainer, the last
+// checkpoint and the training error.
+func runCheckpointed(t *testing.T, seed int64, cfg TrainerConfig, cancelAfter int) (*Trainer, *Checkpoint, error) {
+	t.Helper()
+	f := newFixture(t, seed)
+	tr := newTrainer(f, nil, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var last *Checkpoint
+	written := 0
+	tr.CheckpointEvery = 1
+	tr.CheckpointSink = func(cp *Checkpoint) error {
+		last = cp
+		written++
+		if cancelAfter > 0 && written == cancelAfter {
+			cancel()
+		}
+		return nil
+	}
+	err := tr.TrainAccelerated(ctx)
+	return tr, last, err
+}
+
+// TestResumeReplaysUninterruptedCurve is the acceptance criterion for
+// checkpoint/resume: a campaign killed mid-training (context
+// cancellation between outer loops 3 and 4) and resumed from its last
+// checkpoint must reproduce the uninterrupted run's objective curve.
+// Every random draw inside outer loop k comes from a stream derived
+// from (baseSeed, k), so the replay is exact up to float tolerance.
+func TestResumeReplaysUninterruptedCurve(t *testing.T) {
+	const seed = 5
+	cfg := TrainerConfig{Batch: 12, InnerIters: 3, OuterIters: 6}
+
+	// Reference: the uninterrupted run.
+	refTr, _, err := runCheckpointed(t, seed, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refTr.Objective) != 6 {
+		t.Fatalf("reference curve has %d points, want 6", len(refTr.Objective))
+	}
+
+	// Interrupted: identical fixture, killed after 3 checkpoints.
+	intTr, cp, err := runCheckpointed(t, seed, cfg, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if cp == nil || cp.Outer != 3 {
+		t.Fatalf("last checkpoint at outer %v, want 3", cp)
+	}
+	for i, obj := range intTr.Objective {
+		if math.Abs(obj-refTr.Objective[i]) > 1e-9 {
+			t.Fatalf("pre-kill curve diverged at %d: %g vs %g", i, obj, refTr.Objective[i])
+		}
+	}
+
+	// Cancellation must leave the surrogate clean (restorable state).
+	// Round-trip the checkpoint through its file encoding, as a real
+	// resumed process would.
+	b, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err = UnmarshalCheckpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumed: a fresh identical fixture continues from the checkpoint.
+	f := newFixture(t, seed)
+	resTr := newTrainer(f, nil, cfg)
+	if err := resTr.Resume(cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := resTr.TrainAccelerated(bgCtx); err != nil {
+		t.Fatal(err)
+	}
+	if len(resTr.Objective) != len(refTr.Objective) {
+		t.Fatalf("resumed curve has %d points, want %d", len(resTr.Objective), len(refTr.Objective))
+	}
+	for i := range refTr.Objective {
+		if diff := math.Abs(resTr.Objective[i] - refTr.Objective[i]); diff > 1e-9 {
+			t.Errorf("resumed curve diverged at %d: %g vs %g (Δ=%g)",
+				i, resTr.Objective[i], refTr.Objective[i], diff)
+		}
+	}
+
+	// The resumed trainer must end on the same best generator: its final
+	// poison must be as damaging as the reference's (same objective under
+	// the fixed evaluation noise).
+	refObj, err := refTr.objectiveValue(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resObj, err := resTr.objectiveValue(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(refObj-resObj) > 1e-9 {
+		t.Errorf("final objective diverged: %g vs %g", refObj, resObj)
+	}
+}
+
+// TestCancellationRestoresSurrogate: a cancelled run must not leave the
+// surrogate with poisoned parameters.
+func TestCancellationRestoresSurrogate(t *testing.T) {
+	f := newFixture(t, 6)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 8, InnerIters: 3, OuterIters: 6})
+	before := nn.FlattenParams(f.sur.M.Params())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	tr.CheckpointEvery = 1
+	tr.CheckpointSink = func(*Checkpoint) error {
+		if n++; n == 2 {
+			cancel()
+		}
+		return nil
+	}
+	if err := tr.TrainAccelerated(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	if nn.MaxAbsDiff(before, nn.FlattenParams(f.sur.M.Params())) != 0 {
+		t.Error("cancellation left the surrogate poisoned")
+	}
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	f := newFixture(t, 7)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 8, InnerIters: 2, OuterIters: 5})
+	var outers []int
+	tr.CheckpointEvery = 2
+	tr.CheckpointSink = func(cp *Checkpoint) error {
+		outers = append(outers, cp.Outer)
+		return nil
+	}
+	if err := tr.TrainAccelerated(bgCtx); err != nil {
+		t.Fatal(err)
+	}
+	// Every 2 loops plus the final boundary: 2, 4, 5.
+	want := []int{2, 4, 5}
+	if len(outers) != len(want) {
+		t.Fatalf("checkpoints at %v, want %v", outers, want)
+	}
+	for i := range want {
+		if outers[i] != want[i] {
+			t.Fatalf("checkpoints at %v, want %v", outers, want)
+		}
+	}
+	if tr.Stats.Checkpoints != 3 {
+		t.Errorf("Stats.Checkpoints = %d, want 3", tr.Stats.Checkpoints)
+	}
+}
+
+func TestCheckpointSinkErrorAbortsTraining(t *testing.T) {
+	f := newFixture(t, 8)
+	tr := newTrainer(f, nil, TrainerConfig{Batch: 8, InnerIters: 2, OuterIters: 4})
+	sinkErr := errors.New("disk full")
+	tr.CheckpointEvery = 1
+	tr.CheckpointSink = func(*Checkpoint) error { return sinkErr }
+	if err := tr.TrainAccelerated(bgCtx); !errors.Is(err, sinkErr) {
+		t.Errorf("err = %v, want the sink error", err)
+	}
+}
+
+func TestTrainerConfigClamps(t *testing.T) {
+	c := TrainerConfig{Batch: -4, InnerIters: -1, OuterIters: -2, TestBatch: -8, BasicGenSteps: -3}.withDefaults()
+	if c.Batch != 64 || c.InnerIters != 20 || c.OuterIters != 20 || c.TestBatch != 64 || c.BasicGenSteps != 20 {
+		t.Errorf("negative values not clamped to defaults: %+v", c)
+	}
+	// TestBatch larger than the test set is clamped at construction.
+	f := newFixture(t, 5)
+	tr := newTrainer(f, nil, TrainerConfig{TestBatch: 1 << 20})
+	if tr.Cfg.TestBatch != len(f.test) {
+		t.Errorf("TestBatch = %d, want clamped to %d", tr.Cfg.TestBatch, len(f.test))
+	}
+}
+
+func TestBudgetConfigClampsNegatives(t *testing.T) {
+	c := BudgetConfig{PoolMult: -3, ScoreTestBatch: -1}.withDefaults()
+	if c.PoolMult != 4 || c.ScoreTestBatch != 32 {
+		t.Errorf("negative budget config not clamped: %+v", c)
+	}
+}

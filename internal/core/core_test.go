@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,6 +16,8 @@ import (
 	"pace/internal/surrogate"
 	"pace/internal/workload"
 )
+
+var bgCtx = context.Background()
 
 type fixture struct {
 	wgen *workload.Generator
@@ -89,7 +92,10 @@ func TestHypergradientMatchesNumeric(t *testing.T) {
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 12, TestBatch: len(f.test)})
 
 	batch := tr.Gen.Generate(12, f.rng)
-	samples, ok := tr.label(batch)
+	samples, ok, _, err := tr.label(bgCtx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(filterSamples(samples, ok)) == 0 {
 		t.Skip("degenerate batch: all zero-cardinality")
 	}
@@ -151,11 +157,11 @@ func TestTrainAcceleratedImprovesAttack(t *testing.T) {
 		return loss
 	}
 
-	q0, c0 := tr.GeneratePoison(40)
+	q0, c0 := tr.GeneratePoison(bgCtx, 40)
 	before := damage(q0, c0)
 
 	params := nn.FlattenParams(f.sur.M.Params())
-	tr.TrainAccelerated()
+	tr.TrainAccelerated(bgCtx)
 	if nn.MaxAbsDiff(params, nn.FlattenParams(f.sur.M.Params())) != 0 {
 		t.Error("TrainAccelerated did not restore the surrogate parameters")
 	}
@@ -163,7 +169,7 @@ func TestTrainAcceleratedImprovesAttack(t *testing.T) {
 		t.Fatalf("objective curve has %d points, want 6", len(tr.Objective))
 	}
 
-	q1, c1 := tr.GeneratePoison(40)
+	q1, c1 := tr.GeneratePoison(bgCtx, 40)
 	after := damage(q1, c1)
 	t.Logf("poison damage before=%.6f after=%.6f", before, after)
 	if after <= before {
@@ -175,7 +181,7 @@ func TestTrainBasicRunsAndRestores(t *testing.T) {
 	f := newFixture(t, 3)
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 16, OuterIters: 3, BasicGenSteps: 4})
 	before := nn.FlattenParams(f.sur.M.Params())
-	tr.TrainBasic()
+	tr.TrainBasic(bgCtx)
 	if nn.MaxAbsDiff(before, nn.FlattenParams(f.sur.M.Params())) != 0 {
 		t.Error("TrainBasic did not restore the surrogate parameters")
 	}
@@ -187,8 +193,8 @@ func TestTrainBasicRunsAndRestores(t *testing.T) {
 func TestGeneratePoisonShape(t *testing.T) {
 	f := newFixture(t, 4)
 	tr := newTrainer(f, nil, TrainerConfig{Batch: 8, InnerIters: 2, OuterIters: 2})
-	tr.TrainAccelerated()
-	qs, cards := tr.GeneratePoison(25)
+	tr.TrainAccelerated(bgCtx)
+	qs, cards := tr.GeneratePoison(bgCtx, 25)
 	if len(qs) != 25 || len(cards) != 25 {
 		t.Fatalf("got %d/%d, want 25/25", len(qs), len(cards))
 	}
@@ -225,27 +231,30 @@ func TestPoisoningDegradesBlackBox(t *testing.T) {
 	// Proper pipeline: the surrogate imitates the actual target (§4);
 	// the gentle incremental update only absorbs poison whose shape the
 	// surrogate transferred faithfully.
-	sur := surrogate.Train(mkBB(100), ce.FCN, f.wgen, surrogate.TrainConfig{
+	sur, err := surrogate.Train(bgCtx, mkBB(100), ce.FCN, f.wgen, surrogate.TrainConfig{
 		Queries: 200,
 		HP:      ce.HyperParams{Hidden: 16, Layers: 2},
 		Train:   ce.TrainConfig{Epochs: 25, Batch: 16},
 	}, f.rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	gen := generator.New(f.wgen.DS.Meta, f.wgen.DS.Joinable,
 		generator.Config{Hidden: 16, LR: 5e-3}, f.rng)
 	tr := NewTrainer(sur, gen, nil, EngineOracle(f.wgen),
 		sur.MakeSamples(qs, cards),
 		TrainerConfig{Batch: 32, InnerIters: 10, OuterIters: 8}, f.rng)
-	tr.TrainAccelerated()
-	paceQ, paceC := tr.GeneratePoison(60)
+	tr.TrainAccelerated(bgCtx)
+	paceQ, paceC := tr.GeneratePoison(bgCtx, 60)
 
 	bb1 := mkBB(100)
 	cleanErr := metrics.Mean(bb1.QErrors(qs, cards))
-	bb1.ExecuteWorkload(paceQ, paceC)
+	bb1.ExecuteWorkload(bgCtx, paceQ, paceC)
 	paceErr := metrics.Mean(bb1.QErrors(qs, cards))
 
 	bb2 := mkBB(100)
 	randQ, randC := RandomPoison(f.wgen, 60)
-	bb2.ExecuteWorkload(randQ, randC)
+	bb2.ExecuteWorkload(bgCtx, randQ, randC)
 	randErr := metrics.Mean(bb2.QErrors(qs, cards))
 
 	t.Logf("clean=%.2f random=%.2f pace=%.2f", cleanErr, randErr, paceErr)
@@ -262,9 +271,9 @@ func TestBaselinesProduceValidWorkloads(t *testing.T) {
 
 	randQ, randC := RandomPoison(f.wgen, 15)
 	lbsQ, lbsC := LbSPoison(f.sur, f.wgen, 15)
-	greedyQ, greedyC := GreedyPoison(f.sur, f.wgen, EngineOracle(f.wgen), 10, f.rng)
+	greedyQ, greedyC := GreedyPoison(bgCtx, f.sur, f.wgen, EngineOracle(f.wgen), 10, f.rng)
 	gen := generator.New(f.wgen.DS.Meta, f.wgen.DS.Joinable, generator.Config{Hidden: 12}, f.rng)
-	lbgQ, lbgC := LbGPoison(f.sur, gen, EngineOracle(f.wgen), LbGConfig{Iters: 10, Batch: 8}, 15, f.rng)
+	lbgQ, lbgC := LbGPoison(bgCtx, f.sur, gen, EngineOracle(f.wgen), LbGConfig{Iters: 10, Batch: 8}, 15, f.rng)
 
 	for _, tc := range []struct {
 		name   string
@@ -323,7 +332,7 @@ func TestCraftPoisonPanicsOnPACE(t *testing.T) {
 			t.Error("expected panic")
 		}
 	}()
-	CraftPoison(PACE, nil, nil, generator.Config{}, 1, nil)
+	CraftPoison(bgCtx, PACE, nil, nil, generator.Config{}, 1, nil)
 }
 
 func TestRunFullPipeline(t *testing.T) {
@@ -343,7 +352,7 @@ func TestRunFullPipeline(t *testing.T) {
 	before := metrics.Mean(bb.QErrors(qs, cards))
 
 	forced := ce.FCN
-	res, err := Run(bb, f.wgen, f.tw, history, Config{
+	res, err := Run(bgCtx, bb, f.wgen, f.tw, history, Config{
 		NumPoison: 50,
 		ForceType: &forced,
 		Surrogate: surrogate.TrainConfig{
@@ -394,16 +403,16 @@ func TestDetectorConfrontationReducesDivergence(t *testing.T) {
 	cfg := TrainerConfig{Batch: 24, InnerIters: 6, OuterIters: 5, DetectorWeight: 2}
 
 	trNo := newTrainer(f, nil, cfg)
-	trNo.TrainAccelerated()
-	qNo, _ := trNo.GeneratePoison(80)
+	trNo.TrainAccelerated(bgCtx)
+	qNo, _ := trNo.GeneratePoison(bgCtx, 80)
 
 	det := detector.New(f.wgen.DS.Meta.Dim(), detector.Config{Epochs: 60}, f.rng)
 	det.Train(hEnc)
 	det.CalibrateThreshold(hEnc, 90)
 	f2 := newFixture(t, 9) // fresh surrogate, same world
 	trYes := newTrainer(f2, det, cfg)
-	trYes.TrainAccelerated()
-	qYes, _ := trYes.GeneratePoison(80)
+	trYes.TrainAccelerated(bgCtx)
+	qYes, _ := trYes.GeneratePoison(bgCtx, 80)
 
 	dNo := metrics.JSDivergence(hEnc, encodeAll(qNo, f), 10)
 	dYes := metrics.JSDivergence(hEnc, encodeAll(qYes, f), 10)

@@ -1,14 +1,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"pace/internal/ce"
 	"pace/internal/detector"
+	"pace/internal/faults"
 	"pace/internal/generator"
 	"pace/internal/query"
+	"pace/internal/resilience"
 	"pace/internal/surrogate"
 	"pace/internal/workload"
 )
@@ -44,6 +47,23 @@ type Config struct {
 	// (default 90; set negative to keep the detector's absolute ε).
 	DetectorPercentile float64
 
+	// Retry is the campaign-wide retry policy for target and oracle
+	// calls (zero value = sensible defaults). Breaker, when set, gates
+	// oracle traffic and enforces the attacker's query budget. Faults,
+	// when set, wraps the target AND the oracle with an injected
+	// unreliability profile (chaos testing).
+	Retry   resilience.RetryPolicy
+	Breaker *resilience.Breaker
+	Faults  *faults.Injector
+
+	// CheckpointEvery/CheckpointSink checkpoint generator training every
+	// N outer loops (N ≤ 0 means every loop when a sink is set). Resume,
+	// when non-nil, skips surrogate acquisition and continues training
+	// from the checkpoint.
+	CheckpointEvery int
+	CheckpointSink  func(*Checkpoint) error
+	Resume          *Checkpoint
+
 	Speculation surrogate.SpeculationConfig
 	Surrogate   surrogate.TrainConfig
 	Generator   generator.Config
@@ -58,6 +78,12 @@ func (c Config) withDefaults() Config {
 	if c.DetectorPercentile == 0 {
 		c.DetectorPercentile = 90
 	}
+	if c.Speculation.Retry.MaxAttempts == 0 && c.Speculation.Retry.Retryable == nil {
+		c.Speculation.Retry = c.Retry
+	}
+	if c.Surrogate.Retry.MaxAttempts == 0 && c.Surrogate.Retry.Retryable == nil {
+		c.Surrogate.Retry = c.Retry
+	}
 	return c
 }
 
@@ -69,6 +95,12 @@ type Result struct {
 	// Similarities are the per-type speculation scores (nil when the
 	// type was forced).
 	Similarities map[ce.Type]float64
+	// SpeculationFellBack reports that speculation failed against the
+	// unreliable target and the pipeline degraded to the Linear
+	// surrogate — the paper's most robust type — instead of aborting.
+	SpeculationFellBack bool
+	// FailedProbes counts speculation probes lost to target failures.
+	FailedProbes int
 	// Surrogate is the trained white-box stand-in.
 	Surrogate *ce.Estimator
 	// Poison is the final poisoning workload with true cardinalities.
@@ -76,6 +108,13 @@ type Result struct {
 	PoisonCards []float64
 	// Objective is the convergence curve (one value per outer loop).
 	Objective []float64
+	// Stats tallies the oracle traffic of generator training, including
+	// the invalid-query rate (Stats.InvalidRate) and how many samples
+	// were skipped for lack of a label.
+	Stats TrainerStats
+	// FaultCounters snapshots the fault injector's tallies (nil when no
+	// injector was configured).
+	FaultCounters *faults.Counters
 	// TrainTime covers surrogate acquisition + generator training;
 	// GenTime covers drawing the final poisoning workload; AttackTime
 	// covers the target's incremental update on it.
@@ -87,30 +126,63 @@ type Result struct {
 // poisoning generator with the anomaly detector (§5–6), generate the
 // poisoning workload, and execute it against the target (§3.4).
 //
-// wgen supplies the attacker's query-generation and COUNT(*) machinery
-// over the target database; test is the workload whose estimation error
-// the attack maximizes; history is the historical workload the detector
+// target is the attacker's remote view of the victim estimator; wgen
+// supplies the attacker's query-generation and COUNT(*) machinery over
+// the target database; test is the workload whose estimation error the
+// attack maximizes; history is the historical workload the detector
 // learns normality from.
-func Run(bb *ce.BlackBox, wgen *workload.Generator, test, history []workload.Labeled,
+//
+// The campaign honors ctx (deadline or cancellation) and survives an
+// unreliable target: calls are retried per cfg.Retry, failed
+// speculation degrades to the Linear surrogate, unlabeled oracle calls
+// are skipped, and — when cfg.CheckpointSink is set — training is
+// checkpointed so a killed campaign can resume via cfg.Resume. On error
+// the returned Result carries whatever state was reached (it is non-nil
+// whenever training started).
+func Run(ctx context.Context, target ce.Target, wgen *workload.Generator, test, history []workload.Labeled,
 	cfg Config, rng *rand.Rand) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{}
 	oracle := EngineOracle(wgen)
+	if cfg.Faults != nil {
+		target = cfg.Faults.WrapTarget(target)
+		oracle = Oracle(cfg.Faults.WrapOracle(oracle))
+	}
 
 	trainStart := time.Now()
 
-	// Stage (a): surrogate acquisition.
-	if cfg.ForceType != nil {
-		res.SpeculatedType = *cfg.ForceType
+	// Stage (a): surrogate acquisition (skipped on resume — the
+	// checkpoint carries the trained surrogate).
+	if cfg.Resume != nil {
+		res.SpeculatedType = cfg.Resume.Type
+		model := ce.New(cfg.Resume.Type, wgen.DS.Meta, cfg.Surrogate.HP, rng)
+		res.Surrogate = ce.NewEstimator(model, cfg.Surrogate.Train, rng)
 	} else {
-		spec, err := surrogate.Speculate(bb, wgen, cfg.Speculation, rng)
-		if err != nil {
-			return nil, fmt.Errorf("core: speculation failed: %w", err)
+		if cfg.ForceType != nil {
+			res.SpeculatedType = *cfg.ForceType
+		} else {
+			spec, err := surrogate.Speculate(ctx, target, wgen, cfg.Speculation, rng)
+			switch {
+			case err == nil:
+				res.SpeculatedType = spec.Type
+				res.Similarities = spec.Similarities
+				res.FailedProbes = spec.FailedProbes
+			case ctx.Err() != nil:
+				return res, ctx.Err()
+			default:
+				// Graceful degradation: the target is too unreliable to
+				// fingerprint, so attack through the most robust
+				// surrogate type instead of giving up.
+				res.SpeculatedType = ce.Linear
+				res.SpeculationFellBack = true
+			}
 		}
-		res.SpeculatedType = spec.Type
-		res.Similarities = spec.Similarities
+		sur, err := surrogate.Train(ctx, target, res.SpeculatedType, wgen, cfg.Surrogate, rng)
+		if err != nil {
+			return res, fmt.Errorf("core: surrogate training failed: %w", err)
+		}
+		res.Surrogate = sur
 	}
-	res.Surrogate = surrogate.Train(bb, res.SpeculatedType, wgen, cfg.Surrogate, rng)
 
 	// Stage (b): generator (+ detector) training.
 	gen := generator.New(wgen.DS.Meta, wgen.DS.Joinable, cfg.Generator, rng)
@@ -125,35 +197,68 @@ func Run(bb *ce.BlackBox, wgen *workload.Generator, test, history []workload.Lab
 	}
 	testSamples := MakeTestSamples(res.Surrogate, test)
 	trainer := NewTrainer(res.Surrogate, gen, det, oracle, testSamples, cfg.Trainer, rng)
+	trainer.Retry = cfg.Retry
+	trainer.Breaker = cfg.Breaker
+	trainer.CheckpointEvery = cfg.CheckpointEvery
+	trainer.CheckpointSink = cfg.CheckpointSink
+	if cfg.Resume != nil {
+		if err := trainer.Resume(cfg.Resume); err != nil {
+			return res, err
+		}
+	}
+	var trainErr error
 	switch cfg.Algorithm {
 	case Basic:
-		trainer.TrainBasic()
+		trainErr = trainer.TrainBasic(ctx)
 	default:
-		trainer.TrainAccelerated()
+		trainErr = trainer.TrainAccelerated(ctx)
 	}
 	res.Objective = trainer.Objective
 	res.TrainTime = time.Since(trainStart)
+	if trainErr != nil {
+		res.Stats = trainer.Stats
+		res.FaultCounters = faultCounters(cfg)
+		return res, trainErr
+	}
 
 	// Stage (c): attack.
 	genStart := time.Now()
-	res.Poison, res.PoisonCards = trainer.GeneratePoison(cfg.NumPoison)
+	res.Poison, res.PoisonCards = trainer.GeneratePoison(ctx, cfg.NumPoison)
 	res.GenTime = time.Since(genStart)
+	res.Stats = trainer.Stats
 
 	attackStart := time.Now()
-	bb.ExecuteWorkload(res.Poison, res.PoisonCards)
+	execErr := target.ExecuteWorkload(ctx, res.Poison, res.PoisonCards)
 	res.AttackTime = time.Since(attackStart)
+	res.FaultCounters = faultCounters(cfg)
+	if execErr != nil {
+		return res, fmt.Errorf("core: poison execution failed: %w", execErr)
+	}
 	return res, nil
 }
 
+func faultCounters(cfg Config) *faults.Counters {
+	if cfg.Faults == nil {
+		return nil
+	}
+	c := cfg.Faults.Counters()
+	return &c
+}
+
 // EngineOracle adapts the workload generator's exact engine into the
-// attacker's COUNT(*) oracle (invalid queries count as zero).
+// attacker's COUNT(*) oracle. Engine rejections surface as
+// ErrInvalidQuery — an invalid query has no cardinality, and conflating
+// it with an empty result would feed the trainer fake zero labels.
 func EngineOracle(wgen *workload.Generator) Oracle {
-	return func(q *query.Query) float64 {
+	return func(ctx context.Context, q *query.Query) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		card, err := wgen.Eng.Cardinality(q)
 		if err != nil {
-			return 0
+			return 0, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 		}
-		return card
+		return card, nil
 	}
 }
 
@@ -174,7 +279,7 @@ func encodings(w []workload.Labeled, wgen *workload.Generator) [][]float64 {
 // CraftPoison produces a poisoning workload of size n with the given
 // baseline method against a trained surrogate. PACE itself must go
 // through Run (it needs the full trainer); passing PACE here panics.
-func CraftPoison(m Method, sur *ce.Estimator, wgen *workload.Generator,
+func CraftPoison(ctx context.Context, m Method, sur *ce.Estimator, wgen *workload.Generator,
 	genCfg generator.Config, n int, rng *rand.Rand) ([]*query.Query, []float64) {
 	oracle := EngineOracle(wgen)
 	switch m {
@@ -183,10 +288,10 @@ func CraftPoison(m Method, sur *ce.Estimator, wgen *workload.Generator,
 	case LbS:
 		return LbSPoison(sur, wgen, n)
 	case Greedy:
-		return GreedyPoison(sur, wgen, oracle, n, rng)
+		return GreedyPoison(ctx, sur, wgen, oracle, n, rng)
 	case LbG:
 		gen := generator.New(wgen.DS.Meta, wgen.DS.Joinable, genCfg, rng)
-		return LbGPoison(sur, gen, oracle, LbGConfig{}, n, rng)
+		return LbGPoison(ctx, sur, gen, oracle, LbGConfig{}, n, rng)
 	default:
 		panic(fmt.Sprintf("core: CraftPoison does not implement %v", m))
 	}

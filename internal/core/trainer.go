@@ -17,6 +17,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 
 	"pace/internal/ce"
@@ -24,11 +26,28 @@ import (
 	"pace/internal/generator"
 	"pace/internal/nn"
 	"pace/internal/query"
+	"pace/internal/resilience"
 )
 
 // Oracle is the attacker's COUNT(*) capability: the true cardinality of
-// any crafted query (§2.2, adversary's capacity).
-type Oracle func(*query.Query) float64
+// any crafted query (§2.2, adversary's capacity). Like the black-box
+// target it is reached remotely, so it can fail: ErrInvalidQuery marks a
+// query the engine rejected (permanently — retrying is pointless), any
+// other error a transient failure of the channel.
+type Oracle func(ctx context.Context, q *query.Query) (float64, error)
+
+// ErrInvalidQuery marks a query the COUNT(*) engine rejected as
+// malformed. It is distinct from an empty result: an invalid query has
+// no cardinality at all, and must never be fed to the trainer as label
+// zero.
+var ErrInvalidQuery = errors.New("core: invalid query")
+
+// RetryableOracleError is the default retry classifier for oracle and
+// target calls: invalid queries and exhausted budgets are permanent,
+// everything else is worth retrying.
+func RetryableOracleError(err error) bool {
+	return !errors.Is(err, ErrInvalidQuery) && !errors.Is(err, resilience.ErrBudgetExhausted)
+}
 
 // TrainerConfig controls poisoning-generator training.
 type TrainerConfig struct {
@@ -41,7 +60,9 @@ type TrainerConfig struct {
 	// setting for both algorithms).
 	OuterIters int
 	// TestBatch bounds how many test samples are used per objective
-	// gradient (default 64; 0 < TestBatch ≤ len(test)).
+	// gradient (default 64). Out-of-range values are clamped: negative
+	// falls back to the default, larger than the test set uses the whole
+	// test set.
 	TestBatch int
 	// Delta is the finite-difference step of the Hessian-vector product
 	// (default 1e-3).
@@ -88,16 +109,16 @@ func weightOf(w float64) float64 {
 }
 
 func (c TrainerConfig) withDefaults() TrainerConfig {
-	if c.Batch == 0 {
+	if c.Batch <= 0 {
 		c.Batch = 64
 	}
-	if c.InnerIters == 0 {
+	if c.InnerIters <= 0 {
 		c.InnerIters = 20
 	}
-	if c.OuterIters == 0 {
+	if c.OuterIters <= 0 {
 		c.OuterIters = 20
 	}
-	if c.TestBatch == 0 {
+	if c.TestBatch <= 0 {
 		c.TestBatch = 64
 	}
 	if c.Delta == 0 {
@@ -112,10 +133,40 @@ func (c TrainerConfig) withDefaults() TrainerConfig {
 	if c.InferenceWeight == 0 {
 		c.InferenceWeight = 0.5
 	}
-	if c.BasicGenSteps == 0 {
+	if c.BasicGenSteps <= 0 {
 		c.BasicGenSteps = 20
 	}
 	return c
+}
+
+// TrainerStats counts the oracle traffic and its failure modes over a
+// training run — the observability half of the unreliable-target model.
+type TrainerStats struct {
+	// OracleCalls is the number of logical COUNT(*) calls (retries of
+	// the same call are not double-counted here).
+	OracleCalls int
+	// OracleInvalid counts calls rejected with ErrInvalidQuery.
+	OracleInvalid int
+	// OracleFailed counts calls that failed for any other reason after
+	// retries (transient faults, open breaker, exhausted budget).
+	OracleFailed int
+	// OracleRetries counts the extra attempts spent recovering from
+	// transient failures.
+	OracleRetries int
+	// SkippedSamples counts generated queries that entered training
+	// without a label (their oracle call failed): they are skipped, NOT
+	// treated as empty results.
+	SkippedSamples int
+	// Checkpoints counts checkpoints written through CheckpointSink.
+	Checkpoints int
+}
+
+// InvalidRate is the fraction of oracle calls rejected as invalid.
+func (s TrainerStats) InvalidRate() float64 {
+	if s.OracleCalls == 0 {
+		return 0
+	}
+	return float64(s.OracleInvalid) / float64(s.OracleCalls)
 }
 
 // Trainer optimizes a poisoning generator against a surrogate model.
@@ -127,43 +178,148 @@ type Trainer struct {
 	Test   []ce.Sample
 	Cfg    TrainerConfig
 
+	// Retry absorbs transient oracle failures (zero value = defaults
+	// with RetryableOracleError). Breaker, when set, gates every oracle
+	// call and enforces the attacker's query budget.
+	Retry   resilience.RetryPolicy
+	Breaker *resilience.Breaker
+
+	// CheckpointEvery and CheckpointSink enable periodic checkpoints: a
+	// snapshot of the full training state is passed to the sink after
+	// every CheckpointEvery completed outer loops. A sink error aborts
+	// training (the campaign would not be resumable past it).
+	CheckpointEvery int
+	CheckpointSink  func(*Checkpoint) error
+
 	// Objective records the post-update test loss at the end of every
 	// outer loop — the convergence curve of Fig. 15 (as the generator's
 	// loss −L_test, it declines; as the objective, it rises).
 	Objective []float64
 
+	// Stats tallies oracle traffic; read it after training.
+	Stats TrainerStats
+
 	rng *rand.Rand
 	// evalSeed fixes the noise used by objectiveValue so the recorded
 	// convergence curve reflects generator progress, not batch noise.
 	evalSeed int64
+	// baseSeed derives each outer loop's private RNG. Every random draw
+	// inside outer loop k comes from a stream seeded by (baseSeed, k),
+	// so a run resumed from a loop-k checkpoint replays exactly the
+	// draws the uninterrupted run would have made.
+	baseSeed int64
+	loopRng  *rand.Rand
+	// startOuter and resume carry checkpoint state set by Resume.
+	startOuter int
+	resume     *Checkpoint
 }
 
 // NewTrainer assembles a trainer. det may be nil (PACE-Without Detector).
 func NewTrainer(sur *ce.Estimator, gen *generator.Generator, det *detector.Detector,
 	oracle Oracle, test []ce.Sample, cfg TrainerConfig, rng *rand.Rand) *Trainer {
+	cfg = cfg.withDefaults()
+	if len(test) > 0 && cfg.TestBatch > len(test) {
+		cfg.TestBatch = len(test)
+	}
 	return &Trainer{
 		Sur: sur, Gen: gen, Det: det,
 		Oracle: oracle, Test: test,
-		Cfg:      cfg.withDefaults(),
+		Cfg:      cfg,
 		rng:      rng,
 		evalSeed: rng.Int63(),
+		baseSeed: rng.Int63(),
 	}
 }
 
+// stepRng is the RNG for draws inside a training loop: the per-outer-loop
+// stream during training, the trainer's base RNG outside it.
+func (t *Trainer) stepRng() *rand.Rand {
+	if t.loopRng != nil {
+		return t.loopRng
+	}
+	return t.rng
+}
+
+// outerRng builds outer loop k's private RNG stream from the base seed.
+func (t *Trainer) outerRng(outer int) *rand.Rand {
+	x := uint64(t.baseSeed) + uint64(outer+1)*0x9E3779B97F4A7C15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return rand.New(rand.NewSource(int64(x & 0x7fffffffffffffff)))
+}
+
+// callOracle is the resilient oracle path: breaker admission, retries
+// with backoff, and stats accounting. The error classes are: nil
+// (labeled), ErrInvalidQuery (engine rejected the query), context errors
+// (campaign is over), anything else (call lost after retries — the
+// sample must be skipped, not zero-labeled).
+func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, error) {
+	t.Stats.OracleCalls++
+	if t.Breaker != nil {
+		if err := t.Breaker.Allow(); err != nil {
+			t.Stats.OracleFailed++
+			return 0, err
+		}
+	}
+	pol := t.Retry
+	if pol.Retryable == nil {
+		pol.Retryable = RetryableOracleError
+	}
+	var card float64
+	attempts, err := pol.Do(ctx, t.stepRng(), func(c context.Context) error {
+		var e error
+		card, e = t.Oracle(c, q)
+		return e
+	})
+	if attempts > 1 {
+		t.Stats.OracleRetries += attempts - 1
+	}
+	if t.Breaker != nil {
+		if err != nil && !errors.Is(err, ErrInvalidQuery) {
+			t.Breaker.Record(err)
+		} else {
+			t.Breaker.Record(nil)
+		}
+	}
+	if err != nil {
+		if errors.Is(err, ErrInvalidQuery) {
+			t.Stats.OracleInvalid++
+		} else {
+			t.Stats.OracleFailed++
+		}
+		return 0, err
+	}
+	return card, nil
+}
+
 // label turns generated samples into CE training samples using the
-// oracle; zero-cardinality queries yield ok=false (the target filters
-// them out of its update, so they carry no poisoning gradient).
-func (t *Trainer) label(batch []*generator.Sample) ([]ce.Sample, []bool) {
-	samples := make([]ce.Sample, len(batch))
-	ok := make([]bool, len(batch))
+// oracle. Three outcomes per sample: labeled non-empty (ok), a real
+// empty result (empty — the target filters those out of its update, so
+// they carry no poisoning gradient but do get the widening signal), or
+// unlabeled (the oracle call failed — the sample is skipped entirely).
+// Only a done context is returned as an error.
+func (t *Trainer) label(ctx context.Context, batch []*generator.Sample) (samples []ce.Sample, ok, empty []bool, err error) {
+	samples = make([]ce.Sample, len(batch))
+	ok = make([]bool, len(batch))
+	empty = make([]bool, len(batch))
 	for i, s := range batch {
-		card := t.Oracle(s.Query)
+		card, cerr := t.callOracle(ctx, s.Query)
+		if cerr != nil {
+			if ctx.Err() != nil {
+				return nil, nil, nil, ctx.Err()
+			}
+			t.Stats.SkippedSamples++
+			continue
+		}
 		if card >= 1 {
 			samples[i] = ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)}
 			ok[i] = true
+		} else {
+			empty[i] = true
 		}
 	}
-	return samples, ok
+	return samples, ok, empty, nil
 }
 
 // testBatch samples a minibatch of the test workload.
@@ -173,7 +329,7 @@ func (t *Trainer) testBatch() []ce.Sample {
 		return t.Test
 	}
 	out := make([]ce.Sample, n)
-	perm := t.rng.Perm(len(t.Test))
+	perm := t.stepRng().Perm(len(t.Test))
 	for i := 0; i < n; i++ {
 		out[i] = t.Test[perm[i]]
 	}
@@ -279,17 +435,22 @@ func filterSamples(samples []ce.Sample, ok []bool) []ce.Sample {
 // when a detector is present — the reconstruction-loss confrontation on
 // abnormal samples (Algorithm 1 lines 13–15). Each signal is normalized
 // to comparable scale before weighting, so the weights are interpretable.
-func (t *Trainer) generatorStep(batch []*generator.Sample, ok []bool, attack, inference [][]float64) {
+// Samples that are neither valid nor confirmed empty (their label was
+// lost to an oracle failure) contribute nothing.
+func (t *Trainer) generatorStep(batch []*generator.Sample, ok, empty []bool, attack, inference [][]float64) {
 	attackScale := batchScale(attack)
 	infScale := batchScale(inference)
 	n := 0
 	for i, s := range batch {
 		dV := make([]float64, len(s.V))
 		if !ok[i] {
-			// Zero-cardinality sample: pull it back over the empty
-			// cliff by widening its predicates (lower the lower
-			// bounds, raise the upper bounds).
-			t.addWideningGrad(s, dV)
+			if empty == nil || empty[i] {
+				// Zero-cardinality sample: pull it back over the empty
+				// cliff by widening its predicates (lower the lower
+				// bounds, raise the upper bounds).
+				t.addWideningGrad(s, dV)
+			}
+			// Unlabeled sample: nothing is known about it; no signal.
 		} else if attack[i] != nil {
 			// Adam minimizes; feed −ascent to maximize the objective.
 			nn.AddScaled(dV, -attackScale, attack[i])
@@ -353,41 +514,128 @@ func sliceScale(g []float64) float64 {
 // algorithm. Each outer loop starts from the clean surrogate parameters
 // (the attack itself always updates the clean target), and records the
 // post-update objective value.
-func (t *Trainer) TrainAccelerated() {
+//
+// The run honors ctx: on cancellation the surrogate is restored to its
+// clean parameters and ctx's error is returned; a campaign checkpointed
+// through CheckpointSink can later resume from the last completed outer
+// loop (see Resume) and replay the remaining loops exactly.
+func (t *Trainer) TrainAccelerated(ctx context.Context) error {
+	return t.train(ctx, AlgoAccelerated)
+}
+
+// TrainBasic runs the basic algorithm (Fig. 5a): each outer loop first
+// fully poisons the surrogate (T update steps) on the current generator's
+// queries, then updates the generator for m steps against that FIXED
+// poisoned model — maximizing the poisoned model's inference loss on the
+// generated queries — before re-poisoning from scratch. The two variables
+// never interact within a step, which is exactly the inefficiency §5.3
+// describes. Cancellation and checkpointing behave as in TrainAccelerated.
+func (t *Trainer) TrainBasic(ctx context.Context) error {
+	return t.train(ctx, AlgoBasic)
+}
+
+func (t *Trainer) train(ctx context.Context, algo string) error {
 	ps := t.Sur.M.Params()
 	clean := nn.TakeSnapshot(ps)
-	best := t.newBestTracker()
-	for outer := 0; outer < t.Cfg.OuterIters; outer++ {
-		for inner := 0; inner < t.Cfg.InnerIters; inner++ {
-			batch := t.Gen.Generate(t.Cfg.Batch, t.rng)
-			t.Gen.TrainJoin(batch)
-			samples, ok := t.label(batch)
-
-			var attack [][]float64
-			if t.Cfg.DisableHypergradient {
-				attack = make([][]float64, len(samples))
-			} else {
-				attack = t.attackGrads(samples, ok)
-			}
-			inference := t.inputGrads(samples, ok)
-			t.generatorStep(batch, ok, attack, inference)
-
-			// Progressive update: advance the poisoned parameters one
-			// step on the just-generated queries (line 20's θ_T is
-			// reached after the inner loop).
-			if valid := filterSamples(samples, ok); len(valid) > 0 {
-				t.Sur.UpdateStep(valid)
-			}
+	best, err := t.newBestTracker(ctx)
+	if err != nil {
+		return err
+	}
+	for outer := t.startOuter; outer < t.Cfg.OuterIters; outer++ {
+		t.loopRng = t.outerRng(outer)
+		var err error
+		if algo == AlgoAccelerated {
+			err = t.acceleratedLoop(ctx)
+		} else {
+			err = t.basicLoop(ctx)
 		}
+		if err != nil {
+			t.loopRng = nil
+			clean.Restore(ps)
+			return err
+		}
+
 		clean.Restore(ps)
-		obj := t.objectiveValue()
+		obj, err := t.objectiveValue(ctx)
+		t.loopRng = nil
+		if err != nil {
+			return err
+		}
 		t.Objective = append(t.Objective, obj)
 		best.consider(obj, len(t.Objective)-1)
+		if err := t.maybeCheckpoint(outer+1, algo, best); err != nil {
+			return err
+		}
 		if t.converged(best) {
 			break
 		}
 	}
 	best.restore()
+	return nil
+}
+
+// acceleratedLoop is one outer loop of Algorithm 1.
+func (t *Trainer) acceleratedLoop(ctx context.Context) error {
+	for inner := 0; inner < t.Cfg.InnerIters; inner++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		batch := t.Gen.Generate(t.Cfg.Batch, t.stepRng())
+		t.Gen.TrainJoin(batch)
+		samples, ok, empty, err := t.label(ctx, batch)
+		if err != nil {
+			return err
+		}
+
+		var attack [][]float64
+		if t.Cfg.DisableHypergradient {
+			attack = make([][]float64, len(samples))
+		} else {
+			attack = t.attackGrads(samples, ok)
+		}
+		inference := t.inputGrads(samples, ok)
+		t.generatorStep(batch, ok, empty, attack, inference)
+
+		// Progressive update: advance the poisoned parameters one
+		// step on the just-generated queries (line 20's θ_T is
+		// reached after the inner loop).
+		if valid := filterSamples(samples, ok); len(valid) > 0 {
+			t.Sur.UpdateStep(valid)
+		}
+	}
+	return nil
+}
+
+// basicLoop is one outer loop of the basic algorithm.
+func (t *Trainer) basicLoop(ctx context.Context) error {
+	// (1) Poison θ0 → θT with the current generator's queries.
+	batch := t.Gen.Generate(t.Cfg.Batch, t.stepRng())
+	t.Gen.TrainJoin(batch)
+	samples, ok, _, err := t.label(ctx, batch)
+	if err != nil {
+		return err
+	}
+	if valid := filterSamples(samples, ok); len(valid) > 0 {
+		t.Sur.Update(valid)
+	}
+
+	// (2) Update the generator for m steps with θT held constant.
+	for step := 0; step < t.Cfg.BasicGenSteps; step++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b := t.Gen.Generate(t.Cfg.Batch, t.stepRng())
+		t.Gen.TrainJoin(b)
+		s, okB, emptyB, err := t.label(ctx, b)
+		if err != nil {
+			return err
+		}
+		grads := t.inputGrads(s, okB)
+		// Ascent on the poisoned model's inference loss only —
+		// the basic algorithm has no per-step coupling.
+		t.generatorStep(b, okB, emptyB, grads, nil)
+	}
+	return nil
 }
 
 // converged reports whether the objective has gone Patience outer loops
@@ -397,48 +645,6 @@ func (t *Trainer) converged(best *bestTracker) bool {
 		return false
 	}
 	return len(t.Objective)-1-best.bestAt >= t.Cfg.Patience
-}
-
-// TrainBasic runs the basic algorithm (Fig. 5a): each outer loop first
-// fully poisons the surrogate (T update steps) on the current generator's
-// queries, then updates the generator for m steps against that FIXED
-// poisoned model — maximizing the poisoned model's inference loss on the
-// generated queries — before re-poisoning from scratch. The two variables
-// never interact within a step, which is exactly the inefficiency §5.3
-// describes.
-func (t *Trainer) TrainBasic() {
-	ps := t.Sur.M.Params()
-	clean := nn.TakeSnapshot(ps)
-	best := t.newBestTracker()
-	for outer := 0; outer < t.Cfg.OuterIters; outer++ {
-		// (1) Poison θ0 → θT with the current generator's queries.
-		batch := t.Gen.Generate(t.Cfg.Batch, t.rng)
-		t.Gen.TrainJoin(batch)
-		samples, ok := t.label(batch)
-		if valid := filterSamples(samples, ok); len(valid) > 0 {
-			t.Sur.Update(valid)
-		}
-
-		// (2) Update the generator for m steps with θT held constant.
-		for step := 0; step < t.Cfg.BasicGenSteps; step++ {
-			b := t.Gen.Generate(t.Cfg.Batch, t.rng)
-			t.Gen.TrainJoin(b)
-			s, okB := t.label(b)
-			grads := t.inputGrads(s, okB)
-			// Ascent on the poisoned model's inference loss only —
-			// the basic algorithm has no per-step coupling.
-			t.generatorStep(b, okB, grads, nil)
-		}
-
-		clean.Restore(ps)
-		obj := t.objectiveValue()
-		t.Objective = append(t.Objective, obj)
-		best.consider(obj, len(t.Objective)-1)
-		if t.converged(best) {
-			break
-		}
-	}
-	best.restore()
 }
 
 // bestTracker keeps the generator snapshot with the highest objective
@@ -453,16 +659,34 @@ type bestTracker struct {
 	bestAt int // Objective index of the best value (-1: untrained baseline)
 }
 
-func (t *Trainer) newBestTracker() *bestTracker {
+func (t *Trainer) newBestTracker(ctx context.Context) (*bestTracker, error) {
 	b := &bestTracker{gen: t.Gen, obj: -1, bestAt: -1}
+	if cp := t.resume; cp != nil && len(cp.BestGen) > 0 {
+		// Rebuild the tracked best from the checkpoint without a fresh
+		// baseline evaluation (the resumed curve already contains it).
+		all := t.Gen.AllParams()
+		cur := nn.TakeSnapshot(all)
+		if err := nn.LoadParams(all, cp.BestGen); err != nil {
+			return nil, err
+		}
+		b.snap = nn.TakeSnapshot(all)
+		cur.Restore(all)
+		b.obj = cp.BestObj
+		b.bestAt = cp.BestAt
+		return b, nil
+	}
 	// Baseline: the untrained generator, so training can never end
 	// worse than it started.
-	b.consider(t.objectiveValue(), -1)
-	return b
+	obj, err := t.objectiveValue(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b.consider(obj, -1)
+	return b, nil
 }
 
 func (b *bestTracker) params() []*nn.Param {
-	return append(b.gen.Gj.Params(), b.gen.Params()...)
+	return b.gen.AllParams()
 }
 
 func (b *bestTracker) consider(obj float64, at int) {
@@ -484,15 +708,24 @@ func (b *bestTracker) restore() {
 // the real attack draws it (non-empty queries, resampled with fixed
 // evaluation noise so the curve tracks generator progress, not batch
 // noise) and return the test loss of the poisoned model. The surrogate is
-// restored afterwards.
-func (t *Trainer) objectiveValue() float64 {
+// restored afterwards. Oracle failures skip the sample; only a done
+// context is an error.
+func (t *Trainer) objectiveValue(ctx context.Context) (float64, error) {
 	ps := t.Sur.M.Params()
 	snap := nn.TakeSnapshot(ps)
 	evalRng := rand.New(rand.NewSource(t.evalSeed))
 	var valid []ce.Sample
 	for attempt := 0; len(valid) < t.Cfg.Batch && attempt < 20*t.Cfg.Batch; attempt++ {
 		s := t.Gen.GenerateOne(evalRng)
-		if card := t.Oracle(s.Query); card >= 1 {
+		card, err := t.callOracle(ctx, s.Query)
+		if err != nil {
+			if ctx.Err() != nil {
+				snap.Restore(ps)
+				return 0, ctx.Err()
+			}
+			continue
+		}
+		if card >= 1 {
 			valid = append(valid, ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)})
 		}
 	}
@@ -501,7 +734,7 @@ func (t *Trainer) objectiveValue() float64 {
 	}
 	loss, _ := t.testLossAndGrad(t.Test)
 	snap.Restore(ps)
-	return loss
+	return loss, nil
 }
 
 // GeneratePoison draws the final poisoning workload from the trained
@@ -510,14 +743,22 @@ func (t *Trainer) objectiveValue() float64 {
 // so empty queries — which the target eliminates from its update and
 // which therefore poison nothing — are resampled away (bounded attempts;
 // any shortfall is filled with the empty draws rather than failing).
-func (t *Trainer) GeneratePoison(n int) ([]*query.Query, []float64) {
+// Oracle failures skip the draw; cancellation returns what was gathered
+// so far.
+func (t *Trainer) GeneratePoison(ctx context.Context, n int) ([]*query.Query, []float64) {
 	qs := make([]*query.Query, 0, n)
 	cards := make([]float64, 0, n)
 	var spareQ []*query.Query
 	var spareC []float64
 	for attempt := 0; len(qs) < n && attempt < 20*n; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
 		s := t.Gen.GenerateOne(t.rng)
-		card := t.Oracle(s.Query)
+		card, err := t.callOracle(ctx, s.Query)
+		if err != nil {
+			continue
+		}
 		if card >= 1 {
 			qs = append(qs, s.Query)
 			cards = append(cards, card)

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/faults"
+	"pace/internal/metrics"
+	"pace/internal/resilience"
+	"pace/internal/workload"
+)
+
+// RunChaos is the unreliable-target study (beyond the paper's
+// evaluation, which assumes a perfectly reachable victim): the full PACE
+// campaign is run against every fault profile of internal/faults, and
+// the table reports how much attack effectiveness survives each flavor
+// of unreliability, alongside the fault and retry accounting. The
+// campaign-side machinery under test is the retry/backoff policy, the
+// skip-not-zero labeling and the graceful degradation of core.Run.
+func RunChaos(out io.Writer, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	w, err := NewWorld("dmv", cfg)
+	if err != nil {
+		return err
+	}
+	qs := workload.Queries(w.Test)
+	cards := Cards(w.Test)
+
+	section(out, "Chaos study (dmv, FCN): attack effectiveness vs target unreliability")
+	fmt.Fprintf(out, "%-10s %10s %10s %8s %8s %8s %8s %10s\n",
+		"profile", "clean", "poisoned", "degrade", "faults", "retries", "skipped", "time")
+
+	for pi, p := range faults.Profiles() {
+		// A fresh target per profile: each campaign poisons its own twin.
+		bb := w.NewBlackBox(ce.FCN, int64(3000+pi))
+		clean := metrics.GeoMean(bb.QErrors(qs, cards))
+
+		forced := ce.FCN
+		runCfg := core.Config{
+			NumPoison:       cfg.NumPoison,
+			ForceType:       &forced, // speculation accuracy is Table 6's job
+			DisableDetector: true,
+			Faults:          faults.NewInjector(p, cfg.Seed*31+int64(pi)),
+			Retry: resilience.RetryPolicy{
+				MaxAttempts: 3,
+				BaseDelay:   200 * time.Microsecond,
+				MaxDelay:    2 * time.Millisecond,
+			},
+			Generator: w.GenCfg(),
+			Trainer:   w.TrainerCfg(),
+		}
+		runCfg.Surrogate.Queries = cfg.TrainQueries
+		runCfg.Surrogate.HP = w.HP()
+		runCfg.Surrogate.Train = w.TrainCfg()
+
+		start := time.Now()
+		rng := rand.New(rand.NewSource(cfg.Seed*41 + int64(pi)))
+		res, err := core.Run(bg, bb, w.WGen, w.Test, w.History, runCfg, rng)
+		elapsed := time.Since(start)
+		if err != nil {
+			// A hostile enough profile may defeat the campaign outright;
+			// that is a data point, not a harness failure.
+			fmt.Fprintf(out, "%-10s %10.2f %10s %8s  campaign failed: %v\n",
+				p.Name, clean, "-", "-", err)
+			continue
+		}
+		poisoned := metrics.GeoMean(bb.QErrors(qs, cards))
+		c := res.FaultCounters
+		fmt.Fprintf(out, "%-10s %10.2f %10.2f %7.1f× %8d %8d %8d %10s\n",
+			p.Name, clean, poisoned, poisoned/clean,
+			c.Failures(), res.Stats.OracleRetries, res.Stats.SkippedSamples,
+			fmtDur(elapsed))
+	}
+	fmt.Fprintln(out, "(degrade = poisoned/clean geometric-mean Q-error; faults = injected failures;")
+	fmt.Fprintln(out, " retries/skipped = oracle calls recovered by backoff / lost after retries)")
+	return nil
+}

@@ -35,9 +35,9 @@ func RunDetectorEffect(out io.Writer, cfg Config) error {
 			det.SetThreshold(eps)
 		}
 		tr := w.TrainPACE(sur, det, off)
-		pq, pc := tr.GeneratePoison(cfg.NumPoison)
+		pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
 		target := w.NewBlackBox(ce.FCN, 1)
-		target.ExecuteWorkload(pq, pc)
+		target.ExecuteWorkload(bg, pq, pc)
 
 		pEnc := make([][]float64, len(pq))
 		for i, q := range pq {

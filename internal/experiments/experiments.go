@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,10 @@ import (
 	"pace/internal/surrogate"
 	"pace/internal/workload"
 )
+
+// bg is the context for the in-process experiment harness, where target
+// and oracle calls cannot fail and deadlines are not a concern.
+var bg = context.Background()
 
 // Config scales the experiment suite. The defaults are the "quick"
 // profile: minutes on a laptop. Full-profile values (closer to the
@@ -187,11 +192,17 @@ func (w *World) NewBlackBoxHP(typ ce.Type, hp ce.HyperParams, seedOffset int64) 
 // using the combined Eq. 7 strategy.
 func (w *World) NewSurrogate(bb *ce.BlackBox, typ ce.Type, seedOffset int64) *ce.Estimator {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed*104729 + seedOffset))
-	return surrogate.Train(bb, typ, w.WGen, surrogate.TrainConfig{
+	sur, err := surrogate.Train(bg, bb, typ, w.WGen, surrogate.TrainConfig{
 		Queries: w.Cfg.TrainQueries,
 		HP:      w.HP(),
 		Train:   w.TrainCfg(),
 	}, rng)
+	if err != nil {
+		// Unreachable with an in-process black box and a background
+		// context; a real failure here is a harness bug.
+		panic("experiments: surrogate training failed: " + err.Error())
+	}
+	return sur
 }
 
 // GenCfg returns the poisoning-generator configuration.
@@ -224,7 +235,7 @@ func (w *World) TrainPACE(sur *ce.Estimator, det *detector.Detector, seedOffset 
 	gen := generator.New(w.DS.Meta, w.DS.Joinable, w.GenCfg(), rng)
 	tr := core.NewTrainer(sur, gen, det, core.EngineOracle(w.WGen),
 		core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng)
-	tr.TrainAccelerated()
+	_ = tr.TrainAccelerated(bg)
 	return tr
 }
 

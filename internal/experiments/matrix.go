@@ -67,11 +67,11 @@ func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error)
 			var pc []float64
 			if m == core.PACE {
 				tr := w.TrainPACE(sur, det, off)
-				pq, pc = tr.GeneratePoison(cfg.NumPoison)
+				pq, pc = tr.GeneratePoison(bg, cfg.NumPoison)
 			} else {
-				pq, pc = core.CraftPoison(m, sur, w.WGen, w.GenCfg(), cfg.NumPoison, w.rng)
+				pq, pc = core.CraftPoison(bg, m, sur, w.WGen, w.GenCfg(), cfg.NumPoison, w.rng)
 			}
-			target.ExecuteWorkload(pq, pc)
+			target.ExecuteWorkload(bg, pq, pc)
 			cells[m] = &MatrixCell{QErrors: target.QErrors(qs, cards), BB: target}
 		}
 	}

@@ -1,0 +1,301 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"pace/internal/dataset"
+	"pace/internal/query"
+)
+
+var bgCtx = context.Background()
+
+func testMeta(t *testing.T) *query.Meta {
+	t.Helper()
+	ds, err := dataset.Build("dmv", dataset.Config{Scale: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Meta
+}
+
+func testQuery(m *query.Meta) *query.Query {
+	q := query.New(m)
+	q.Tables[0] = true
+	q.Normalize(m)
+	return q
+}
+
+// outcome classifies one wrapped-oracle call for schedule comparison.
+func outcome(card float64, err error) string {
+	switch {
+	case err == nil:
+		return "ok:" + time.Duration(int64(card*1e6)).String()
+	case errors.Is(err, ErrTransient):
+		return "transient"
+	case errors.Is(err, ErrDropped):
+		return "dropped"
+	case errors.Is(err, ErrRateLimited):
+		return "ratelimited"
+	default:
+		return "other"
+	}
+}
+
+// TestInjectorDeterminism: the same profile+seed pair must replay the
+// exact same fault schedule — outcome by outcome, counter by counter.
+// Rate limiting is off in these profiles (it is wall-clock based) and
+// the injector is driven single-threaded.
+func TestInjectorDeterminism(t *testing.T) {
+	m := testMeta(t)
+	q := testQuery(m)
+	base := func(context.Context, *query.Query) (float64, error) { return 1000, nil }
+
+	for _, p := range []Profile{Flaky(), Lossy(), Noisy(), Chaos()} {
+		p.RatePerSec, p.Burst = 0, 0 // token bucket is wall-clock based
+		p.Latency, p.LatencyJitter = 0, 0
+
+		run := func(seed int64) ([]string, Counters) {
+			in := NewInjector(p, seed)
+			o := in.WrapOracle(base)
+			var got []string
+			for i := 0; i < 500; i++ {
+				got = append(got, outcome(o(bgCtx, q)))
+			}
+			return got, in.Counters()
+		}
+		a, ca := run(42)
+		b, cb := run(42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: schedules diverge at call %d: %q vs %q", p.Name, i, a[i], b[i])
+			}
+		}
+		if ca != cb {
+			t.Errorf("%s: counters diverge: %+v vs %+v", p.Name, ca, cb)
+		}
+		// A different seed must produce a different schedule (for any
+		// profile that injects randomness at all).
+		c, _ := run(43)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: seed 42 and 43 produced identical schedules", p.Name)
+		}
+	}
+}
+
+// TestFaultRateAccounting: over many calls, the injected failure counts
+// must track the configured rates, and the counters must account for
+// every call exactly.
+func TestFaultRateAccounting(t *testing.T) {
+	m := testMeta(t)
+	q := testQuery(m)
+	p := Lossy() // 10% transient, 10% drop
+	in := NewInjector(p, 7)
+	o := in.WrapOracle(func(context.Context, *query.Query) (float64, error) { return 10, nil })
+
+	const n = 20000
+	var okCalls, transients, drops int64
+	for i := 0; i < n; i++ {
+		_, err := o(bgCtx, q)
+		switch {
+		case err == nil:
+			okCalls++
+		case errors.Is(err, ErrTransient):
+			transients++
+		case errors.Is(err, ErrDropped):
+			drops++
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	c := in.Counters()
+	if c.Calls != n {
+		t.Errorf("Calls = %d, want %d", c.Calls, n)
+	}
+	if c.Transients != transients || c.Drops != drops {
+		t.Errorf("counters (%d transients, %d drops) disagree with observed (%d, %d)",
+			c.Transients, c.Drops, transients, drops)
+	}
+	if c.Failures() != transients+drops {
+		t.Errorf("Failures() = %d, want %d", c.Failures(), transients+drops)
+	}
+	// Drops are drawn first, transients only on the survivors, so the
+	// expected rates are 0.1 and 0.9·0.1. ±130 is > 3σ of the binomial.
+	for name, tc := range map[string]struct {
+		got  int64
+		want float64
+	}{
+		"drops":      {drops, float64(n) * 0.1},
+		"transients": {transients, float64(n) * 0.9 * 0.1},
+	} {
+		if math.Abs(float64(tc.got)-tc.want) > 130 {
+			t.Errorf("%s = %d, want %.0f ± 130", name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestNoisyCardStaysNonEmpty(t *testing.T) {
+	in := NewInjector(Noisy(), 3)
+	for i := 0; i < 1000; i++ {
+		if got := in.NoisyCard(1); got < 1 {
+			t.Fatalf("NoisyCard(1) = %g < 1", got)
+		}
+	}
+	if c := in.Counters(); c.NoisyLabels != 1000 {
+		t.Errorf("NoisyLabels = %d, want 1000", c.NoisyLabels)
+	}
+	// Noise must actually perturb: not every label equals its input.
+	changed := false
+	for i := 0; i < 100; i++ {
+		if in.NoisyCard(1e6) != 1e6 {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Error("label noise never changed a label")
+	}
+}
+
+func TestNoneProfileIsTransparent(t *testing.T) {
+	m := testMeta(t)
+	q := testQuery(m)
+	in := NewInjector(None(), 1)
+	o := in.WrapOracle(func(context.Context, *query.Query) (float64, error) { return 123, nil })
+	for i := 0; i < 100; i++ {
+		card, err := o(bgCtx, q)
+		if err != nil || card != 123 {
+			t.Fatalf("none profile perturbed a call: card=%g err=%v", card, err)
+		}
+	}
+	c := in.Counters()
+	if c.Failures() != 0 || c.NoisyLabels != 0 || c.InjectedLatency != 0 {
+		t.Errorf("none profile injected something: %+v", c)
+	}
+}
+
+func TestRateLimiterRejectsBurstOverflow(t *testing.T) {
+	// A tiny bucket refilled at a negligible rate: the first Burst calls
+	// pass, the next immediate call is rejected.
+	p := Profile{Name: "tiny", RatePerSec: 0.001, Burst: 3}
+	in := NewInjector(p, 1)
+	for i := 0; i < 3; i++ {
+		if _, err := in.decide(); err != nil {
+			t.Fatalf("call %d rejected within burst: %v", i, err)
+		}
+	}
+	if _, err := in.decide(); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("burst overflow not rate limited: %v", err)
+	}
+	if c := in.Counters(); c.RateLimited != 1 {
+		t.Errorf("RateLimited = %d, want 1", c.RateLimited)
+	}
+}
+
+// stubTarget records what reaches the victim through the fault layer.
+type stubTarget struct {
+	estimates int
+	executed  []*query.Query
+	cards     []float64
+}
+
+func (s *stubTarget) EstimateContext(ctx context.Context, q *query.Query) (float64, error) {
+	s.estimates++
+	return 42, nil
+}
+
+func (s *stubTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, cards []float64) error {
+	s.executed = append(s.executed, qs...)
+	s.cards = append(s.cards, cards...)
+	return nil
+}
+
+func TestWrapTargetDropsFaultedQueries(t *testing.T) {
+	m := testMeta(t)
+	in := NewInjector(Lossy(), 11)
+	stub := &stubTarget{}
+	target := in.WrapTarget(stub)
+
+	n := 400
+	qs := make([]*query.Query, n)
+	cards := make([]float64, n)
+	for i := range qs {
+		qs[i] = testQuery(m)
+		cards[i] = float64(i + 1)
+	}
+	if err := target.ExecuteWorkload(bgCtx, qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	c := in.Counters()
+	if int64(len(stub.executed)) != c.Calls-c.Failures() {
+		t.Errorf("target received %d queries, injector admitted %d",
+			len(stub.executed), c.Calls-c.Failures())
+	}
+	if len(stub.executed) == 0 || len(stub.executed) == n {
+		t.Errorf("lossy profile dropped %d/%d — expected partial loss", n-len(stub.executed), n)
+	}
+	// Cards must stay aligned with their queries through the filtering.
+	if len(stub.cards) != len(stub.executed) {
+		t.Errorf("cards (%d) misaligned with queries (%d)", len(stub.cards), len(stub.executed))
+	}
+}
+
+func TestWrapTargetHonorsCancellation(t *testing.T) {
+	m := testMeta(t)
+	in := NewInjector(Slow(), 1) // injected latency makes the sleep observable
+	stub := &stubTarget{}
+	target := in.WrapTarget(stub)
+	ctx, cancel := context.WithCancel(bgCtx)
+	cancel()
+	if _, err := target.EstimateContext(ctx, testQuery(m)); !errors.Is(err, context.Canceled) {
+		t.Errorf("estimate under done ctx = %v", err)
+	}
+	err := target.ExecuteWorkload(ctx, []*query.Query{testQuery(m)}, []float64{1})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("execute under done ctx = %v", err)
+	}
+	if len(stub.executed) != 0 {
+		t.Error("canceled workload still reached the target")
+	}
+}
+
+func TestProfilesAndByName(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 7 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	for _, p := range ps {
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %+v, %v", p.Name, got, err)
+		}
+	}
+	if _, err := ByName("no-such-profile"); err == nil {
+		t.Error("ByName accepted an unknown profile")
+	}
+	fl := Flaky()
+	if fl.ErrorRate != 0.05 || fl.DropRate != 0.01 || fl.Latency <= 0 {
+		t.Errorf("flaky profile drifted from the acceptance spec: %+v", fl)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	for _, err := range []error{ErrTransient, ErrDropped, ErrRateLimited} {
+		if !IsTransient(err) {
+			t.Errorf("IsTransient(%v) = false", err)
+		}
+	}
+	if IsTransient(errors.New("other")) || IsTransient(nil) {
+		t.Error("IsTransient misclassifies non-fault errors")
+	}
+}

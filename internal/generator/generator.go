@@ -15,6 +15,10 @@
 package generator
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"pace/internal/nn"
@@ -149,6 +153,59 @@ func (g *Generator) Meta() *query.Meta { return g.meta }
 // separately through Eq. 8 (see TrainJoin).
 func (g *Generator) Params() []*nn.Param {
 	return append(g.Gl.Params(), g.Gr.Params()...)
+}
+
+// AllParams returns every trainable parameter (Gj, then Gl, then Gr) —
+// the full state a checkpoint must capture.
+func (g *Generator) AllParams() []*nn.Param {
+	return append(g.Gj.Params(), g.Params()...)
+}
+
+// SaveState serializes the generator's full training state: all three
+// networks' parameters plus both Adam optimizers' moment estimates, so
+// a resumed attack campaign continues exactly where it stopped.
+func (g *Generator) SaveState() []byte {
+	blobs := [][]byte{
+		nn.SaveParams(g.AllParams()),
+		g.optJ.SaveState(),
+		g.optLR.SaveState(),
+	}
+	var buf bytes.Buffer
+	for _, b := range blobs {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+		buf.Write(hdr[:])
+		buf.Write(b)
+	}
+	return buf.Bytes()
+}
+
+// LoadState restores state saved by SaveState into a generator built
+// with the same configuration and schema.
+func (g *Generator) LoadState(blob []byte) error {
+	var blobs [][]byte
+	for off := 0; off < len(blob); {
+		if off+4 > len(blob) {
+			return errors.New("generator: corrupt state blob")
+		}
+		n := int(binary.LittleEndian.Uint32(blob[off : off+4]))
+		off += 4
+		if off+n > len(blob) {
+			return errors.New("generator: corrupt state blob")
+		}
+		blobs = append(blobs, blob[off:off+n])
+		off += n
+	}
+	if len(blobs) != 3 {
+		return fmt.Errorf("generator: state blob has %d sections, want 3", len(blobs))
+	}
+	if err := nn.LoadParams(g.AllParams(), blobs[0]); err != nil {
+		return err
+	}
+	if err := g.optJ.LoadState(blobs[1]); err != nil {
+		return err
+	}
+	return g.optLR.LoadState(blobs[2])
 }
 
 // Sample is one generated poisoning query with every intermediate value

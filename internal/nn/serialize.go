@@ -30,6 +30,90 @@ func SaveParams(ps []*Param) []byte {
 	return buf.Bytes()
 }
 
+// SaveState serializes the optimizer's moment estimates and step count
+// alongside the shapes of the parameters it tracks. Restoring it with
+// LoadState (after restoring the parameters themselves) makes a resumed
+// training run continue bit-for-bit where the original left off —
+// without it, Adam restarts with cold moments and the post-resume
+// trajectory diverges from the uninterrupted one.
+func (a *Adam) SaveState() []byte {
+	var buf bytes.Buffer
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf.Write(b[:])
+	}
+	writeF64 := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf.Write(b[:])
+	}
+	writeU32(uint32(a.t))
+	writeU32(uint32(len(a.PS)))
+	for i, p := range a.PS {
+		writeU32(uint32(len(p.W)))
+		for _, m := range a.m[i] {
+			writeF64(m)
+		}
+		for _, v := range a.v[i] {
+			writeF64(v)
+		}
+	}
+	return buf.Bytes()
+}
+
+// LoadState restores optimizer state saved by SaveState. It returns an
+// error if the blob does not match the tracked parameter shapes.
+func (a *Adam) LoadState(blob []byte) error {
+	r := bytes.NewReader(blob)
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	readF64 := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	t, err := readU32()
+	if err != nil {
+		return fmt.Errorf("nn: corrupt adam blob: %w", err)
+	}
+	n, err := readU32()
+	if err != nil {
+		return fmt.Errorf("nn: corrupt adam blob: %w", err)
+	}
+	if int(n) != len(a.PS) {
+		return fmt.Errorf("nn: adam blob has %d tensors, want %d", n, len(a.PS))
+	}
+	for i, p := range a.PS {
+		sz, err := readU32()
+		if err != nil {
+			return fmt.Errorf("nn: corrupt adam blob: %w", err)
+		}
+		if int(sz) != len(p.W) {
+			return fmt.Errorf("nn: adam blob tensor %d has %d values, want %d", i, sz, len(p.W))
+		}
+		for j := range a.m[i] {
+			if a.m[i][j], err = readF64(); err != nil {
+				return fmt.Errorf("nn: corrupt adam blob: %w", err)
+			}
+		}
+		for j := range a.v[i] {
+			if a.v[i][j], err = readF64(); err != nil {
+				return fmt.Errorf("nn: corrupt adam blob: %w", err)
+			}
+		}
+	}
+	a.t = int(t)
+	return nil
+}
+
 // LoadParams writes a blob produced by SaveParams back into ps. It returns
 // an error if the shapes recorded in the blob do not match ps.
 func LoadParams(ps []*Param, blob []byte) error {

@@ -1,0 +1,229 @@
+// Package resilience supplies the retry and circuit-breaking machinery
+// the attack pipeline needs against an unreliable remote target: PACE's
+// threat model (§2.2) is remote SQL access to a live DBMS, so every
+// probe, EXPLAIN estimate and COUNT(*) label crosses a network that can
+// be slow, lossy or temporarily down. A RetryPolicy absorbs transient
+// failures with exponential backoff + jitter; a Breaker stops hammering
+// a failing target and enforces the attacker's total query budget.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen is returned by Breaker.Allow while the breaker is open
+// (cooling down after consecutive failures).
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// ErrBudgetExhausted is returned by Breaker.Allow once the total call
+// budget is spent. Unlike ErrBreakerOpen it never clears.
+var ErrBudgetExhausted = errors.New("resilience: query budget exhausted")
+
+// RetryPolicy retries an operation with capped exponential backoff and
+// full jitter. The zero value is usable: WithDefaults fills it in.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 3; 1 disables
+	// retrying).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 2ms); attempt k
+	// waits BaseDelay·2^(k-1), capped at MaxDelay (default 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterFrac randomizes each delay by ±JitterFrac of itself
+	// (default 0.25), de-synchronizing concurrent retriers.
+	JitterFrac float64
+	// Retryable classifies errors; nil retries everything except
+	// context cancellation/deadline errors.
+	Retryable func(error) bool
+}
+
+// WithDefaults fills zero fields with the default policy.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 2 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = 0.25
+	}
+	return p
+}
+
+// Backoff returns the nominal delay before retry number `retry` (1-based),
+// without jitter.
+func (p RetryPolicy) Backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+func (p RetryPolicy) retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return true
+}
+
+// Do runs op until it succeeds, exhausts MaxAttempts, hits a
+// non-retryable error, or ctx is done. It reports how many attempts ran
+// and the final error (nil on success). rng supplies the backoff jitter
+// and may be nil (no jitter).
+func (p RetryPolicy) Do(ctx context.Context, rng *rand.Rand, op func(context.Context) error) (attempts int, err error) {
+	p = p.WithDefaults()
+	for attempts = 1; ; attempts++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return attempts - 1, cerr
+		}
+		err = op(ctx)
+		if err == nil || attempts >= p.MaxAttempts || !p.retryable(err) {
+			return attempts, err
+		}
+		d := p.Backoff(attempts)
+		if rng != nil && p.JitterFrac > 0 {
+			d += time.Duration((rng.Float64()*2 - 1) * p.JitterFrac * float64(d))
+		}
+		if serr := Sleep(ctx, d); serr != nil {
+			return attempts, serr
+		}
+	}
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx's error in the
+// latter case. d <= 0 returns immediately.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// BreakerConfig sizes a Breaker. The zero value gets defaults.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive recorded failures
+	// that opens the breaker (default 8).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// probe call through (default 100ms).
+	Cooldown time.Duration
+	// CallBudget caps the total calls Allow will ever admit — the
+	// attacker's query budget against the target. 0 means unlimited.
+	CallBudget int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 8
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Breaker is a budget-aware circuit breaker. Allow admits or rejects a
+// call; Record reports the call's outcome. After FailureThreshold
+// consecutive failures the breaker opens and fails fast for Cooldown,
+// then half-opens (admits calls again; the next success closes it).
+// Once CallBudget admissions have been granted, Allow always returns
+// ErrBudgetExhausted. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu          sync.Mutex
+	consecFails int
+	openUntil   time.Time
+	calls       int
+	rejected    int
+	trips       int
+}
+
+// NewBreaker builds a breaker; the zero config gets defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed, consuming one unit of the
+// call budget when it does.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.CallBudget > 0 && b.calls >= b.cfg.CallBudget {
+		b.rejected++
+		return ErrBudgetExhausted
+	}
+	if !b.openUntil.IsZero() && time.Now().Before(b.openUntil) {
+		b.rejected++
+		return ErrBreakerOpen
+	}
+	b.openUntil = time.Time{} // half-open: let the probe call through
+	b.calls++
+	return nil
+}
+
+// Record reports a call outcome: nil closes the breaker, an error counts
+// toward the consecutive-failure threshold and (re)opens it on crossing.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	if b.consecFails >= b.cfg.FailureThreshold {
+		b.openUntil = time.Now().Add(b.cfg.Cooldown)
+		b.consecFails = 0
+		b.trips++
+	}
+}
+
+// BreakerStats is a snapshot of a breaker's accounting.
+type BreakerStats struct {
+	// Calls is the number of admitted calls (budget units spent).
+	Calls int
+	// Rejected counts calls refused while open or over budget.
+	Rejected int
+	// Trips counts open transitions.
+	Trips int
+	// Open reports whether the breaker is currently open.
+	Open bool
+}
+
+// Stats snapshots the breaker's counters.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		Calls:    b.calls,
+		Rejected: b.rejected,
+		Trips:    b.trips,
+		Open:     !b.openUntil.IsZero() && time.Now().Before(b.openUntil),
+	}
+}

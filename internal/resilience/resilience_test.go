@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestDoSucceedsAfterTransients(t *testing.T) {
+	calls := 0
+	attempts, err := fastPolicy().Do(context.Background(), nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Errorf("attempts=%d calls=%d err=%v, want 3/3/nil", attempts, calls, err)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	calls := 0
+	attempts, err := fastPolicy().Do(context.Background(), rand.New(rand.NewSource(1)),
+		func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) || attempts != 3 || calls != 3 {
+		t.Errorf("attempts=%d calls=%d err=%v, want 3/3/boom", attempts, calls, err)
+	}
+}
+
+func TestDoNonRetryableShortCircuits(t *testing.T) {
+	p := fastPolicy()
+	p.Retryable = func(error) bool { return false }
+	calls := 0
+	attempts, err := p.Do(context.Background(), nil, func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) || attempts != 1 || calls != 1 {
+		t.Errorf("attempts=%d calls=%d err=%v, want 1/1/boom", attempts, calls, err)
+	}
+}
+
+func TestDoNeverRetriesContextErrors(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	attempts, err := fastPolicy().Do(ctx, nil, func(context.Context) error {
+		calls++
+		cancel()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 1 || calls != 1 {
+		t.Errorf("attempts=%d calls=%d err=%v, want 1/1/canceled", attempts, calls, err)
+	}
+}
+
+func TestDoCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attempts, err := fastPolicy().Do(ctx, nil, func(context.Context) error {
+		t.Fatal("op ran under a done context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) || attempts != 0 {
+		t.Errorf("attempts=%d err=%v, want 0/canceled", attempts, err)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		5 * time.Millisecond, 5 * time.Millisecond}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Errorf("Sleep under done ctx = %v", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Errorf("Sleep(0) = %v", err)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	b := NewBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: 5 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(errBoom)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker not open after threshold: %v", err)
+	}
+	st := b.Stats()
+	if st.Trips != 1 || !st.Open || st.Rejected != 1 {
+		t.Errorf("stats after trip = %+v", st)
+	}
+	time.Sleep(6 * time.Millisecond)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	b.Record(nil)
+	if err := b.Allow(); err != nil {
+		t.Errorf("breaker did not close after successful probe: %v", err)
+	}
+}
+
+func TestBreakerBudget(t *testing.T) {
+	b := NewBreaker(BreakerConfig{CallBudget: 3})
+	for i := 0; i < 3; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("allow %d: %v", i, err)
+		}
+		b.Record(nil)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+	// The budget never clears, even after a cooldown-length wait.
+	time.Sleep(time.Millisecond)
+	if err := b.Allow(); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("budget exhaustion cleared: %v", err)
+	}
+	st := b.Stats()
+	if st.Calls != 3 || st.Rejected != 2 {
+		t.Errorf("stats = %+v, want Calls=3 Rejected=2", st)
+	}
+}

@@ -4,9 +4,17 @@
 // vectors over diagnostic probe workloads against locally trained
 // candidates of every known type (Eq. 5), then trains a surrogate of the
 // speculated type with the combined imitation + ground-truth loss (Eq. 7).
+//
+// The black box is reached through ce.Target — a remote, fallible
+// interface. Probe estimates are retried with backoff; probes that keep
+// failing are excluded from every candidate's performance vector (so
+// the comparison stays apples-to-apples), and speculation only errors
+// out when most of the probe workload is lost.
 package surrogate
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -14,6 +22,7 @@ import (
 	"pace/internal/ce"
 	"pace/internal/metrics"
 	"pace/internal/query"
+	"pace/internal/resilience"
 	"pace/internal/workload"
 )
 
@@ -33,6 +42,8 @@ type SpeculationConfig struct {
 	HP ce.HyperParams
 	// Train configures candidate training.
 	Train ce.TrainConfig
+	// Retry absorbs transient probe failures against the remote target.
+	Retry resilience.RetryPolicy
 }
 
 func (c SpeculationConfig) withDefaults() SpeculationConfig {
@@ -56,16 +67,15 @@ type SpeculationResult struct {
 	// Candidates holds the trained candidate estimators so the caller
 	// may reuse the winner as a warm start.
 	Candidates map[ce.Type]*ce.Estimator
-}
-
-// estimateOnly is the narrow view of the black box speculation needs.
-type estimateOnly interface {
-	Estimate(q *query.Query) float64
+	// FailedProbes counts probe queries the target kept failing after
+	// retries; they were excluded from every performance vector.
+	FailedProbes int
 }
 
 // Speculate infers the architecture of the black-box model bb by the
-// probe-and-compare procedure of §4.1.
-func Speculate(bb *ce.BlackBox, gen *workload.Generator, cfg SpeculationConfig, rng *rand.Rand) (*SpeculationResult, error) {
+// probe-and-compare procedure of §4.1. It fails when ctx is done or
+// when more than half the probe workload is lost to target failures.
+func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg SpeculationConfig, rng *rand.Rand) (*SpeculationResult, error) {
 	cfg = cfg.withDefaults()
 
 	// Probe workloads with diverse properties: varying predicate counts
@@ -81,6 +91,13 @@ func Speculate(bb *ce.BlackBox, gen *workload.Generator, cfg SpeculationConfig, 
 	groups := groupProbes(colProbes, cfg.ProbePerGroup)
 	groups = append(groups, groupProbes(rangeProbes, cfg.ProbePerGroup)...)
 
+	// Probe the remote target first: its surviving probe set defines the
+	// comparison workload for every local candidate.
+	kept, bbVec, failed, err := probeTarget(ctx, bb, groups, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
 	// Train one candidate per known model type on the attacker's own
 	// random workload.
 	train := gen.Random(cfg.CandidateTrainQueries)
@@ -92,18 +109,15 @@ func Speculate(bb *ce.BlackBox, gen *workload.Generator, cfg SpeculationConfig, 
 		candidates[typ] = est
 	}
 
-	// Performance vectors: per group, mean log Q-error and mean
-	// (repeat-min) latency.
-	bbVec := performanceVector(func(q *query.Query) float64 { return bb.Estimate(q) },
-		groups, cfg.LatencyRepeats)
 	res := &SpeculationResult{
 		Similarities: make(map[ce.Type]float64, len(candidates)),
 		Candidates:   candidates,
+		FailedProbes: failed,
 	}
 	best := math.Inf(-1)
 	for _, typ := range ce.Types() {
 		est := candidates[typ]
-		v := performanceVector(est.Estimate, groups, cfg.LatencyRepeats)
+		v := performanceVector(est.Estimate, kept, cfg.LatencyRepeats)
 		sim := metrics.CosineSimilarity(normalizeDims(bbVec, v))
 		res.Similarities[typ] = sim
 		if sim > best {
@@ -112,6 +126,73 @@ func Speculate(bb *ce.BlackBox, gen *workload.Generator, cfg SpeculationConfig, 
 		}
 	}
 	return res, nil
+}
+
+// probeTarget evaluates the remote target over every probe group with
+// retries, dropping probes that keep failing. It returns the surviving
+// groups, the target's performance vector over them, and the failed
+// probe count. More than half the probes lost (or an empty surviving
+// group set) is an error — the comparison would be meaningless.
+func probeTarget(ctx context.Context, bb ce.Target, groups []probeGroup, cfg SpeculationConfig, rng *rand.Rand) ([]probeGroup, []float64, int, error) {
+	total, failed := 0, 0
+	kept := make([]probeGroup, 0, len(groups))
+	var errDims, latDims []float64
+	for _, g := range groups {
+		var items []workload.Labeled
+		var sumErr, sumLat float64
+		for _, l := range g.items {
+			total++
+			est, lat, err := timedEstimate(ctx, bb, l.Q, cfg, rng)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, nil, failed, ctx.Err()
+				}
+				failed++
+				continue
+			}
+			items = append(items, l)
+			sumErr += math.Log2(ce.QError(est, l.Card))
+			sumLat += float64(lat.Nanoseconds()) / 1e3
+		}
+		if len(items) == 0 {
+			continue // the whole group was lost; drop its dimensions
+		}
+		n := float64(len(items))
+		kept = append(kept, probeGroup{items: items})
+		errDims = append(errDims, sumErr/n)
+		latDims = append(latDims, sumLat/n)
+	}
+	if failed*2 > total || len(kept) == 0 {
+		return nil, nil, failed, fmt.Errorf("surrogate: %d/%d speculation probes failed", failed, total)
+	}
+	return kept, append(errDims, latDims...), failed, nil
+}
+
+// timedEstimate measures the target's best-of-repeats estimate latency,
+// retrying each attempt. The measured latency includes whatever the
+// network (or fault injector) adds — the side channel the attacker
+// actually observes.
+func timedEstimate(ctx context.Context, bb ce.Target, q *query.Query, cfg SpeculationConfig, rng *rand.Rand) (float64, time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	var est float64
+	for r := 0; r < cfg.LatencyRepeats; r++ {
+		start := time.Now()
+		_, err := cfg.Retry.Do(ctx, rng, func(c context.Context) error {
+			var e error
+			est, e = bb.EstimateContext(c, q)
+			return e
+		})
+		if err != nil {
+			if r > 0 && ctx.Err() == nil {
+				break // keep the repeats that did succeed
+			}
+			return 0, 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return est, best, nil
 }
 
 func cards(w []workload.Labeled) []float64 {
@@ -132,8 +213,8 @@ func groupProbes(probes []workload.Labeled, per int) []probeGroup {
 	return out
 }
 
-// performanceVector evaluates an estimator over every probe group,
-// producing [meanLogQErr_g..., meanLatencyMicros_g...].
+// performanceVector evaluates a local (infallible) estimator over every
+// probe group, producing [meanLogQErr_g..., meanLatencyMicros_g...].
 func performanceVector(estimate func(*query.Query) float64, groups []probeGroup, repeats int) []float64 {
 	var errDims, latDims []float64
 	for _, g := range groups {
@@ -174,5 +255,3 @@ func normalizeDims(a, b []float64) ([]float64, []float64) {
 	}
 	return na, nb
 }
-
-var _ estimateOnly = (*ce.BlackBox)(nil)

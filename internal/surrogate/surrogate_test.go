@@ -1,6 +1,7 @@
 package surrogate
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -9,6 +10,8 @@ import (
 	"pace/internal/engine"
 	"pace/internal/workload"
 )
+
+var bgCtx = context.Background()
 
 func testSetup(t *testing.T, name string, seed int64) (*workload.Generator, *rand.Rand) {
 	t.Helper()
@@ -49,7 +52,7 @@ func fastSpecCfg() SpeculationConfig {
 func TestSpeculateReturnsAllSimilarities(t *testing.T) {
 	gen, rng := testSetup(t, "dmv", 1)
 	bb := trainBlackBox(gen, ce.FCN, 150, rng)
-	res, err := Speculate(bb, gen, fastSpecCfg(), rng)
+	res, err := Speculate(bgCtx, bb, gen, fastSpecCfg(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestSpeculateDistinguishesLinearFromDeep(t *testing.T) {
 	// box and require Linear to rank in the top 2.
 	gen, rng := testSetup(t, "dmv", 2)
 	bb := trainBlackBox(gen, ce.Linear, 150, rng)
-	res, err := Speculate(bb, gen, fastSpecCfg(), rng)
+	res, err := Speculate(bgCtx, bb, gen, fastSpecCfg(), rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,19 +102,22 @@ func TestSpeculateDistinguishesLinearFromDeep(t *testing.T) {
 func TestTrainSurrogateImitates(t *testing.T) {
 	gen, rng := testSetup(t, "dmv", 3)
 	bb := trainBlackBox(gen, ce.FCN, 200, rng)
-	sur := Train(bb, ce.FCN, gen, TrainConfig{
+	sur, err := Train(bgCtx, bb, ce.FCN, gen, TrainConfig{
 		Queries: 150,
 		HP:      ce.HyperParams{Hidden: 16, Layers: 2},
 		Train:   ce.TrainConfig{Epochs: 25, Batch: 16},
 	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	probe := gen.Random(40)
-	fid := Fidelity(bb, sur, probe)
+	fid := Fidelity(bgCtx, bb, sur, probe)
 	// A fresh random model of the same type should be much farther from
 	// the black box than the trained surrogate.
 	fresh := ce.NewEstimator(ce.New(ce.FCN, gen.DS.Meta,
 		ce.HyperParams{Hidden: 16, Layers: 2}, rng), ce.TrainConfig{}, rng)
-	freshFid := Fidelity(bb, fresh, probe)
+	freshFid := Fidelity(bgCtx, bb, fresh, probe)
 	if fid >= freshFid {
 		t.Errorf("surrogate fidelity %g not better than untrained %g", fid, freshFid)
 	}
@@ -131,11 +137,18 @@ func TestCombinedBeatsDirectOnUnseen(t *testing.T) {
 		HP:      ce.HyperParams{Hidden: 16, Layers: 2},
 		Train:   ce.TrainConfig{Epochs: 25, Batch: 16},
 	}
-	comb := Train(bb, ce.FCN, gen, cfgBase, rng)
+	comb, err := Train(bgCtx, bb, ce.FCN, gen, cfgBase, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	direct := func() *ce.Estimator {
 		c := cfgBase
 		c.Strategy = DirectImitation
-		return Train(bb, ce.FCN, gen, c, rng)
+		d, err := Train(bgCtx, bb, ce.FCN, gen, c, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
 	}()
 
 	unseen := gen.Random(60)
@@ -159,7 +172,7 @@ func TestDirectImitationForcesAlpha(t *testing.T) {
 }
 
 func TestFidelityEmptyProbe(t *testing.T) {
-	if Fidelity(nil, nil, nil) != 0 {
+	if Fidelity(bgCtx, nil, nil, nil) != 0 {
 		t.Error("empty probe fidelity should be 0")
 	}
 }

@@ -1,10 +1,13 @@
 package surrogate
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 
 	"pace/internal/ce"
 	"pace/internal/nn"
+	"pace/internal/resilience"
 	"pace/internal/workload"
 )
 
@@ -35,6 +38,9 @@ type TrainConfig struct {
 	HP ce.HyperParams
 	// Train configures the optimizer schedule.
 	Train ce.TrainConfig
+	// Retry absorbs transient failures when reading the target's
+	// estimates for the training queries.
+	Retry resilience.RetryPolicy
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -57,8 +63,11 @@ func (c TrainConfig) withDefaults() TrainConfig {
 //
 //	α·(f(x) − fbb(x))² + (1−α)·(f(x) − y)²
 //
-// in normalized log space.
-func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfig, rng *rand.Rand) *ce.Estimator {
+// in normalized log space. Target estimates that keep failing after
+// retries degrade gracefully: under Combined the example trains on the
+// ground-truth term alone; under DirectImitation it is dropped. Only a
+// done context or a fully unlabeled DirectImitation workload is fatal.
+func Train(ctx context.Context, bb ce.Target, typ ce.Type, gen *workload.Generator, cfg TrainConfig, rng *rand.Rand) (*ce.Estimator, error) {
 	cfg = cfg.withDefaults()
 	model := ce.New(typ, gen.DS.Meta, cfg.HP, rng)
 	est := ce.NewEstimator(model, cfg.Train, rng)
@@ -67,14 +76,33 @@ func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfi
 	type example struct {
 		v        []float64
 		yBB, yGT float64
+		hasBB    bool
 	}
-	examples := make([]example, len(train))
-	for i, l := range train {
-		examples[i] = example{
+	examples := make([]example, 0, len(train))
+	for _, l := range train {
+		ex := example{
 			v:   l.Q.Encode(gen.DS.Meta),
-			yBB: est.Norm.Norm(bb.Estimate(l.Q)),
 			yGT: est.Norm.Norm(l.Card),
 		}
+		var bbEst float64
+		_, err := cfg.Retry.Do(ctx, rng, func(c context.Context) error {
+			var e error
+			bbEst, e = bb.EstimateContext(c, l.Q)
+			return e
+		})
+		switch {
+		case err == nil:
+			ex.yBB = est.Norm.Norm(bbEst)
+			ex.hasBB = true
+		case ctx.Err() != nil:
+			return nil, ctx.Err()
+		case cfg.Strategy == DirectImitation:
+			continue // no imitation label, and no ground-truth term to fall back on
+		}
+		examples = append(examples, ex)
+	}
+	if len(examples) == 0 {
+		return nil, errors.New("surrogate: no training examples survived target failures")
 	}
 
 	cfgT := est.Cfg
@@ -84,6 +112,9 @@ func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfi
 		idx[i] = i
 	}
 	for ep := 0; ep < cfgT.Epochs; ep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for lo := 0; lo < len(idx); lo += cfgT.Batch {
 			hi := lo + cfgT.Batch
@@ -93,7 +124,10 @@ func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfi
 			for _, i := range idx[lo:hi] {
 				ex := examples[i]
 				out := model.Forward(ex.v)
-				grad := 2 * cfg.Alpha * (out - ex.yBB)
+				var grad float64
+				if ex.hasBB {
+					grad += 2 * cfg.Alpha * (out - ex.yBB)
+				}
 				if cfg.Strategy == Combined {
 					grad += 2 * (1 - cfg.Alpha) * (out - ex.yGT)
 				}
@@ -102,27 +136,34 @@ func Train(bb *ce.BlackBox, typ ce.Type, gen *workload.Generator, cfg TrainConfi
 			opt.Step(1 / float64(hi-lo))
 		}
 	}
-	return est
+	return est, nil
 }
 
 // Fidelity measures how closely the surrogate imitates the black box: the
 // mean absolute difference of their normalized predictions over a probe
 // workload (0 = identical behaviour). The paper's §7.4 argues surrogate
 // and black box become near-equivalent; this is the observable proxy for
-// parameter similarity available without opening the black box.
-func Fidelity(bb *ce.BlackBox, sur *ce.Estimator, probe []workload.Labeled) float64 {
-	if len(probe) == 0 {
-		return 0
-	}
+// parameter similarity available without opening the black box. Probes
+// the target fails are skipped.
+func Fidelity(ctx context.Context, bb ce.Target, sur *ce.Estimator, probe []workload.Labeled) float64 {
 	var sum float64
+	n := 0
 	for _, l := range probe {
-		a := sur.Norm.Norm(bb.Estimate(l.Q))
+		bbEst, err := bb.EstimateContext(ctx, l.Q)
+		if err != nil {
+			continue
+		}
+		a := sur.Norm.Norm(bbEst)
 		b := sur.Norm.Norm(sur.Estimate(l.Q))
 		d := a - b
 		if d < 0 {
 			d = -d
 		}
 		sum += d
+		n++
 	}
-	return sum / float64(len(probe))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
