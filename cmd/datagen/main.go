@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"pace/internal/cli"
 	"pace/internal/dataset"
 	"pace/internal/engine"
 	"pace/internal/workload"
@@ -26,7 +27,7 @@ func main() {
 	var (
 		name      = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor")
-		seed      = flag.Int64("seed", 1, "random seed")
+		seed      = cli.Seed()
 		outDir    = flag.String("out", "", "output directory (required)")
 		nWorkload = flag.Int("workload", 0, "also export this many labeled random queries as workload.json")
 	)

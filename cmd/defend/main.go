@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"pace/internal/ce"
+	"pace/internal/cli"
 	"pace/internal/defense"
 	"pace/internal/experiments"
 	"pace/internal/metrics"
@@ -30,7 +31,8 @@ func main() {
 		datasetName = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
 		modelName   = flag.String("model", "fcn", "target CE model type")
 		redteam     = flag.Int("redteam", 3, "number of independent red-team attacks to train the screen on")
-		seed        = flag.Int64("seed", 5, "random seed")
+		seed        = cli.Seed()
+		workers     = cli.Workers()
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed}.WithDefaults()
+	cfg := experiments.Config{Seed: *seed, Workers: *workers}.WithDefaults()
 	w, err := experiments.NewWorld(*datasetName, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

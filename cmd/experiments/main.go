@@ -15,6 +15,7 @@ import (
 	"strings"
 	"time"
 
+	"pace/internal/cli"
 	"pace/internal/experiments"
 )
 
@@ -23,14 +24,16 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift, chaos or all")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
 		full     = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
-		seed     = flag.Int64("seed", 1, "random seed")
+		seed     = cli.Seed()
+		workers  = cli.Workers()
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed}.WithDefaults()
+	cfg := experiments.Config{Seed: *seed, Workers: *workers}.WithDefaults()
 	if *full {
 		cfg = experiments.Full()
 		cfg.Seed = *seed
+		cfg.Workers = *workers
 	}
 
 	var dsList []string

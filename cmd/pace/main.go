@@ -22,12 +22,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 
 	"pace/internal/ce"
+	"pace/internal/cli"
 	"pace/internal/core"
+	"pace/internal/engine"
 	"pace/internal/experiments"
 	"pace/internal/faults"
 	"pace/internal/metrics"
@@ -39,7 +40,9 @@ func main() {
 		datasetName = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
 		modelName   = flag.String("model", "fcn", "target CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
 		poison      = flag.Int("poison", 0, "poisoning-query budget (0 = profile default)")
-		seed        = flag.Int64("seed", 1, "random seed")
+		seed        = cli.Seed()
+		workers     = cli.Workers()
+		oracleCache = flag.Int("oracle-cache", engine.DefaultOracleCacheSize, "memoizing oracle cache capacity in labels (0 = disabled)")
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		speculate   = flag.Bool("speculate", false, "speculate the model type instead of assuming it")
 		noDetector  = flag.Bool("no-detector", false, "disable the anomaly-detector confrontation")
@@ -82,10 +85,11 @@ func main() {
 	before := metrics.Summarize(bb.QErrors(qs, cards))
 	fmt.Printf("target %s trained; clean test Q-error: %s\n", typ, before)
 
-	rng := rand.New(rand.NewSource(*seed))
 	runCfg := core.Config{
 		NumPoison:       cfg.NumPoison,
 		DisableDetector: *noDetector,
+		Workers:         *workers,
+		OracleCacheSize: *oracleCache,
 		Generator:       w.GenCfg(),
 		Trainer:         w.TrainerCfg(),
 	}
@@ -124,7 +128,15 @@ func main() {
 			*resumePath, cp.Outer, cp.Algorithm)
 	}
 
-	res, err := core.Run(ctx, bb, w.WGen, w.Test, w.History, runCfg, rng)
+	campaign := &core.Campaign{
+		Target:   bb,
+		Workload: w.WGen,
+		Test:     w.Test,
+		History:  w.History,
+		Config:   runCfg,
+		Seed:     *seed,
+	}
+	res, err := campaign.Run(ctx)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Fprintln(os.Stderr, "campaign interrupted:", err)
@@ -178,6 +190,10 @@ func reportReliability(res *core.Result) {
 	if s.OracleCalls > 0 {
 		fmt.Printf("oracle traffic: %d calls, %d invalid (%.1f%%), %d failed, %d retried, %d samples skipped\n",
 			s.OracleCalls, s.OracleInvalid, 100*s.InvalidRate(), s.OracleFailed, s.OracleRetries, s.SkippedSamples)
+	}
+	if c := res.CacheStats; c != nil {
+		fmt.Printf("oracle cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d labels resident\n",
+			c.Hits, c.Misses, 100*metrics.HitRate(c.Hits, c.Misses), c.Evictions, c.Size)
 	}
 	if s.Checkpoints > 0 {
 		fmt.Printf("checkpoints written: %d\n", s.Checkpoints)

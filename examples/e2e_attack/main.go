@@ -15,7 +15,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"pace/internal/ce"
 	"pace/internal/core"
@@ -56,8 +55,15 @@ func main() {
 	attackCfg.Surrogate.Queries = cfg.TrainQueries
 	attackCfg.Surrogate.HP = world.HP()
 	attackCfg.Surrogate.Train = world.TrainCfg()
-	if _, err := core.Run(context.Background(), target, world.WGen, world.Test, world.History,
-		attackCfg, rand.New(rand.NewSource(3))); err != nil {
+	campaign := &core.Campaign{
+		Target:   target,
+		Workload: world.WGen,
+		Test:     world.Test,
+		History:  world.History,
+		Config:   attackCfg,
+		Seed:     3,
+	}
+	if _, err := campaign.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	poisoned := opt.Latency(joins, target.Estimate)

@@ -14,7 +14,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"pace/internal/ce"
 	"pace/internal/core"
@@ -43,6 +42,7 @@ func main() {
 	attackCfg := core.Config{
 		NumPoison: cfg.NumPoison,
 		ForceType: &forced,
+		Workers:   -1, // all cores; results are seed-determined either way
 		Generator: world.GenCfg(),
 		Trainer:   world.TrainerCfg(),
 	}
@@ -50,8 +50,15 @@ func main() {
 	attackCfg.Surrogate.HP = world.HP()
 	attackCfg.Surrogate.Train = world.TrainCfg()
 
-	res, err := core.Run(context.Background(), target, world.WGen, world.Test, world.History,
-		attackCfg, rand.New(rand.NewSource(7)))
+	campaign := &core.Campaign{
+		Target:   target,
+		Workload: world.WGen,
+		Test:     world.Test,
+		History:  world.History,
+		Config:   attackCfg,
+		Seed:     7,
+	}
+	res, err := campaign.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,27 @@
+// Package cli holds the small flag helpers shared by the cmd/ binaries,
+// so every entry point spells reproducibility and parallelism the same
+// way: one -seed flag with one default, one -workers flag with one
+// meaning. A campaign started from any binary with the same -seed (and
+// any -workers) is bit-identical.
+package cli
+
+import "flag"
+
+// DefaultSeed is the seed every binary uses unless -seed overrides it.
+const DefaultSeed = 1
+
+// Seed registers the unified -seed flag.
+func Seed() *int64 {
+	return flag.Int64("seed", DefaultSeed,
+		"random seed (a fixed seed reproduces the run bit-for-bit at any -workers)")
+}
+
+// Workers registers the unified -workers flag. The value maps directly
+// onto the worker-pool knobs (core.Config.Workers,
+// experiments.Config.Workers): 0 runs serially, negative uses all cores.
+// Results are worker-count independent except under active fault
+// injection, whose schedule follows call arrival order.
+func Workers() *int {
+	return flag.Int("workers", -1,
+		"worker pool size: 0 = serial, -1 = all cores (fault-free results are identical either way)")
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+
+	"pace/internal/ce"
+	"pace/internal/workload"
+)
+
+// Campaign is the public entry point for a full PACE attack: fill in the
+// scenario, pick a seed, call Run. It replaces the old positional
+// core.Run(ctx, target, wgen, test, history, cfg, rng) signature with
+// named fields — every component of the threat model is visible at the
+// call site — and takes reproducibility by value: a Campaign with the
+// same fields and Seed produces bit-identical results on every run, at
+// any Config.Workers setting.
+type Campaign struct {
+	// Target is the attacker's remote view of the victim estimator
+	// (§2.2): opaque predictions plus the incremental-update surface the
+	// poison lands on.
+	Target ce.Target
+	// Workload supplies the attacker's query-generation and COUNT(*)
+	// machinery over the target database.
+	Workload *workload.Generator
+	// Test is the workload whose estimation error the attack maximizes
+	// (Eq. 10's L_test).
+	Test []workload.Labeled
+	// History is the historical workload the anomaly detector learns
+	// normality from (§6).
+	History []workload.Labeled
+	// Config tunes every pipeline stage; the zero value runs the paper's
+	// defaults.
+	Config Config
+	// Seed fixes every random draw of the campaign. Two runs with equal
+	// Seed (and equal other fields) are bit-identical.
+	Seed int64
+}
+
+// Run executes the complete PACE attack of §3: speculate and train a
+// surrogate (§4), adversarially train the poisoning generator with the
+// anomaly detector (§5–6), generate the poisoning workload, and execute
+// it against the target (§3.4).
+//
+// The campaign honors ctx (deadline or cancellation) and survives an
+// unreliable target: calls are retried per Config.Retry, failed
+// speculation degrades to the Linear surrogate, unlabeled oracle calls
+// are skipped, and — when Config.CheckpointSink is set — training is
+// checkpointed so a killed campaign can resume via Config.Resume. On
+// error the returned Result carries whatever state was reached (it is
+// non-nil whenever training started).
+func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	rng := rand.New(rand.NewSource(c.Seed))
+	return runCampaign(ctx, c.Target, c.Workload, c.Test, c.History, c.Config, rng)
+}

@@ -28,7 +28,7 @@ type fixture struct {
 }
 
 // newFixture builds a small dmv world with a trained FCN surrogate.
-func newFixture(t *testing.T, seed int64) *fixture {
+func newFixture(t testing.TB, seed int64) *fixture {
 	t.Helper()
 	ds, err := dataset.Build("dmv", dataset.Config{Scale: 0.05, Seed: seed})
 	if err != nil {

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"pace/internal/ce"
 	"pace/internal/detector"
+	"pace/internal/engine"
 	"pace/internal/faults"
 	"pace/internal/generator"
 	"pace/internal/query"
@@ -46,6 +48,17 @@ type Config struct {
 	// percentile of the historical workload's reconstruction errors
 	// (default 90; set negative to keep the detector's absolute ε).
 	DetectorPercentile float64
+
+	// Workers bounds the campaign's worker pool: oracle labeling inside
+	// generator training and the speculation candidate trainings fan out
+	// across this many goroutines. 0 runs serially; negative uses
+	// GOMAXPROCS. Any value yields a bit-identical campaign for a fixed
+	// seed — parallelism changes wall-clock time, never results.
+	Workers int
+	// OracleCacheSize enables the memoizing COUNT(*) cache: > 0 is the
+	// LRU capacity in labels, < 0 uses engine.DefaultOracleCacheSize,
+	// 0 disables caching. Hit/miss counters surface in Result.Stats.
+	OracleCacheSize int
 
 	// Retry is the campaign-wide retry policy for target and oracle
 	// calls (zero value = sensible defaults). Breaker, when set, gates
@@ -109,9 +122,13 @@ type Result struct {
 	// Objective is the convergence curve (one value per outer loop).
 	Objective []float64
 	// Stats tallies the oracle traffic of generator training, including
-	// the invalid-query rate (Stats.InvalidRate) and how many samples
-	// were skipped for lack of a label.
+	// the invalid-query rate (Stats.InvalidRate), how many samples were
+	// skipped for lack of a label, and the oracle cache's hit/miss
+	// counters when one was configured.
 	Stats TrainerStats
+	// CacheStats snapshots the oracle cache (nil when
+	// Config.OracleCacheSize left it disabled).
+	CacheStats *engine.CacheStats
 	// FaultCounters snapshots the fault injector's tallies (nil when no
 	// injector was configured).
 	FaultCounters *faults.Counters
@@ -121,16 +138,23 @@ type Result struct {
 	TrainTime, GenTime, AttackTime time.Duration
 }
 
-// Run executes the complete PACE attack of §3 against a black-box CE
-// model: speculate and train a surrogate (§4), adversarially train the
-// poisoning generator with the anomaly detector (§5–6), generate the
-// poisoning workload, and execute it against the target (§3.4).
+// Run executes the complete PACE attack with explicitly positional
+// arguments.
 //
-// target is the attacker's remote view of the victim estimator; wgen
-// supplies the attacker's query-generation and COUNT(*) machinery over
-// the target database; test is the workload whose estimation error the
-// attack maximizes; history is the historical workload the detector
-// learns normality from.
+// Deprecated: Run predates the Campaign API and survives only as a thin
+// wrapper for existing callers. New code should fill a Campaign and call
+// its Run method — same pipeline, named fields, and a Seed instead of a
+// caller-managed *rand.Rand.
+func Run(ctx context.Context, target ce.Target, wgen *workload.Generator, test, history []workload.Labeled,
+	cfg Config, rng *rand.Rand) (*Result, error) {
+	return runCampaign(ctx, target, wgen, test, history, cfg, rng)
+}
+
+// runCampaign is the shared pipeline body behind Campaign.Run and the
+// deprecated positional Run: speculate and train a surrogate (§4),
+// adversarially train the poisoning generator with the anomaly detector
+// (§5–6), generate the poisoning workload, and execute it against the
+// target (§3.4).
 //
 // The campaign honors ctx (deadline or cancellation) and survives an
 // unreliable target: calls are retried per cfg.Retry, failed
@@ -139,14 +163,31 @@ type Result struct {
 // checkpointed so a killed campaign can resume via cfg.Resume. On error
 // the returned Result carries whatever state was reached (it is non-nil
 // whenever training started).
-func Run(ctx context.Context, target ce.Target, wgen *workload.Generator, test, history []workload.Labeled,
-	cfg Config, rng *rand.Rand) (*Result, error) {
+func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator, test, history []workload.Labeled,
+	cfg Config, rng *rand.Rand) (res *Result, err error) {
 	cfg = cfg.withDefaults()
-	res := &Result{}
+	res = &Result{}
+	pool := engine.PoolFor(cfg.Workers)
+	if cfg.Speculation.Workers == 0 {
+		cfg.Speculation.Workers = cfg.Workers
+	}
 	oracle := EngineOracle(wgen)
 	if cfg.Faults != nil {
 		target = cfg.Faults.WrapTarget(target)
 		oracle = Oracle(cfg.Faults.WrapOracle(oracle))
+	}
+	if cfg.OracleCacheSize != 0 {
+		// The cache sits on the attacker's side of the unreliable
+		// channel, above fault injection: a memoized label costs no
+		// round trip and cannot fail.
+		cache := engine.NewOracleCache(engine.Labeler(oracle), cfg.OracleCacheSize,
+			func(e error) bool { return errors.Is(e, ErrInvalidQuery) })
+		oracle = Oracle(cache.Label)
+		defer func() {
+			s := cache.Stats()
+			res.Stats.CacheHits, res.Stats.CacheMisses = s.Hits, s.Misses
+			res.CacheStats = &s
+		}()
 	}
 
 	trainStart := time.Now()
@@ -199,6 +240,7 @@ func Run(ctx context.Context, target ce.Target, wgen *workload.Generator, test, 
 	trainer := NewTrainer(res.Surrogate, gen, det, oracle, testSamples, cfg.Trainer, rng)
 	trainer.Retry = cfg.Retry
 	trainer.Breaker = cfg.Breaker
+	trainer.Pool = pool
 	trainer.CheckpointEvery = cfg.CheckpointEvery
 	trainer.CheckpointSink = cfg.CheckpointSink
 	if cfg.Resume != nil {

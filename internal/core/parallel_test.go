@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pace/internal/engine"
+	"pace/internal/generator"
+	"pace/internal/query"
+	"pace/internal/resilience"
+)
+
+// attackRun captures everything a seeded attack produces that must be
+// independent of worker count.
+type attackRun struct {
+	objective []float64
+	poisonKey []string
+	cards     []float64
+	stats     TrainerStats
+}
+
+// runAttackAt runs the full accelerated attack from a fresh fixture at a
+// fixed seed with the given worker count, then draws the poison workload.
+func runAttackAt(t *testing.T, workers int) attackRun {
+	t.Helper()
+	f := newFixture(t, 11)
+	tr := newTrainer(f, nil, TrainerConfig{
+		Batch: 16, InnerIters: 2, OuterIters: 3, TestBatch: 16,
+	})
+	tr.Pool = engine.PoolFor(workers)
+	if err := tr.TrainAccelerated(bgCtx); err != nil {
+		t.Fatal(err)
+	}
+	qs, cards := tr.GeneratePoison(bgCtx, 20)
+	keys := make([]string, len(qs))
+	for i, q := range qs {
+		keys[i] = q.Key()
+	}
+	return attackRun{
+		objective: append([]float64(nil), tr.Objective...),
+		poisonKey: keys,
+		cards:     cards,
+		stats:     tr.Stats,
+	}
+}
+
+// TestTrainDeterministicAcrossWorkerCounts is the core determinism
+// contract of the parallel engine: a fixed seed yields bit-identical
+// objective curves, poison workloads and oracle accounting whether the
+// labeling runs serially, on 4 workers, or on every core.
+func TestTrainDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := runAttackAt(t, 0) // serial reference
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		got := runAttackAt(t, workers)
+		if len(got.objective) != len(want.objective) {
+			t.Fatalf("workers=%d: %d objective points, serial had %d",
+				workers, len(got.objective), len(want.objective))
+		}
+		for i := range want.objective {
+			if got.objective[i] != want.objective[i] {
+				t.Errorf("workers=%d: objective[%d] = %v, serial %v",
+					workers, i, got.objective[i], want.objective[i])
+			}
+		}
+		if len(got.poisonKey) != len(want.poisonKey) {
+			t.Fatalf("workers=%d: %d poison queries, serial had %d",
+				workers, len(got.poisonKey), len(want.poisonKey))
+		}
+		for i := range want.poisonKey {
+			if got.poisonKey[i] != want.poisonKey[i] {
+				t.Errorf("workers=%d: poison query %d differs from serial run", workers, i)
+			}
+			if got.cards[i] != want.cards[i] {
+				t.Errorf("workers=%d: poison card[%d] = %v, serial %v",
+					workers, i, got.cards[i], want.cards[i])
+			}
+		}
+		if got.stats != want.stats {
+			t.Errorf("workers=%d: stats = %+v, serial %+v", workers, got.stats, want.stats)
+		}
+	}
+}
+
+// TestParallelLabelingStatsAreExact drives the labeling path with 8
+// workers against a deliberately unreliable oracle and checks that the
+// atomically-updated counters balance. Under `go test -race` this is
+// also the data-race probe for callOracle/label.
+func TestParallelLabelingStatsAreExact(t *testing.T) {
+	f := newFixture(t, 12)
+	inner := EngineOracle(f.wgen)
+	var calls int64
+	flaky := func(ctx context.Context, q *query.Query) (float64, error) {
+		switch n := atomic.AddInt64(&calls, 1); {
+		case n%11 == 0:
+			return 0, ErrInvalidQuery
+		case n%7 == 0:
+			return 0, errors.New("transient")
+		default:
+			return inner(ctx, q)
+		}
+	}
+	gen := generator.New(f.wgen.DS.Meta, f.wgen.DS.Joinable,
+		generator.Config{Hidden: 16, LR: 5e-3}, f.rng)
+	tr := NewTrainer(f.sur, gen, nil, flaky, f.test, TrainerConfig{Batch: 64}, f.rng)
+	tr.Pool = engine.NewPool(8)
+	tr.Retry = resilience.RetryPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+	}
+
+	const n = 64
+	batch := tr.Gen.Generate(n, f.rng)
+	_, ok, empty, err := tr.label(bgCtx, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	labeled := 0
+	for i := range batch {
+		if ok[i] || empty[i] {
+			labeled++
+		}
+		if ok[i] && empty[i] {
+			t.Errorf("sample %d is both valid and empty", i)
+		}
+	}
+	s := tr.Stats
+	if s.OracleCalls != n {
+		t.Errorf("OracleCalls = %d, want %d", s.OracleCalls, n)
+	}
+	if int64(n-labeled) != s.SkippedSamples {
+		t.Errorf("%d samples unlabeled but SkippedSamples = %d", n-labeled, s.SkippedSamples)
+	}
+	if s.OracleInvalid+s.OracleFailed != s.SkippedSamples {
+		t.Errorf("invalid %d + failed %d != skipped %d",
+			s.OracleInvalid, s.OracleFailed, s.SkippedSamples)
+	}
+	if s.OracleInvalid == 0 {
+		t.Error("the every-11th-call ErrInvalidQuery never surfaced")
+	}
+}

@@ -20,9 +20,11 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 
 	"pace/internal/ce"
 	"pace/internal/detector"
+	"pace/internal/engine"
 	"pace/internal/generator"
 	"pace/internal/nn"
 	"pace/internal/query"
@@ -141,24 +143,33 @@ func (c TrainerConfig) withDefaults() TrainerConfig {
 
 // TrainerStats counts the oracle traffic and its failure modes over a
 // training run — the observability half of the unreliable-target model.
+// The oracle path runs concurrently (see Trainer.Pool), so the counters
+// are int64 and updated atomically during training; read them after
+// training returns, when no workers are in flight.
 type TrainerStats struct {
 	// OracleCalls is the number of logical COUNT(*) calls (retries of
-	// the same call are not double-counted here).
-	OracleCalls int
+	// the same call are not double-counted here). Calls answered by the
+	// oracle cache still count — the trainer cannot tell a memoized
+	// label from a fresh one.
+	OracleCalls int64
 	// OracleInvalid counts calls rejected with ErrInvalidQuery.
-	OracleInvalid int
+	OracleInvalid int64
 	// OracleFailed counts calls that failed for any other reason after
 	// retries (transient faults, open breaker, exhausted budget).
-	OracleFailed int
+	OracleFailed int64
 	// OracleRetries counts the extra attempts spent recovering from
 	// transient failures.
-	OracleRetries int
+	OracleRetries int64
 	// SkippedSamples counts generated queries that entered training
 	// without a label (their oracle call failed): they are skipped, NOT
 	// treated as empty results.
-	SkippedSamples int
+	SkippedSamples int64
 	// Checkpoints counts checkpoints written through CheckpointSink.
-	Checkpoints int
+	Checkpoints int64
+	// CacheHits/CacheMisses mirror the oracle cache's counters when a
+	// campaign ran with one (see Config.OracleCacheSize); both zero when
+	// no cache was configured.
+	CacheHits, CacheMisses int64
 }
 
 // InvalidRate is the fraction of oracle calls rejected as invalid.
@@ -183,6 +194,12 @@ type Trainer struct {
 	// call and enforces the attacker's query budget.
 	Retry   resilience.RetryPolicy
 	Breaker *resilience.Breaker
+
+	// Pool fans oracle labeling out across workers. nil runs serially.
+	// Query generation stays serial (it consumes the loop RNG in a fixed
+	// order) and labels land in per-index slots, so the training
+	// trajectory is bit-identical at any worker count.
+	Pool *engine.Pool
 
 	// CheckpointEvery and CheckpointSink enable periodic checkpoints: a
 	// snapshot of the full training state is passed to the sink after
@@ -209,6 +226,9 @@ type Trainer struct {
 	// draws the uninterrupted run would have made.
 	baseSeed int64
 	loopRng  *rand.Rand
+	// callSeq numbers oracle calls; with baseSeed it derives each call's
+	// private retry-jitter stream (see jitterRng).
+	callSeq int64
 	// startOuter and resume carry checkpoint state set by Resume.
 	startOuter int
 	resume     *Checkpoint
@@ -249,16 +269,26 @@ func (t *Trainer) outerRng(outer int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(x & 0x7fffffffffffffff)))
 }
 
+// jitterRng derives a private RNG stream for one oracle call's retry
+// backoff jitter. Jitter shapes timing only — never a label — so these
+// streams are free to depend on global call order; what matters is that
+// concurrent callers never share a *rand.Rand.
+func (t *Trainer) jitterRng() *rand.Rand {
+	return engine.SplitRNG(t.baseSeed^0x6A09E667F3BCC909, atomic.AddInt64(&t.callSeq, 1))
+}
+
 // callOracle is the resilient oracle path: breaker admission, retries
 // with backoff, and stats accounting. The error classes are: nil
 // (labeled), ErrInvalidQuery (engine rejected the query), context errors
 // (campaign is over), anything else (call lost after retries — the
-// sample must be skipped, not zero-labeled).
+// sample must be skipped, not zero-labeled). Safe for concurrent use:
+// stats are atomic, the breaker locks internally, and jitter comes from
+// a per-call stream.
 func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, error) {
-	t.Stats.OracleCalls++
+	atomic.AddInt64(&t.Stats.OracleCalls, 1)
 	if t.Breaker != nil {
 		if err := t.Breaker.Allow(); err != nil {
-			t.Stats.OracleFailed++
+			atomic.AddInt64(&t.Stats.OracleFailed, 1)
 			return 0, err
 		}
 	}
@@ -267,13 +297,13 @@ func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, erro
 		pol.Retryable = RetryableOracleError
 	}
 	var card float64
-	attempts, err := pol.Do(ctx, t.stepRng(), func(c context.Context) error {
+	attempts, err := pol.Do(ctx, t.jitterRng(), func(c context.Context) error {
 		var e error
 		card, e = t.Oracle(c, q)
 		return e
 	})
 	if attempts > 1 {
-		t.Stats.OracleRetries += attempts - 1
+		atomic.AddInt64(&t.Stats.OracleRetries, int64(attempts-1))
 	}
 	if t.Breaker != nil {
 		if err != nil && !errors.Is(err, ErrInvalidQuery) {
@@ -284,9 +314,9 @@ func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, erro
 	}
 	if err != nil {
 		if errors.Is(err, ErrInvalidQuery) {
-			t.Stats.OracleInvalid++
+			atomic.AddInt64(&t.Stats.OracleInvalid, 1)
 		} else {
-			t.Stats.OracleFailed++
+			atomic.AddInt64(&t.Stats.OracleFailed, 1)
 		}
 		return 0, err
 	}
@@ -299,27 +329,42 @@ func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, erro
 // they carry no poisoning gradient but do get the widening signal), or
 // unlabeled (the oracle call failed — the sample is skipped entirely).
 // Only a done context is returned as an error.
+//
+// The oracle calls fan out across the trainer's pool; every label lands
+// in its own index's slot and the verdicts are folded in serially
+// afterwards, so the result is independent of worker count.
 func (t *Trainer) label(ctx context.Context, batch []*generator.Sample) (samples []ce.Sample, ok, empty []bool, err error) {
+	cards, errs := t.labelCards(ctx, batch)
 	samples = make([]ce.Sample, len(batch))
 	ok = make([]bool, len(batch))
 	empty = make([]bool, len(batch))
-	for i, s := range batch {
-		card, cerr := t.callOracle(ctx, s.Query)
-		if cerr != nil {
+	for i := range batch {
+		if errs[i] != nil {
 			if ctx.Err() != nil {
 				return nil, nil, nil, ctx.Err()
 			}
-			t.Stats.SkippedSamples++
+			atomic.AddInt64(&t.Stats.SkippedSamples, 1)
 			continue
 		}
-		if card >= 1 {
-			samples[i] = ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)}
+		if cards[i] >= 1 {
+			samples[i] = ce.Sample{V: batch[i].V, Y: t.Sur.Norm.Norm(cards[i])}
 			ok[i] = true
 		} else {
 			empty[i] = true
 		}
 	}
 	return samples, ok, empty, nil
+}
+
+// labelCards runs the oracle over the batch in parallel, returning raw
+// cardinalities and errors in batch order.
+func (t *Trainer) labelCards(ctx context.Context, batch []*generator.Sample) ([]float64, []error) {
+	cards := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	t.Pool.ForEach(len(batch), func(i int) {
+		cards[i], errs[i] = t.callOracle(ctx, batch[i].Query)
+	})
+	return cards, errs
 }
 
 // testBatch samples a minibatch of the test workload.
@@ -715,18 +760,32 @@ func (t *Trainer) objectiveValue(ctx context.Context) (float64, error) {
 	snap := nn.TakeSnapshot(ps)
 	evalRng := rand.New(rand.NewSource(t.evalSeed))
 	var valid []ce.Sample
-	for attempt := 0; len(valid) < t.Cfg.Batch && attempt < 20*t.Cfg.Batch; attempt++ {
-		s := t.Gen.GenerateOne(evalRng)
-		card, err := t.callOracle(ctx, s.Query)
-		if err != nil {
-			if ctx.Err() != nil {
-				snap.Restore(ps)
-				return 0, ctx.Err()
-			}
-			continue
+	// Chunked resampling: draw the shortfall serially from the fixed
+	// evaluation stream, label the chunk in parallel, keep the non-empty
+	// results in draw order. Both the draws and the kept set are
+	// identical to a serial run at any worker count.
+	for attempt, budget := 0, 20*t.Cfg.Batch; len(valid) < t.Cfg.Batch && attempt < budget; {
+		chunk := t.Cfg.Batch - len(valid)
+		if chunk > budget-attempt {
+			chunk = budget - attempt
 		}
-		if card >= 1 {
-			valid = append(valid, ce.Sample{V: s.V, Y: t.Sur.Norm.Norm(card)})
+		attempt += chunk
+		cands := make([]*generator.Sample, chunk)
+		for j := range cands {
+			cands[j] = t.Gen.GenerateOne(evalRng)
+		}
+		cards, errs := t.labelCards(ctx, cands)
+		for j := range cands {
+			if errs[j] != nil {
+				if ctx.Err() != nil {
+					snap.Restore(ps)
+					return 0, ctx.Err()
+				}
+				continue
+			}
+			if cards[j] >= 1 {
+				valid = append(valid, ce.Sample{V: cands[j].V, Y: t.Sur.Norm.Norm(cards[j])})
+			}
 		}
 	}
 	if len(valid) > 0 {
@@ -750,21 +809,34 @@ func (t *Trainer) GeneratePoison(ctx context.Context, n int) ([]*query.Query, []
 	cards := make([]float64, 0, n)
 	var spareQ []*query.Query
 	var spareC []float64
-	for attempt := 0; len(qs) < n && attempt < 20*n; attempt++ {
+	// Chunked like objectiveValue: serial draws, parallel labels, folded
+	// in draw order — the poison workload is identical at any worker
+	// count.
+	for attempt, budget := 0, 20*n; len(qs) < n && attempt < budget; {
 		if ctx.Err() != nil {
 			break
 		}
-		s := t.Gen.GenerateOne(t.rng)
-		card, err := t.callOracle(ctx, s.Query)
-		if err != nil {
-			continue
+		chunk := n - len(qs)
+		if chunk > budget-attempt {
+			chunk = budget - attempt
 		}
-		if card >= 1 {
-			qs = append(qs, s.Query)
-			cards = append(cards, card)
-		} else if len(spareQ) < n {
-			spareQ = append(spareQ, s.Query)
-			spareC = append(spareC, card)
+		attempt += chunk
+		cands := make([]*generator.Sample, chunk)
+		for j := range cands {
+			cands[j] = t.Gen.GenerateOne(t.rng)
+		}
+		got, errs := t.labelCards(ctx, cands)
+		for j := range cands {
+			if errs[j] != nil {
+				continue
+			}
+			if got[j] >= 1 {
+				qs = append(qs, cands[j].Query)
+				cards = append(cards, got[j])
+			} else if len(spareQ) < n {
+				spareQ = append(spareQ, cands[j].Query)
+				spareC = append(spareC, got[j])
+			}
 		}
 	}
 	for i := 0; len(qs) < n && i < len(spareQ); i++ {

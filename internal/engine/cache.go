@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"pace/internal/query"
+)
+
+// Labeler is the COUNT(*) oracle shape the cache memoizes. It matches
+// core.Oracle without importing it (core sits above engine).
+type Labeler func(ctx context.Context, q *query.Query) (float64, error)
+
+// CacheStats is a snapshot of an OracleCache's traffic counters.
+type CacheStats struct {
+	// Hits is the number of lookups answered from memory; Misses the
+	// number that had to consult the inner oracle.
+	Hits, Misses int64
+	// Evictions counts entries discarded to respect the capacity.
+	Evictions int64
+	// Size is the current number of cached labels.
+	Size int
+}
+
+// HitRate is the fraction of lookups served from memory.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// OracleCache memoizes COUNT(*) labels by canonical query key with LRU
+// eviction. Generator training labels the same regions over and over —
+// outer loops revisit the generator's mode, objective evaluation re-draws
+// a fixed noise batch every loop, and a resumed checkpoint replays
+// queries the killed run already paid for — so repeated labels are pure
+// waste. The cache stores settled outcomes only: a successful label, or
+// a permanent rejection (the error classified permanent by the
+// configured classifier). Transient failures are never cached, so a
+// retried query can still succeed later.
+//
+// Safe for concurrent use. Concurrent misses on the same key may each
+// consult the inner oracle (last write wins); with a deterministic
+// oracle they compute the same label, so correctness is unaffected.
+type OracleCache struct {
+	inner     Labeler
+	permanent func(error) bool
+
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	card float64
+	err  error
+}
+
+// DefaultOracleCacheSize is the label capacity used when NewOracleCache
+// is given a non-positive capacity. At ~100 bytes per entry it bounds
+// the cache around a few MB — far smaller than the training state.
+const DefaultOracleCacheSize = 1 << 16
+
+// NewOracleCache wraps inner with a memoizing LRU of the given capacity
+// (<= 0 means DefaultOracleCacheSize). permanent classifies errors worth
+// caching (the query itself is bad, retrying is pointless); nil caches
+// no errors.
+func NewOracleCache(inner Labeler, capacity int, permanent func(error) bool) *OracleCache {
+	if capacity <= 0 {
+		capacity = DefaultOracleCacheSize
+	}
+	return &OracleCache{
+		inner:     inner,
+		permanent: permanent,
+		cap:       capacity,
+		entries:   make(map[string]*list.Element),
+		order:     list.New(),
+	}
+}
+
+// Label answers the query from memory when possible, consulting the
+// inner oracle (and remembering its settled outcomes) otherwise.
+func (c *OracleCache) Label(ctx context.Context, q *query.Query) (float64, error) {
+	key := q.Key()
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.card, e.err
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	card, err := c.inner(ctx, q)
+	if err == nil || (c.permanent != nil && c.permanent(err)) {
+		c.store(key, card, err)
+	}
+	return card, err
+}
+
+func (c *OracleCache) store(key string, card float64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).card = card
+		el.Value.(*cacheEntry).err = err
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, card: card, err: err})
+	for len(c.entries) > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *OracleCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = len(c.entries)
+	return s
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pace/internal/query"
+)
+
+// countingLabeler fabricates a distinct label per key and counts how
+// often the inner oracle is actually consulted.
+type countingLabeler struct {
+	mu    sync.Mutex
+	calls int
+	fail  error
+}
+
+func (c *countingLabeler) label(ctx context.Context, q *query.Query) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls++
+	if c.fail != nil {
+		return 0, c.fail
+	}
+	return q.Bounds[0][1] * 1000, nil
+}
+
+// testQuery builds a single-table query whose first bound encodes i, so
+// every i has a distinct canonical key.
+func testQuery(t *testing.T, i int) *query.Query {
+	t.Helper()
+	m := &query.Meta{
+		TableNames: []string{"t"},
+		AttrNames:  []string{"x"},
+		AttrOffset: []int{0, 1},
+	}
+	q := query.New(m)
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0, 1 / float64(i+2)}
+	return q
+}
+
+func TestOracleCacheHitReturnsOracleLabel(t *testing.T) {
+	inner := &countingLabeler{}
+	c := NewOracleCache(inner.label, 8, nil)
+	q := testQuery(t, 0)
+	ctx := context.Background()
+
+	first, err := c.Label(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Label(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("hit returned %v, oracle said %v", second, first)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner oracle consulted %d times, want 1", inner.calls)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Size != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestOracleCacheLRUEviction(t *testing.T) {
+	inner := &countingLabeler{}
+	c := NewOracleCache(inner.label, 2, nil)
+	ctx := context.Background()
+	q0, q1, q2 := testQuery(t, 0), testQuery(t, 1), testQuery(t, 2)
+
+	c.Label(ctx, q0)
+	c.Label(ctx, q1)
+	c.Label(ctx, q0) // q0 becomes MRU; q1 is now LRU
+	c.Label(ctx, q2) // evicts q1
+	if s := c.Stats(); s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	before := inner.calls
+	c.Label(ctx, q0)
+	if inner.calls != before {
+		t.Error("q0 should still be cached")
+	}
+	c.Label(ctx, q1)
+	if inner.calls != before+1 {
+		t.Error("q1 should have been evicted and recomputed")
+	}
+}
+
+func TestOracleCacheErrorCaching(t *testing.T) {
+	permanent := errors.New("invalid")
+	transient := errors.New("timeout")
+	isPermanent := func(e error) bool { return errors.Is(e, permanent) }
+	ctx := context.Background()
+
+	// Transient errors must never be cached: the retried query succeeds.
+	inner := &countingLabeler{fail: transient}
+	c := NewOracleCache(inner.label, 8, isPermanent)
+	q := testQuery(t, 0)
+	if _, err := c.Label(ctx, q); !errors.Is(err, transient) {
+		t.Fatalf("err = %v", err)
+	}
+	inner.fail = nil
+	if _, err := c.Label(ctx, q); err != nil {
+		t.Errorf("retry after transient failure hit a cached error: %v", err)
+	}
+
+	// Permanent errors are settled outcomes: cached, inner not re-asked.
+	inner2 := &countingLabeler{fail: permanent}
+	c2 := NewOracleCache(inner2.label, 8, isPermanent)
+	c2.Label(ctx, q)
+	c2.Label(ctx, q)
+	if inner2.calls != 1 {
+		t.Errorf("permanent error consulted inner %d times, want 1", inner2.calls)
+	}
+}
+
+func TestOracleCacheDefaultCapacity(t *testing.T) {
+	c := NewOracleCache((&countingLabeler{}).label, 0, nil)
+	if c.cap != DefaultOracleCacheSize {
+		t.Errorf("cap = %d, want %d", c.cap, DefaultOracleCacheSize)
+	}
+}
+
+func TestOracleCacheConcurrentAccess(t *testing.T) {
+	inner := &countingLabeler{}
+	c := NewOracleCache(inner.label, 16, nil)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := testQuery(t, i%20)
+				if _, err := c.Label(ctx, q); err != nil {
+					panic(fmt.Sprintf("label: %v", err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses != 400 {
+		t.Errorf("lookups = %d, want 400", s.Hits+s.Misses)
+	}
+	if s.Size > 16 {
+		t.Errorf("size %d exceeds capacity", s.Size)
+	}
+}

@@ -1,0 +1,105 @@
+// Worker pool for the attack pipeline's fan-out points. The paper's
+// cost analysis (and the CardBench observation it echoes) is that true-
+// cardinality labeling dominates end-to-end cost for query-driven CE:
+// every COUNT(*) is an independent engine scan — or, in deployment, an
+// independent remote round trip — so the oracle path parallelizes
+// embarrassingly. The same pool also fans out speculation's candidate
+// trainings and the experiment matrix.
+//
+// Determinism contract: ForEach runs fn(i) for every index exactly once
+// and each fn writes only to its own index's result slot, so the output
+// of a fan-out is a pure function of its inputs — identical at any
+// worker count. Callers that need randomness inside fn must derive a
+// private stream per index (see SplitRNG), never share one *rand.Rand.
+package engine
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded worker pool. The zero value and nil are both usable
+// and run everything on the calling goroutine (one worker).
+type Pool struct {
+	workers int
+}
+
+// NewPool builds a pool with the given worker bound. workers <= 0 means
+// GOMAXPROCS (all available cores).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// PoolFor maps a user-facing workers knob to a pool: 0 → nil (serial),
+// negative → all cores, positive → that many workers.
+func PoolFor(workers int) *Pool {
+	if workers == 0 {
+		return nil
+	}
+	if workers < 0 {
+		return NewPool(0)
+	}
+	return NewPool(workers)
+}
+
+// Workers reports the pool's worker bound (1 for a nil or zero pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning out across the
+// pool's workers. It returns when every call has finished. Work is
+// handed out by an atomic cursor, so goroutine scheduling decides which
+// worker runs which index — fn must therefore depend only on i, and
+// write only to slot i of any shared output.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	cursor.Store(-1)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SplitRNG derives an independent RNG stream from (seed, index) with a
+// splitmix64-style finalizer. Fan-out callers give each task index its
+// own stream, so draws are identical no matter which worker runs the
+// task or in what order tasks complete.
+func SplitRNG(seed int64, index int64) *rand.Rand {
+	x := uint64(seed) + uint64(index+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x & 0x7FFFFFFFFFFFFFFF)))
+}

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		p := NewPool(workers)
+		const n = 57
+		hits := make([]int32, n)
+		p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolNilAndZeroRunSerially(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Errorf("nil pool workers = %d, want 1", nilPool.Workers())
+	}
+	var zero Pool
+	if zero.Workers() != 1 {
+		t.Errorf("zero pool workers = %d, want 1", zero.Workers())
+	}
+	// Serial execution must preserve index order.
+	var order []int
+	nilPool.ForEach(5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestPoolForEachEmptyAndSmall(t *testing.T) {
+	p := NewPool(8)
+	ran := false
+	p.ForEach(0, func(i int) { ran = true })
+	if ran {
+		t.Error("ForEach(0) ran the body")
+	}
+	count := int32(0)
+	p.ForEach(1, func(i int) { atomic.AddInt32(&count, 1) })
+	if count != 1 {
+		t.Errorf("ForEach(1) ran %d times", count)
+	}
+}
+
+func TestPoolForWorkersKnob(t *testing.T) {
+	if PoolFor(0) != nil {
+		t.Error("PoolFor(0) should be nil (serial)")
+	}
+	if got := PoolFor(3).Workers(); got != 3 {
+		t.Errorf("PoolFor(3).Workers() = %d", got)
+	}
+	if got := PoolFor(-1).Workers(); got < 1 {
+		t.Errorf("PoolFor(-1).Workers() = %d", got)
+	}
+}
+
+func TestSplitRNGIsDeterministicAndIndependent(t *testing.T) {
+	a1 := SplitRNG(42, 7)
+	a2 := SplitRNG(42, 7)
+	for i := 0; i < 10; i++ {
+		if a1.Int63() != a2.Int63() {
+			t.Fatal("same (seed, index) must give the same stream")
+		}
+	}
+	b := SplitRNG(42, 8)
+	c := SplitRNG(43, 7)
+	same := 0
+	a := SplitRNG(42, 7)
+	for i := 0; i < 10; i++ {
+		x := a.Int63()
+		if x == b.Int63() {
+			same++
+		}
+		if x == c.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("neighboring streams collided %d times", same)
+	}
+}

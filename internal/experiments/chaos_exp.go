@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"pace/internal/ce"
@@ -20,7 +19,7 @@ import (
 // the table reports how much attack effectiveness survives each flavor
 // of unreliability, alongside the fault and retry accounting. The
 // campaign-side machinery under test is the retry/backoff policy, the
-// skip-not-zero labeling and the graceful degradation of core.Run.
+// skip-not-zero labeling and the graceful degradation of Campaign.Run.
 func RunChaos(out io.Writer, cfg Config) error {
 	cfg = cfg.WithDefaults()
 	w, err := NewWorld("dmv", cfg)
@@ -44,6 +43,7 @@ func RunChaos(out io.Writer, cfg Config) error {
 			NumPoison:       cfg.NumPoison,
 			ForceType:       &forced, // speculation accuracy is Table 6's job
 			DisableDetector: true,
+			Workers:         cfg.Workers,
 			Faults:          faults.NewInjector(p, cfg.Seed*31+int64(pi)),
 			Retry: resilience.RetryPolicy{
 				MaxAttempts: 3,
@@ -58,8 +58,15 @@ func RunChaos(out io.Writer, cfg Config) error {
 		runCfg.Surrogate.Train = w.TrainCfg()
 
 		start := time.Now()
-		rng := rand.New(rand.NewSource(cfg.Seed*41 + int64(pi)))
-		res, err := core.Run(bg, bb, w.WGen, w.Test, w.History, runCfg, rng)
+		campaign := &core.Campaign{
+			Target:   bb,
+			Workload: w.WGen,
+			Test:     w.Test,
+			History:  w.History,
+			Config:   runCfg,
+			Seed:     cfg.Seed*41 + int64(pi),
+		}
+		res, err := campaign.Run(bg)
 		elapsed := time.Since(start)
 		if err != nil {
 			// A hostile enough profile may defeat the campaign outright;

@@ -31,6 +31,14 @@ import (
 // and oracle calls cannot fail and deadlines are not a concern.
 var bg = context.Background()
 
+// Seed-derivation constants for the per-row streams of the parallel
+// matrix: every row draws its surrogate workload and its baseline
+// poison from private rngs seeded by (Seed, constant, row offset).
+const (
+	surWgenSeedK int64 = 179426549
+	rowSeedK     int64 = 86028121
+)
+
 // Config scales the experiment suite. The defaults are the "quick"
 // profile: minutes on a laptop. Full-profile values (closer to the
 // paper's 10 000/1 000/450 workload sizes) are obtained with Full().
@@ -66,6 +74,12 @@ type Config struct {
 	// E2EQueries is the number of multi-table join queries in Table 5
 	// (default 20, the paper's count).
 	E2EQueries int
+	// Workers bounds the harness's worker pool: the (model × method)
+	// matrix fans out across models and each trainer fans out its oracle
+	// labeling. 0 runs serially, negative uses all cores. Results are
+	// identical at any setting — every model row draws from its own
+	// seeded streams.
+	Workers int
 }
 
 // WithDefaults fills zero fields with the quick profile.
@@ -189,10 +203,13 @@ func (w *World) NewBlackBoxHP(typ ce.Type, hp ce.HyperParams, seedOffset int64) 
 }
 
 // NewSurrogate trains a white-box surrogate of the given type against bb
-// using the combined Eq. 7 strategy.
+// using the combined Eq. 7 strategy. The training workload is drawn from
+// a private clone of the world's generator, so concurrent matrix rows
+// never share an RNG.
 func (w *World) NewSurrogate(bb *ce.BlackBox, typ ce.Type, seedOffset int64) *ce.Estimator {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed*104729 + seedOffset))
-	sur, err := surrogate.Train(bg, bb, typ, w.WGen, surrogate.TrainConfig{
+	wgen := w.WGen.WithRng(rand.New(rand.NewSource(w.Cfg.Seed*surWgenSeedK + seedOffset)))
+	sur, err := surrogate.Train(bg, bb, typ, wgen, surrogate.TrainConfig{
 		Queries: w.Cfg.TrainQueries,
 		HP:      w.HP(),
 		Train:   w.TrainCfg(),
@@ -235,6 +252,7 @@ func (w *World) TrainPACE(sur *ce.Estimator, det *detector.Detector, seedOffset 
 	gen := generator.New(w.DS.Meta, w.DS.Joinable, w.GenCfg(), rng)
 	tr := core.NewTrainer(sur, gen, det, core.EngineOracle(w.WGen),
 		core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng)
+	tr.Pool = engine.PoolFor(w.Cfg.Workers)
 	_ = tr.TrainAccelerated(bg)
 	return tr
 }

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 
 	"pace/internal/ce"
 	"pace/internal/core"
+	"pace/internal/engine"
 	"pace/internal/metrics"
 	"pace/internal/qopt"
 	"pace/internal/query"
@@ -35,6 +37,10 @@ type MatrixResult struct {
 // The surrogate's architecture is forced to the target's true type here;
 // speculation accuracy has its own experiment (Table 6), and Table 7
 // quantifies how little a wrong type costs.
+//
+// Model rows are independent — each draws every random input from
+// streams seeded by its own offset — so they fan out across
+// cfg.Workers; the matrix is identical at any worker count.
 func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error) {
 	cfg = cfg.WithDefaults()
 	w, err := NewWorld(name, cfg)
@@ -49,12 +55,21 @@ func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error)
 	}
 	qs := workload.Queries(w.Test)
 	cards := Cards(w.Test)
-	det := w.NewDetector(0)
 
-	for mi, typ := range models {
+	rows := make([]map[core.Method]*MatrixCell, len(models))
+	engine.PoolFor(cfg.Workers).ForEach(len(models), func(mi int) {
+		typ := models[mi]
 		cells := make(map[core.Method]*MatrixCell)
-		res.Cells[typ] = cells
+		rows[mi] = cells
 		off := int64(mi + 1)
+		// Row-private detector, workload generator, and RNG: the
+		// detector's gradient buffers and the generators' streams are
+		// stateful, so concurrent rows must not share them. The
+		// detector trains from a fixed seed, so every row confronts an
+		// identical one.
+		det := w.NewDetector(0)
+		rowRng := rand.New(rand.NewSource(cfg.Seed*rowSeedK + off))
+		rowWGen := w.WGen.WithRng(rowRng)
 
 		clean := w.NewBlackBox(typ, off)
 		cells[core.Clean] = &MatrixCell{QErrors: clean.QErrors(qs, cards), BB: clean}
@@ -69,11 +84,14 @@ func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error)
 				tr := w.TrainPACE(sur, det, off)
 				pq, pc = tr.GeneratePoison(bg, cfg.NumPoison)
 			} else {
-				pq, pc = core.CraftPoison(bg, m, sur, w.WGen, w.GenCfg(), cfg.NumPoison, w.rng)
+				pq, pc = core.CraftPoison(bg, m, sur, rowWGen, w.GenCfg(), cfg.NumPoison, rowRng)
 			}
 			target.ExecuteWorkload(bg, pq, pc)
 			cells[m] = &MatrixCell{QErrors: target.QErrors(qs, cards), BB: target}
 		}
+	})
+	for mi, typ := range models {
+		res.Cells[typ] = rows[mi]
 	}
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -297,5 +299,61 @@ func TestIsTransient(t *testing.T) {
 	}
 	if IsTransient(errors.New("other")) || IsTransient(nil) {
 		t.Error("IsTransient misclassifies non-fault errors")
+	}
+}
+
+// TestInjectorConcurrentUse hammers one injector from 8 goroutines —
+// the shape of a parallel labeling campaign — and checks the counters
+// balance. Under `go test -race` this is the data-race probe for
+// decide/NoisyCard/Counters.
+func TestInjectorConcurrentUse(t *testing.T) {
+	p := Profile{
+		Name:       "concurrent",
+		ErrorRate:  0.2,
+		DropRate:   0.1,
+		LabelNoise: 0.3,
+		RatePerSec: 1e9,
+		Burst:      1,
+	}
+	in := NewInjector(p, 9)
+	oracle := in.WrapOracle(func(ctx context.Context, q *query.Query) (float64, error) {
+		return 5, nil
+	})
+	q := testQuery(testMeta(t))
+
+	const goroutines, per = 8, 200
+	var succeeded int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				card, err := oracle(bgCtx, q)
+				if err == nil {
+					atomic.AddInt64(&succeeded, 1)
+					if card < 1 {
+						panic("noisy label fell below 1")
+					}
+				}
+				in.Counters() // concurrent snapshot reads must be safe too
+			}
+		}()
+	}
+	wg.Wait()
+
+	c := in.Counters()
+	if c.Calls != goroutines*per {
+		t.Errorf("Calls = %d, want %d", c.Calls, goroutines*per)
+	}
+	if c.Failures()+succeeded != goroutines*per {
+		t.Errorf("failures %d + successes %d != %d calls",
+			c.Failures(), succeeded, goroutines*per)
+	}
+	if c.NoisyLabels != succeeded {
+		t.Errorf("NoisyLabels = %d, want one per success (%d)", c.NoisyLabels, succeeded)
+	}
+	if c.Transients == 0 || c.Drops == 0 {
+		t.Errorf("expected injected faults at these rates, got %+v", c)
 	}
 }

@@ -9,6 +9,26 @@ import (
 	"sort"
 )
 
+// HitRate is the fraction of lookups served from a cache: hits out of
+// hits+misses (0 when there was no traffic). Shared by the oracle-cache
+// reporting of cmd/pace and Result.Stats consumers.
+func HitRate(hits, misses int64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Speedup is the wall-clock ratio serial/parallel (0 when parallel is
+// 0) — the headline number of the BENCH_parallel.json report.
+func Speedup(serial, parallel float64) float64 {
+	if parallel == 0 {
+		return 0
+	}
+	return serial / parallel
+}
+
 // Mean returns the arithmetic mean of xs (0 for an empty slice).
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -7,7 +7,9 @@
 package query
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -189,6 +191,33 @@ func Decode(m *Meta, v []float64) (*Query, error) {
 	}
 	q.Normalize(m)
 	return q, nil
+}
+
+// Key returns a canonical byte-exact identity for the query: the join
+// bits followed by the IEEE-754 bit patterns of every bound. Two queries
+// have equal keys iff they select the same tables and carry bitwise-equal
+// predicates, which is exactly the equivalence a COUNT(*) memo cache
+// needs (the engine is a pure function of this representation). Callers
+// should Normalize first so trivially-equal forms (inverted or
+// out-of-range bounds) collapse to one key.
+func (q *Query) Key() string {
+	b := make([]byte, 0, (len(q.Tables)+7)/8+16*len(q.Bounds))
+	var bits byte
+	for t, in := range q.Tables {
+		if in {
+			bits |= 1 << (t % 8)
+		}
+		if t%8 == 7 || t == len(q.Tables)-1 {
+			b = append(b, bits)
+			bits = 0
+		}
+	}
+	for _, bd := range q.Bounds {
+		lo, hi := math.Float64bits(bd[0]), math.Float64bits(bd[1])
+		b = binary.LittleEndian.AppendUint64(b, lo)
+		b = binary.LittleEndian.AppendUint64(b, hi)
+	}
+	return string(b)
 }
 
 // SQL renders the query as a SQL COUNT(*) statement against the schema's

@@ -196,3 +196,47 @@ func TestEncodeDecodeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: Key is injective over normalized queries — two queries share
+// a key iff they have identical tables and bitwise-identical bounds.
+func TestKeyProperty(t *testing.T) {
+	m := testMeta()
+	rng := rand.New(rand.NewSource(7))
+	randomQuery := func() *Query {
+		q := New(m)
+		for t := range q.Tables {
+			q.Tables[t] = rng.Float64() < 0.5
+		}
+		for a := range q.Bounds {
+			q.Bounds[a] = [2]float64{rng.Float64(), rng.Float64()}
+		}
+		return q.Normalize(m)
+	}
+	f := func() bool {
+		a, b := randomQuery(), randomQuery()
+		if a.Key() != a.Clone().Key() {
+			return false // a key must be a pure function of the query
+		}
+		equal := reflect.DeepEqual(a.Tables, b.Tables) && reflect.DeepEqual(a.Bounds, b.Bounds)
+		return (a.Key() == b.Key()) == equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyDistinguishesJoinBitsFromBounds(t *testing.T) {
+	m := testMeta()
+	a := New(m)
+	a.Tables[0] = true
+	b := New(m)
+	b.Tables[1] = true
+	if a.Key() == b.Key() {
+		t.Error("different join sets must not collide")
+	}
+	c := a.Clone()
+	c.Bounds[0] = [2]float64{0, 0.5}
+	if a.Key() == c.Key() {
+		t.Error("different bounds must not collide")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pace/internal/ce"
+	"pace/internal/engine"
 	"pace/internal/metrics"
 	"pace/internal/query"
 	"pace/internal/resilience"
@@ -44,6 +45,11 @@ type SpeculationConfig struct {
 	Train ce.TrainConfig
 	// Retry absorbs transient probe failures against the remote target.
 	Retry resilience.RetryPolicy
+	// Workers bounds how many candidate trainings run concurrently
+	// (0 or 1 serial, negative = all cores). Every candidate trains from
+	// its own pre-drawn seed, so the verdict is identical at any worker
+	// count.
+	Workers int
 }
 
 func (c SpeculationConfig) withDefaults() SpeculationConfig {
@@ -99,14 +105,24 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 	}
 
 	// Train one candidate per known model type on the attacker's own
-	// random workload.
+	// random workload. The trainings are independent, so they fan out
+	// across the pool; each candidate draws from a private stream split
+	// off one serially-drawn seed, making every candidate — and hence
+	// the verdict — bit-identical at any worker count.
 	train := gen.Random(cfg.CandidateTrainQueries)
-	candidates := make(map[ce.Type]*ce.Estimator, len(ce.Types()))
-	for _, typ := range ce.Types() {
-		model := ce.New(typ, gen.DS.Meta, cfg.HP, rng)
-		est := ce.NewEstimator(model, cfg.Train, rng)
+	types := ce.Types()
+	candSeed := rng.Int63()
+	ests := make([]*ce.Estimator, len(types))
+	engine.PoolFor(cfg.Workers).ForEach(len(types), func(i int) {
+		crng := engine.SplitRNG(candSeed, int64(i))
+		model := ce.New(types[i], gen.DS.Meta, cfg.HP, crng)
+		est := ce.NewEstimator(model, cfg.Train, crng)
 		est.Train(est.MakeSamples(workload.Queries(train), cards(train)))
-		candidates[typ] = est
+		ests[i] = est
+	})
+	candidates := make(map[ce.Type]*ce.Estimator, len(types))
+	for i, typ := range types {
+		candidates[typ] = ests[i]
 	}
 
 	res := &SpeculationResult{

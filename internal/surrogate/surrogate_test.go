@@ -184,3 +184,44 @@ func mean(xs []float64) float64 {
 	}
 	return s / float64(len(xs))
 }
+
+// TestSpeculateDeterministicAcrossWorkers pins the parallel-candidate
+// contract: every candidate trains from its own pre-drawn seed stream,
+// so the trained models — and the speculation verdict — are identical
+// whether the six trainings run serially or fan out across workers.
+// (Similarity *values* carry wall-clock latency dimensions and are not
+// compared bit-for-bit; the candidates' predictions are. The verdict is
+// checked on a Linear black box, whose margin over the runner-up dwarfs
+// the latency noise.)
+func TestSpeculateDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *SpeculationResult {
+		gen, rng := testSetup(t, "dmv", 2)
+		bb := trainBlackBox(gen, ce.Linear, 150, rng)
+		cfg := fastSpecCfg()
+		cfg.Workers = workers
+		res, err := Speculate(bgCtx, bb, gen, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(0)
+	parallel := run(4)
+
+	if serial.Type != parallel.Type {
+		t.Errorf("verdict flipped with workers: serial %s, parallel %s",
+			serial.Type, parallel.Type)
+	}
+	probeGen, _ := testSetup(t, "dmv", 2)
+	probe := workload.Queries(probeGen.Random(30))
+	for _, typ := range ce.Types() {
+		s, p := serial.Candidates[typ], parallel.Candidates[typ]
+		for i, q := range probe {
+			if s.Estimate(q) != p.Estimate(q) {
+				t.Errorf("%s candidate diverges at probe %d: serial %v, parallel %v",
+					typ, i, s.Estimate(q), p.Estimate(q))
+				break
+			}
+		}
+	}
+}

@@ -44,6 +44,16 @@ func NewGenerator(ds *dataset.Dataset, eng *engine.Engine, rng *rand.Rand) *Gene
 	return g
 }
 
+// WithRng returns a copy of g driven by rng, sharing the dataset,
+// engine, and templates. Concurrent pipeline stages each take a clone
+// with a private stream — a Generator itself must never be shared across
+// goroutines (Rng is stateful).
+func (g *Generator) WithRng(rng *rand.Rand) *Generator {
+	out := *g
+	out.Rng = rng
+	return &out
+}
+
 func (g *Generator) maxJoin() int {
 	if g.MaxJoinTables > 0 {
 		return g.MaxJoinTables
