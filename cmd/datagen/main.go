@@ -30,12 +30,20 @@ func main() {
 		seed      = cli.Seed()
 		outDir    = flag.String("out", "", "output directory (required)")
 		nWorkload = flag.Int("workload", 0, "also export this many labeled random queries as workload.json")
+		obsFlags  = cli.Obs()
 	)
 	flag.Parse()
 	if *outDir == "" {
 		fmt.Fprintln(os.Stderr, "datagen: -out is required")
 		os.Exit(2)
 	}
+	// datagen has no campaign to trace, but the profiling and metrics
+	// flags still apply (dataset generation is the memory-heavy path).
+	_, obsShutdown, err := obsFlags.Setup()
+	if err != nil {
+		fatal(err)
+	}
+	defer obsShutdown()
 
 	ds, err := dataset.Build(*name, dataset.Config{Scale: *scale, Seed: *seed})
 	if err != nil {

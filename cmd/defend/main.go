@@ -33,6 +33,7 @@ func main() {
 		redteam     = flag.Int("redteam", 3, "number of independent red-team attacks to train the screen on")
 		seed        = cli.Seed()
 		workers     = cli.Workers()
+		obsFlags    = cli.Obs()
 	)
 	flag.Parse()
 
@@ -41,7 +42,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Workers: *workers}.WithDefaults()
+	tel, obsShutdown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel}.WithDefaults()
 	w, err := experiments.NewWorld(*datasetName, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -101,4 +107,8 @@ func main() {
 	fmt.Printf("poison blocked: %d/%d\n", len(rejected), len(poisonQ))
 	fmt.Printf("mean test Q-error: clean %.2f | attacked %.2f | attacked behind screen %.2f\n",
 		clean, hit, defended)
+	if err := obsShutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
+		os.Exit(1)
+	}
 }

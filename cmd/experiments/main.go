@@ -26,14 +26,22 @@ func main() {
 		full     = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
 		seed     = cli.Seed()
 		workers  = cli.Workers()
+		obsFlags = cli.Obs()
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed, Workers: *workers}.WithDefaults()
+	tel, obsShutdown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel}.WithDefaults()
 	if *full {
 		cfg = experiments.Full()
 		cfg.Seed = *seed
 		cfg.Workers = *workers
+		cfg.Telemetry = tel
 	}
 
 	var dsList []string
@@ -86,12 +94,18 @@ func main() {
 		ran = true
 		if err := r.run(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
+			obsShutdown()
 			os.Exit(1)
 		}
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		obsShutdown()
 		os.Exit(2)
 	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(start).Round(time.Second))
+	if err := obsShutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
+		os.Exit(1)
+	}
 }

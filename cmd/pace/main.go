@@ -52,10 +52,16 @@ func main() {
 		checkpoint = flag.String("checkpoint", "", "write generator-training checkpoints to this file")
 		ckptEvery  = flag.Int("checkpoint-every", 1, "checkpoint every N outer loops")
 		resumePath = flag.String("resume", "", "resume generator training from this checkpoint file")
+		obsFlags   = cli.Obs()
 	)
 	flag.Parse()
 
 	typ, err := ce.ParseType(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tel, obsShutdown, err := obsFlags.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -82,7 +88,8 @@ func main() {
 	bb := w.NewBlackBox(typ, 1)
 	qs := workload.Queries(w.Test)
 	cards := experiments.Cards(w.Test)
-	before := metrics.Summarize(bb.QErrors(qs, cards))
+	beforeErrs := bb.QErrors(qs, cards)
+	before := metrics.Summarize(beforeErrs)
 	fmt.Printf("target %s trained; clean test Q-error: %s\n", typ, before)
 
 	runCfg := core.Config{
@@ -92,6 +99,7 @@ func main() {
 		OracleCacheSize: *oracleCache,
 		Generator:       w.GenCfg(),
 		Trainer:         w.TrainerCfg(),
+		Telemetry:       tel,
 	}
 	runCfg.Surrogate.Queries = cfg.TrainQueries
 	runCfg.Surrogate.HP = w.HP()
@@ -148,6 +156,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "attack failed:", err)
 		}
 		reportReliability(res)
+		if serr := obsShutdown(); serr != nil {
+			fmt.Fprintln(os.Stderr, "telemetry shutdown:", serr)
+		}
 		os.Exit(1)
 	}
 
@@ -163,7 +174,21 @@ func main() {
 			fmt.Println(")")
 		}
 	}
-	after := metrics.Summarize(bb.QErrors(qs, cards))
+	afterErrs := bb.QErrors(qs, cards)
+	after := metrics.Summarize(afterErrs)
+	if tel != nil && tel.Reg != nil {
+		// Q-error distributions land in the registry too, so a scrape of
+		// -metrics-addr sees attack effectiveness next to the traffic
+		// counters.
+		hb := tel.Reg.Histogram("pace_qerror_before")
+		ha := tel.Reg.Histogram("pace_qerror_after")
+		for _, e := range beforeErrs {
+			hb.Observe(e)
+		}
+		for _, e := range afterErrs {
+			ha.Observe(e)
+		}
+	}
 
 	hEnc := experiments.Encodings(w.History, w.DS)
 	pEnc := make([][]float64, len(res.Poison))
@@ -178,6 +203,10 @@ func main() {
 	fmt.Printf("mean degradation: %.1f×\n", after.Mean/before.Mean)
 	fmt.Printf("poison/history JS divergence: %.4f\n", metrics.JSDivergence(hEnc, pEnc, 10))
 	reportReliability(res)
+	if serr := obsShutdown(); serr != nil {
+		fmt.Fprintln(os.Stderr, "telemetry shutdown:", serr)
+		os.Exit(1)
+	}
 }
 
 // reportReliability prints the oracle-traffic statistics and, when fault

@@ -1,0 +1,100 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pace/internal/obs"
+)
+
+// ObsFlags bundles the unified observability flags shared by the cmd/
+// binaries: every entry point spells telemetry the same way. Register
+// the flags with Obs() before flag.Parse, materialize them with Setup
+// after.
+type ObsFlags struct {
+	LogLevel    *string
+	LogFormat   *string
+	Trace       *string
+	PprofCPU    *string
+	PprofMem    *string
+	MetricsAddr *string
+}
+
+// Obs registers the observability flags: structured logging
+// (-log-level/-log-format), span tracing (-trace), profiling
+// (-pprof-cpu/-pprof-mem) and the Prometheus + pprof HTTP endpoint
+// (-metrics-addr). Everything defaults off and costs the pipeline
+// nothing until enabled.
+func Obs() *ObsFlags {
+	return &ObsFlags{
+		LogLevel:    flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error (default off)"),
+		LogFormat:   flag.String("log-format", "text", "structured log format: text or json"),
+		Trace:       flag.String("trace", "", "write a JSONL span trace of the run to this file"),
+		PprofCPU:    flag.String("pprof-cpu", "", "write a CPU profile to this file"),
+		PprofMem:    flag.String("pprof-mem", "", "write a heap profile to this file on exit"),
+		MetricsAddr: flag.String("metrics-addr", "", "serve Prometheus metrics and net/http/pprof on this address (e.g. :9090, or 127.0.0.1:0 for an ephemeral port)"),
+	}
+}
+
+// Setup materializes the parsed flags: it builds the Telemetry the
+// pipeline carries (nil when no telemetry flag is set — the zero-cost
+// path) and starts CPU profiling and the metrics endpoint when asked.
+// The returned shutdown func stops profiling, writes the heap profile,
+// flushes the trace and closes the endpoint; call it exactly once,
+// after the run (not via defer past an os.Exit).
+func (f *ObsFlags) Setup() (*obs.Telemetry, func() error, error) {
+	var closers []func() error
+	shutdown := func() error {
+		var firstErr error
+		for i := len(closers) - 1; i >= 0; i-- {
+			if err := closers[i](); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	var tel *obs.Telemetry
+	if *f.LogLevel != "" || *f.Trace != "" || *f.MetricsAddr != "" {
+		// The registry rides along whenever any telemetry channel is on:
+		// it is cheap, and both the trace and the endpoint are more
+		// useful with counters behind them.
+		tel = &obs.Telemetry{Reg: obs.NewRegistry()}
+	}
+	if *f.LogLevel != "" {
+		lg, err := obs.NewLogger(os.Stderr, *f.LogLevel, *f.LogFormat)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		tel.Log = lg
+	}
+	if *f.Trace != "" {
+		tr, err := obs.NewFileTracer(*f.Trace)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		tel.Tracer = tr
+		closers = append(closers, tr.Close)
+	}
+	if *f.MetricsAddr != "" {
+		srv, err := obs.ServeMetrics(*f.MetricsAddr, tel.Reg)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+		closers = append(closers, srv.Close)
+	}
+	if *f.PprofCPU != "" {
+		stop, err := obs.StartCPUProfile(*f.PprofCPU)
+		if err != nil {
+			return nil, shutdown, err
+		}
+		closers = append(closers, stop)
+	}
+	if *f.PprofMem != "" {
+		path := *f.PprofMem
+		closers = append(closers, func() error { return obs.WriteHeapProfile(path) })
+	}
+	return tel, shutdown, nil
+}

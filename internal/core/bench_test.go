@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"pace/internal/engine"
 	"pace/internal/generator"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/resilience"
 )
@@ -74,6 +76,41 @@ func BenchmarkTrainAccelerated(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkTelemetryOverhead prices the observability layer on the
+// BENCH_parallel.json end-to-end scenario (2 outer × 2 inner, batch 32,
+// 200µs oracle RTT). "disabled" is the instrumented code with nil
+// telemetry — all instrument calls degrade to nil checks, and the
+// latency clock reads are skipped entirely — and must stay within 5% of
+// BenchmarkTrainAccelerated. "enabled" adds a live registry plus a
+// tracer writing to io.Discard, the full-telemetry worst case. Results
+// are recorded in BENCH_obs.json.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	f := newFixture(b, 22)
+	oracle := slowOracle(EngineOracle(f.wgen), benchRTT)
+	run := func(b *testing.B, tel *obs.Telemetry, w int) {
+		ctx := obs.NewContext(bgCtx, tel)
+		for i := 0; i < b.N; i++ {
+			gen := generator.New(f.wgen.DS.Meta, f.wgen.DS.Joinable,
+				generator.Config{Hidden: 16, LR: 5e-3}, f.rng)
+			tr := NewTrainer(f.sur, gen, nil, oracle, f.test,
+				TrainerConfig{Batch: 32, InnerIters: 2, OuterIters: 2, TestBatch: 16}, f.rng)
+			tr.Instrument(tel.Registry())
+			tr.Pool = engine.PoolFor(w).Instrument(tel.Registry())
+			if err := tr.TrainAccelerated(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, w := range []int{0, 8} {
+		b.Run(fmt.Sprintf("disabled/workers=%d", w), func(b *testing.B) {
+			run(b, nil, w)
+		})
+		b.Run(fmt.Sprintf("enabled/workers=%d", w), func(b *testing.B) {
+			run(b, &obs.Telemetry{Reg: obs.NewRegistry(), Tracer: obs.NewTracer(io.Discard)}, w)
 		})
 	}
 }

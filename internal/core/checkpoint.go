@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 
 	"pace/internal/ce"
 	"pace/internal/nn"
+	"pace/internal/obs"
 )
 
 // Algorithm names recorded in checkpoints.
@@ -96,7 +98,7 @@ func FileCheckpointSink(path string) func(*Checkpoint) error {
 // maybeCheckpoint emits a checkpoint through the sink after outer loop
 // nextOuter-1 completed, respecting the configured cadence. Called with
 // clean surrogate parameters (outer-loop boundary).
-func (t *Trainer) maybeCheckpoint(nextOuter int, algo string, best *bestTracker) error {
+func (t *Trainer) maybeCheckpoint(ctx context.Context, nextOuter int, algo string, best *bestTracker) error {
 	if t.CheckpointSink == nil {
 		return nil
 	}
@@ -107,6 +109,8 @@ func (t *Trainer) maybeCheckpoint(nextOuter int, algo string, best *bestTracker)
 	if nextOuter%every != 0 && nextOuter != t.Cfg.OuterIters {
 		return nil
 	}
+	_, span := obs.StartSpan(ctx, "checkpoint_write", obs.Int("outer", nextOuter))
+	defer span.End()
 	cp, err := t.makeCheckpoint(nextOuter, algo, best)
 	if err != nil {
 		return err
@@ -114,7 +118,7 @@ func (t *Trainer) maybeCheckpoint(nextOuter int, algo string, best *bestTracker)
 	if err := t.CheckpointSink(cp); err != nil {
 		return fmt.Errorf("core: checkpoint sink: %w", err)
 	}
-	t.Stats.Checkpoints++
+	t.met.checkpoints.Inc()
 	return nil
 }
 

@@ -220,8 +220,8 @@ func TestCheckpointCadence(t *testing.T) {
 			t.Fatalf("checkpoints at %v, want %v", outers, want)
 		}
 	}
-	if tr.Stats.Checkpoints != 3 {
-		t.Errorf("Stats.Checkpoints = %d, want 3", tr.Stats.Checkpoints)
+	if tr.Stats().Checkpoints != 3 {
+		t.Errorf("Stats.Checkpoints = %d, want 3", tr.Stats().Checkpoints)
 	}
 }
 

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/detector"
+	"pace/internal/engine"
+	"pace/internal/generator"
+	"pace/internal/obs"
+	"pace/internal/surrogate"
+)
+
+// obsRun is everything one instrumented attack produces that the
+// determinism contract covers: the span structure and the counter state.
+type obsRun struct {
+	spans    []string // canonical form, sorted
+	counters map[string]int64
+}
+
+// canonicalSpans reduces a trace to its worker-count-independent form:
+// one line per span holding the name path to the root plus the JSON of
+// its attributes. Span IDs, emission order and timestamps are erased.
+func canonicalSpans(t *testing.T, recs []obs.SpanRecord) []string {
+	t.Helper()
+	byID := make(map[uint64]obs.SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	var path func(id uint64) string
+	path = func(id uint64) string {
+		r, ok := byID[id]
+		if !ok {
+			t.Fatalf("span %d not in trace", id)
+		}
+		if r.Parent == 0 {
+			return r.Name
+		}
+		return path(r.Parent) + "/" + r.Name
+	}
+	out := make([]string, 0, len(recs))
+	for _, r := range recs {
+		attrs, err := json.Marshal(r.Attrs) // map marshaling sorts keys
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, path(r.ID)+" "+string(attrs))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runObsAttackAt runs the accelerated attack from a fresh fixture with
+// full telemetry at the given worker count and returns the canonical
+// trace plus the final counter snapshot.
+func runObsAttackAt(t *testing.T, workers int) obsRun {
+	t.Helper()
+	f := newFixture(t, 11)
+	var buf bytes.Buffer
+	tel := &obs.Telemetry{Reg: obs.NewRegistry(), Tracer: obs.NewTracer(&buf)}
+	ctx := obs.NewContext(bgCtx, tel)
+
+	tr := newTrainer(f, nil, TrainerConfig{
+		Batch: 16, InnerIters: 2, OuterIters: 3, TestBatch: 16,
+	}).Instrument(tel.Reg)
+	tr.Pool = engine.PoolFor(workers).Instrument(tel.Reg)
+	if err := tr.TrainAccelerated(ctx); err != nil {
+		t.Fatal(err)
+	}
+	tr.GeneratePoison(ctx, 20)
+
+	if err := tel.Tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := obs.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obsRun{
+		spans:    canonicalSpans(t, recs),
+		counters: tel.Reg.Snapshot().Counters,
+	}
+}
+
+// TestTraceDeterministicAcrossWorkerCounts extends the PR-2 determinism
+// contract to the telemetry: for a fixed seed the span structure (name,
+// parent chain, attributes) and every non-pool counter are identical
+// whether labeling ran serially or on 4 workers. Only span IDs, emission
+// order, timestamps, the per-worker pool split (pace_pool_*) and the
+// latency histogram buckets may differ.
+func TestTraceDeterministicAcrossWorkerCounts(t *testing.T) {
+	want := runObsAttackAt(t, 0)
+	got := runObsAttackAt(t, 4)
+
+	if len(got.spans) != len(want.spans) {
+		t.Fatalf("workers=4 emitted %d spans, serial %d", len(got.spans), len(want.spans))
+	}
+	for i := range want.spans {
+		if got.spans[i] != want.spans[i] {
+			t.Errorf("span %d differs:\n  workers=4: %s\n  serial:    %s",
+				i, got.spans[i], want.spans[i])
+		}
+	}
+
+	filter := func(m map[string]int64) map[string]int64 {
+		out := make(map[string]int64, len(m))
+		for k, v := range m {
+			if !strings.HasPrefix(k, "pace_pool_") {
+				out[k] = v
+			}
+		}
+		return out
+	}
+	w, g := filter(want.counters), filter(got.counters)
+	if len(w) != len(g) {
+		t.Fatalf("counter sets differ: serial %v, workers=4 %v", w, g)
+	}
+	for k, v := range w {
+		if g[k] != v {
+			t.Errorf("counter %s = %d at workers=4, serial %d", k, g[k], v)
+		}
+	}
+	if w["pace_oracle_calls_total"] == 0 {
+		t.Error("no oracle calls counted — instrumentation is dead")
+	}
+}
+
+// TestCampaignTelemetry runs a small end-to-end campaign with tracing and
+// a registry and checks the acceptance contract: the trace is parseable
+// with an intact parent tree and the required span kinds, and the
+// registry snapshot in Result.Metrics agrees exactly with Result.Stats.
+func TestCampaignTelemetry(t *testing.T) {
+	f := newFixture(t, 21)
+	history := f.wgen.Random(80)
+
+	var buf bytes.Buffer
+	tel := &obs.Telemetry{Reg: obs.NewRegistry(), Tracer: obs.NewTracer(&buf)}
+
+	forced := ce.FCN
+	campaign := &Campaign{
+		Target:   ce.AsBlackBox(f.sur),
+		Workload: f.wgen,
+		Test:     f.tw,
+		History:  history,
+		Seed:     21,
+		Config: Config{
+			NumPoison:       15,
+			Workers:         2,
+			OracleCacheSize: 256,
+			ForceType:       &forced,
+			Telemetry:       tel,
+			Surrogate: surrogate.TrainConfig{
+				Queries: 60,
+				HP:      ce.HyperParams{Hidden: 12, Layers: 2},
+				Train:   ce.TrainConfig{Epochs: 6, Batch: 16},
+			},
+			Generator: generator.Config{Hidden: 12},
+			Detector:  detector.Config{Hidden: 12, Epochs: 5},
+			Trainer:   TrainerConfig{Batch: 12, InnerIters: 2, OuterIters: 2},
+		},
+	}
+	res, err := campaign.Run(bgCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := obs.ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[uint64]obs.SpanRecord, len(recs))
+	names := map[string]int{}
+	for _, r := range recs {
+		byID[r.ID] = r
+		names[r.Name]++
+	}
+	for _, r := range recs {
+		if r.Parent != 0 {
+			if _, ok := byID[r.Parent]; !ok {
+				t.Errorf("span %d (%s) has dangling parent %d", r.ID, r.Name, r.Parent)
+			}
+		} else if r.Name != "campaign" {
+			t.Errorf("root span %d is %q, want campaign", r.ID, r.Name)
+		}
+	}
+	for _, want := range []string{
+		"campaign", "surrogate_train", "surrogate_epoch", "detector_train",
+		"generator_train", "outer_loop", "label_batch", "objective_eval",
+		"poison_draw", "poison_execute",
+	} {
+		if names[want] == 0 {
+			t.Errorf("required span %q missing from trace (got %v)", want, names)
+		}
+	}
+	if names["outer_loop"] != 2 {
+		t.Errorf("outer_loop spans = %d, want 2", names["outer_loop"])
+	}
+
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics is nil despite a registry")
+	}
+	c := res.Metrics.Counters
+	s := res.Stats
+	for name, want := range map[string]int64{
+		"pace_oracle_calls_total":      s.OracleCalls,
+		"pace_oracle_invalid_total":    s.OracleInvalid,
+		"pace_oracle_failed_total":     s.OracleFailed,
+		"pace_oracle_retries_total":    s.OracleRetries,
+		"pace_samples_skipped_total":   s.SkippedSamples,
+		"pace_checkpoints_total":       s.Checkpoints,
+		"pace_oracle_cache_hits_total": s.CacheHits,
+	} {
+		if c[name] != want {
+			t.Errorf("registry %s = %d, Result.Stats says %d", name, c[name], want)
+		}
+	}
+	if c["pace_oracle_cache_misses_total"] != s.CacheMisses {
+		t.Errorf("registry cache misses %d, stats %d",
+			c["pace_oracle_cache_misses_total"], s.CacheMisses)
+	}
+	if s.OracleCalls == 0 {
+		t.Error("campaign made no oracle calls")
+	}
+	if h := res.Metrics.Histograms["pace_oracle_latency_seconds"]; h.Count != s.OracleCalls {
+		t.Errorf("latency histogram count %d, oracle calls %d", h.Count, s.OracleCalls)
+	}
+}

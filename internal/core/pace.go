@@ -12,6 +12,7 @@ import (
 	"pace/internal/engine"
 	"pace/internal/faults"
 	"pace/internal/generator"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/resilience"
 	"pace/internal/surrogate"
@@ -68,6 +69,15 @@ type Config struct {
 	Retry   resilience.RetryPolicy
 	Breaker *resilience.Breaker
 	Faults  *faults.Injector
+
+	// Telemetry carries the campaign's observability channels — metrics
+	// registry, span tracer, structured logger (see internal/obs). Every
+	// stage instruments itself against it: spans cover speculation,
+	// surrogate epochs, outer loops, oracle label batches, retries and
+	// checkpoints; counters and gauges cover oracle traffic, pool, cache,
+	// breaker and fault activity. Nil disables all three channels at
+	// near-zero cost.
+	Telemetry *obs.Telemetry
 
 	// CheckpointEvery/CheckpointSink checkpoint generator training every
 	// N outer loops (N ≤ 0 means every loop when a sink is set). Resume,
@@ -132,6 +142,10 @@ type Result struct {
 	// FaultCounters snapshots the fault injector's tallies (nil when no
 	// injector was configured).
 	FaultCounters *faults.Counters
+	// Metrics snapshots the telemetry registry at campaign end (nil when
+	// Config.Telemetry carried no registry). On a registry private to
+	// this campaign the pace_oracle_* counters agree exactly with Stats.
+	Metrics *obs.Snapshot
 	// TrainTime covers surrogate acquisition + generator training;
 	// GenTime covers drawing the final poisoning workload; AttackTime
 	// covers the target's incremental update on it.
@@ -167,7 +181,21 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 	cfg Config, rng *rand.Rand) (res *Result, err error) {
 	cfg = cfg.withDefaults()
 	res = &Result{}
-	pool := engine.PoolFor(cfg.Workers)
+	ctx = obs.NewContext(ctx, cfg.Telemetry)
+	reg := cfg.Telemetry.Registry()
+	ctx, span := obs.StartSpan(ctx, "campaign",
+		obs.Int("workers", cfg.Workers),
+		obs.Int("num_poison", cfg.NumPoison))
+	defer span.End()
+	if reg != nil {
+		defer func() {
+			s := reg.Snapshot()
+			res.Metrics = &s
+		}()
+	}
+	pool := engine.PoolFor(cfg.Workers).Instrument(reg)
+	cfg.Breaker.Instrument(reg)
+	cfg.Faults.Instrument(reg)
 	if cfg.Speculation.Workers == 0 {
 		cfg.Speculation.Workers = cfg.Workers
 	}
@@ -181,7 +209,7 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 		// channel, above fault injection: a memoized label costs no
 		// round trip and cannot fail.
 		cache := engine.NewOracleCache(engine.Labeler(oracle), cfg.OracleCacheSize,
-			func(e error) bool { return errors.Is(e, ErrInvalidQuery) })
+			func(e error) bool { return errors.Is(e, ErrInvalidQuery) }).Instrument(reg)
 		oracle = Oracle(cache.Label)
 		defer func() {
 			s := cache.Stats()
@@ -229,15 +257,17 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 	gen := generator.New(wgen.DS.Meta, wgen.DS.Joinable, cfg.Generator, rng)
 	var det *detector.Detector
 	if !cfg.DisableDetector {
+		_, dspan := obs.StartSpan(ctx, "detector_train", obs.Int("history", len(history)))
 		det = detector.New(wgen.DS.Meta.Dim(), cfg.Detector, rng)
 		hEnc := encodings(history, wgen)
 		det.Train(hEnc)
 		if cfg.DetectorPercentile > 0 {
 			det.CalibrateThreshold(hEnc, cfg.DetectorPercentile)
 		}
+		dspan.End()
 	}
 	testSamples := MakeTestSamples(res.Surrogate, test)
-	trainer := NewTrainer(res.Surrogate, gen, det, oracle, testSamples, cfg.Trainer, rng)
+	trainer := NewTrainer(res.Surrogate, gen, det, oracle, testSamples, cfg.Trainer, rng).Instrument(reg)
 	trainer.Retry = cfg.Retry
 	trainer.Breaker = cfg.Breaker
 	trainer.Pool = pool
@@ -258,7 +288,7 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 	res.Objective = trainer.Objective
 	res.TrainTime = time.Since(trainStart)
 	if trainErr != nil {
-		res.Stats = trainer.Stats
+		res.Stats = trainer.Stats()
 		res.FaultCounters = faultCounters(cfg)
 		return res, trainErr
 	}
@@ -267,15 +297,22 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 	genStart := time.Now()
 	res.Poison, res.PoisonCards = trainer.GeneratePoison(ctx, cfg.NumPoison)
 	res.GenTime = time.Since(genStart)
-	res.Stats = trainer.Stats
+	res.Stats = trainer.Stats()
 
 	attackStart := time.Now()
-	execErr := target.ExecuteWorkload(ctx, res.Poison, res.PoisonCards)
+	ectx, espan := obs.StartSpan(ctx, "poison_execute", obs.Int("queries", len(res.Poison)))
+	execErr := target.ExecuteWorkload(ectx, res.Poison, res.PoisonCards)
+	espan.End()
 	res.AttackTime = time.Since(attackStart)
 	res.FaultCounters = faultCounters(cfg)
 	if execErr != nil {
 		return res, fmt.Errorf("core: poison execution failed: %w", execErr)
 	}
+	obs.From(ctx).Logger().Info("campaign done",
+		"type", res.SpeculatedType.String(),
+		"poison", len(res.Poison),
+		"oracle_calls", res.Stats.OracleCalls,
+		"train_time", res.TrainTime)
 	return res, nil
 }
 

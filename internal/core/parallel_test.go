@@ -44,7 +44,7 @@ func runAttackAt(t *testing.T, workers int) attackRun {
 		objective: append([]float64(nil), tr.Objective...),
 		poisonKey: keys,
 		cards:     cards,
-		stats:     tr.Stats,
+		stats:     tr.Stats(),
 	}
 }
 
@@ -129,7 +129,7 @@ func TestParallelLabelingStatsAreExact(t *testing.T) {
 			t.Errorf("sample %d is both valid and empty", i)
 		}
 	}
-	s := tr.Stats
+	s := tr.Stats()
 	if s.OracleCalls != n {
 		t.Errorf("OracleCalls = %d, want %d", s.OracleCalls, n)
 	}

@@ -21,12 +21,14 @@ import (
 	"errors"
 	"math/rand"
 	"sync/atomic"
+	"time"
 
 	"pace/internal/ce"
 	"pace/internal/detector"
 	"pace/internal/engine"
 	"pace/internal/generator"
 	"pace/internal/nn"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/resilience"
 )
@@ -141,10 +143,11 @@ func (c TrainerConfig) withDefaults() TrainerConfig {
 	return c
 }
 
-// TrainerStats counts the oracle traffic and its failure modes over a
-// training run — the observability half of the unreliable-target model.
-// The oracle path runs concurrently (see Trainer.Pool), so the counters
-// are int64 and updated atomically during training; read them after
+// TrainerStats is a snapshot of the oracle traffic and its failure
+// modes over a training run — the observability half of the
+// unreliable-target model. The live tallies are obs.Counter instruments
+// (private to the trainer by default, rebound into a shared registry by
+// Trainer.Instrument); read a snapshot with Trainer.Stats after
 // training returns, when no workers are in flight.
 type TrainerStats struct {
 	// OracleCalls is the number of logical COUNT(*) calls (retries of
@@ -213,8 +216,8 @@ type Trainer struct {
 	// loss −L_test, it declines; as the objective, it rises).
 	Objective []float64
 
-	// Stats tallies oracle traffic; read it after training.
-	Stats TrainerStats
+	// met holds the live stats instruments; see Instrument and Stats.
+	met trainerMetrics
 
 	rng *rand.Rand
 	// evalSeed fixes the noise used by objectiveValue so the recorded
@@ -234,6 +237,82 @@ type Trainer struct {
 	resume     *Checkpoint
 }
 
+// trainerMetrics holds the trainer's live stats counters. By default
+// they are standalone instruments private to one trainer; Instrument
+// rebinds them to a shared registry and records the registry's current
+// readings as a baseline, so Stats stays a per-trainer delta even when
+// several campaigns share one registry. The single bookkeeping path —
+// training code increments the handles, never a struct field — keeps
+// TrainerStats and the registry in exact agreement.
+type trainerMetrics struct {
+	oracleCalls, oracleInvalid, oracleFailed   *obs.Counter
+	oracleRetries, skippedSamples, checkpoints *obs.Counter
+	// latency is bound only by Instrument: uninstrumented trainers skip
+	// the per-call clock reads entirely.
+	latency *obs.Histogram
+	base    TrainerStats
+}
+
+func newTrainerMetrics() trainerMetrics {
+	return trainerMetrics{
+		oracleCalls:    &obs.Counter{},
+		oracleInvalid:  &obs.Counter{},
+		oracleFailed:   &obs.Counter{},
+		oracleRetries:  &obs.Counter{},
+		skippedSamples: &obs.Counter{},
+		checkpoints:    &obs.Counter{},
+	}
+}
+
+// read snapshots the raw handle values, without baseline subtraction.
+func (m *trainerMetrics) read() TrainerStats {
+	return TrainerStats{
+		OracleCalls:    m.oracleCalls.Value(),
+		OracleInvalid:  m.oracleInvalid.Value(),
+		OracleFailed:   m.oracleFailed.Value(),
+		OracleRetries:  m.oracleRetries.Value(),
+		SkippedSamples: m.skippedSamples.Value(),
+		Checkpoints:    m.checkpoints.Value(),
+	}
+}
+
+// Instrument rebinds the trainer's stats counters to reg — the
+// `pace_oracle_*_total`, `pace_samples_skipped_total` and
+// `pace_checkpoints_total` families — and adds a
+// `pace_oracle_latency_seconds` histogram over the resilient oracle
+// path. Call before training; a nil registry is a no-op.
+func (t *Trainer) Instrument(reg *obs.Registry) *Trainer {
+	if reg == nil {
+		return t
+	}
+	t.met.oracleCalls = reg.Counter("pace_oracle_calls_total")
+	t.met.oracleInvalid = reg.Counter("pace_oracle_invalid_total")
+	t.met.oracleFailed = reg.Counter("pace_oracle_failed_total")
+	t.met.oracleRetries = reg.Counter("pace_oracle_retries_total")
+	t.met.skippedSamples = reg.Counter("pace_samples_skipped_total")
+	t.met.checkpoints = reg.Counter("pace_checkpoints_total")
+	t.met.latency = reg.Histogram("pace_oracle_latency_seconds")
+	t.met.base = t.met.read()
+	return t
+}
+
+// Stats snapshots the oracle-traffic tallies this trainer accumulated
+// (deltas against the registry baseline when Instrument rebound the
+// counters to a shared registry). Read it after training returns, when
+// no workers are in flight. CacheHits/CacheMisses are filled in by the
+// campaign, which owns the cache.
+func (t *Trainer) Stats() TrainerStats {
+	s := t.met.read()
+	b := t.met.base
+	s.OracleCalls -= b.OracleCalls
+	s.OracleInvalid -= b.OracleInvalid
+	s.OracleFailed -= b.OracleFailed
+	s.OracleRetries -= b.OracleRetries
+	s.SkippedSamples -= b.SkippedSamples
+	s.Checkpoints -= b.Checkpoints
+	return s
+}
+
 // NewTrainer assembles a trainer. det may be nil (PACE-Without Detector).
 func NewTrainer(sur *ce.Estimator, gen *generator.Generator, det *detector.Detector,
 	oracle Oracle, test []ce.Sample, cfg TrainerConfig, rng *rand.Rand) *Trainer {
@@ -245,6 +324,7 @@ func NewTrainer(sur *ce.Estimator, gen *generator.Generator, det *detector.Detec
 		Sur: sur, Gen: gen, Det: det,
 		Oracle: oracle, Test: test,
 		Cfg:      cfg,
+		met:      newTrainerMetrics(),
 		rng:      rng,
 		evalSeed: rng.Int63(),
 		baseSeed: rng.Int63(),
@@ -285,10 +365,14 @@ func (t *Trainer) jitterRng() *rand.Rand {
 // stats are atomic, the breaker locks internally, and jitter comes from
 // a per-call stream.
 func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, error) {
-	atomic.AddInt64(&t.Stats.OracleCalls, 1)
+	t.met.oracleCalls.Inc()
+	if h := t.met.latency; h != nil {
+		start := time.Now()
+		defer func() { h.Observe(time.Since(start).Seconds()) }()
+	}
 	if t.Breaker != nil {
 		if err := t.Breaker.Allow(); err != nil {
-			atomic.AddInt64(&t.Stats.OracleFailed, 1)
+			t.met.oracleFailed.Inc()
 			return 0, err
 		}
 	}
@@ -303,7 +387,7 @@ func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, erro
 		return e
 	})
 	if attempts > 1 {
-		atomic.AddInt64(&t.Stats.OracleRetries, int64(attempts-1))
+		t.met.oracleRetries.Add(int64(attempts - 1))
 	}
 	if t.Breaker != nil {
 		if err != nil && !errors.Is(err, ErrInvalidQuery) {
@@ -314,9 +398,9 @@ func (t *Trainer) callOracle(ctx context.Context, q *query.Query) (float64, erro
 	}
 	if err != nil {
 		if errors.Is(err, ErrInvalidQuery) {
-			atomic.AddInt64(&t.Stats.OracleInvalid, 1)
+			t.met.oracleInvalid.Inc()
 		} else {
-			atomic.AddInt64(&t.Stats.OracleFailed, 1)
+			t.met.oracleFailed.Inc()
 		}
 		return 0, err
 	}
@@ -343,7 +427,7 @@ func (t *Trainer) label(ctx context.Context, batch []*generator.Sample) (samples
 			if ctx.Err() != nil {
 				return nil, nil, nil, ctx.Err()
 			}
-			atomic.AddInt64(&t.Stats.SkippedSamples, 1)
+			t.met.skippedSamples.Inc()
 			continue
 		}
 		if cards[i] >= 1 {
@@ -357,13 +441,26 @@ func (t *Trainer) label(ctx context.Context, batch []*generator.Sample) (samples
 }
 
 // labelCards runs the oracle over the batch in parallel, returning raw
-// cardinalities and errors in batch order.
+// cardinalities and errors in batch order. Every oracle label batch in
+// the pipeline funnels through here, so this is where the `label_batch`
+// span lives.
 func (t *Trainer) labelCards(ctx context.Context, batch []*generator.Sample) ([]float64, []error) {
+	lctx, span := obs.StartSpan(ctx, "label_batch", obs.Int("size", len(batch)))
 	cards := make([]float64, len(batch))
 	errs := make([]error, len(batch))
 	t.Pool.ForEach(len(batch), func(i int) {
-		cards[i], errs[i] = t.callOracle(ctx, batch[i].Query)
+		cards[i], errs[i] = t.callOracle(lctx, batch[i].Query)
 	})
+	if span != nil {
+		failed := 0
+		for _, e := range errs {
+			if e != nil {
+				failed++
+			}
+		}
+		span.SetAttr(obs.Int("failed", failed))
+		span.End()
+	}
 	return cards, errs
 }
 
@@ -580,6 +677,9 @@ func (t *Trainer) TrainBasic(ctx context.Context) error {
 }
 
 func (t *Trainer) train(ctx context.Context, algo string) error {
+	ctx, span := obs.StartSpan(ctx, "generator_train",
+		obs.String("algo", algo), obs.Int("outer_iters", t.Cfg.OuterIters))
+	defer span.End()
 	ps := t.Sur.M.Params()
 	clean := nn.TakeSnapshot(ps)
 	best, err := t.newBestTracker(ctx)
@@ -587,31 +687,39 @@ func (t *Trainer) train(ctx context.Context, algo string) error {
 		return err
 	}
 	for outer := t.startOuter; outer < t.Cfg.OuterIters; outer++ {
+		octx, ospan := obs.StartSpan(ctx, "outer_loop", obs.Int("outer", outer))
 		t.loopRng = t.outerRng(outer)
 		var err error
 		if algo == AlgoAccelerated {
-			err = t.acceleratedLoop(ctx)
+			err = t.acceleratedLoop(octx)
 		} else {
-			err = t.basicLoop(ctx)
+			err = t.basicLoop(octx)
 		}
 		if err != nil {
 			t.loopRng = nil
 			clean.Restore(ps)
+			ospan.End()
 			return err
 		}
 
 		clean.Restore(ps)
-		obj, err := t.objectiveValue(ctx)
+		obj, err := t.objectiveValue(octx)
 		t.loopRng = nil
 		if err != nil {
+			ospan.End()
 			return err
 		}
 		t.Objective = append(t.Objective, obj)
+		ospan.SetAttr(obs.Float("objective", obj))
 		best.consider(obj, len(t.Objective)-1)
-		if err := t.maybeCheckpoint(outer+1, algo, best); err != nil {
+		err = t.maybeCheckpoint(octx, outer+1, algo, best)
+		ospan.End()
+		if err != nil {
 			return err
 		}
 		if t.converged(best) {
+			obs.From(ctx).Logger().Info("generator training converged",
+				"outer", outer, "best_objective", best.obj)
 			break
 		}
 	}
@@ -756,6 +864,8 @@ func (b *bestTracker) restore() {
 // restored afterwards. Oracle failures skip the sample; only a done
 // context is an error.
 func (t *Trainer) objectiveValue(ctx context.Context) (float64, error) {
+	ctx, span := obs.StartSpan(ctx, "objective_eval", obs.Int("batch", t.Cfg.Batch))
+	defer span.End()
 	ps := t.Sur.M.Params()
 	snap := nn.TakeSnapshot(ps)
 	evalRng := rand.New(rand.NewSource(t.evalSeed))
@@ -805,6 +915,8 @@ func (t *Trainer) objectiveValue(ctx context.Context) (float64, error) {
 // Oracle failures skip the draw; cancellation returns what was gathered
 // so far.
 func (t *Trainer) GeneratePoison(ctx context.Context, n int) ([]*query.Query, []float64) {
+	ctx, span := obs.StartSpan(ctx, "poison_draw", obs.Int("n", n))
+	defer span.End()
 	qs := make([]*query.Query, 0, n)
 	cards := make([]float64, 0, n)
 	var spareQ []*query.Query

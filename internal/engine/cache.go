@@ -5,6 +5,7 @@ import (
 	"context"
 	"sync"
 
+	"pace/internal/obs"
 	"pace/internal/query"
 )
 
@@ -54,6 +55,12 @@ type OracleCache struct {
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
 	stats   CacheStats
+
+	// Registry handles bound by Instrument; nil-safe no-ops otherwise.
+	// CacheStats reads from these when bound, so the registry is the
+	// single bookkeeping path for an instrumented cache.
+	mHits, mMisses, mEvictions *obs.Counter
+	mSize                      *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -84,6 +91,22 @@ func NewOracleCache(inner Labeler, capacity int, permanent func(error) bool) *Or
 	}
 }
 
+// Instrument binds hit/miss/eviction counters and a size gauge to reg
+// (`pace_oracle_cache_*`) and returns the cache. Nil cache or registry
+// is a no-op.
+func (c *OracleCache) Instrument(reg *obs.Registry) *OracleCache {
+	if c == nil || reg == nil {
+		return c
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter("pace_oracle_cache_hits_total")
+	c.mMisses = reg.Counter("pace_oracle_cache_misses_total")
+	c.mEvictions = reg.Counter("pace_oracle_cache_evictions_total")
+	c.mSize = reg.Gauge("pace_oracle_cache_size")
+	return c
+}
+
 // Label answers the query from memory when possible, consulting the
 // inner oracle (and remembering its settled outcomes) otherwise.
 func (c *OracleCache) Label(ctx context.Context, q *query.Query) (float64, error) {
@@ -93,10 +116,12 @@ func (c *OracleCache) Label(ctx context.Context, q *query.Query) (float64, error
 		c.order.MoveToFront(el)
 		e := el.Value.(*cacheEntry)
 		c.stats.Hits++
+		c.mHits.Inc()
 		c.mu.Unlock()
 		return e.card, e.err
 	}
 	c.stats.Misses++
+	c.mMisses.Inc()
 	c.mu.Unlock()
 
 	card, err := c.inner(ctx, q)
@@ -121,7 +146,9 @@ func (c *OracleCache) store(key string, card float64, err error) {
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.stats.Evictions++
+		c.mEvictions.Inc()
 	}
+	c.mSize.Set(int64(len(c.entries)))
 }
 
 // Stats snapshots the cache counters.

@@ -14,16 +14,25 @@
 package engine
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pace/internal/obs"
 )
 
 // Pool is a bounded worker pool. The zero value and nil are both usable
 // and run everything on the calling goroutine (one worker).
 type Pool struct {
 	workers int
+
+	// Telemetry handles, bound by Instrument; all nil-safe no-ops when
+	// the pool is uninstrumented.
+	tasks       *obs.Counter
+	queueDepth  *obs.Gauge
+	workerTasks []*obs.Counter
 }
 
 // NewPool builds a pool with the given worker bound. workers <= 0 means
@@ -55,6 +64,28 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// Instrument binds the pool's telemetry to reg and returns the pool:
+// a queue-depth gauge (`pace_pool_queue_depth`, tasks not yet finished in
+// the current fan-out), a total task counter, and one per-worker task
+// counter (`pace_pool_worker_tasks_total{worker="k"}`). Which worker runs
+// which task is a scheduling decision, so the per-worker split — unlike
+// everything else the pipeline measures — is NOT deterministic across
+// runs; it exists to spot skew, not to be asserted on. Nil pool or nil
+// registry is a no-op.
+func (p *Pool) Instrument(reg *obs.Registry) *Pool {
+	if p == nil || reg == nil {
+		return p
+	}
+	p.tasks = reg.Counter("pace_pool_tasks_total")
+	p.queueDepth = reg.Gauge("pace_pool_queue_depth")
+	reg.Gauge("pace_pool_workers").Set(int64(p.Workers()))
+	p.workerTasks = make([]*obs.Counter, p.Workers())
+	for k := range p.workerTasks {
+		p.workerTasks[k] = reg.Counter(fmt.Sprintf(`pace_pool_worker_tasks_total{worker="%d"}`, k))
+	}
+	return p
+}
+
 // ForEach runs fn(i) for every i in [0, n), fanning out across the
 // pool's workers. It returns when every call has finished. Work is
 // handed out by an atomic cursor, so goroutine scheduling decides which
@@ -65,9 +96,22 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if w > n {
 		w = n
 	}
+	var tasks *obs.Counter
+	var depth *obs.Gauge
+	var perWorker []*obs.Counter
+	if p != nil {
+		tasks, depth, perWorker = p.tasks, p.queueDepth, p.workerTasks
+	}
+	depth.Set(int64(n))
+	defer depth.Set(0)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			fn(i)
+			tasks.Inc()
+			if perWorker != nil {
+				perWorker[0].Inc()
+			}
+			depth.Add(-1)
 		}
 		return
 	}
@@ -76,7 +120,7 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
-		go func() {
+		go func(k int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1))
@@ -84,8 +128,13 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 					return
 				}
 				fn(i)
+				tasks.Inc()
+				if perWorker != nil {
+					perWorker[k].Inc()
+				}
+				depth.Add(-1)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }

@@ -52,6 +52,7 @@ func RunChaos(out io.Writer, cfg Config) error {
 			},
 			Generator: w.GenCfg(),
 			Trainer:   w.TrainerCfg(),
+			Telemetry: cfg.Telemetry,
 		}
 		runCfg.Surrogate.Queries = cfg.TrainQueries
 		runCfg.Surrogate.HP = w.HP()

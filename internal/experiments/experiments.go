@@ -23,6 +23,7 @@ import (
 	"pace/internal/detector"
 	"pace/internal/engine"
 	"pace/internal/generator"
+	"pace/internal/obs"
 	"pace/internal/surrogate"
 	"pace/internal/workload"
 )
@@ -80,6 +81,11 @@ type Config struct {
 	// identical at any setting — every model row draws from its own
 	// seeded streams.
 	Workers int
+	// Telemetry, when set, instruments the harness: experiment campaigns
+	// carry it as their Config.Telemetry, the matrix pool and embedded
+	// trainers bind their counters to its registry, and spans cover every
+	// pipeline stage. Nil (the default) disables all channels.
+	Telemetry *obs.Telemetry
 }
 
 // WithDefaults fills zero fields with the quick profile.
@@ -251,9 +257,10 @@ func (w *World) TrainPACE(sur *ce.Estimator, det *detector.Detector, seedOffset 
 	rng := rand.New(rand.NewSource(w.Cfg.Seed*32452843 + seedOffset))
 	gen := generator.New(w.DS.Meta, w.DS.Joinable, w.GenCfg(), rng)
 	tr := core.NewTrainer(sur, gen, det, core.EngineOracle(w.WGen),
-		core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng)
-	tr.Pool = engine.PoolFor(w.Cfg.Workers)
-	_ = tr.TrainAccelerated(bg)
+		core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng).
+		Instrument(w.Cfg.Telemetry.Registry())
+	tr.Pool = engine.PoolFor(w.Cfg.Workers).Instrument(w.Cfg.Telemetry.Registry())
+	_ = tr.TrainAccelerated(obs.NewContext(bg, w.Cfg.Telemetry))
 	return tr
 }
 

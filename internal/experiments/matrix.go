@@ -57,7 +57,7 @@ func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error)
 	cards := Cards(w.Test)
 
 	rows := make([]map[core.Method]*MatrixCell, len(models))
-	engine.PoolFor(cfg.Workers).ForEach(len(models), func(mi int) {
+	engine.PoolFor(cfg.Workers).Instrument(cfg.Telemetry.Registry()).ForEach(len(models), func(mi int) {
 		typ := models[mi]
 		cells := make(map[core.Method]*MatrixCell)
 		rows[mi] = cells

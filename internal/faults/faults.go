@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"pace/internal/ce"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/resilience"
 )
@@ -152,6 +153,9 @@ type Injector struct {
 	c      Counters
 	tokens float64
 	last   time.Time
+
+	// Registry handles bound by Instrument; nil-safe no-ops otherwise.
+	mCalls, mTransients, mDrops, mRateLimited, mNoisy *obs.Counter
 }
 
 // NewInjector builds an injector for p whose fault schedule is fully
@@ -167,6 +171,22 @@ func NewInjector(p Profile, seed int64) *Injector {
 // Profile returns the injector's profile.
 func (in *Injector) Profile() Profile { return in.prof }
 
+// Instrument binds per-fault counters (`pace_faults_*_total`) to reg and
+// returns the injector. Nil injector or registry is a no-op.
+func (in *Injector) Instrument(reg *obs.Registry) *Injector {
+	if in == nil || reg == nil {
+		return in
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.mCalls = reg.Counter("pace_faults_calls_total")
+	in.mTransients = reg.Counter("pace_faults_transients_total")
+	in.mDrops = reg.Counter("pace_faults_drops_total")
+	in.mRateLimited = reg.Counter("pace_faults_rate_limited_total")
+	in.mNoisy = reg.Counter("pace_faults_noisy_labels_total")
+	return in
+}
+
 // Counters snapshots the fault tallies.
 func (in *Injector) Counters() Counters {
 	in.mu.Lock()
@@ -181,6 +201,7 @@ func (in *Injector) decide() (time.Duration, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.c.Calls++
+	in.mCalls.Inc()
 
 	if in.prof.RatePerSec > 0 {
 		now := time.Now()
@@ -193,6 +214,7 @@ func (in *Injector) decide() (time.Duration, error) {
 		in.last = now
 		if in.tokens < 1 {
 			in.c.RateLimited++
+			in.mRateLimited.Inc()
 			return 0, ErrRateLimited
 		}
 		in.tokens--
@@ -208,10 +230,12 @@ func (in *Injector) decide() (time.Duration, error) {
 	}
 	if in.prof.DropRate > 0 && in.rng.Float64() < in.prof.DropRate {
 		in.c.Drops++
+		in.mDrops.Inc()
 		return lat, ErrDropped
 	}
 	if in.prof.ErrorRate > 0 && in.rng.Float64() < in.prof.ErrorRate {
 		in.c.Transients++
+		in.mTransients.Inc()
 		return lat, ErrTransient
 	}
 	return lat, nil
@@ -237,6 +261,7 @@ func (in *Injector) NoisyCard(card float64) float64 {
 	in.mu.Lock()
 	f := math.Exp(in.rng.NormFloat64() * in.prof.LabelNoise)
 	in.c.NoisyLabels++
+	in.mNoisy.Inc()
 	in.mu.Unlock()
 	out := card * f
 	if card >= 1 && out < 1 {

@@ -61,10 +61,11 @@ func GeoMean(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
-// nearest-rank on a sorted copy. It panics on an empty slice.
+// nearest-rank on a sorted copy (0 for an empty slice, matching Mean
+// and GeoMean).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
-		panic("metrics: Percentile of empty slice")
+		return 0
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
@@ -132,7 +133,14 @@ func JSDivergence(a, b [][]float64, bins int) float64 {
 
 func histogram(vs [][]float64, dim, bins int) []float64 {
 	h := make([]float64, bins)
+	n := 0
 	for _, v := range vs {
+		if dim >= len(v) {
+			// Ragged input: rows shorter than the reference row simply
+			// contribute nothing to the higher dimensions instead of
+			// panicking the whole evaluation.
+			continue
+		}
 		x := v[dim]
 		if x < 0 {
 			x = 0
@@ -145,9 +153,10 @@ func histogram(vs [][]float64, dim, bins int) []float64 {
 			i = bins - 1
 		}
 		h[i]++
+		n++
 	}
 	// Laplace smoothing keeps the KL terms finite.
-	total := float64(len(vs)) + float64(bins)*1e-6
+	total := float64(n) + float64(bins)*1e-6
 	for i := range h {
 		h[i] = (h[i] + 1e-6) / total
 	}

@@ -32,13 +32,38 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
-func TestPercentilePanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	Percentile(nil, 50)
+func TestPercentileEmpty(t *testing.T) {
+	// Empty input returns 0 like Mean and GeoMean — an empty Q-error set
+	// (e.g. a zero-length test workload) must not crash reporting.
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{}, 99); got != 0 {
+		t.Errorf("Percentile(empty, 99) = %g, want 0", got)
+	}
+}
+
+func TestHitRateSpeedupZero(t *testing.T) {
+	if got := HitRate(0, 0); got != 0 {
+		t.Errorf("HitRate(0,0) = %g, want 0", got)
+	}
+	if got := HitRate(3, 1); got != 0.75 {
+		t.Errorf("HitRate(3,1) = %g, want 0.75", got)
+	}
+	if got := Speedup(1.5, 0); got != 0 {
+		t.Errorf("Speedup(1.5,0) = %g, want 0", got)
+	}
+	if got := Speedup(3, 1.5); got != 2 {
+		t.Errorf("Speedup(3,1.5) = %g, want 2", got)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 1.5, P50: 1, P90: 2, P95: 3, P99: 4, Max: 5}
+	want := "mean=1.5 p50=1 p90=2 p95=3 p99=4 max=5"
+	if got := s.String(); got != want {
+		t.Errorf("Summary.String() = %q, want %q", got, want)
+	}
 }
 
 func TestSummarize(t *testing.T) {
@@ -109,6 +134,23 @@ func TestJSDivergenceEdgeCases(t *testing.T) {
 	a := [][]float64{{0.5}}
 	if d := JSDivergence(a, a, 0); d < 0 {
 		t.Error("default bins should work")
+	}
+}
+
+func TestJSDivergenceRaggedRows(t *testing.T) {
+	// Rows of b narrower than a[0] (e.g. encodings from a different
+	// query template) must not index out of range; the short rows just
+	// don't contribute to the higher dimensions.
+	a := [][]float64{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}}
+	b := [][]float64{{0.1}, {0.9, 0.8}}
+	d := JSDivergence(a, b, 10)
+	if math.IsNaN(d) || math.IsInf(d, 0) || d < 0 {
+		t.Errorf("ragged JSD = %g, want finite non-negative", d)
+	}
+	// Ragged rows inside a as well.
+	aRag := [][]float64{{0.1, 0.2, 0.3}, {0.4}}
+	if d := JSDivergence(aRag, b, 10); math.IsNaN(d) || d < 0 {
+		t.Errorf("double-ragged JSD = %g, want finite non-negative", d)
 	}
 }
 

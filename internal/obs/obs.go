@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Telemetry bundles the three observability channels a campaign carries:
+// the metrics registry, the span tracer, and the structured logger. Any
+// field may be nil (that channel is off); a nil *Telemetry disables all
+// three. Telemetry travels down the pipeline by value inside a
+// context.Context (NewContext/From), so deep layers — retry backoff,
+// fault injection, pool fan-out — can instrument themselves without
+// threading new parameters through every signature.
+type Telemetry struct {
+	Reg    *Registry
+	Tracer *Tracer
+	Log    *slog.Logger
+}
+
+// Logger returns the telemetry's logger, or a discard logger when unset.
+// Never nil, so call sites can log unconditionally.
+func (t *Telemetry) Logger() *slog.Logger {
+	if t == nil || t.Log == nil {
+		return discardLogger
+	}
+	return t.Log
+}
+
+// Registry returns the telemetry's registry, nil-safe. A nil registry's
+// instruments are no-ops, so `obs.From(ctx).Registry().Counter(...)`
+// works unconditionally.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Reg
+}
+
+type ctxKeyTelemetry struct{}
+type ctxKeySpan struct{}
+
+// NewContext attaches tel to ctx for the pipeline below.
+func NewContext(ctx context.Context, tel *Telemetry) context.Context {
+	if tel == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyTelemetry{}, tel)
+}
+
+// From extracts the telemetry attached to ctx (nil when none).
+func From(ctx context.Context) *Telemetry {
+	tel, _ := ctx.Value(ctxKeyTelemetry{}).(*Telemetry)
+	return tel
+}
+
+// StartSpan opens a span named name under ctx's current span (a root
+// span when ctx has none) and returns a derived context carrying the new
+// span as parent for the subtree below. When ctx carries no telemetry or
+// no tracer, it returns (ctx, nil) — and a nil span's methods are
+// no-ops — so instrumentation sites need no telemetry-enabled check.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	tel := From(ctx)
+	if tel == nil || tel.Tracer == nil {
+		return ctx, nil
+	}
+	var parentID uint64
+	if parent, _ := ctx.Value(ctxKeySpan{}).(*Span); parent != nil {
+		parentID = parent.id
+	}
+	sp := tel.Tracer.startSpan(name, parentID, attrs...)
+	return context.WithValue(ctx, ctxKeySpan{}, sp), sp
+}
+
+// CurrentSpan returns the span attached to ctx, if any.
+func CurrentSpan(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKeySpan{}).(*Span)
+	return sp
+}
+
+// discardLogger drops everything; it stands in wherever no logger was
+// configured so instrumented code never nil-checks.
+var discardLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NewLogger builds a slog logger writing to w. level is one of debug,
+// info, warn, error (default info); format is text or json (default
+// text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "debug":
+		lvl = slog.LevelDebug
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+	"time"
+)
+
+// StartCPUProfile begins a CPU profile into the named file and returns a
+// stop function that ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects and writes an allocation profile of
+// the live heap to the named file.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // profile the live set, not yet-uncollected garbage
+	if err := runtimepprof.Lookup("heap").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	return nil
+}
+
+// MetricsServer serves the registry in Prometheus text format plus the
+// net/http/pprof handlers on a private mux (nothing leaks onto
+// http.DefaultServeMux).
+type MetricsServer struct {
+	// Addr is the bound address (useful when the requested port was 0).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeMetrics starts an HTTP server on addr exposing:
+//
+//	/metrics            the registry, Prometheus text exposition format
+//	/debug/pprof/...    the standard pprof index, profiles and traces
+//
+// It returns once the listener is bound; requests are served on a
+// background goroutine until Close.
+func ServeMetrics(addr string, reg *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ms := &MetricsServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+	}
+	go ms.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ms, nil
+}
+
+// Close stops the server and its listener.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	return m.srv.Close()
+}

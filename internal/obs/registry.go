@@ -1,0 +1,443 @@
+// Package obs is the observability layer of the attack pipeline: a
+// zero-dependency metrics registry (counters, gauges, log-bucketed
+// histograms), a campaign tracer that emits spans as JSONL, a structured
+// logger, and profiling hooks. Both "Are We Ready For Learned Cardinality
+// Estimation?" and CardBench treat per-stage cost — training time, update
+// latency, oracle traffic — as first-class results of a CE evaluation;
+// this package makes them observable while a campaign runs instead of a
+// single end-to-end number after it.
+//
+// The package sits at the bottom of the dependency graph (stdlib only),
+// so every layer — engine, faults, resilience, surrogate, core — can be
+// instrumented with it. Every type is nil-safe: a nil *Registry hands out
+// nil instruments whose methods are no-ops, so instrumented code pays
+// almost nothing when telemetry is disabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing named total. The zero value is
+// usable standalone (not attached to any registry).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a named value that can go up and down (queue depth, breaker
+// state, resident cache size). The zero value is usable standalone.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram exponent range: bucket i (1 ≤ i < histBuckets-1) covers
+// values v with 2^(i+histMinExp-1) < v ≤ 2^(i+histMinExp); bucket 0
+// holds v ≤ 2^histMinExp and the top bucket everything above
+// 2^histMaxExp. The range spans 2^-32 (~0.2ns in seconds) to 2^31
+// (~68 years in seconds, or astronomically large Q-errors), covering
+// both latency-in-seconds and Q-error observations without
+// configuration.
+const (
+	histMinExp  = -32
+	histMaxExp  = 31
+	histBuckets = histMaxExp - histMinExp + 2 // + underflow and overflow buckets
+)
+
+// Histogram is a log2-bucketed distribution of non-negative values —
+// latencies in seconds, Q-errors, batch sizes. Buckets double in width,
+// so the histogram resolves microseconds and minutes (or Q-error 1.1 and
+// 1e9) with the same fixed 65 counters and no a-priori bounds.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return 0
+	}
+	if math.IsInf(v, 1) {
+		return histBuckets - 1
+	}
+	e := int(math.Ceil(math.Log2(v)))
+	switch {
+	case e <= histMinExp:
+		return 0
+	case e > histMaxExp:
+		return histBuckets - 1
+	default:
+		return e - histMinExp
+	}
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i
+// (+Inf for the top bucket).
+func bucketUpper(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Pow(2, float64(i+histMinExp))
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports how many values were observed (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets,
+// returning the upper bound of the bucket holding the rank. 0 when
+// nothing was observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// Registry is a process-local namespace of instruments. Instruments are
+// created on first use and live for the registry's lifetime; looking one
+// up twice returns the same instrument, so concurrent instrumentation
+// sites share totals. A nil *Registry is a valid "telemetry off" registry:
+// it hands out nil instruments.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram. Buckets is
+// sparse: exponent-bucket index → count, only non-empty buckets present.
+type HistogramSnapshot struct {
+	Count   int64           `json:"count"`
+	Sum     float64         `json:"sum"`
+	Buckets map[int]int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments —
+// JSON-serializable, comparable, and mergeable, so per-run snapshots can
+// be aggregated across campaigns or shards.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[int]int64{}}
+		for i := 0; i < histBuckets; i++ {
+			if n := h.counts[i].Load(); n > 0 {
+				hs.Buckets[i] = n
+			}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// Merge combines two snapshots into a new one: counters and histogram
+// buckets sum; a gauge takes the other snapshot's value when present
+// (last writer wins — gauges are levels, not totals).
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for k, v := range s.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range s.Histograms {
+		out.Histograms[k] = v.clone()
+	}
+	for k, v := range o.Histograms {
+		m := out.Histograms[k].clone()
+		m.Count += v.Count
+		m.Sum += v.Sum
+		if m.Buckets == nil {
+			m.Buckets = map[int]int64{}
+		}
+		for i, n := range v.Buckets {
+			m.Buckets[i] += n
+		}
+		out.Histograms[k] = m
+	}
+	return out
+}
+
+func (h HistogramSnapshot) clone() HistogramSnapshot {
+	c := HistogramSnapshot{Count: h.Count, Sum: h.Sum}
+	if h.Buckets != nil {
+		c.Buckets = make(map[int]int64, len(h.Buckets))
+		for i, n := range h.Buckets {
+			c.Buckets[i] = n
+		}
+	}
+	return c
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (one metric family per instrument, histograms as cumulative
+// le-buckets). Metric names of the form `base{label="v"}` are emitted
+// verbatim with the TYPE line derived from the base name, so callers can
+// build labeled families by formatting the label into the name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	typed := map[string]bool{} // base names whose TYPE line was written
+
+	emitType := func(name, kind string) {
+		base := name
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", promName(base), kind)
+		}
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		emitType(name, "counter")
+		fmt.Fprintf(w, "%s %d\n", promName(name), s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		emitType(name, "gauge")
+		fmt.Fprintf(w, "%s %d\n", promName(name), s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		emitType(name, "histogram")
+		idxs := make([]int, 0, len(h.Buckets))
+		for i := range h.Buckets {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		var cum int64
+		for _, i := range idxs {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", promName(name), promFloat(bucketUpper(i)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", promName(name), h.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", promName(name), h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", promName(name), h.Count)
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promName sanitizes a metric name (outside any {label} part) to the
+// Prometheus charset [a-zA-Z0-9_:].
+func promName(name string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	}
+	var b strings.Builder
+	for i, r := range base {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String() + labels
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}

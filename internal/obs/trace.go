@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value span attribute. Values should be JSON-encodable
+// scalars (string, int64, float64, bool) so the trace stays greppable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: int64(v)} }
+
+// Int64 builds an int64 attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// SpanRecord is the JSONL wire form of one completed span — also the
+// parsed form ParseTrace returns. Timestamps are absolute microseconds
+// since the Unix epoch; everything else is deterministic for a fixed
+// campaign seed (the determinism tests compare traces modulo ID
+// assignment order and timestamps).
+type SpanRecord struct {
+	ID      uint64         `json:"id"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer emits completed spans as JSON Lines to a writer. Safe for
+// concurrent use: span records are serialized under a mutex, one line
+// per span, written at span End in completion order.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	closer io.Closer
+	err    error
+	nextID atomic.Uint64
+	spans  atomic.Int64
+}
+
+// NewTracer builds a tracer writing JSONL to w.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w)}
+}
+
+// NewFileTracer builds a tracer writing to the named file (truncated).
+// Close flushes and closes the file.
+func NewFileTracer(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace file: %w", err)
+	}
+	t := NewTracer(f)
+	t.closer = f
+	return t, nil
+}
+
+// Spans reports how many spans the tracer has emitted (0 for nil).
+func (t *Tracer) Spans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.spans.Load()
+}
+
+// Close flushes buffered spans and closes the underlying file when the
+// tracer owns one. It returns the first write error encountered over the
+// tracer's lifetime. Nil-safe.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	if t.closer != nil {
+		if cerr := t.closer.Close(); t.err == nil {
+			t.err = cerr
+		}
+		t.closer = nil
+	}
+	return t.err
+}
+
+// Span is one timed region of the pipeline. Start one with
+// Telemetry.StartSpan or the package-level StartSpan (which parent via
+// context); call End exactly once. A nil *Span is a valid disabled span:
+// every method is a no-op.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// startSpan opens a span under the given parent ID (0 = root).
+func (t *Tracer) startSpan(name string, parent uint64, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		tr:     t,
+		id:     t.nextID.Add(1),
+		parent: parent,
+		name:   name,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...),
+	}
+}
+
+// SetAttr attaches attributes to the span (visible on the emitted
+// record). Later values for the same key override earlier ones at
+// encoding time. No-op on a nil or ended span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+}
+
+// End closes the span and emits its record. Second and later calls are
+// no-ops, as is End on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	rec := SpanRecord{
+		ID:      s.id,
+		Parent:  s.parent,
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   time.Since(s.start).Microseconds(),
+	}
+	if len(attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	s.tr.emit(rec)
+}
+
+func (t *Tracer) emit(rec SpanRecord) {
+	line, err := json.Marshal(rec)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err != nil {
+		if t.err == nil {
+			t.err = err
+		}
+		return
+	}
+	if _, werr := t.w.Write(append(line, '\n')); werr != nil && t.err == nil {
+		t.err = werr
+	}
+	t.spans.Add(1)
+}
+
+// ParseTrace decodes a JSONL trace produced by a Tracer. It fails on the
+// first malformed line.
+func ParseTrace(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: malformed trace line %d: %w", len(out)+1, err)
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tel := &Telemetry{Tracer: tr}
+	ctx := NewContext(context.Background(), tel)
+
+	ctx, root := StartSpan(ctx, "campaign", String("dataset", "dmv"))
+	ctx2, child := StartSpan(ctx, "outer_loop", Int("outer", 0))
+	_, grand := StartSpan(ctx2, "label_batch", Int("size", 64))
+	grand.SetAttr(Int("labeled", 60))
+	grand.End()
+	child.End()
+	root.SetAttr(Bool("ok", true))
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d spans, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["campaign"].Parent != 0 {
+		t.Error("campaign must be a root span")
+	}
+	if byName["outer_loop"].Parent != byName["campaign"].ID {
+		t.Error("outer_loop must parent to campaign")
+	}
+	if byName["label_batch"].Parent != byName["outer_loop"].ID {
+		t.Error("label_batch must parent to outer_loop")
+	}
+	if got := byName["label_batch"].Attrs["labeled"]; got != float64(60) {
+		t.Errorf("SetAttr lost: labeled = %v", got)
+	}
+	if got := byName["campaign"].Attrs["ok"]; got != true {
+		t.Errorf("bool attr = %v", got)
+	}
+	if tr.Spans() != 3 {
+		t.Errorf("Spans() = %d, want 3", tr.Spans())
+	}
+}
+
+func TestSpanNilAndDoubleEndSafe(t *testing.T) {
+	// No telemetry in context → nil span, all methods no-ops.
+	ctx, sp := StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("want nil span without a tracer")
+	}
+	sp.SetAttr(Int("a", 1))
+	sp.End()
+	if CurrentSpan(ctx) != nil {
+		t.Error("no span should be attached")
+	}
+
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx = NewContext(context.Background(), &Telemetry{Tracer: tr})
+	_, sp2 := StartSpan(ctx, "once")
+	sp2.End()
+	sp2.End() // second End must not emit again
+	sp2.SetAttr(Int("late", 1))
+	tr.Close()
+	recs, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("double End emitted %d records", len(recs))
+	}
+	if _, ok := recs[0].Attrs["late"]; ok {
+		t.Error("attr set after End must be dropped")
+	}
+}
+
+// TestTracerConcurrentSpans is the -race probe: many goroutines opening
+// and ending sibling spans against one tracer.
+func TestTracerConcurrentSpans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := NewContext(context.Background(), &Telemetry{Tracer: tr})
+	ctx, root := StartSpan(ctx, "root")
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, sp := StartSpan(ctx, "task", Int("worker", k))
+				sp.SetAttr(Int("i", i))
+				sp.End()
+			}
+		}(k)
+	}
+	wg.Wait()
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 401 {
+		t.Fatalf("got %d spans, want 401", len(recs))
+	}
+	ids := map[uint64]bool{}
+	for _, r := range recs {
+		if ids[r.ID] {
+			t.Fatalf("duplicate span id %d", r.ID)
+		}
+		ids[r.ID] = true
+		if r.Name == "task" && r.Parent == 0 {
+			t.Error("task span lost its parent")
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	if _, err := ParseTrace(strings.NewReader("{\"id\":1,\"name\":\"a\"}\nnot json\n")); err == nil {
+		t.Error("want error on malformed line")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", 1)
+	if !strings.Contains(buf.String(), `"msg":"hello"`) {
+		t.Errorf("json log output = %q", buf.String())
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("want error for unknown level")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Error("want error for unknown format")
+	}
+	// The nil telemetry logger must be callable.
+	(*Telemetry)(nil).Logger().Info("dropped")
+}
+
+func TestMetricsServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pace_test_total").Add(9)
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body := httpGet(t, "http://"+srv.Addr+"/metrics")
+	if !strings.Contains(body, "pace_test_total 9") {
+		t.Errorf("/metrics = %q", body)
+	}
+	if idx := httpGet(t, "http://"+srv.Addr+"/debug/pprof/"); !strings.Contains(idx, "pprof") {
+		t.Error("pprof index not served")
+	}
+}

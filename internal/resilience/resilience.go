@@ -13,6 +13,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"pace/internal/obs"
 )
 
 // ErrBreakerOpen is returned by Breaker.Allow while the breaker is open
@@ -102,7 +104,16 @@ func (p RetryPolicy) Do(ctx context.Context, rng *rand.Rand, op func(context.Con
 		if rng != nil && p.JitterFrac > 0 {
 			d += time.Duration((rng.Float64()*2 - 1) * p.JitterFrac * float64(d))
 		}
-		if serr := Sleep(ctx, d); serr != nil {
+		// Backoff waits are where an unreliable target steals wall-clock
+		// time, so each one is a span and a counter tick. Telemetry rides
+		// in ctx; with none attached both calls are no-ops.
+		obs.From(ctx).Registry().Counter("pace_retry_waits_total").Inc()
+		_, sp := obs.StartSpan(ctx, "retry_wait",
+			obs.Int("attempt", attempts),
+			obs.Int64("delay_us", d.Microseconds()))
+		serr := Sleep(ctx, d)
+		sp.End()
+		if serr != nil {
 			return attempts, serr
 		}
 	}
@@ -162,11 +173,32 @@ type Breaker struct {
 	calls       int
 	rejected    int
 	trips       int
+
+	// Registry handles bound by Instrument; nil-safe no-ops otherwise.
+	mOpen                     *obs.Gauge
+	mTrips, mRejected, mCalls *obs.Counter
 }
 
 // NewBreaker builds a breaker; the zero config gets defaults.
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Instrument binds breaker telemetry to reg and returns the breaker:
+// `pace_breaker_open` (1 while open), `pace_breaker_trips_total`,
+// `pace_breaker_rejected_total` and `pace_breaker_calls_total`. Nil
+// breaker or registry is a no-op.
+func (b *Breaker) Instrument(reg *obs.Registry) *Breaker {
+	if b == nil || reg == nil {
+		return b
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mOpen = reg.Gauge("pace_breaker_open")
+	b.mTrips = reg.Counter("pace_breaker_trips_total")
+	b.mRejected = reg.Counter("pace_breaker_rejected_total")
+	b.mCalls = reg.Counter("pace_breaker_calls_total")
+	return b
 }
 
 // Allow reports whether a call may proceed, consuming one unit of the
@@ -176,14 +208,18 @@ func (b *Breaker) Allow() error {
 	defer b.mu.Unlock()
 	if b.cfg.CallBudget > 0 && b.calls >= b.cfg.CallBudget {
 		b.rejected++
+		b.mRejected.Inc()
 		return ErrBudgetExhausted
 	}
 	if !b.openUntil.IsZero() && time.Now().Before(b.openUntil) {
 		b.rejected++
+		b.mRejected.Inc()
 		return ErrBreakerOpen
 	}
 	b.openUntil = time.Time{} // half-open: let the probe call through
+	b.mOpen.Set(0)
 	b.calls++
+	b.mCalls.Inc()
 	return nil
 }
 
@@ -201,6 +237,8 @@ func (b *Breaker) Record(err error) {
 		b.openUntil = time.Now().Add(b.cfg.Cooldown)
 		b.consecFails = 0
 		b.trips++
+		b.mTrips.Inc()
+		b.mOpen.Set(1)
 	}
 }
 

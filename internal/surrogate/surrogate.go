@@ -22,6 +22,7 @@ import (
 	"pace/internal/ce"
 	"pace/internal/engine"
 	"pace/internal/metrics"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/resilience"
 	"pace/internal/workload"
@@ -83,6 +84,8 @@ type SpeculationResult struct {
 // when more than half the probe workload is lost to target failures.
 func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg SpeculationConfig, rng *rand.Rand) (*SpeculationResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "speculate", obs.Int("workers", cfg.Workers))
+	defer span.End()
 
 	// Probe workloads with diverse properties: varying predicate counts
 	// and varying predicate range sizes (§4.1).
@@ -99,7 +102,10 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 
 	// Probe the remote target first: its surviving probe set defines the
 	// comparison workload for every local candidate.
-	kept, bbVec, failed, err := probeTarget(ctx, bb, groups, cfg, rng)
+	pctx, pspan := obs.StartSpan(ctx, "probe_target", obs.Int("groups", len(groups)))
+	kept, bbVec, failed, err := probeTarget(pctx, bb, groups, cfg, rng)
+	pspan.SetAttr(obs.Int("failed_probes", failed))
+	pspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +119,11 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 	types := ce.Types()
 	candSeed := rng.Int63()
 	ests := make([]*ce.Estimator, len(types))
-	engine.PoolFor(cfg.Workers).ForEach(len(types), func(i int) {
+	engine.PoolFor(cfg.Workers).Instrument(obs.From(ctx).Registry()).ForEach(len(types), func(i int) {
+		_, cspan := obs.StartSpan(ctx, "candidate_train",
+			obs.String("type", types[i].String()),
+			obs.Int("queries", len(train)))
+		defer cspan.End()
 		crng := engine.SplitRNG(candSeed, int64(i))
 		model := ce.New(types[i], gen.DS.Meta, cfg.HP, crng)
 		est := ce.NewEstimator(model, cfg.Train, crng)
@@ -141,6 +151,9 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 			res.Type = typ
 		}
 	}
+	span.SetAttr(obs.String("speculated_type", res.Type.String()))
+	obs.From(ctx).Logger().Info("speculation done",
+		"type", res.Type.String(), "failed_probes", failed)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"pace/internal/ce"
 	"pace/internal/nn"
+	"pace/internal/obs"
 	"pace/internal/resilience"
 	"pace/internal/workload"
 )
@@ -69,6 +70,10 @@ func (c TrainConfig) withDefaults() TrainConfig {
 // done context or a fully unlabeled DirectImitation workload is fatal.
 func Train(ctx context.Context, bb ce.Target, typ ce.Type, gen *workload.Generator, cfg TrainConfig, rng *rand.Rand) (*ce.Estimator, error) {
 	cfg = cfg.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "surrogate_train",
+		obs.String("type", typ.String()),
+		obs.Int("queries", cfg.Queries))
+	defer span.End()
 	model := ce.New(typ, gen.DS.Meta, cfg.HP, rng)
 	est := ce.NewEstimator(model, cfg.Train, rng)
 
@@ -115,6 +120,9 @@ func Train(ctx context.Context, bb ce.Target, typ ce.Type, gen *workload.Generat
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		_, epSpan := obs.StartSpan(ctx, "surrogate_epoch",
+			obs.Int("epoch", ep),
+			obs.Int("examples", len(examples)))
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		for lo := 0; lo < len(idx); lo += cfgT.Batch {
 			hi := lo + cfgT.Batch
@@ -135,6 +143,7 @@ func Train(ctx context.Context, bb ce.Target, typ ce.Type, gen *workload.Generat
 			}
 			opt.Step(1 / float64(hi-lo))
 		}
+		epSpan.End()
 	}
 	return est, nil
 }
