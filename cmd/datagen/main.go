@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 
 	"pace/internal/cli"
 	"pace/internal/dataset"
@@ -45,6 +48,11 @@ func main() {
 	}
 	defer obsShutdown()
 
+	// Ctrl-C / SIGTERM stops between files, so the export directory never
+	// holds a torn CSV; the partial file in flight is removed.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	ds, err := dataset.Build(*name, dataset.Config{Scale: *scale, Seed: *seed})
 	if err != nil {
 		fatal(err)
@@ -54,16 +62,19 @@ func main() {
 	}
 
 	for _, tab := range ds.Tables {
-		if err := writeTable(*outDir, tab); err != nil {
+		if err := writeTable(ctx, *outDir, tab); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s.csv (%d rows, %d cols)\n", tab.Name, tab.Rows, len(tab.Cols))
 	}
-	if err := writeEdges(*outDir, ds); err != nil {
+	if err := writeEdges(ctx, *outDir, ds); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote edges.csv (%d PK-FK edges)\n", len(ds.Edges))
 
+	if ctx.Err() != nil {
+		fatal(ctx.Err())
+	}
 	if *nWorkload > 0 {
 		gen := workload.NewGenerator(ds, engine.New(ds), rand.New(rand.NewSource(*seed)))
 		w := gen.Random(*nWorkload)
@@ -79,8 +90,14 @@ func main() {
 	}
 }
 
-func writeTable(dir string, tab *dataset.Table) error {
-	f, err := os.Create(filepath.Join(dir, tab.Name+".csv"))
+// checkEvery bounds how many rows are written between cancellation
+// checks — coarse enough to stay off the hot path, fine enough that an
+// interrupt lands within milliseconds.
+const checkEvery = 4096
+
+func writeTable(ctx context.Context, dir string, tab *dataset.Table) error {
+	path := filepath.Join(dir, tab.Name+".csv")
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -92,6 +109,11 @@ func writeTable(dir string, tab *dataset.Table) error {
 	}
 	row := make([]string, len(tab.Cols))
 	for r := 0; r < tab.Rows; r++ {
+		if r%checkEvery == 0 && ctx.Err() != nil {
+			f.Close()
+			os.Remove(path)
+			return ctx.Err()
+		}
 		for c := range tab.Cols {
 			row[c] = strconv.FormatFloat(tab.Cols[c][r], 'g', 6, 64)
 		}
@@ -102,8 +124,9 @@ func writeTable(dir string, tab *dataset.Table) error {
 	return w.Error()
 }
 
-func writeEdges(dir string, ds *dataset.Dataset) error {
-	f, err := os.Create(filepath.Join(dir, "edges.csv"))
+func writeEdges(ctx context.Context, dir string, ds *dataset.Dataset) error {
+	path := filepath.Join(dir, "edges.csv")
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -113,9 +136,16 @@ func writeEdges(dir string, ds *dataset.Dataset) error {
 	if err := w.Write([]string{"child", "parent", "child_row", "parent_row"}); err != nil {
 		return err
 	}
+	n := 0
 	for _, e := range ds.Edges {
 		child, parent := ds.Tables[e.Child].Name, ds.Tables[e.Parent].Name
 		for cr, pr := range e.Refs {
+			if n%checkEvery == 0 && ctx.Err() != nil {
+				f.Close()
+				os.Remove(path)
+				return ctx.Err()
+			}
+			n++
 			if err := w.Write([]string{child, parent,
 				strconv.Itoa(cr), strconv.Itoa(pr)}); err != nil {
 				return err

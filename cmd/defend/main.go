@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pace/internal/ce"
 	"pace/internal/cli"
@@ -47,7 +49,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel}.WithDefaults()
+	// Ctrl-C / SIGTERM cancels the red-team campaigns and still flushes
+	// the trace/metrics files on the way out.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel, Ctx: ctx}.WithDefaults()
 	w, err := experiments.NewWorld(*datasetName, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -62,7 +69,14 @@ func main() {
 	attack := func(off int64) ([]*query.Query, []float64) {
 		sur := w.NewSurrogate(target, typ, off)
 		tr := w.TrainPACE(sur, nil, off)
-		return tr.GeneratePoison(context.Background(), cfg.NumPoison)
+		return tr.GeneratePoison(ctx, cfg.NumPoison)
+	}
+	interrupted := func() {
+		fmt.Fprintln(os.Stderr, "defend: interrupted; flushing telemetry")
+		if err := obsShutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
+		}
+		os.Exit(1)
 	}
 	encode := func(list []*query.Query) [][]float64 {
 		out := make([][]float64, len(list))
@@ -75,6 +89,9 @@ func main() {
 	var pool [][]float64
 	for off := int64(1); off <= int64(*redteam); off++ {
 		pq, _ := attack(off)
+		if ctx.Err() != nil {
+			interrupted()
+		}
 		pool = append(pool, encode(pq)...)
 		fmt.Printf("red-team attack %d/%d: %d poison queries collected\n", off, *redteam, len(pq))
 	}
@@ -83,10 +100,13 @@ func main() {
 
 	// Fresh, held-out attack.
 	poisonQ, poisonC := attack(int64(*redteam) + 1)
+	if ctx.Err() != nil {
+		interrupted()
+	}
 	eval := screen.Evaluate(encode(poisonQ), experiments.Encodings(w.WGen.Random(100), w.DS))
 
 	unscreened := w.NewBlackBox(typ, 1)
-	unscreened.ExecuteWorkload(context.Background(), poisonQ, poisonC)
+	unscreened.ExecuteWorkload(ctx, poisonQ, poisonC)
 	hit := metrics.Mean(unscreened.QErrors(qs, cards))
 
 	accepted, rejected := screen.Filter(w.DS.Meta, poisonQ)
@@ -99,7 +119,7 @@ func main() {
 		acceptedCards[i] = idx[q]
 	}
 	screened := w.NewBlackBox(typ, 1)
-	screened.ExecuteWorkload(context.Background(), accepted, acceptedCards)
+	screened.ExecuteWorkload(ctx, accepted, acceptedCards)
 	defended := metrics.Mean(screened.QErrors(qs, cards))
 
 	fmt.Printf("\nscreen vs fresh attack: recall %.0f%%, precision %.0f%%, false-positive rate %.0f%%\n",

@@ -9,10 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pace/internal/cli"
@@ -36,12 +40,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel}.WithDefaults()
+	// Ctrl-C / SIGTERM cancels the harness context: the experiment in
+	// flight stops at its next campaign step and telemetry still flushes.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, Telemetry: tel, Ctx: ctx}.WithDefaults()
 	if *full {
 		cfg = experiments.Full()
 		cfg.Seed = *seed
 		cfg.Workers = *workers
 		cfg.Telemetry = tel
+		cfg.Ctx = ctx
 	}
 
 	var dsList []string
@@ -92,11 +102,24 @@ func main() {
 			continue
 		}
 		ran = true
+		if ctx.Err() != nil {
+			break
+		}
 		if err := r.run(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.name, err)
 			obsShutdown()
 			os.Exit(1)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted; flushing telemetry")
+		if err := obsShutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
+		}
+		os.Exit(1)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

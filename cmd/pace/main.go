@@ -10,11 +10,18 @@
 // the wall clock, and -checkpoint/-resume persist generator training so
 // a killed campaign can be continued.
 //
+// With -target-url the campaign runs against a live paced service
+// (cmd/paced) instead of an in-process black box: speculation probes,
+// surrogate imitation and the poisoning update all cross a real wire.
+// For the same dataset/model/seed and a fault-free transport, the
+// remote campaign reproduces the in-process run bit-for-bit.
+//
 // Examples:
 //
 //	pace -dataset dmv -model fcn -poison 120 -seed 7
 //	pace -faults flaky -checkpoint run.ckpt -deadline 2m
 //	pace -resume run.ckpt -checkpoint run.ckpt
+//	pace -target-url http://127.0.0.1:8645 -dataset dmv -model fcn -seed 1
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"pace/internal/ce"
 	"pace/internal/cli"
@@ -32,6 +40,8 @@ import (
 	"pace/internal/experiments"
 	"pace/internal/faults"
 	"pace/internal/metrics"
+	"pace/internal/query"
+	"pace/internal/remote"
 	"pace/internal/workload"
 )
 
@@ -46,6 +56,8 @@ func main() {
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		speculate   = flag.Bool("speculate", false, "speculate the model type instead of assuming it")
 		noDetector  = flag.Bool("no-detector", false, "disable the anomaly-detector confrontation")
+
+		targetURL = flag.String("target-url", "", "attack a live paced service at this base URL instead of an in-process black box")
 
 		faultsName = flag.String("faults", "", "inject an unreliability profile: none, slow, flaky, lossy, noisy, throttled or chaos")
 		deadline   = flag.Duration("deadline", 0, "abort the campaign after this wall-clock duration (0 = none)")
@@ -67,7 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if *deadline > 0 {
 		var cancelT context.CancelFunc
@@ -85,12 +97,33 @@ func main() {
 	fmt.Printf("dataset %s: %d tables, %d rows; workload: %d train / %d test\n",
 		*datasetName, len(w.DS.Tables), w.DS.TotalRows(), len(w.Train), len(w.Test))
 
-	bb := w.NewBlackBox(typ, 1)
 	qs := workload.Queries(w.Test)
 	cards := experiments.Cards(w.Test)
-	beforeErrs := bb.QErrors(qs, cards)
+
+	// The measurement channel. In-process it is the freshly trained
+	// black box; in remote mode it is a dedicated client, separate from
+	// the campaign's target so fault injection never distorts the
+	// before/after numbers.
+	var evalTarget ce.Target
+	if *targetURL == "" {
+		bb := w.NewBlackBox(typ, 1)
+		evalTarget = bb
+	} else {
+		rt, err := remote.New(*targetURL, remote.Options{ClientID: "pace-eval", CoalesceWindow: 0})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		evalTarget = rt
+		fmt.Printf("remote target: %s\n", *targetURL)
+	}
+	beforeErrs, err := targetQErrors(ctx, evalTarget, qs, cards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "target unreachable:", err)
+		os.Exit(1)
+	}
 	before := metrics.Summarize(beforeErrs)
-	fmt.Printf("target %s trained; clean test Q-error: %s\n", typ, before)
+	fmt.Printf("target %s ready; clean test Q-error: %s\n", typ, before)
 
 	runCfg := core.Config{
 		NumPoison:       cfg.NumPoison,
@@ -137,12 +170,18 @@ func main() {
 	}
 
 	campaign := &core.Campaign{
-		Target:   bb,
 		Workload: w.WGen,
 		Test:     w.Test,
 		History:  w.History,
 		Config:   runCfg,
 		Seed:     *seed,
+	}
+	if *targetURL != "" {
+		// The campaign dials its own client so retries, breaker trips and
+		// injected faults act on the attack channel only.
+		campaign.TargetURL = *targetURL
+	} else {
+		campaign.Target = evalTarget
 	}
 	res, err := campaign.Run(ctx)
 	if err != nil {
@@ -174,7 +213,11 @@ func main() {
 			fmt.Println(")")
 		}
 	}
-	afterErrs := bb.QErrors(qs, cards)
+	afterErrs, err := targetQErrors(ctx, evalTarget, qs, cards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "post-attack evaluation failed:", err)
+		os.Exit(1)
+	}
 	after := metrics.Summarize(afterErrs)
 	if tel != nil && tel.Reg != nil {
 		// Q-error distributions land in the registry too, so a scrape of
@@ -207,6 +250,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "telemetry shutdown:", serr)
 		os.Exit(1)
 	}
+}
+
+// targetQErrors evaluates the target's Q-error on a labeled workload
+// through the Target interface — the only view a remote deployment
+// offers. For the in-process black box it matches BlackBox.QErrors
+// exactly.
+func targetQErrors(ctx context.Context, t ce.Target, qs []*query.Query, cards []float64) ([]float64, error) {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		est, err := t.EstimateContext(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ce.QError(est, cards[i])
+	}
+	return out, nil
 }
 
 // reportReliability prints the oracle-traffic statistics and, when fault

@@ -1,0 +1,123 @@
+// Command paced stands the black-box cardinality estimator up as a real
+// network service — the deployed target of PACE's threat model. It
+// trains a fresh CE model on a synthetic dataset (exactly the way
+// cmd/pace builds its in-process target: same dataset, model and seed
+// give the same weights) and serves it over HTTP/JSON:
+//
+//	POST /v1/estimate   cardinality estimates, single or batch
+//	POST /v1/execute    executed-query feedback → incremental retraining
+//	GET  /healthz       readiness (503 while draining)
+//	GET  /metrics       Prometheus metrics (with -metrics; pprof under /debug/pprof/)
+//
+// Estimates are micro-batched through a single model goroutine;
+// admission is bounded (full queues shed with 429 + Retry-After) and
+// per-client token buckets rate-limit by the X-Pace-Client header.
+// SIGINT/SIGTERM drains gracefully: health flips to 503, in-flight
+// requests finish, then the process exits.
+//
+// Examples:
+//
+//	paced -addr 127.0.0.1:8645 -dataset dmv -model fcn -seed 1
+//	paced -addr :0 -rate 2000 -queue-depth 64 -metrics
+//	pace -target-url http://127.0.0.1:8645 -dataset dmv -model fcn -seed 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/cli"
+	"pace/internal/experiments"
+	"pace/internal/obs"
+	"pace/internal/targetserver"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8645", "listen address (port 0 picks an ephemeral port)")
+		datasetName = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
+		modelName   = flag.String("model", "fcn", "hosted CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
+		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
+		seed        = cli.Seed()
+
+		maxBatch    = flag.Int("max-batch", 64, "micro-batch size cap in queries")
+		batchWindow = flag.Duration("batch-window", 200*time.Microsecond, "micro-batch gather window")
+		queueDepth  = flag.Int("queue-depth", 128, "estimate admission queue capacity (full = shed 429)")
+		execDepth   = flag.Int("exec-queue-depth", 8, "execute (retraining) queue capacity")
+		rate        = flag.Float64("rate", 0, "per-client admitted requests per second (0 = unlimited)")
+		burst       = flag.Int("burst", 0, "per-client token-bucket burst (0 = one second of tokens)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429/503")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful drain bound on shutdown")
+		metrics     = flag.Bool("metrics", false, "serve /metrics and /debug/pprof on the service mux")
+		obsFlags    = cli.Obs()
+	)
+	flag.Parse()
+
+	typ, err := ce.ParseType(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tel, obsShutdown, err := obsFlags.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if tel == nil && *metrics {
+		tel = &obs.Telemetry{Reg: obs.NewRegistry()}
+	} else if tel != nil && tel.Reg == nil && *metrics {
+		tel.Reg = obs.NewRegistry()
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	// The served world matches cmd/pace's: identical dataset, workload
+	// and training draws, so a fixed (dataset, model, seed) triple hosts
+	// bit-identical weights here and in-process there.
+	cfg := experiments.Config{Seed: *seed, Scale: *scale}.WithDefaults()
+	w, err := experiments.NewWorld(*datasetName, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("paced: dataset %s (%d tables, %d rows); training %s target (seed %d)...\n",
+		*datasetName, len(w.DS.Tables), w.DS.TotalRows(), typ, *seed)
+	bb := w.NewBlackBox(typ, 1)
+
+	srv := targetserver.New(bb, w.DS.Meta, targetserver.Config{
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
+		QueueDepth:     *queueDepth,
+		ExecQueueDepth: *execDepth,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		RetryAfter:     *retryAfter,
+		Telemetry:      tel,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("paced: listening on http://%s\n", bound)
+
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "paced: draining...")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainWait)
+	defer dcancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "paced: drain:", err)
+	}
+	if err := obsShutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "paced: telemetry shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "paced: bye")
+}

@@ -2,12 +2,23 @@ package ce
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"time"
 
 	"pace/internal/nn"
 	"pace/internal/query"
 )
+
+// ErrInvalidQuery marks a query the target (or the COUNT(*) engine
+// behind it) rejected as malformed. It is a permanent error — an
+// invalid query has no cardinality at all, retrying is pointless, and
+// conflating it with an empty result would fabricate zero labels. It
+// lives in ce (the package that defines Target) so that every transport
+// — the in-process engine, the fault injector, the remote HTTP client —
+// can classify rejections with one sentinel; core.ErrInvalidQuery
+// aliases it for existing callers.
+var ErrInvalidQuery = errors.New("ce: invalid query")
 
 // Sample is one training example: an encoded query and its normalized
 // log-cardinality target.

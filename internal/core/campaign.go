@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 
 	"pace/internal/ce"
+	"pace/internal/remote"
 	"pace/internal/workload"
 )
 
@@ -20,6 +22,14 @@ type Campaign struct {
 	// (§2.2): opaque predictions plus the incremental-update surface the
 	// poison lands on.
 	Target ce.Target
+	// TargetURL, when Target is nil, dials a live paced estimator
+	// service (cmd/paced) at this base URL and runs the whole pipeline
+	// over the wire through a remote.RemoteTarget. Exactly one of
+	// Target and TargetURL must be set.
+	TargetURL string
+	// Remote tunes the dialed client when TargetURL is used (batching,
+	// coalescing, timeouts); the zero value uses remote defaults.
+	Remote remote.Options
 	// Workload supplies the attacker's query-generation and COUNT(*)
 	// machinery over the target database.
 	Workload *workload.Generator
@@ -50,6 +60,20 @@ type Campaign struct {
 // error the returned Result carries whatever state was reached (it is
 // non-nil whenever training started).
 func (c *Campaign) Run(ctx context.Context) (*Result, error) {
+	target := c.Target
+	switch {
+	case target == nil && c.TargetURL == "":
+		return nil, errors.New("core: campaign needs a Target or a TargetURL")
+	case target != nil && c.TargetURL != "":
+		return nil, errors.New("core: Target and TargetURL are mutually exclusive")
+	case target == nil:
+		rt, err := remote.New(c.TargetURL, c.Remote)
+		if err != nil {
+			return nil, err
+		}
+		defer rt.Close()
+		target = rt
+	}
 	rng := rand.New(rand.NewSource(c.Seed))
-	return runCampaign(ctx, c.Target, c.Workload, c.Test, c.History, c.Config, rng)
+	return runCampaign(ctx, target, c.Workload, c.Test, c.History, c.Config, rng)
 }

@@ -43,8 +43,10 @@ type Oracle func(ctx context.Context, q *query.Query) (float64, error)
 // ErrInvalidQuery marks a query the COUNT(*) engine rejected as
 // malformed. It is distinct from an empty result: an invalid query has
 // no cardinality at all, and must never be fed to the trainer as label
-// zero.
-var ErrInvalidQuery = errors.New("core: invalid query")
+// zero. It aliases ce.ErrInvalidQuery — the same sentinel every target
+// transport (in-process, fault-injected, remote HTTP) returns — so
+// errors.Is matches across the whole stack.
+var ErrInvalidQuery = ce.ErrInvalidQuery
 
 // RetryableOracleError is the default retry classifier for oracle and
 // target calls: invalid queries and exhausted budgets are permanent,

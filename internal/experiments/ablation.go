@@ -39,13 +39,13 @@ func RunAblations(out io.Writer, cfg Config) error {
 		}
 		tr := core.NewTrainer(sur, gen, nil, core.EngineOracle(w.WGen),
 			core.MakeTestSamples(sur, w.Test), tcfg, rng)
-		_ = tr.TrainAccelerated(bg)
-		var pq, pc = tr.GeneratePoison(bg, cfg.NumPoison)
+		_ = tr.TrainAccelerated(w.Context())
+		var pq, pc = tr.GeneratePoison(w.Context(), cfg.NumPoison)
 		if budgeted {
-			pq, pc = tr.GeneratePoisonBudget(bg, cfg.NumPoison, core.BudgetConfig{})
+			pq, pc = tr.GeneratePoisonBudget(w.Context(), cfg.NumPoison, core.BudgetConfig{})
 		}
 		target := w.NewBlackBox(ce.FCN, 1)
-		target.ExecuteWorkload(bg, pq, pc)
+		target.ExecuteWorkload(w.Context(), pq, pc)
 		return metrics.Mean(target.QErrors(qs, cards))
 	}
 
@@ -94,9 +94,9 @@ func RunRobustnessAdvisor(out io.Writer, cfg Config, name string) error {
 		clean := w.NewBlackBox(typ, int64(mi+1))
 		sur := w.NewSurrogate(clean, typ, int64(mi+1))
 		tr := w.TrainPACE(sur, det, int64(mi+1))
-		pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+		pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 		target := w.NewBlackBox(typ, int64(mi+1))
-		target.ExecuteWorkload(bg, pq, pc)
+		target.ExecuteWorkload(w.Context(), pq, pc)
 		rows = append(rows, row{
 			typ:      typ,
 			clean:    metrics.GeoMean(clean.QErrors(qs, cards)),

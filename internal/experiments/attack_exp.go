@@ -45,9 +45,9 @@ func RunBudget(out io.Writer, cfg Config, datasets []string) error {
 
 		fmt.Fprintf(out, "%-8s", name)
 		for _, b := range budgets {
-			pq, pc := tr.GeneratePoison(bg, b)
+			pq, pc := tr.GeneratePoison(w.Context(), b)
 			target := w.NewBlackBox(ce.FCN, 1)
-			target.ExecuteWorkload(bg, pq, pc)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			mult := metrics.Mean(target.QErrors(qs, cards)) / cleanErr
 			fmt.Fprintf(out, " %10.3g", mult)
 		}
@@ -110,12 +110,12 @@ func overheadOnce(w *World, cfg Config, numPoison int) (tTrain, tGen, tAttack ti
 	tTrain = time.Since(start)
 
 	start = time.Now()
-	pq, pc := tr.GeneratePoison(bg, numPoison)
+	pq, pc := tr.GeneratePoison(w.Context(), numPoison)
 	tGen = time.Since(start)
 
 	target := w.NewBlackBox(ce.FCN, 1)
 	start = time.Now()
-	target.ExecuteWorkload(bg, pq, pc)
+	target.ExecuteWorkload(w.Context(), pq, pc)
 	tAttack = time.Since(start)
 	return tTrain, tGen, tAttack, nil
 }
@@ -150,14 +150,14 @@ func RunBasicVsOptimized(out io.Writer, cfg Config, models []ce.Type) error {
 				core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng)
 			start := time.Now()
 			if alg == core.Basic {
-				_ = tr.TrainBasic(bg)
+				_ = tr.TrainBasic(w.Context())
 			} else {
-				_ = tr.TrainAccelerated(bg)
+				_ = tr.TrainAccelerated(w.Context())
 			}
 			elapsed := time.Since(start)
-			pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+			pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 			target := w.NewBlackBox(typ, int64(mi+1))
-			target.ExecuteWorkload(bg, pq, pc)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			return metrics.Mean(target.QErrors(qs, cards)), elapsed
 		}
 
@@ -205,11 +205,11 @@ func RunIncremental(out io.Writer, cfg Config, datasets []string) error {
 
 		fmt.Fprintf(out, "%-8s", name)
 		for r := 0; r < rounds; r++ {
-			target.ExecuteWorkload(bg, workload.Queries(parts[r]), Cards(parts[r]))
+			target.ExecuteWorkload(w.Context(), workload.Queries(parts[r]), Cards(parts[r]))
 			sur := w.NewSurrogate(target, ce.FCN, int64(r+1))
 			tr := w.TrainPACE(sur, det, int64(r+1))
-			pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
-			target.ExecuteWorkload(bg, pq, pc)
+			pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			fmt.Fprintf(out, " %10.3g", metrics.Mean(target.QErrors(qs, cards)))
 		}
 		fmt.Fprintln(out)

@@ -67,7 +67,7 @@ func RunChaos(out io.Writer, cfg Config) error {
 			Config:   runCfg,
 			Seed:     cfg.Seed*41 + int64(pi),
 		}
-		res, err := campaign.Run(bg)
+		res, err := campaign.Run(w.Context())
 		elapsed := time.Since(start)
 		if err != nil {
 			// A hostile enough profile may defeat the campaign outright;

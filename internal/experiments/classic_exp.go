@@ -35,9 +35,9 @@ func RunTraditionalComparison(out io.Writer, cfg Config, name string) error {
 	clean := w.NewBlackBox(ce.FCN, 1)
 	sur := w.NewSurrogate(clean, ce.FCN, 1)
 	tr := w.TrainPACE(sur, w.NewDetector(0), 1)
-	pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+	pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 	poisoned := w.NewBlackBox(ce.FCN, 1)
-	poisoned.ExecuteWorkload(bg, pq, pc)
+	poisoned.ExecuteWorkload(w.Context(), pq, pc)
 
 	hist := classic.NewHistogram(w.DS, 32)
 	sampler := classic.NewSampler(w.DS, 0.1, rand.New(rand.NewSource(cfg.Seed)))

@@ -35,9 +35,9 @@ func RunDetectorEffect(out io.Writer, cfg Config) error {
 			det.SetThreshold(eps)
 		}
 		tr := w.TrainPACE(sur, det, off)
-		pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+		pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 		target := w.NewBlackBox(ce.FCN, 1)
-		target.ExecuteWorkload(bg, pq, pc)
+		target.ExecuteWorkload(w.Context(), pq, pc)
 
 		pEnc := make([][]float64, len(pq))
 		for i, q := range pq {

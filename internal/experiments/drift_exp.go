@@ -60,7 +60,7 @@ func RunDriftStudy(out io.Writer, cfg Config) error {
 	// The update channel at work: the model retrains on a batch of
 	// freshly executed queries (exactly what poisoning hijacks).
 	adapt := w.WGen.Random(cfg.NumPoison)
-	target.ExecuteWorkload(bg, workload.Queries(adapt), Cards(adapt))
+	target.ExecuteWorkload(w.Context(), workload.Queries(adapt), Cards(adapt))
 	row("FCN, incrementally updated", target.Estimate)
 
 	row("histogram, stale", staleHist.Estimate)

@@ -28,8 +28,10 @@ import (
 	"pace/internal/workload"
 )
 
-// bg is the context for the in-process experiment harness, where target
-// and oracle calls cannot fail and deadlines are not a concern.
+// bg is the fallback context for the in-process experiment harness,
+// where target and oracle calls cannot fail and deadlines are not a
+// concern. Config.Ctx overrides it so cmd/experiments can propagate
+// Ctrl-C into running campaigns.
 var bg = context.Background()
 
 // Seed-derivation constants for the per-row streams of the parallel
@@ -86,7 +88,24 @@ type Config struct {
 	// trainers bind their counters to its registry, and spans cover every
 	// pipeline stage. Nil (the default) disables all channels.
 	Telemetry *obs.Telemetry
+	// Ctx, when non-nil, is the context every harness campaign, trainer
+	// and target call runs under; cmd/experiments passes its
+	// signal-cancelled context so Ctrl-C stops a run mid-experiment
+	// instead of being ignored until the suite ends. Nil means
+	// context.Background().
+	Ctx context.Context
 }
+
+// Context returns the harness context (Background when unset).
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return bg
+}
+
+// Context returns the world's harness context.
+func (w *World) Context() context.Context { return w.Cfg.Context() }
 
 // WithDefaults fills zero fields with the quick profile.
 func (c Config) WithDefaults() Config {
@@ -215,7 +234,7 @@ func (w *World) NewBlackBoxHP(typ ce.Type, hp ce.HyperParams, seedOffset int64) 
 func (w *World) NewSurrogate(bb *ce.BlackBox, typ ce.Type, seedOffset int64) *ce.Estimator {
 	rng := rand.New(rand.NewSource(w.Cfg.Seed*104729 + seedOffset))
 	wgen := w.WGen.WithRng(rand.New(rand.NewSource(w.Cfg.Seed*surWgenSeedK + seedOffset)))
-	sur, err := surrogate.Train(bg, bb, typ, wgen, surrogate.TrainConfig{
+	sur, err := surrogate.Train(w.Context(), bb, typ, wgen, surrogate.TrainConfig{
 		Queries: w.Cfg.TrainQueries,
 		HP:      w.HP(),
 		Train:   w.TrainCfg(),
@@ -260,7 +279,7 @@ func (w *World) TrainPACE(sur *ce.Estimator, det *detector.Detector, seedOffset 
 		core.MakeTestSamples(sur, w.Test), w.TrainerCfg(), rng).
 		Instrument(w.Cfg.Telemetry.Registry())
 	tr.Pool = engine.PoolFor(w.Cfg.Workers).Instrument(w.Cfg.Telemetry.Registry())
-	_ = tr.TrainAccelerated(obs.NewContext(bg, w.Cfg.Telemetry))
+	_ = tr.TrainAccelerated(obs.NewContext(w.Context(), w.Cfg.Telemetry))
 	return tr
 }
 

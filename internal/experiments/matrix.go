@@ -82,11 +82,11 @@ func RunMatrix(name string, models []ce.Type, cfg Config) (*MatrixResult, error)
 			var pc []float64
 			if m == core.PACE {
 				tr := w.TrainPACE(sur, det, off)
-				pq, pc = tr.GeneratePoison(bg, cfg.NumPoison)
+				pq, pc = tr.GeneratePoison(w.Context(), cfg.NumPoison)
 			} else {
-				pq, pc = core.CraftPoison(bg, m, sur, rowWGen, w.GenCfg(), cfg.NumPoison, rowRng)
+				pq, pc = core.CraftPoison(w.Context(), m, sur, rowWGen, w.GenCfg(), cfg.NumPoison, rowRng)
 			}
-			target.ExecuteWorkload(bg, pq, pc)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			cells[m] = &MatrixCell{QErrors: target.QErrors(qs, cards), BB: target}
 		}
 	})

@@ -37,9 +37,9 @@ func RunRegularizationDefense(out io.Writer, cfg Config) error {
 
 		sur := w.NewSurrogate(clean, ce.FCN, off) // attacker's surrogate has no dropout
 		tr := w.TrainPACE(sur, det, off)
-		pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+		pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 		target := w.NewBlackBoxHP(ce.FCN, hp, off)
-		target.ExecuteWorkload(bg, pq, pc)
+		target.ExecuteWorkload(w.Context(), pq, pc)
 		attacked := metrics.GeoMean(target.QErrors(qs, cards))
 
 		fmt.Fprintf(out, "%-12.2f %14.3g %14.3g %13.2f×\n",

@@ -43,7 +43,7 @@ func RunSpeculation(out io.Writer, cfg Config, datasets []string) error {
 			for k := 0; k < cfg.SpecBlackBoxes; k++ {
 				bb := w.NewBlackBox(typ, int64(1000+100*int(typ)+k))
 				rng := rand.New(rand.NewSource(cfg.Seed*31 + int64(k)))
-				res, err := surrogate.Speculate(bg, bb, w.WGen, specCfg, rng)
+				res, err := surrogate.Speculate(w.Context(), bb, w.WGen, specCfg, rng)
 				if err != nil {
 					return err
 				}
@@ -83,9 +83,9 @@ func RunWrongType(out io.Writer, cfg Config, types []ce.Type) error {
 		for si, surType := range types {
 			sur := w.NewSurrogate(clean, surType, int64(10*bi+si+1))
 			tr := w.TrainPACE(sur, det, int64(100*bi+si))
-			pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+			pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 			target := w.NewBlackBox(bbType, int64(bi+1))
-			target.ExecuteWorkload(bg, pq, pc)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			effect[bbType][surType] = metrics.GeoMean(target.QErrors(qs, cards))
 		}
 	}
@@ -136,7 +136,7 @@ func RunTrainingStrategy(out io.Writer, cfg Config, models []ce.Type) error {
 		clean := w.NewBlackBox(typ, int64(mi+1))
 		attackWith := func(strategy surrogate.Strategy, off int64) float64 {
 			rng := rand.New(rand.NewSource(cfg.Seed*104729 + off))
-			sur, err := surrogate.Train(bg, clean, typ, w.WGen, surrogate.TrainConfig{
+			sur, err := surrogate.Train(w.Context(), clean, typ, w.WGen, surrogate.TrainConfig{
 				Queries:  cfg.TrainQueries,
 				Strategy: strategy,
 				HP:       w.HP(),
@@ -146,9 +146,9 @@ func RunTrainingStrategy(out io.Writer, cfg Config, models []ce.Type) error {
 				panic("experiments: surrogate training failed: " + err.Error())
 			}
 			tr := w.TrainPACE(sur, det, off)
-			pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+			pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 			target := w.NewBlackBox(typ, int64(mi+1))
-			target.ExecuteWorkload(bg, pq, pc)
+			target.ExecuteWorkload(w.Context(), pq, pc)
 			return metrics.Mean(target.QErrors(qs, cards))
 		}
 		comb := attackWith(surrogate.Combined, int64(10*mi+1))
@@ -182,9 +182,9 @@ func RunHyperMismatch(out io.Writer, cfg Config) error {
 		cleanErr := metrics.GeoMean(clean.QErrors(qs, cards))
 		sur := w.NewSurrogate(clean, ce.FCN, off) // surrogate keeps defaults
 		tr := w.TrainPACE(sur, det, off)
-		pq, pc := tr.GeneratePoison(bg, cfg.NumPoison)
+		pq, pc := tr.GeneratePoison(w.Context(), cfg.NumPoison)
 		target := w.NewBlackBoxHP(ce.FCN, hp, off)
-		target.ExecuteWorkload(bg, pq, pc)
+		target.ExecuteWorkload(w.Context(), pq, pc)
 		return metrics.GeoMean(target.QErrors(qs, cards)) / cleanErr
 	}
 

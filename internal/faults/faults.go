@@ -271,6 +271,13 @@ func (in *Injector) NoisyCard(card float64) float64 {
 }
 
 // WrapTarget interposes the injector between the attacker and a target.
+// The target may itself be a network transport (remote.RemoteTarget):
+// the wrapper injects faults before the call leaves the process and
+// passes the transport's own errors through untouched, so exactly one
+// layer — the campaign's retry policy — observes and retries both
+// kinds. The injector counts only what it injected; transport failures
+// never inflate the fault counters, and the wrapper never retries, so
+// pace_retry_waits_total remains the single retry tally.
 func (in *Injector) WrapTarget(t ce.Target) ce.Target {
 	return &faultyTarget{in: in, t: t}
 }
@@ -279,6 +286,10 @@ type faultyTarget struct {
 	in *Injector
 	t  ce.Target
 }
+
+// Unwrap exposes the wrapped target, so owners can reach the concrete
+// transport underneath (a remote client's Close/Stats, for example).
+func (ft *faultyTarget) Unwrap() ce.Target { return ft.t }
 
 func (ft *faultyTarget) EstimateContext(ctx context.Context, q *query.Query) (float64, error) {
 	if err := ft.in.admit(ctx); err != nil {

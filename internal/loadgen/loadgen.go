@@ -1,0 +1,154 @@
+// Package loadgen replays a query workload against an estimator target
+// at a fixed offered rate and reports what the service did with it:
+// latency percentiles for served requests, how much was shed (429) and
+// how much failed outright. It drives the target open-loop — requests
+// fire on schedule whether or not earlier ones returned — because that
+// is the arrival process a shedding server must survive: a closed-loop
+// client would politely slow down exactly when the test should hurt.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/metrics"
+	"pace/internal/query"
+	"pace/internal/remote"
+)
+
+// Estimate is the probe the generator fires: one estimate call against
+// the target under test.
+type Estimate func(ctx context.Context, q *query.Query) (float64, error)
+
+// Config shapes one load run.
+type Config struct {
+	// QPS is the offered request rate (required, > 0).
+	QPS float64
+	// Duration is how long to offer load (default 10s).
+	Duration time.Duration
+	// Timeout bounds each request (default 5s); a request that exceeds
+	// it counts as an error, not a success with huge latency.
+	Timeout time.Duration
+	// MaxInFlight caps concurrent outstanding requests (default 4096).
+	// When the cap is hit the generator counts a client-side drop
+	// instead of blocking the schedule — the offered rate stays honest.
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4096
+	}
+	return c
+}
+
+// Report is the outcome of one load run. Latencies are milliseconds.
+type Report struct {
+	TargetQPS   float64 `json:"target_qps"`
+	AchievedQPS float64 `json:"achieved_qps"` // completed (any outcome) per second
+	DurationSec float64 `json:"duration_sec"`
+
+	Sent          int64 `json:"sent"`
+	OK            int64 `json:"ok"`
+	Shed          int64 `json:"shed_429"`
+	Invalid       int64 `json:"invalid"`
+	Errors        int64 `json:"errors"` // network/5xx/timeouts
+	ClientDropped int64 `json:"client_dropped"`
+
+	// Percentiles over served (OK) requests.
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP90 float64 `json:"latency_ms_p90"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+	LatencyMsMax float64 `json:"latency_ms_max"`
+	// Shed latency: how quickly the server said 429 — load shedding
+	// only helps if rejection is much cheaper than service.
+	ShedMsP99 float64 `json:"shed_ms_p99"`
+}
+
+// Run offers cfg.QPS of estimate traffic over the queries (round-robin)
+// for cfg.Duration, then waits for stragglers and reports. ctx cancels
+// the run early.
+func Run(ctx context.Context, est Estimate, queries []*query.Query, cfg Config) Report {
+	cfg = cfg.withDefaults()
+	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	deadline := time.Now().Add(cfg.Duration)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		shedLats  []float64
+		rep       Report
+		inFlight  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	rep.TargetQPS = cfg.QPS
+
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	i := 0
+loop:
+	for time.Now().Before(deadline) {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+		}
+		q := queries[i%len(queries)]
+		i++
+		rep.Sent++
+		if inFlight.Load() >= int64(cfg.MaxInFlight) {
+			rep.ClientDropped++
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			_, err := est(rctx, q)
+			ms := float64(time.Since(t0).Microseconds()) / 1e3
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				rep.OK++
+				latencies = append(latencies, ms)
+			case errors.Is(err, remote.ErrOverloaded):
+				rep.Shed++
+				shedLats = append(shedLats, ms)
+			case errors.Is(err, ce.ErrInvalidQuery):
+				rep.Invalid++
+			default:
+				rep.Errors++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.DurationSec = elapsed.Seconds()
+	completed := rep.OK + rep.Shed + rep.Invalid + rep.Errors
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
+	}
+	rep.LatencyMsP50 = metrics.Percentile(latencies, 50)
+	rep.LatencyMsP90 = metrics.Percentile(latencies, 90)
+	rep.LatencyMsP99 = metrics.Percentile(latencies, 99)
+	rep.LatencyMsMax = metrics.Percentile(latencies, 100)
+	rep.ShedMsP99 = metrics.Percentile(shedLats, 99)
+	return rep
+}

@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+	"pace/internal/remote"
+)
+
+func testQueries() []*query.Query {
+	m := &query.Meta{
+		TableNames: []string{"a"},
+		AttrNames:  []string{"a0"},
+		AttrOffset: []int{0, 1},
+	}
+	q := query.New(m)
+	q.Bounds[0] = [2]float64{0.2, 0.8}
+	return []*query.Query{q}
+}
+
+// TestRunAccountsEveryOutcome drives the generator against a fake target
+// that answers with a fixed outcome mix and checks the report's ledger:
+// every sent request lands in exactly one bucket, and each classified
+// error reaches its own tally.
+func TestRunAccountsEveryOutcome(t *testing.T) {
+	var n atomic.Int64
+	est := func(ctx context.Context, q *query.Query) (float64, error) {
+		switch n.Add(1) % 5 {
+		case 0:
+			return 0, fmt.Errorf("shed: %w", remote.ErrOverloaded)
+		case 1:
+			return 0, fmt.Errorf("bad: %w", ce.ErrInvalidQuery)
+		case 2:
+			return 0, errors.New("connection reset")
+		default:
+			return 42, nil
+		}
+	}
+	rep := Run(context.Background(), est, testQueries(), Config{
+		QPS:      2000,
+		Duration: 200 * time.Millisecond,
+		Timeout:  time.Second,
+	})
+
+	if rep.Sent == 0 {
+		t.Fatal("no requests sent")
+	}
+	completed := rep.OK + rep.Shed + rep.Invalid + rep.Errors
+	if completed+rep.ClientDropped != rep.Sent {
+		t.Errorf("ledger leak: sent %d != ok %d + shed %d + invalid %d + errors %d + dropped %d",
+			rep.Sent, rep.OK, rep.Shed, rep.Invalid, rep.Errors, rep.ClientDropped)
+	}
+	// The 2/5-1/5-1/5-1/5 mix must show up in every bucket.
+	for name, got := range map[string]int64{
+		"ok": rep.OK, "shed": rep.Shed, "invalid": rep.Invalid, "errors": rep.Errors,
+	} {
+		if got == 0 {
+			t.Errorf("bucket %s empty despite mixed outcomes (report %+v)", name, rep)
+		}
+	}
+	if rep.TargetQPS != 2000 {
+		t.Errorf("TargetQPS = %v, want 2000", rep.TargetQPS)
+	}
+	if rep.AchievedQPS <= 0 || rep.DurationSec <= 0 {
+		t.Errorf("achieved qps %v over %vs; want > 0", rep.AchievedQPS, rep.DurationSec)
+	}
+	if rep.LatencyMsP50 < 0 || rep.LatencyMsP99 < rep.LatencyMsP50 || rep.LatencyMsMax < rep.LatencyMsP99 {
+		t.Errorf("latency percentiles not monotone: p50 %v p99 %v max %v",
+			rep.LatencyMsP50, rep.LatencyMsP99, rep.LatencyMsMax)
+	}
+}
+
+// TestRunCapsInFlight: a target that never answers within the run must
+// trip the in-flight cap, and the capped sends count as client drops —
+// the offered schedule never blocks on a slow server.
+func TestRunCapsInFlight(t *testing.T) {
+	est := func(ctx context.Context, q *query.Query) (float64, error) {
+		<-ctx.Done() // hold the slot until the per-request timeout
+		return 0, ctx.Err()
+	}
+	rep := Run(context.Background(), est, testQueries(), Config{
+		QPS:         2000,
+		Duration:    150 * time.Millisecond,
+		Timeout:     500 * time.Millisecond,
+		MaxInFlight: 8,
+	})
+	if rep.ClientDropped == 0 {
+		t.Errorf("cap of 8 never tripped at 2000 QPS: %+v", rep)
+	}
+	if rep.OK != 0 {
+		t.Errorf("%d requests served by a target that never answers", rep.OK)
+	}
+	if got := rep.OK + rep.Shed + rep.Invalid + rep.Errors + rep.ClientDropped; got != rep.Sent {
+		t.Errorf("ledger leak: sent %d, accounted %d", rep.Sent, got)
+	}
+}
+
+// TestRunHonorsCancel: cancelling the run context stops offering load
+// well before the configured duration.
+func TestRunHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(50*time.Millisecond, cancel)
+	est := func(ctx context.Context, q *query.Query) (float64, error) { return 1, nil }
+	start := time.Now()
+	rep := Run(ctx, est, testQueries(), Config{
+		QPS:      500,
+		Duration: 30 * time.Second,
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run survived cancel for %v", elapsed)
+	}
+	if rep.Sent == 0 {
+		t.Error("nothing sent before cancel")
+	}
+}

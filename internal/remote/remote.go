@@ -1,0 +1,388 @@
+// Package remote reaches a paced estimator service (internal/targetserver)
+// over HTTP, implementing ce.Target so the whole attack pipeline —
+// speculation probes, surrogate imitation, poison execution — runs
+// against a genuinely out-of-process deployment.
+//
+// Design points:
+//
+//   - RemoteTarget performs NO internal retries. It classifies failures
+//     (4xx → ce.ErrInvalidQuery, permanent; 429/5xx/network → transient)
+//     and lets the pipeline's one retry layer (internal/resilience)
+//     decide — so obs retry counters count each logical retry exactly
+//     once, and a fault injector wrapped around the target composes
+//     without double accounting.
+//   - Concurrent EstimateContext callers coalesce into server batches:
+//     the first caller opens a window (Options.CoalesceWindow); callers
+//     arriving inside it ride the same POST /v1/estimate, up to
+//     Options.MaxBatch queries.
+//   - Connections pool through one http.Transport; per-call deadlines
+//     map the caller's context onto the exchange, with
+//     Options.RequestTimeout as the backstop when the context carries
+//     none.
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+	"pace/internal/wire"
+)
+
+// ErrOverloaded marks a 429 — the server shed the call (admission queue
+// full or client over its rate limit). Transient: back off and retry.
+var ErrOverloaded = errors.New("remote: target overloaded")
+
+// ErrUnavailable marks a 5xx or a transport-level failure (connection
+// refused, reset, timeout). Transient: the resilience layer retries and
+// the breaker counts it toward opening.
+var ErrUnavailable = errors.New("remote: target unavailable")
+
+// Options tunes a RemoteTarget. The zero value works.
+type Options struct {
+	// MaxBatch caps queries per wire request (default 64, the server's
+	// default micro-batch).
+	MaxBatch int
+	// CoalesceWindow is how long the first of a burst of concurrent
+	// EstimateContext calls waits for companions before flushing one
+	// batched request (default 200µs; 0 disables coalescing — every
+	// call is its own request, which the load generator relies on for
+	// per-request latency).
+	CoalesceWindow time.Duration
+	// RequestTimeout bounds one HTTP exchange when the caller's context
+	// has no earlier deadline (default 30s).
+	RequestTimeout time.Duration
+	// ClientID is sent as X-Pace-Client for per-client rate limiting
+	// (default "host/pid").
+	ClientID string
+	// Client overrides the pooled HTTP client (tests).
+	Client *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxBatch > wire.MaxBatch {
+		o.MaxBatch = wire.MaxBatch
+	}
+	if o.CoalesceWindow < 0 {
+		o.CoalesceWindow = 0
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.ClientID == "" {
+		host, _ := os.Hostname()
+		o.ClientID = fmt.Sprintf("%s/%d", host, os.Getpid())
+	}
+	return o
+}
+
+// Stats counts a RemoteTarget's wire traffic.
+type Stats struct {
+	// Requests is the number of HTTP exchanges sent.
+	Requests int64
+	// Queries is the number of queries carried across all exchanges.
+	Queries int64
+	// Coalesced counts estimate calls that rode a batch opened by
+	// another caller.
+	Coalesced int64
+	// Overloaded, Invalid, Unavailable count classified failures.
+	Overloaded, Invalid, Unavailable int64
+}
+
+// RemoteTarget implements ce.Target over the paced wire protocol.
+type RemoteTarget struct {
+	base   string
+	opts   Options
+	client *http.Client
+
+	mu      sync.Mutex
+	pending []*pendingEst
+	flushT  *time.Timer
+
+	requests, queries, coalesced          atomic.Int64
+	overloaded, invalid, unavailableCount atomic.Int64
+}
+
+var _ ce.Target = (*RemoteTarget)(nil)
+
+type pendingEst struct {
+	q   *query.Query
+	res chan pendingRes // buffered(1)
+}
+
+type pendingRes struct {
+	est float64
+	err error
+}
+
+// New builds a RemoteTarget for the service at baseURL (scheme://host:port).
+func New(baseURL string, opts Options) (*RemoteTarget, error) {
+	opts = opts.withDefaults()
+	baseURL = strings.TrimRight(baseURL, "/")
+	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
+		return nil, fmt.Errorf("remote: target URL %q must be http(s)", baseURL)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return &RemoteTarget{base: baseURL, opts: opts, client: client}, nil
+}
+
+// Close flushes any open coalescing window and releases pooled
+// connections.
+func (t *RemoteTarget) Close() {
+	t.mu.Lock()
+	if t.flushT != nil {
+		t.flushT.Stop()
+	}
+	batch := t.takeBatchLocked()
+	t.mu.Unlock()
+	if len(batch) > 0 {
+		go t.sendBatch(batch)
+	}
+	if tr, ok := t.client.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}
+
+// Stats snapshots the wire-traffic counters.
+func (t *RemoteTarget) Stats() Stats {
+	return Stats{
+		Requests:    t.requests.Load(),
+		Queries:     t.queries.Load(),
+		Coalesced:   t.coalesced.Load(),
+		Overloaded:  t.overloaded.Load(),
+		Invalid:     t.invalid.Load(),
+		Unavailable: t.unavailableCount.Load(),
+	}
+}
+
+// EstimateContext implements ce.Target: the estimate travels bit-exactly
+// (wire.B64), so a remote estimate equals the in-process one.
+func (t *RemoteTarget) EstimateContext(ctx context.Context, q *query.Query) (float64, error) {
+	if t.opts.CoalesceWindow <= 0 {
+		ests, err := t.estimateBatch(ctx, []*query.Query{q})
+		if err != nil {
+			return 0, err
+		}
+		return ests[0], nil
+	}
+
+	p := &pendingEst{q: q, res: make(chan pendingRes, 1)}
+	t.mu.Lock()
+	t.pending = append(t.pending, p)
+	switch {
+	case len(t.pending) == 1:
+		// First in the window: arm the flush timer.
+		t.flushT = time.AfterFunc(t.opts.CoalesceWindow, t.flushWindow)
+	case len(t.pending) >= t.opts.MaxBatch:
+		if t.flushT != nil {
+			t.flushT.Stop()
+		}
+		batch := t.takeBatchLocked()
+		t.mu.Unlock()
+		t.coalesced.Add(1)
+		t.sendBatch(batch)
+		return t.await(ctx, p)
+	default:
+		t.coalesced.Add(1)
+	}
+	t.mu.Unlock()
+	return t.await(ctx, p)
+}
+
+func (t *RemoteTarget) await(ctx context.Context, p *pendingEst) (float64, error) {
+	select {
+	case r := <-p.res:
+		return r.est, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+func (t *RemoteTarget) takeBatchLocked() []*pendingEst {
+	batch := t.pending
+	t.pending = nil
+	t.flushT = nil
+	return batch
+}
+
+func (t *RemoteTarget) flushWindow() {
+	t.mu.Lock()
+	batch := t.takeBatchLocked()
+	t.mu.Unlock()
+	if len(batch) > 0 {
+		t.sendBatch(batch)
+	}
+}
+
+// sendBatch issues one wire request for the batch and fans results back
+// out. The exchange runs under the batch's own timeout — individual
+// callers' contexts only govern how long they wait, not the request
+// (other callers in the batch still want the answer).
+func (t *RemoteTarget) sendBatch(batch []*pendingEst) {
+	ctx, cancel := context.WithTimeout(context.Background(), t.opts.RequestTimeout)
+	defer cancel()
+	qs := make([]*query.Query, len(batch))
+	for i, p := range batch {
+		qs[i] = p.q
+	}
+	ests, err := t.estimateBatch(ctx, qs)
+	for i, p := range batch {
+		if err != nil {
+			p.res <- pendingRes{err: err}
+		} else {
+			p.res <- pendingRes{est: ests[i]}
+		}
+	}
+}
+
+// ExecuteWorkload implements ce.Target: the feedback channel that makes
+// the remote estimator incrementally retrain. Cards travel bit-exactly.
+func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, cards []float64) error {
+	if len(qs) != len(cards) {
+		return fmt.Errorf("%w: %d queries with %d cards", ce.ErrInvalidQuery, len(qs), len(cards))
+	}
+	// Chunk to the wire cap; the server applies each chunk in arrival
+	// order through its single trainer goroutine.
+	for lo := 0; lo < len(qs); lo += wire.MaxBatch {
+		hi := lo + wire.MaxBatch
+		if hi > len(qs) {
+			hi = len(qs)
+		}
+		req := wire.ExecuteRequest{
+			V:       wire.Version,
+			Queries: wire.EncodeQueries(qs[lo:hi]),
+			Cards:   wire.FromFloats(cards[lo:hi]),
+		}
+		var resp wire.ExecuteResponse
+		if err := t.post(ctx, "/v1/execute", req, &resp); err != nil {
+			return err
+		}
+		t.queries.Add(int64(hi - lo))
+	}
+	return nil
+}
+
+func (t *RemoteTarget) estimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
+	req := wire.EstimateRequest{V: wire.Version, Queries: wire.EncodeQueries(qs)}
+	var resp wire.EstimateResponse
+	if err := t.post(ctx, "/v1/estimate", req, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Estimates) != len(qs) {
+		return nil, fmt.Errorf("%w: %d estimates for %d queries",
+			ErrUnavailable, len(resp.Estimates), len(qs))
+	}
+	t.queries.Add(int64(len(qs)))
+	return wire.ToFloats(resp.Estimates), nil
+}
+
+// post sends one JSON exchange and decodes the reply, classifying every
+// failure mode onto the pipeline's error taxonomy.
+func (t *RemoteTarget) post(ctx context.Context, path string, body, dst any) error {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.opts.RequestTimeout)
+		defer cancel()
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("remote: encode: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("remote: request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(clientHeader, t.opts.ClientID)
+
+	t.requests.Add(1)
+	resp, err := t.client.Do(req)
+	if err != nil {
+		// The caller's context expiring is its own error class — the
+		// retry layer must NOT retry it.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		t.unavailableCount.Add(1)
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		t.unavailableCount.Add(1)
+		return fmt.Errorf("%w: reading response: %v", ErrUnavailable, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, dst); err != nil {
+			t.unavailableCount.Add(1)
+			return fmt.Errorf("%w: malformed response: %v", ErrUnavailable, err)
+		}
+		return nil
+	}
+	return t.classify(resp, raw)
+}
+
+// maxResponse bounds response bodies (mirror of the server's request cap).
+const maxResponse = 64 << 20
+
+// clientHeader mirrors targetserver.ClientHeader without importing the
+// server package into every client binary.
+const clientHeader = "X-Pace-Client"
+
+// classify maps a non-200 reply onto the pipeline's error taxonomy:
+//
+//	429                      → ErrOverloaded (transient; server said back off)
+//	other 4xx                → ce.ErrInvalidQuery (permanent; do not retry)
+//	5xx                      → ErrUnavailable (transient)
+//
+// The server's machine-readable code and message ride along in the
+// wrapped text for logs.
+func (t *RemoteTarget) classify(resp *http.Response, raw []byte) error {
+	var er wire.ErrorResponse
+	msg := strings.TrimSpace(string(raw))
+	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
+		msg = er.Code + ": " + er.Error
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		t.overloaded.Add(1)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			msg += " (retry after " + ra + "s)"
+		}
+		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		t.invalid.Add(1)
+		return fmt.Errorf("%w: http %d: %s", ce.ErrInvalidQuery, resp.StatusCode, msg)
+	default:
+		t.unavailableCount.Add(1)
+		return fmt.Errorf("%w: http %d: %s", ErrUnavailable, resp.StatusCode, msg)
+	}
+}

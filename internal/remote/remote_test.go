@@ -1,0 +1,296 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+	"pace/internal/remote"
+	"pace/internal/wire"
+)
+
+func testMeta() *query.Meta {
+	return &query.Meta{
+		TableNames: []string{"a", "b"},
+		AttrNames:  []string{"a0", "a1", "b0"},
+		AttrOffset: []int{0, 2, 3},
+	}
+}
+
+func testQuery() *query.Query {
+	q := query.New(testMeta())
+	q.Tables[0] = true
+	q.Bounds[0] = [2]float64{0.1, 0.9}
+	return q
+}
+
+// echoServer answers estimates with a fixed bit pattern per query and
+// counts requests and queries.
+func echoServer(t *testing.T, est float64) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var reqs, queries atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		var req wire.EstimateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("server decode: %v", err)
+		}
+		queries.Add(int64(len(req.Queries)))
+		ests := make([]wire.B64, len(req.Queries))
+		for i := range ests {
+			ests[i] = wire.FromFloat(est)
+		}
+		json.NewEncoder(w).Encode(wire.EstimateResponse{V: wire.Version, Estimates: ests})
+	}))
+	t.Cleanup(hs.Close)
+	return hs, &reqs, &queries
+}
+
+func newTarget(t *testing.T, url string, opts remote.Options) *remote.RemoteTarget {
+	t.Helper()
+	rt, err := remote.New(url, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestNewRejectsBadURL(t *testing.T) {
+	for _, bad := range []string{"", "localhost:8645", "ftp://x", "tcp://1.2.3.4"} {
+		if _, err := remote.New(bad, remote.Options{}); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	if _, err := remote.New("http://127.0.0.1:1/", remote.Options{}); err != nil {
+		t.Errorf("trailing slash rejected: %v", err)
+	}
+}
+
+func TestEstimateExactBits(t *testing.T) {
+	// A value float JSON could not carry: a NaN with payload.
+	nan := math.Float64frombits(0x7ff800000000beef)
+	hs, _, _ := echoServer(t, nan)
+	rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+	got, err := rt.EstimateContext(context.Background(), testQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(got) != 0x7ff800000000beef {
+		t.Errorf("estimate bits %#x, want 0x7ff800000000beef", math.Float64bits(got))
+	}
+}
+
+// TestErrorClassification pins the 429/4xx/5xx/network taxonomy the
+// retry layer depends on.
+func TestErrorClassification(t *testing.T) {
+	cases := []struct {
+		name    string
+		status  int
+		headers map[string]string
+		wantIs  error
+		wantNot error
+	}{
+		{"429 is overloaded", http.StatusTooManyRequests,
+			map[string]string{"Retry-After": "2"}, remote.ErrOverloaded, ce.ErrInvalidQuery},
+		{"400 is invalid query", http.StatusBadRequest, nil, ce.ErrInvalidQuery, remote.ErrOverloaded},
+		{"404 is invalid query", http.StatusNotFound, nil, ce.ErrInvalidQuery, remote.ErrUnavailable},
+		{"500 is unavailable", http.StatusInternalServerError, nil, remote.ErrUnavailable, ce.ErrInvalidQuery},
+		{"503 is unavailable", http.StatusServiceUnavailable, nil, remote.ErrUnavailable, ce.ErrInvalidQuery},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				for k, v := range tc.headers {
+					w.Header().Set(k, v)
+				}
+				w.WriteHeader(tc.status)
+				json.NewEncoder(w).Encode(wire.ErrorResponse{V: wire.Version, Code: "x", Error: "y"})
+			}))
+			defer hs.Close()
+			rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+			_, err := rt.EstimateContext(context.Background(), testQuery())
+			if !errors.Is(err, tc.wantIs) {
+				t.Errorf("err %v, want errors.Is %v", err, tc.wantIs)
+			}
+			if errors.Is(err, tc.wantNot) {
+				t.Errorf("err %v must not match %v", err, tc.wantNot)
+			}
+		})
+	}
+}
+
+func TestConnectionRefusedIsUnavailable(t *testing.T) {
+	hs := httptest.NewServer(http.NotFoundHandler())
+	hs.Close() // nothing listens any more
+	rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+	_, err := rt.EstimateContext(context.Background(), testQuery())
+	if !errors.Is(err, remote.ErrUnavailable) {
+		t.Errorf("err %v, want ErrUnavailable", err)
+	}
+	if st := rt.Stats(); st.Unavailable != 1 {
+		t.Errorf("Stats.Unavailable = %d, want 1", st.Unavailable)
+	}
+}
+
+// TestContextErrorsAreNotTransient: an expired caller deadline must
+// surface as the context's own error — the retry layer treats those as
+// permanent, otherwise cancellation would loop.
+func TestContextErrorsAreNotTransient(t *testing.T) {
+	block := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+	// Unblock before hs.Close (defers run LIFO): the handler never reads
+	// the body, so the server cannot notice the client abort on its own.
+	defer close(block)
+	rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := rt.EstimateContext(ctx, testQuery())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err %v, want DeadlineExceeded", err)
+	}
+	if errors.Is(err, remote.ErrUnavailable) || errors.Is(err, remote.ErrOverloaded) {
+		t.Errorf("context expiry classified transient: %v", err)
+	}
+}
+
+// TestCoalescingMergesConcurrentCalls: concurrent estimates inside one
+// window ride one wire request.
+func TestCoalescingMergesConcurrentCalls(t *testing.T) {
+	hs, reqs, queries := echoServer(t, 7)
+	rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 100 * time.Millisecond})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est, err := rt.EstimateContext(context.Background(), testQuery())
+			if err == nil && est != 7 {
+				t.Errorf("estimate %v, want 7", est)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if got := reqs.Load(); got != 1 {
+		t.Errorf("%d wire requests, want 1 (coalesced)", got)
+	}
+	if got := queries.Load(); got != n {
+		t.Errorf("%d queries crossed, want %d", got, n)
+	}
+	if st := rt.Stats(); st.Coalesced != n-1 {
+		t.Errorf("Stats.Coalesced = %d, want %d", st.Coalesced, n-1)
+	}
+}
+
+// TestMaxBatchFlushesEarly: hitting MaxBatch flushes without waiting
+// out the window.
+func TestMaxBatchFlushesEarly(t *testing.T) {
+	hs, reqs, _ := echoServer(t, 1)
+	rt := newTarget(t, hs.URL, remote.Options{
+		CoalesceWindow: 10 * time.Second, // would time the test out if waited
+		MaxBatch:       2,
+	})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := rt.EstimateContext(context.Background(), testQuery()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("flush waited %v; MaxBatch should flush immediately", elapsed)
+	}
+	if got := reqs.Load(); got != 1 {
+		t.Errorf("%d wire requests, want 1", got)
+	}
+}
+
+func TestExecuteWorkloadChunksAtWireCap(t *testing.T) {
+	var reqs atomic.Int64
+	var total atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqs.Add(1)
+		var req wire.ExecuteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+		if len(req.Queries) > wire.MaxBatch {
+			t.Errorf("chunk of %d queries exceeds wire cap %d", len(req.Queries), wire.MaxBatch)
+		}
+		total.Add(int64(len(req.Queries)))
+		json.NewEncoder(w).Encode(wire.ExecuteResponse{V: wire.Version, Executed: len(req.Queries)})
+	}))
+	defer hs.Close()
+	rt := newTarget(t, hs.URL, remote.Options{})
+
+	n := wire.MaxBatch + 50
+	qs := make([]*query.Query, n)
+	cards := make([]float64, n)
+	for i := range qs {
+		qs[i] = testQuery()
+		cards[i] = float64(i)
+	}
+	if err := rt.ExecuteWorkload(context.Background(), qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Errorf("%d wire requests, want 2", got)
+	}
+	if got := total.Load(); got != int64(n) {
+		t.Errorf("%d queries crossed, want %d", got, n)
+	}
+
+	// Length mismatch is a permanent, client-side error: nothing sent.
+	before := reqs.Load()
+	err := rt.ExecuteWorkload(context.Background(), qs[:2], cards[:1])
+	if !errors.Is(err, ce.ErrInvalidQuery) {
+		t.Errorf("mismatch err %v, want ErrInvalidQuery", err)
+	}
+	if reqs.Load() != before {
+		t.Error("mismatched workload still reached the wire")
+	}
+}
+
+func TestStatsCountTraffic(t *testing.T) {
+	hs, _, _ := echoServer(t, 3)
+	rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+	for i := 0; i < 4; i++ {
+		if _, err := rt.EstimateContext(context.Background(), testQuery()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := rt.Stats()
+	if st.Requests != 4 || st.Queries != 4 {
+		t.Errorf("Stats = %+v, want 4 requests / 4 queries", st)
+	}
+}

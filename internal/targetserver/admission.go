@@ -1,0 +1,70 @@
+package targetserver
+
+import (
+	"net"
+	"net/http"
+	"time"
+
+	"pace/internal/wire"
+)
+
+// ClientHeader identifies a client for per-client rate limiting; when
+// absent the peer host (RemoteAddr without the port) is used, so every
+// distinct machine gets its own bucket by default.
+const ClientHeader = "X-Pace-Client"
+
+// bucket is one client's token bucket. Access is guarded by Server.mu.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admitClient applies the per-client token bucket; on rejection it
+// writes the 429 itself and reports false.
+func (s *Server) admitClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.RatePerSec <= 0 {
+		return true
+	}
+	key := r.Header.Get(ClientHeader)
+	if key == "" {
+		if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+			key = host
+		} else {
+			key = r.RemoteAddr
+		}
+	}
+	if s.takeToken(key) {
+		return true
+	}
+	s.mRateLimited.Inc()
+	s.shed(w, wire.CodeRateLimited, "client "+key+" over rate limit")
+	return false
+}
+
+func (s *Server) takeToken(key string) bool {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.clients[key]
+	if !ok {
+		// Bound the client table: evict everything once it grows absurd
+		// (an abusive client cycling identities); honest clients refill
+		// to a full burst on their next request anyway.
+		if len(s.clients) >= 4096 {
+			s.clients = make(map[string]*bucket)
+		}
+		b = &bucket{tokens: float64(s.cfg.Burst), last: now}
+		s.clients[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * s.cfg.RatePerSec
+		if max := float64(s.cfg.Burst); b.tokens > max {
+			b.tokens = max
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,513 @@
+// Package targetserver hosts a ce.Target behind the paced HTTP/JSON
+// service, turning the in-process black box into the deployed estimator
+// of PACE's threat model: attackers (and benign clients) reach it only
+// through /v1/estimate and /v1/execute over a real wire.
+//
+// The server protects the model the way a production estimator service
+// must:
+//
+//   - a single model goroutine owns the estimator — CE model Forward
+//     passes are stateful, so every estimate and every incremental
+//     update is serialized through it (updates can never interleave
+//     with inference);
+//   - estimate requests are micro-batched: the model goroutine gathers
+//     queued requests up to Config.MaxBatch queries or Config.BatchWindow,
+//     then evaluates the whole batch in one pass;
+//   - admission is bounded: when the queue is full the server sheds the
+//     request with 429 + Retry-After instead of queuing without limit
+//     and collapsing into timeouts;
+//   - per-client token buckets rate-limit by X-Pace-Client (falling back
+//     to the peer host), also answering 429;
+//   - Shutdown drains gracefully: /healthz flips to 503 so load
+//     balancers stop routing, in-flight requests finish, queued jobs are
+//     answered, and only then does the model goroutine exit.
+package targetserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/obs"
+	"pace/internal/query"
+	"pace/internal/wire"
+)
+
+// Config tunes the service. The zero value serves with sane defaults.
+type Config struct {
+	// MaxBatch is the largest number of queries the model goroutine
+	// evaluates per micro-batch (default 64). Requests larger than
+	// wire.MaxBatch are rejected outright.
+	MaxBatch int
+	// BatchWindow is how long the model goroutine waits for more
+	// estimate requests after the first one arrives, trading a bounded
+	// latency bump for fewer wakeups under load (default 200µs).
+	BatchWindow time.Duration
+	// QueueDepth bounds the estimate admission queue in requests
+	// (default 128). A full queue sheds with 429.
+	QueueDepth int
+	// ExecQueueDepth bounds the execute (retraining feedback) queue
+	// (default 8). Updates are heavy; shedding them early beats
+	// accumulating a retraining backlog.
+	ExecQueueDepth int
+	// RatePerSec and Burst configure the per-client token bucket;
+	// RatePerSec 0 disables rate limiting. Burst defaults to one
+	// second's worth of tokens.
+	RatePerSec float64
+	Burst      int
+	// RetryAfter is the backoff hint sent with every 429/503 (default
+	// 1s; rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Telemetry instruments the service (paced_* counters, latency and
+	// batch-size histograms, queue gauges) and, when it carries a
+	// registry, mounts /metrics and /debug/pprof on the service mux.
+	Telemetry *obs.Telemetry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatch > wire.MaxBatch {
+		c.MaxBatch = wire.MaxBatch
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.ExecQueueDepth <= 0 {
+		c.ExecQueueDepth = 8
+	}
+	if c.Burst <= 0 {
+		c.Burst = int(c.RatePerSec)
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+type estJob struct {
+	ctx   context.Context
+	qs    []*query.Query
+	reply chan estReply // buffered(1): the model loop never blocks on it
+}
+
+type estReply struct {
+	ests []float64
+	err  error
+}
+
+type execJob struct {
+	ctx   context.Context
+	qs    []*query.Query
+	cards []float64
+	reply chan error // buffered(1)
+}
+
+// Server is one hosted estimator service instance.
+type Server struct {
+	cfg    Config
+	target ce.Target
+	meta   *query.Meta
+	mux    *http.ServeMux
+
+	estQ  chan *estJob
+	execQ chan *execJob
+	stop  chan struct{} // closed by Shutdown after the listener drains
+	done  chan struct{} // closed when the model goroutine exits
+
+	mu       sync.Mutex
+	draining bool
+	clients  map[string]*bucket
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// Registry instruments; all nil-safe no-ops without telemetry.
+	mEstReqs, mEstQueries   *obs.Counter
+	mExecReqs, mExecQueries *obs.Counter
+	mShed, mRateLimited     *obs.Counter
+	mInvalid, mErrors       *obs.Counter
+	mBatches                *obs.Counter
+	mQueueDepth, mDraining  *obs.Gauge
+	hBatch, hLatencyUs      *obs.Histogram
+}
+
+// New builds a server hosting target, whose queries are decoded against
+// meta, and starts its model goroutine. Callers must eventually call
+// Shutdown (or Close) even when they never Start a listener — the
+// handler form used with httptest still owns the goroutine.
+func New(target ce.Target, meta *query.Meta, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		target:  target,
+		meta:    meta,
+		estQ:    make(chan *estJob, cfg.QueueDepth),
+		execQ:   make(chan *execJob, cfg.ExecQueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		clients: make(map[string]*bucket),
+	}
+	s.instrument(cfg.Telemetry.Registry())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if reg := cfg.Telemetry.Registry(); reg != nil {
+		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape
+		})
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	go s.modelLoop()
+	return s
+}
+
+func (s *Server) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mEstReqs = reg.Counter("paced_estimate_requests_total")
+	s.mEstQueries = reg.Counter("paced_estimate_queries_total")
+	s.mExecReqs = reg.Counter("paced_execute_requests_total")
+	s.mExecQueries = reg.Counter("paced_execute_queries_total")
+	s.mShed = reg.Counter("paced_shed_total")
+	s.mRateLimited = reg.Counter("paced_rate_limited_total")
+	s.mInvalid = reg.Counter("paced_invalid_queries_total")
+	s.mErrors = reg.Counter("paced_errors_total")
+	s.mBatches = reg.Counter("paced_batches_total")
+	s.mQueueDepth = reg.Gauge("paced_estimate_queue_depth")
+	s.mDraining = reg.Gauge("paced_draining")
+	s.hBatch = reg.Histogram("paced_batch_queries")
+	s.hLatencyUs = reg.Histogram("paced_estimate_latency_us")
+}
+
+// Handler exposes the service mux (for httptest or custom listeners).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr (host:port; port 0 picks an ephemeral one) and
+// serves in the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("targetserver: listen: %w", err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // Serve always errors on Shutdown
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: new requests are refused (healthz 503,
+// v1 endpoints 503 draining), in-flight requests complete — the model
+// goroutine keeps answering queued jobs until the listener is empty —
+// and then the model goroutine exits. ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		<-s.done
+		return nil
+	}
+	s.mDraining.Set(1)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	close(s.stop)
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		err = errors.Join(err, ctx.Err())
+	}
+	return err
+}
+
+// Close is Shutdown with a short drain bound.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// modelLoop is the single goroutine that owns the estimator: it gathers
+// estimate jobs into micro-batches and runs execute (retraining) jobs,
+// one at a time. After stop it drains whatever is still queued (their
+// handlers are waiting) and exits.
+func (s *Server) modelLoop() {
+	defer close(s.done)
+	for {
+		select {
+		case j := <-s.estQ:
+			s.mQueueDepth.Add(-1)
+			s.gatherAndEval(j)
+		case j := <-s.execQ:
+			s.runExec(j)
+		case <-s.stop:
+			s.drainQueues()
+			return
+		}
+	}
+}
+
+// gatherAndEval collects more estimate jobs for up to BatchWindow (or
+// until MaxBatch queries are pending), then evaluates them all.
+func (s *Server) gatherAndEval(first *estJob) {
+	batch := []*estJob{first}
+	n := len(first.qs)
+	timer := time.NewTimer(s.cfg.BatchWindow)
+	defer timer.Stop()
+gather:
+	for n < s.cfg.MaxBatch {
+		select {
+		case j := <-s.estQ:
+			s.mQueueDepth.Add(-1)
+			batch = append(batch, j)
+			n += len(j.qs)
+		case <-timer.C:
+			break gather
+		case <-s.stop:
+			break gather
+		}
+	}
+	s.mBatches.Inc()
+	s.hBatch.Observe(float64(n))
+	for _, j := range batch {
+		j.reply <- s.evalJob(j)
+	}
+}
+
+func (s *Server) evalJob(j *estJob) estReply {
+	if err := j.ctx.Err(); err != nil {
+		return estReply{err: err} // caller already gone; skip the work
+	}
+	ests := make([]float64, len(j.qs))
+	for i, q := range j.qs {
+		est, err := s.target.EstimateContext(j.ctx, q)
+		if err != nil {
+			return estReply{err: err}
+		}
+		ests[i] = est
+	}
+	return estReply{ests: ests}
+}
+
+func (s *Server) runExec(j *execJob) {
+	if err := j.ctx.Err(); err != nil {
+		j.reply <- err
+		return
+	}
+	j.reply <- s.target.ExecuteWorkload(j.ctx, j.qs, j.cards)
+}
+
+// drainQueues answers every still-queued job after stop; their handlers
+// block on the reply channels until the listener drain completes.
+func (s *Server) drainQueues() {
+	for {
+		select {
+		case j := <-s.estQ:
+			s.mQueueDepth.Add(-1)
+			j.reply <- s.evalJob(j)
+		case j := <-s.execQ:
+			s.runExec(j)
+		default:
+			return
+		}
+	}
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mEstReqs.Inc()
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
+		return
+	}
+	if !s.admitClient(w, r) {
+		return
+	}
+	var req wire.EstimateRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > wire.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("request must carry 1..%d queries, got %d", wire.MaxBatch, len(req.Queries)))
+		return
+	}
+	qs, err := wire.DecodeQueries(s.meta, req.Queries)
+	if err != nil {
+		s.mInvalid.Inc()
+		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
+		return
+	}
+	s.mEstQueries.Add(int64(len(qs)))
+
+	job := &estJob{ctx: r.Context(), qs: qs, reply: make(chan estReply, 1)}
+	select {
+	case s.estQ <- job:
+		s.mQueueDepth.Add(1)
+	default:
+		s.mShed.Inc()
+		s.shed(w, wire.CodeOverloaded, "estimate queue full")
+		return
+	}
+
+	select {
+	case rep := <-job.reply:
+		if rep.err != nil {
+			s.replyError(w, rep.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.EstimateResponse{V: wire.Version, Estimates: wire.FromFloats(rep.ests)})
+		s.hLatencyUs.Observe(float64(time.Since(start).Microseconds()))
+	case <-r.Context().Done():
+		// The client hung up; the model loop will notice via job.ctx.
+	case <-s.done:
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server stopped")
+	}
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	s.mExecReqs.Inc()
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
+		return
+	}
+	if !s.admitClient(w, r) {
+		return
+	}
+	var req wire.ExecuteRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > wire.MaxBatch || len(req.Queries) != len(req.Cards) {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("want 1..%d queries with matching cards, got %d queries / %d cards",
+				wire.MaxBatch, len(req.Queries), len(req.Cards)))
+		return
+	}
+	qs, err := wire.DecodeQueries(s.meta, req.Queries)
+	if err != nil {
+		s.mInvalid.Inc()
+		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
+		return
+	}
+	s.mExecQueries.Add(int64(len(qs)))
+
+	job := &execJob{ctx: r.Context(), qs: qs, cards: wire.ToFloats(req.Cards), reply: make(chan error, 1)}
+	select {
+	case s.execQ <- job:
+	default:
+		s.mShed.Inc()
+		s.shed(w, wire.CodeOverloaded, "execute queue full")
+		return
+	}
+
+	select {
+	case err := <-job.reply:
+		if err != nil {
+			s.replyError(w, err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, wire.ExecuteResponse{V: wire.Version, Executed: len(qs)})
+	case <-r.Context().Done():
+	case <-s.done:
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server stopped")
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// maxBody bounds request bodies: wire.MaxBatch queries at ~16B/bound
+// leaves ample headroom at 64 MiB.
+const maxBody = 64 << 20
+
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "malformed body: "+err.Error())
+		return false
+	}
+	var v int
+	switch req := dst.(type) {
+	case *wire.EstimateRequest:
+		v = req.V
+	case *wire.ExecuteRequest:
+		v = req.V
+	}
+	if v != wire.Version {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("protocol version %d, server speaks %d", v, wire.Version))
+		return false
+	}
+	return true
+}
+
+// replyError maps a model-side error onto the wire: invalid queries are
+// the client's fault (400), everything else is an internal failure.
+func (s *Server) replyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ce.ErrInvalidQuery) {
+		s.mInvalid.Inc()
+		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The request context died mid-evaluation; nobody is reading.
+		return
+	}
+	s.mErrors.Inc()
+	s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+}
+
+// shed answers an admission rejection: 429 with the Retry-After hint,
+// the signal a well-behaved client backs off on.
+func (s *Server) shed(w http.ResponseWriter, code, msg string) {
+	w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
+	s.writeError(w, http.StatusTooManyRequests, code, msg)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.writeJSON(w, status, wire.ErrorResponse{V: wire.Version, Code: code, Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) //nolint:errcheck // client hang-ups are its problem
+}

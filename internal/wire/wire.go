@@ -1,0 +1,203 @@
+// Package wire defines the versioned JSON protocol spoken between the
+// paced estimator service (internal/targetserver) and its clients
+// (internal/remote). The codec is canonical and lossless: every float64
+// that matters — predicate bounds and cardinality labels — travels as
+// its IEEE-754 bit pattern, so a query decoded on the server has exactly
+// the same query.Key as the one the client encoded (join bits + bound
+// bit patterns, including ±Inf, subnormals and negative zero). Estimates
+// travel the same way, which is what makes a remote campaign bit-identical
+// to an in-process one for a fixed seed.
+//
+// The protocol is deliberately schema-bound: client and server must be
+// built against the same query.Meta (same dataset + scale + seed). The
+// server validates every decoded query's shape against its meta and
+// rejects mismatches as invalid queries, never guessing.
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pace/internal/query"
+)
+
+// Version is the protocol version this build speaks. Requests carry it
+// in the "v" field; the server rejects any other value with
+// CodeBadRequest, so an incompatible client fails fast instead of
+// decoding garbage.
+const Version = 1
+
+// MaxBatch is the hard per-request query cap the server enforces
+// regardless of its configured micro-batch size; it bounds request
+// memory, not throughput.
+const MaxBatch = 4096
+
+// B64 transports a float64 as its IEEE-754 bit pattern. encoding/json
+// round-trips uint64 exactly (all 20 digits), which float64 JSON
+// formatting cannot promise for NaN payloads and does not permit at all
+// for ±Inf.
+type B64 uint64
+
+// FromFloat captures f's bit pattern.
+func FromFloat(f float64) B64 { return B64(math.Float64bits(f)) }
+
+// Float reconstructs the exact float64.
+func (b B64) Float() float64 { return math.Float64frombits(uint64(b)) }
+
+// FromFloats converts a float slice to bit patterns.
+func FromFloats(fs []float64) []B64 {
+	out := make([]B64, len(fs))
+	for i, f := range fs {
+		out[i] = FromFloat(f)
+	}
+	return out
+}
+
+// ToFloats converts bit patterns back to floats.
+func ToFloats(bs []B64) []float64 {
+	out := make([]float64, len(bs))
+	for i, b := range bs {
+		out[i] = b.Float()
+	}
+	return out
+}
+
+// Query is the wire form of a query.Query: the indexes of the joined
+// tables (ascending) and the per-attribute [lo, hi] bound bit patterns
+// for every attribute of the schema, constrained or not.
+type Query struct {
+	Tables []int    `json:"t"`
+	Bounds [][2]B64 `json:"b"`
+}
+
+// EncodeQuery converts q to its wire form. It encodes q verbatim — no
+// normalization — so the decoded query is Key-identical to q.
+func EncodeQuery(q *query.Query) Query {
+	wq := Query{Bounds: make([][2]B64, len(q.Bounds))}
+	for t, in := range q.Tables {
+		if in {
+			wq.Tables = append(wq.Tables, t)
+		}
+	}
+	for a, b := range q.Bounds {
+		wq.Bounds[a] = [2]B64{FromFloat(b[0]), FromFloat(b[1])}
+	}
+	return wq
+}
+
+// EncodeQueries converts a batch.
+func EncodeQueries(qs []*query.Query) []Query {
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = EncodeQuery(q)
+	}
+	return out
+}
+
+// Decode reconstructs the query against m, validating its shape: table
+// indexes must be in range and strictly ascending, and the bound list
+// must cover exactly the schema's attributes. Bounds are restored
+// bit-for-bit (no clamping), preserving query.Key.
+func (wq Query) Decode(m *query.Meta) (*query.Query, error) {
+	if len(wq.Bounds) != m.NumAttrs() {
+		return nil, fmt.Errorf("wire: query has %d bounds, schema has %d attributes",
+			len(wq.Bounds), m.NumAttrs())
+	}
+	q := &query.Query{
+		Tables: make([]bool, m.NumTables()),
+		Bounds: make([][2]float64, len(wq.Bounds)),
+	}
+	if !sort.IntsAreSorted(wq.Tables) {
+		return nil, errors.New("wire: table indexes not ascending")
+	}
+	for i, t := range wq.Tables {
+		if t < 0 || t >= m.NumTables() {
+			return nil, fmt.Errorf("wire: table index %d out of range [0,%d)", t, m.NumTables())
+		}
+		if i > 0 && wq.Tables[i-1] == t {
+			return nil, fmt.Errorf("wire: duplicate table index %d", t)
+		}
+		q.Tables[t] = true
+	}
+	for a, b := range wq.Bounds {
+		q.Bounds[a] = [2]float64{b[0].Float(), b[1].Float()}
+	}
+	return q, nil
+}
+
+// DecodeQueries reconstructs a batch, failing on the first bad query.
+func DecodeQueries(m *query.Meta, wqs []Query) ([]*query.Query, error) {
+	out := make([]*query.Query, len(wqs))
+	for i, wq := range wqs {
+		q, err := wq.Decode(m)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// EstimateRequest asks for the estimator's cardinality estimate of each
+// query. POST /v1/estimate.
+type EstimateRequest struct {
+	V       int     `json:"v"`
+	Queries []Query `json:"queries"`
+}
+
+// EstimateResponse carries one estimate per request query, in order, as
+// exact bit patterns.
+type EstimateResponse struct {
+	V         int   `json:"v"`
+	Estimates []B64 `json:"estimates"`
+}
+
+// ExecuteRequest reports executed queries and their true cardinalities —
+// the feedback channel that drives the estimator's incremental
+// retraining. POST /v1/execute.
+type ExecuteRequest struct {
+	V       int     `json:"v"`
+	Queries []Query `json:"queries"`
+	Cards   []B64   `json:"cards"`
+}
+
+// ExecuteResponse acknowledges an executed batch.
+type ExecuteResponse struct {
+	V        int `json:"v"`
+	Executed int `json:"executed"`
+}
+
+// Error codes carried by ErrorResponse. The client maps them onto the
+// pipeline's error taxonomy (see internal/remote):
+//
+//	bad_request, invalid_query      → permanent (ce.ErrInvalidQuery)
+//	rate_limited, overloaded        → transient, back off (429 + Retry-After)
+//	draining, internal              → transient (retry against a healthy peer)
+const (
+	CodeBadRequest   = "bad_request"
+	CodeInvalidQuery = "invalid_query"
+	CodeRateLimited  = "rate_limited"
+	CodeOverloaded   = "overloaded"
+	CodeDraining     = "draining"
+	CodeInternal     = "internal"
+)
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	V     int    `json:"v"`
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// RetryAfter renders a Retry-After header value (whole seconds, min 1)
+// from a duration hint.
+func RetryAfter(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}

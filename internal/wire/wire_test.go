@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pace/internal/query"
+)
+
+func testMeta(nTables, attrsPerTable int) *query.Meta {
+	m := &query.Meta{AttrOffset: []int{0}}
+	for t := 0; t < nTables; t++ {
+		m.TableNames = append(m.TableNames, string(rune('a'+t)))
+		for a := 0; a < attrsPerTable; a++ {
+			m.AttrNames = append(m.AttrNames, "attr")
+		}
+		m.AttrOffset = append(m.AttrOffset, (t+1)*attrsPerTable)
+	}
+	return m
+}
+
+// nastyFloats are the bound values ordinary float JSON mangles or
+// rejects outright: infinities, NaN payloads, subnormals, negative
+// zero, and values whose shortest decimal form is long.
+var nastyFloats = []float64{
+	0, 1, 0.5,
+	math.Copysign(0, -1),
+	math.Inf(1), math.Inf(-1),
+	math.NaN(),
+	math.Float64frombits(0x7ff8000000000001), // NaN with payload
+	math.SmallestNonzeroFloat64,
+	-math.SmallestNonzeroFloat64,
+	math.MaxFloat64, -math.MaxFloat64,
+	0.1, 1.0 / 3.0,
+	math.Nextafter(0.5, 1),
+	math.Nextafter(1, 0),
+}
+
+// randomQuery draws a query whose joins and bounds exercise the full
+// encodable surface, including the nasty corner values.
+func randomQuery(m *query.Meta, rng *rand.Rand) *query.Query {
+	q := query.New(m)
+	for t := range q.Tables {
+		q.Tables[t] = rng.Intn(2) == 0
+	}
+	for a := range q.Bounds {
+		switch rng.Intn(3) {
+		case 0: // leave open [0,1] — the "empty predicate" shape
+		case 1:
+			q.Bounds[a] = [2]float64{rng.Float64(), rng.Float64()}
+		default:
+			q.Bounds[a] = [2]float64{
+				nastyFloats[rng.Intn(len(nastyFloats))],
+				nastyFloats[rng.Intn(len(nastyFloats))],
+			}
+		}
+	}
+	return q
+}
+
+// TestQueryRoundTripPreservesKey is the codec's core contract: encode →
+// JSON marshal → unmarshal → decode reproduces query.Key byte-for-byte,
+// for thousands of random queries over assorted schema shapes.
+func TestQueryRoundTripPreservesKey(t *testing.T) {
+	shapes := [][2]int{{1, 1}, {2, 3}, {5, 2}, {9, 4}, {16, 1}}
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range shapes {
+		m := testMeta(sh[0], sh[1])
+		for i := 0; i < 1000; i++ {
+			q := randomQuery(m, rng)
+			blob, err := json.Marshal(EncodeQuery(q))
+			if err != nil {
+				t.Fatalf("shape %v query %d: marshal: %v", sh, i, err)
+			}
+			var wq Query
+			if err := json.Unmarshal(blob, &wq); err != nil {
+				t.Fatalf("shape %v query %d: unmarshal: %v", sh, i, err)
+			}
+			got, err := wq.Decode(m)
+			if err != nil {
+				t.Fatalf("shape %v query %d: decode: %v", sh, i, err)
+			}
+			if got.Key() != q.Key() {
+				t.Fatalf("shape %v query %d: Key changed across the wire\n json: %s", sh, i, blob)
+			}
+		}
+	}
+}
+
+// TestQueryRoundTripExtremes pins the named corner cases individually,
+// so a regression reports which one broke.
+func TestQueryRoundTripExtremes(t *testing.T) {
+	m := testMeta(2, 1)
+	cases := map[string]func(q *query.Query){
+		"empty predicates, no joins": func(q *query.Query) {},
+		"all joins":                  func(q *query.Query) { q.Tables[0], q.Tables[1] = true, true },
+		"+inf upper bound":           func(q *query.Query) { q.Bounds[0] = [2]float64{0, math.Inf(1)} },
+		"-inf lower bound":           func(q *query.Query) { q.Bounds[1] = [2]float64{math.Inf(-1), 1} },
+		"negative zero":              func(q *query.Query) { q.Bounds[0] = [2]float64{math.Copysign(0, -1), 1} },
+		"nan bound":                  func(q *query.Query) { q.Bounds[0] = [2]float64{math.NaN(), 1} },
+		"subnormal":                  func(q *query.Query) { q.Bounds[1] = [2]float64{math.SmallestNonzeroFloat64, 0.5} },
+		"inverted bounds verbatim":   func(q *query.Query) { q.Bounds[0] = [2]float64{0.9, 0.1} },
+	}
+	for name, mutate := range cases {
+		q := query.New(m)
+		mutate(q)
+		blob, err := json.Marshal(EncodeQuery(q))
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		var wq Query
+		if err := json.Unmarshal(blob, &wq); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		got, err := wq.Decode(m)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if got.Key() != q.Key() {
+			t.Errorf("%s: Key changed across the wire (json %s)", name, blob)
+		}
+	}
+}
+
+// TestB64ExactRoundTrip covers the scalar carrier directly, including a
+// full sweep of random bit patterns (every uint64 is a legal B64).
+func TestB64ExactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		bits := rng.Uint64()
+		b := B64(bits)
+		blob, err := json.Marshal(b)
+		if err != nil {
+			t.Fatalf("marshal %#x: %v", bits, err)
+		}
+		var back B64
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", blob, err)
+		}
+		if back != b {
+			t.Fatalf("bits %#x → %s → %#x", bits, blob, uint64(back))
+		}
+		if math.Float64bits(back.Float()) != bits {
+			t.Fatalf("Float() lost bits: %#x → %#x", bits, math.Float64bits(back.Float()))
+		}
+	}
+	for _, f := range nastyFloats {
+		if got := FromFloat(f).Float(); math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("FromFloat/Float mangled %v (%#x → %#x)",
+				f, math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+}
+
+// TestFromFloatsToFloatsRoundTrip covers the slice helpers used for
+// estimates and cardinality labels.
+func TestFromFloatsToFloatsRoundTrip(t *testing.T) {
+	got := ToFloats(FromFloats(nastyFloats))
+	if len(got) != len(nastyFloats) {
+		t.Fatalf("length %d, want %d", len(got), len(nastyFloats))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(nastyFloats[i]) {
+			t.Errorf("index %d: %#x → %#x",
+				i, math.Float64bits(nastyFloats[i]), math.Float64bits(got[i]))
+		}
+	}
+}
+
+// TestDecodeRejectsMalformedQueries pins the server-side validation:
+// shape mismatches are errors, never guesses.
+func TestDecodeRejectsMalformedQueries(t *testing.T) {
+	m := testMeta(3, 2) // 3 tables, 6 attrs
+	open := func(n int) [][2]B64 {
+		out := make([][2]B64, n)
+		for i := range out {
+			out[i] = [2]B64{FromFloat(0), FromFloat(1)}
+		}
+		return out
+	}
+	cases := map[string]Query{
+		"too few bounds":           {Tables: []int{0}, Bounds: open(5)},
+		"too many bounds":          {Tables: []int{0}, Bounds: open(7)},
+		"no bounds":                {Tables: []int{0}},
+		"table index negative":     {Tables: []int{-1}, Bounds: open(6)},
+		"table index out of range": {Tables: []int{3}, Bounds: open(6)},
+		"tables descending":        {Tables: []int{2, 0}, Bounds: open(6)},
+		"duplicate table":          {Tables: []int{1, 1}, Bounds: open(6)},
+	}
+	for name, wq := range cases {
+		if _, err := wq.Decode(m); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	// The batch decoder reports the offending index.
+	bad := []Query{{Tables: nil, Bounds: open(6)}, {Tables: []int{9}, Bounds: open(6)}}
+	if _, err := DecodeQueries(m, bad); err == nil || !strings.Contains(err.Error(), "query 1") {
+		t.Errorf("batch decode error %v, want mention of query 1", err)
+	}
+}
+
+// TestDecodeEncodeIdentity: decoding a wire query and re-encoding it
+// yields the identical wire form (canonical representation).
+func TestDecodeEncodeIdentity(t *testing.T) {
+	m := testMeta(4, 2)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		q := randomQuery(m, rng)
+		wq := EncodeQuery(q)
+		dec, err := wq.Decode(m)
+		if err != nil {
+			t.Fatalf("query %d: decode: %v", i, err)
+		}
+		re := EncodeQuery(dec)
+		a, _ := json.Marshal(wq)
+		b, _ := json.Marshal(re)
+		if string(a) != string(b) {
+			t.Fatalf("query %d: wire form not canonical:\n %s\n %s", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Remote integration tests: the full PACE campaign driven over the wire
+// — RemoteTarget → HTTP → targetserver → black box — must be
+// indistinguishable from the in-process campaign. The wire carries
+// estimates and cardinalities as exact float64 bit patterns, so for a
+// fixed seed the two runs are not merely close: speculation verdict,
+// convergence curve, poison workload and final damage are bit-identical.
+package pace
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/core"
+	"pace/internal/experiments"
+	"pace/internal/faults"
+	"pace/internal/metrics"
+	"pace/internal/targetserver"
+	"pace/internal/workload"
+)
+
+// remoteCampaignWorld builds one side of the comparison: a world, its
+// trained black-box victim, and the campaign config. Both sides call it
+// with the same seed, yielding twin victims with identical weights.
+func remoteCampaignWorld(t *testing.T, seed int64) (*experiments.World, *ce.BlackBox, core.Config) {
+	t.Helper()
+	cfg := experiments.Config{Seed: seed}.WithDefaults()
+	w, err := experiments.NewWorld("dmv", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := w.NewBlackBox(ce.FCN, 1)
+	// ForceType: speculation's verdict rides a latency side-channel
+	// (probe timing), which a network hop legitimately perturbs. The
+	// determinism contract covers everything downstream of the verdict,
+	// so the comparison pins the type and exercises that.
+	fcn := ce.FCN
+	runCfg := core.Config{
+		NumPoison: cfg.NumPoison,
+		ForceType: &fcn,
+		Generator: w.GenCfg(),
+		Trainer:   w.TrainerCfg(),
+	}
+	runCfg.Surrogate.Queries = cfg.TrainQueries
+	runCfg.Surrogate.HP = w.HP()
+	runCfg.Surrogate.Train = w.TrainCfg()
+	return w, bb, runCfg
+}
+
+func meanQErr(bb *ce.BlackBox, w *experiments.World) float64 {
+	return metrics.Mean(bb.QErrors(workload.Queries(w.Test), experiments.Cards(w.Test)))
+}
+
+// TestIntegrationRemoteCampaignMatchesInProcess runs the same seeded
+// campaign twice — once against the victim in-process, once against its
+// twin served by targetserver over real HTTP — and requires bit-equal
+// results end to end.
+func TestIntegrationRemoteCampaignMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	const seed = 11
+
+	wLocal, bbLocal, cfgLocal := remoteCampaignWorld(t, seed)
+	wRemote, bbRemote, cfgRemote := remoteCampaignWorld(t, seed)
+
+	// Twin check: before any attack the two victims answer identically.
+	beforeLocal, beforeRemote := meanQErr(bbLocal, wLocal), meanQErr(bbRemote, wRemote)
+	if math.Float64bits(beforeLocal) != math.Float64bits(beforeRemote) {
+		t.Fatalf("twin victims disagree before attack: %v vs %v", beforeLocal, beforeRemote)
+	}
+
+	srv := targetserver.New(bbRemote, wRemote.DS.Meta, targetserver.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	local := core.Campaign{
+		Target: bbLocal, Workload: wLocal.WGen,
+		Test: wLocal.Test, History: wLocal.History,
+		Config: cfgLocal, Seed: seed,
+	}
+	resLocal, err := local.Run(context.Background())
+	if err != nil {
+		t.Fatalf("in-process campaign: %v", err)
+	}
+
+	over := core.Campaign{
+		TargetURL: hs.URL, Workload: wRemote.WGen,
+		Test: wRemote.Test, History: wRemote.History,
+		Config: cfgRemote, Seed: seed,
+	}
+	resRemote, err := over.Run(context.Background())
+	if err != nil {
+		t.Fatalf("remote campaign: %v", err)
+	}
+
+	if resLocal.SpeculatedType != resRemote.SpeculatedType {
+		t.Errorf("speculation verdict differs: %v in-process vs %v remote",
+			resLocal.SpeculatedType, resRemote.SpeculatedType)
+	}
+	if len(resLocal.Objective) != len(resRemote.Objective) {
+		t.Fatalf("objective curves differ in length: %d vs %d",
+			len(resLocal.Objective), len(resRemote.Objective))
+	}
+	for i := range resLocal.Objective {
+		if math.Float64bits(resLocal.Objective[i]) != math.Float64bits(resRemote.Objective[i]) {
+			t.Fatalf("objective diverges at loop %d: %v vs %v (wire not bit-exact?)",
+				i, resLocal.Objective[i], resRemote.Objective[i])
+		}
+	}
+	if len(resLocal.Poison) != len(resRemote.Poison) {
+		t.Fatalf("poison sizes differ: %d vs %d", len(resLocal.Poison), len(resRemote.Poison))
+	}
+	for i := range resLocal.Poison {
+		if resLocal.Poison[i].Key() != resRemote.Poison[i].Key() {
+			t.Fatalf("poison query %d differs across transports", i)
+		}
+		if math.Float64bits(resLocal.PoisonCards[i]) != math.Float64bits(resRemote.PoisonCards[i]) {
+			t.Fatalf("poison card %d differs: %v vs %v",
+				i, resLocal.PoisonCards[i], resRemote.PoisonCards[i])
+		}
+	}
+
+	// The poison crossed the wire into the remote victim's retraining;
+	// both twins must land on the bit-identical post-attack damage.
+	afterLocal, afterRemote := meanQErr(bbLocal, wLocal), meanQErr(bbRemote, wRemote)
+	t.Logf("q-error before=%.3f after: in-process=%.3f remote=%.3f",
+		beforeLocal, afterLocal, afterRemote)
+	if math.Float64bits(afterLocal) != math.Float64bits(afterRemote) {
+		t.Errorf("post-attack q-error differs: %v in-process vs %v remote", afterLocal, afterRemote)
+	}
+	if afterLocal <= beforeLocal {
+		t.Errorf("attack did not degrade accuracy: %.3f → %.3f", beforeLocal, afterLocal)
+	}
+}
+
+// TestIntegrationRemoteCampaignUnderFaults composes the fault injector
+// with the remote transport: a flaky client-side network plus the real
+// HTTP hop, with the campaign's retry layer recovering. The attack must
+// still land.
+func TestIntegrationRemoteCampaignUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	const seed = 11
+	w, bb, runCfg := remoteCampaignWorld(t, seed)
+	before := meanQErr(bb, w)
+
+	srv := targetserver.New(bb, w.DS.Meta, targetserver.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	runCfg.Faults = faults.NewInjector(faults.Flaky(), seed)
+	c := core.Campaign{
+		TargetURL: hs.URL, Workload: w.WGen,
+		Test: w.Test, History: w.History,
+		Config: runCfg, Seed: seed,
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("faulted remote campaign: %v", err)
+	}
+	if res.FaultCounters == nil || res.FaultCounters.Failures() == 0 {
+		t.Fatalf("flaky profile injected nothing: %+v", res.FaultCounters)
+	}
+	after := meanQErr(bb, w)
+	t.Logf("faulted remote attack: before=%.3f after=%.3f injected failures=%d",
+		before, after, res.FaultCounters.Failures())
+	if after <= before {
+		t.Errorf("attack through faults+wire did not degrade accuracy: %.3f → %.3f", before, after)
+	}
+}
