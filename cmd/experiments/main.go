@@ -19,18 +19,23 @@ import (
 	"syscall"
 	"time"
 
+	"pace/internal/ce"
 	"pace/internal/cli"
 	"pace/internal/experiments"
+	"pace/internal/remote"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift, chaos or all")
-		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
-		full     = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
-		seed     = cli.Seed()
-		workers  = cli.Workers()
-		obsFlags = cli.Obs()
+		exp       = flag.String("exp", "all", "experiment: fig6, table5, table6, table7, fig10, fig11, table8, table9, table10, fig12, fig13, fig14, fig15, ablations, advisor, traditional, regularization, drift, chaos, matrix or all")
+		datasets  = flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's paper set)")
+		models    = flag.String("models", "", "comma-separated model subset for -exp matrix (default: all six)")
+		targetURL = flag.String("target-url", "", "for -exp matrix: host every victim as a tenant of the paced service at this URL instead of in-process")
+		authToken = cli.AuthToken()
+		full      = flag.Bool("full", false, "use the heavy profile (hours) instead of the quick one (minutes)")
+		seed      = cli.Seed()
+		workers   = cli.Workers()
+		obsFlags  = cli.Obs()
 	)
 	flag.Parse()
 
@@ -57,6 +62,22 @@ func main() {
 	var dsList []string
 	if *datasets != "" {
 		dsList = strings.Split(*datasets, ",")
+	}
+
+	// The matrix experiment is its own mode, not part of "all": it prints
+	// the attack matrix alone — byte-identical whether the victims are
+	// in-process or tenants of a remote paced — so CI can diff the two.
+	if strings.ToLower(*exp) == "matrix" {
+		if err := runMatrixMode(os.Stdout, cfg, dsList, *models, *targetURL, *authToken); err != nil {
+			fmt.Fprintln(os.Stderr, "matrix failed:", err)
+			obsShutdown()
+			os.Exit(1)
+		}
+		if err := obsShutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	type runner struct {
@@ -131,4 +152,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, "telemetry shutdown:", err)
 		os.Exit(1)
 	}
+}
+
+// runMatrixMode runs the (model × method) attack matrix on each dataset —
+// in-process, or with every victim provisioned as a tenant of a live
+// paced (targetURL) — and prints the mean and percentile tables. No
+// timing line: the output of a fixed seed is byte-identical either way,
+// which is exactly what the remote-integration CI job diffs.
+func runMatrixMode(out *os.File, cfg experiments.Config, dsList []string, models, targetURL, authToken string) error {
+	types := ce.Types()
+	if models != "" {
+		types = nil
+		for _, name := range strings.Split(models, ",") {
+			typ, err := ce.ParseType(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			types = append(types, typ)
+		}
+	}
+	if dsList == nil {
+		dsList = []string{"dmv"}
+	}
+	for _, name := range dsList {
+		var (
+			res *experiments.MatrixResult
+			err error
+		)
+		if targetURL != "" {
+			res, err = experiments.RunMatrixRemote(name, types, cfg, targetURL, remote.Options{
+				ClientID:  "experiments-matrix",
+				AuthToken: authToken,
+			})
+		} else {
+			res, err = experiments.RunMatrix(name, types, cfg)
+		}
+		if err != nil {
+			return err
+		}
+		res.PrintMean(out)
+		res.PrintPercentiles(out, types)
+	}
+	return nil
 }

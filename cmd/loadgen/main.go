@@ -3,14 +3,20 @@
 // shed rates as JSON — the end-to-end evidence that the server sheds
 // load (fast 429s, bounded p99) instead of collapsing into timeouts.
 //
-// Each request is one single-query /v1/estimate call (client-side
-// coalescing off) so every latency sample is one wire round trip.
+// Each request is one single-query estimate call (client-side coalescing
+// off) so every latency sample is one wire round trip.
+//
+// Against a multi-tenant host, -target routes the load at named tenants:
+// one id replays against that tenant alone; a comma-separated list runs
+// one concurrent lane per tenant, each offered the full -qps, and the
+// report becomes a per-tenant ledger keyed by tenant id.
 //
 // Examples:
 //
 //	paced -addr 127.0.0.1:8645 -rate 2000 &
 //	loadgen -url http://127.0.0.1:8645 -qps 4000 -duration 10s
-//	loadgen -url http://127.0.0.1:8645 -qps 1000 -out bench.json
+//	loadgen -url http://127.0.0.1:8645 -target b -qps 1000 -out bench.json
+//	loadgen -url http://127.0.0.1:8645 -target a,b -qps 500
 package main
 
 import (
@@ -20,12 +26,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pace/internal/cli"
 	"pace/internal/experiments"
 	"pace/internal/loadgen"
+	"pace/internal/query"
 	"pace/internal/remote"
 	"pace/internal/workload"
 )
@@ -33,14 +41,16 @@ import (
 func main() {
 	var (
 		url         = flag.String("url", "http://127.0.0.1:8645", "paced service base URL")
+		target      = flag.String("target", "", "tenant id(s) to load, comma-separated (default: the legacy unrouted endpoints)")
 		datasetName = flag.String("dataset", "dmv", "dataset the service hosts (workload source)")
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		seed        = cli.Seed()
 		nQueries    = flag.Int("queries", 200, "distinct queries in the replayed pool")
-		qps         = flag.Float64("qps", 1000, "offered request rate")
+		qps         = flag.Float64("qps", 1000, "offered request rate (per lane)")
 		duration    = flag.Duration("duration", 10*time.Second, "how long to offer load")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		clientID    = flag.String("client", "", "X-Pace-Client identity (default host/pid)")
+		authToken   = cli.AuthToken()
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 		obsFlags    = cli.Obs()
 	)
@@ -60,23 +70,44 @@ func main() {
 	}
 	pool := workload.Queries(w.WGen.Random(*nQueries))
 
-	rt, err := remote.New(*url, remote.Options{
-		CoalesceWindow: 0, // one request per estimate: honest per-call latency
-		RequestTimeout: *timeout,
-		ClientID:       *clientID,
-	})
-	if err != nil {
-		fatal(err)
+	lcfg := loadgen.Config{QPS: *qps, Duration: *duration, Timeout: *timeout}
+	var tenants []string
+	for _, id := range strings.Split(*target, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			tenants = append(tenants, id)
+		}
 	}
-	defer rt.Close()
 
-	fmt.Fprintf(os.Stderr, "loadgen: offering %.0f qps to %s for %v (%d-query pool)\n",
-		*qps, *url, *duration, len(pool))
-	rep := loadgen.Run(ctx, rt.EstimateContext, pool, loadgen.Config{
-		QPS:      *qps,
-		Duration: *duration,
-		Timeout:  *timeout,
-	})
+	dial := func(tenant string) *remote.RemoteTarget {
+		rt, err := remote.New(*url, remote.Options{
+			CoalesceWindow: 0, // one request per estimate: honest per-call latency
+			RequestTimeout: *timeout,
+			ClientID:       *clientID,
+			Tenant:         tenant,
+			AuthToken:      *authToken,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return rt
+	}
+
+	var lanes []loadgen.Lane
+	if len(tenants) == 0 {
+		rt := dial("")
+		defer rt.Close()
+		lanes = []loadgen.Lane{{Target: "default", Est: rt.EstimateContext, Queries: pool, Config: lcfg}}
+	} else {
+		for _, id := range tenants {
+			rt := dial(id)
+			defer rt.Close()
+			lanes = append(lanes, loadgen.Lane{Target: id, Est: rt.EstimateContext, Queries: clonePool(pool), Config: lcfg})
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: offering %.0f qps x %d lane(s) to %s for %v (%d-query pool)\n",
+		*qps, len(lanes), *url, *duration, len(pool))
+	ledger := loadgen.RunLanes(ctx, lanes)
 
 	enc := json.NewEncoder(os.Stdout)
 	if *out != "" {
@@ -88,15 +119,30 @@ func main() {
 		enc = json.NewEncoder(f)
 	}
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	// Single-lane runs keep the flat Report shape older tooling parses;
+	// multi-lane runs emit the per-tenant ledger.
+	var payload any = ledger
+	if len(lanes) == 1 {
+		payload = ledger[lanes[0].Target]
+	}
+	if err := enc.Encode(payload); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr,
-		"loadgen: %d sent → %d ok, %d shed(429), %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms)\n",
-		rep.Sent, rep.OK, rep.Shed, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99)
+	for _, lane := range lanes {
+		rep := ledger[lane.Target]
+		fmt.Fprintf(os.Stderr,
+			"loadgen: [%s] %d sent → %d ok, %d shed(429), %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms)\n",
+			lane.Target, rep.Sent, rep.OK, rep.Shed, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99)
+	}
 	if err := obsShutdown(); err != nil {
 		fatal(err)
 	}
+}
+
+// clonePool gives each lane its own query slice so lanes never share
+// iteration state (the queries themselves are immutable).
+func clonePool(pool []*query.Query) []*query.Query {
+	return append([]*query.Query(nil), pool...)
 }
 
 func fatal(err error) {

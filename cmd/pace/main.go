@@ -57,7 +57,9 @@ func main() {
 		speculate   = flag.Bool("speculate", false, "speculate the model type instead of assuming it")
 		noDetector  = flag.Bool("no-detector", false, "disable the anomaly-detector confrontation")
 
-		targetURL = flag.String("target-url", "", "attack a live paced service at this base URL instead of an in-process black box")
+		targetURL = flag.String("target-url", "", "attack a live paced service at this base URL instead of an in-process black box (may carry a /v1/targets/{id} tenant route)")
+		tenantID  = flag.String("target", "", "tenant id at a multi-tenant paced host (default: the host's default tenant)")
+		authToken = cli.AuthToken()
 
 		faultsName = flag.String("faults", "", "inject an unreliability profile: none, slow, flaky, lossy, noisy, throttled or chaos")
 		deadline   = flag.Duration("deadline", 0, "abort the campaign after this wall-clock duration (0 = none)")
@@ -109,7 +111,12 @@ func main() {
 		bb := w.NewBlackBox(typ, 1)
 		evalTarget = bb
 	} else {
-		rt, err := remote.New(*targetURL, remote.Options{ClientID: "pace-eval", CoalesceWindow: 0})
+		rt, err := remote.New(*targetURL, remote.Options{
+			ClientID:       "pace-eval",
+			CoalesceWindow: 0,
+			Tenant:         *tenantID,
+			AuthToken:      *authToken,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -180,6 +187,8 @@ func main() {
 		// The campaign dials its own client so retries, breaker trips and
 		// injected faults act on the attack channel only.
 		campaign.TargetURL = *targetURL
+		campaign.Remote.Tenant = *tenantID
+		campaign.Remote.AuthToken = *authToken
 	} else {
 		campaign.Target = evalTarget
 	}

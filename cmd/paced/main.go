@@ -1,25 +1,32 @@
-// Command paced stands the black-box cardinality estimator up as a real
-// network service — the deployed target of PACE's threat model. It
-// trains a fresh CE model on a synthetic dataset (exactly the way
-// cmd/pace builds its in-process target: same dataset, model and seed
-// give the same weights) and serves it over HTTP/JSON:
+// Command paced stands black-box cardinality estimators up as a real
+// network service — the deployed targets of PACE's threat model. One
+// process hosts many tenants: named estimator worlds, each trained
+// exactly the way cmd/pace builds its in-process target (same dataset,
+// model and seed give the same weights) and each owning its own model
+// goroutine, admission queues and rate limits:
 //
-//	POST /v1/estimate   cardinality estimates, single or batch
-//	POST /v1/execute    executed-query feedback → incremental retraining
-//	GET  /healthz       readiness (503 while draining)
-//	GET  /metrics       Prometheus metrics (with -metrics; pprof under /debug/pprof/)
+//	POST /v1/targets/{id}/estimate   routed estimates, single or batch
+//	POST /v1/targets/{id}/execute    executed-query feedback → retraining
+//	POST /v1/targets                 provision a tenant at runtime
+//	DELETE /v1/targets/{id}          drain and destroy a tenant
+//	GET  /v1/targets                 tenant directory
+//	POST /v1/estimate | /v1/execute  legacy wire, aliasing tenant "default"
+//	GET  /healthz                    per-tenant readiness (503 while draining)
+//	GET  /metrics                    tenant-labeled metrics (with -metrics)
 //
-// Estimates are micro-batched through a single model goroutine;
-// admission is bounded (full queues shed with 429 + Retry-After) and
-// per-client token buckets rate-limit by the X-Pace-Client header.
+// Estimates are micro-batched per tenant; admission is bounded (full
+// queues shed with 429 + Retry-After) and per-client token buckets
+// rate-limit by client identity — the X-Pace-Client header, or, with
+// -auth-tokens, the spoof-proof name mapped from the bearer token.
 // SIGINT/SIGTERM drains gracefully: health flips to 503, in-flight
-// requests finish, then the process exits.
+// requests on every tenant finish, then the process exits.
 //
 // Examples:
 //
 //	paced -addr 127.0.0.1:8645 -dataset dmv -model fcn -seed 1
-//	paced -addr :0 -rate 2000 -queue-depth 64 -metrics
-//	pace -target-url http://127.0.0.1:8645 -dataset dmv -model fcn -seed 1
+//	paced -tenants a=dmv:fcn,b=dmv:linear -metrics
+//	paced -auth-tokens tokens.txt -rate 500
+//	pace -target-url http://127.0.0.1:8645/v1/targets/a -dataset dmv -model fcn
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,21 +44,25 @@ import (
 	"pace/internal/experiments"
 	"pace/internal/obs"
 	"pace/internal/targetserver"
+	"pace/internal/tenant"
 )
 
 func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8645", "listen address (port 0 picks an ephemeral port)")
-		datasetName = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
-		modelName   = flag.String("model", "fcn", "hosted CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
+		datasetName = flag.String("dataset", "dmv", "default tenant's dataset: dmv, imdb, tpch or stats")
+		modelName   = flag.String("model", "fcn", "default tenant's CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		seed        = cli.Seed()
+		tenants     = flag.String("tenants", "", "boot tenants instead of the single default one: comma-separated id=dataset:model[:seedoffset]")
+		estCache    = flag.Int("est-cache", 0, "per-tenant LRU estimate cache entries, modeling a plan cache (0 = disabled)")
+		authTokens  = flag.String("auth-tokens", "", "bearer-token file (one \"token client-name\" per line); when set, client identity is token-derived and unauthenticated requests get 401")
 
 		maxBatch    = flag.Int("max-batch", 64, "micro-batch size cap in queries")
 		batchWindow = flag.Duration("batch-window", 200*time.Microsecond, "micro-batch gather window")
 		queueDepth  = flag.Int("queue-depth", 128, "estimate admission queue capacity (full = shed 429)")
 		execDepth   = flag.Int("exec-queue-depth", 8, "execute (retraining) queue capacity")
-		rate        = flag.Float64("rate", 0, "per-client admitted requests per second (0 = unlimited)")
+		rate        = flag.Float64("rate", 0, "per-client admitted requests per second per tenant (0 = unlimited)")
 		burst       = flag.Int("burst", 0, "per-client token-bucket burst (0 = one second of tokens)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429/503")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful drain bound on shutdown")
@@ -59,11 +71,6 @@ func main() {
 	)
 	flag.Parse()
 
-	typ, err := ce.ParseType(*modelName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
 	tel, obsShutdown, err := obsFlags.Setup()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,23 +82,36 @@ func main() {
 		tel.Reg = obs.NewRegistry()
 	}
 
+	var tokens map[string]string
+	if *authTokens != "" {
+		f, err := os.Open(*authTokens)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paced:", err)
+			os.Exit(2)
+		}
+		tokens, err = targetserver.ParseAuthTokens(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paced:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("paced: auth enabled (%d tokens); client identity is token-derived\n", len(tokens))
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	// The served world matches cmd/pace's: identical dataset, workload
-	// and training draws, so a fixed (dataset, model, seed) triple hosts
-	// bit-identical weights here and in-process there.
-	cfg := experiments.Config{Seed: *seed, Scale: *scale}.WithDefaults()
-	w, err := experiments.NewWorld(*datasetName, cfg)
+	// Boot specs: -tenants when given, else the single default tenant
+	// from -dataset/-model. Seed and scale are process-wide; seedoffset
+	// defaults to 1, the cmd/pace convention, so a hosted (dataset,
+	// model, seed) triple is bit-identical to the in-process victim.
+	specs, err := bootSpecs(*tenants, *datasetName, *modelName, *seed, *scale, *estCache)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "paced:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("paced: dataset %s (%d tables, %d rows); training %s target (seed %d)...\n",
-		*datasetName, len(w.DS.Tables), w.DS.TotalRows(), typ, *seed)
-	bb := w.NewBlackBox(typ, 1)
 
-	srv := targetserver.New(bb, w.DS.Meta, targetserver.Config{
+	cfg := targetserver.Config{
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
 		QueueDepth:     *queueDepth,
@@ -99,14 +119,31 @@ func main() {
 		RatePerSec:     *rate,
 		Burst:          *burst,
 		RetryAfter:     *retryAfter,
+		AuthTokens:     tokens,
 		Telemetry:      tel,
-	})
+	}
+	// The same factory serves boot-time -tenants and runtime POST
+	// /v1/targets; its base profile matches cmd/pace's defaults.
+	baseCfg := experiments.Config{Seed: *seed, Scale: *scale}.WithDefaults()
+	cfg.Factory = experiments.TenantFactory(baseCfg)
+
+	reg := tenant.NewRegistry(cfg.Factory, cfg.TenantConfig())
+	for _, spec := range specs {
+		fmt.Printf("paced: training tenant %s: %s %s (seed %d, offset %d)...\n",
+			spec.ID, spec.Dataset, spec.Model, spec.Seed, spec.SeedOffset)
+		if _, err := reg.Create(ctx, spec); err != nil {
+			fmt.Fprintln(os.Stderr, "paced:", err)
+			os.Exit(2)
+		}
+	}
+
+	srv := targetserver.NewMulti(reg, cfg)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("paced: listening on http://%s\n", bound)
+	fmt.Printf("paced: listening on http://%s (%d tenants)\n", bound, reg.Len())
 
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "paced: draining...")
@@ -120,4 +157,51 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "paced: bye")
+}
+
+// bootSpecs parses -tenants ("id=dataset:model[:seedoffset]", comma
+// separated); empty means one default tenant from the single-target
+// flags.
+func bootSpecs(tenants, dataset, model string, seed int64, scale float64, cacheSize int) ([]tenant.Spec, error) {
+	if tenants == "" {
+		if _, err := ce.ParseType(model); err != nil {
+			return nil, err
+		}
+		return []tenant.Spec{{
+			ID: targetserver.DefaultTenant, Dataset: dataset, Model: model,
+			Seed: seed, SeedOffset: 1, Scale: scale, CacheSize: cacheSize,
+		}}, nil
+	}
+	var specs []tenant.Spec
+	for _, ent := range strings.Split(tenants, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, world, ok := strings.Cut(ent, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant %q: want id=dataset:model[:seedoffset]", ent)
+		}
+		parts := strings.Split(world, ":")
+		if len(parts) != 2 && len(parts) != 3 {
+			return nil, fmt.Errorf("tenant %q: want id=dataset:model[:seedoffset]", ent)
+		}
+		if _, err := ce.ParseType(parts[1]); err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", ent, err)
+		}
+		spec := tenant.Spec{
+			ID: id, Dataset: parts[0], Model: parts[1],
+			Seed: seed, SeedOffset: 1, Scale: scale, CacheSize: cacheSize,
+		}
+		if len(parts) == 3 {
+			if _, err := fmt.Sscanf(parts[2], "%d", &spec.SeedOffset); err != nil {
+				return nil, fmt.Errorf("tenant %q: bad seedoffset: %w", ent, err)
+			}
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-tenants %q names no tenants", tenants)
+	}
+	return specs, nil
 }

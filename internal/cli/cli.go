@@ -16,6 +16,14 @@ func Seed() *int64 {
 		"random seed (a fixed seed reproduces the run bit-for-bit at any -workers)")
 }
 
+// AuthToken registers the unified -auth-token flag: the bearer token a
+// client presents to a paced host running with -auth-tokens. Empty sends
+// no Authorization header.
+func AuthToken() *string {
+	return flag.String("auth-token", "",
+		"bearer token for a paced host with auth enabled (empty = no Authorization header)")
+}
+
 // Workers registers the unified -workers flag. The value maps directly
 // onto the worker-pool knobs (core.Config.Workers,
 // experiments.Config.Workers): 0 runs serially, negative uses all cores.

@@ -25,10 +25,14 @@ type Campaign struct {
 	// TargetURL, when Target is nil, dials a live paced estimator
 	// service (cmd/paced) at this base URL and runs the whole pipeline
 	// over the wire through a remote.RemoteTarget. Exactly one of
-	// Target and TargetURL must be set.
+	// Target and TargetURL must be set. Against a multi-tenant host the
+	// URL may carry the tenant route itself (.../v1/targets/a), or
+	// Remote.Tenant may name it; a bare URL attacks the host's default
+	// tenant.
 	TargetURL string
 	// Remote tunes the dialed client when TargetURL is used (batching,
-	// coalescing, timeouts); the zero value uses remote defaults.
+	// coalescing, timeouts, tenant routing, auth); the zero value uses
+	// remote defaults.
 	Remote remote.Options
 	// Workload supplies the attacker's query-generation and COUNT(*)
 	// machinery over the target database.

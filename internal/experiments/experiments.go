@@ -24,7 +24,6 @@ import (
 	"pace/internal/engine"
 	"pace/internal/generator"
 	"pace/internal/obs"
-	"pace/internal/surrogate"
 	"pace/internal/workload"
 )
 
@@ -232,13 +231,7 @@ func (w *World) NewBlackBoxHP(typ ce.Type, hp ce.HyperParams, seedOffset int64) 
 // a private clone of the world's generator, so concurrent matrix rows
 // never share an RNG.
 func (w *World) NewSurrogate(bb *ce.BlackBox, typ ce.Type, seedOffset int64) *ce.Estimator {
-	rng := rand.New(rand.NewSource(w.Cfg.Seed*104729 + seedOffset))
-	wgen := w.WGen.WithRng(rand.New(rand.NewSource(w.Cfg.Seed*surWgenSeedK + seedOffset)))
-	sur, err := surrogate.Train(w.Context(), bb, typ, wgen, surrogate.TrainConfig{
-		Queries: w.Cfg.TrainQueries,
-		HP:      w.HP(),
-		Train:   w.TrainCfg(),
-	}, rng)
+	sur, err := w.NewSurrogateTarget(bb, typ, seedOffset)
 	if err != nil {
 		// Unreachable with an in-process black box and a background
 		// context; a real failure here is a harness bug.

@@ -198,7 +198,7 @@ func (r *MatrixResult) PrintE2E(out io.Writer, models []ce.Type) {
 		fmt.Fprintf(out, "%-10s", m)
 		for _, typ := range models {
 			cell := r.Cells[typ][m]
-			if cell == nil {
+			if cell == nil || cell.BB == nil { // remote matrices carry no in-process model
 				fmt.Fprintf(out, " %12s", "-")
 				continue
 			}

@@ -152,3 +152,43 @@ loop:
 	rep.ShedMsP99 = metrics.Percentile(shedLats, 99)
 	return rep
 }
+
+// Lane is one tenant's traffic stream in a multi-tenant run: its own
+// estimate function (routed at that tenant), query pool and offered
+// rate.
+type Lane struct {
+	// Target names the lane in the ledger (the tenant id).
+	Target string
+	// Est fires one estimate against the lane's tenant.
+	Est Estimate
+	// Queries is the lane's replayed pool.
+	Queries []*query.Query
+	// Config shapes the lane's offered load.
+	Config Config
+}
+
+// Ledger is the per-tenant outcome of a multi-tenant run: one Report per
+// lane, keyed by target id. It is the evidence tenant isolation claims
+// rest on — each tenant's served/shed/latency ledger is separate, so a
+// hammered tenant's collapse is visible next to its neighbor's health.
+type Ledger map[string]Report
+
+// RunLanes offers every lane's load concurrently against its own tenant
+// and collects the per-tenant ledger. ctx cancels all lanes.
+func RunLanes(ctx context.Context, lanes []Lane) Ledger {
+	reports := make([]Report, len(lanes))
+	var wg sync.WaitGroup
+	for i, lane := range lanes {
+		wg.Add(1)
+		go func(i int, lane Lane) {
+			defer wg.Done()
+			reports[i] = Run(ctx, lane.Est, lane.Queries, lane.Config)
+		}(i, lane)
+	}
+	wg.Wait()
+	ledger := make(Ledger, len(lanes))
+	for i, lane := range lanes {
+		ledger[lane.Target] = reports[i]
+	}
+	return ledger
+}

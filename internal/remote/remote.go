@@ -30,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"sync"
@@ -65,8 +66,17 @@ type Options struct {
 	// has no earlier deadline (default 30s).
 	RequestTimeout time.Duration
 	// ClientID is sent as X-Pace-Client for per-client rate limiting
-	// (default "host/pid").
+	// (default "host/pid"). Ignored by servers running with auth tokens —
+	// there the identity is derived from AuthToken.
 	ClientID string
+	// Tenant routes calls at a multi-tenant host:
+	// /v1/targets/<tenant>/estimate|execute instead of the legacy
+	// unrouted endpoints (which alias the "default" tenant). Ignored when
+	// the base URL itself already carries a /v1/targets/{id} route.
+	Tenant string
+	// AuthToken, when set, is sent as "Authorization: Bearer <token>" —
+	// required by servers running with -auth-tokens.
+	AuthToken string
 	// Client overrides the pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -106,7 +116,8 @@ type Stats struct {
 
 // RemoteTarget implements ce.Target over the paced wire protocol.
 type RemoteTarget struct {
-	base   string
+	base   string // scheme://host[:port], no trailing slash
+	prefix string // "/v1" or "/v1/targets/<tenant>"
 	opts   Options
 	client *http.Client
 
@@ -130,12 +141,22 @@ type pendingRes struct {
 	err error
 }
 
-// New builds a RemoteTarget for the service at baseURL (scheme://host:port).
+// New builds a RemoteTarget for the service at baseURL — either a bare
+// scheme://host:port (optionally routed by Options.Tenant) or a full
+// tenant route scheme://host:port/v1/targets/<id>, the form README's
+// multi-tenant quickstart passes to cmd/pace -target-url.
 func New(baseURL string, opts Options) (*RemoteTarget, error) {
 	opts = opts.withDefaults()
 	baseURL = strings.TrimRight(baseURL, "/")
 	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
 		return nil, fmt.Errorf("remote: target URL %q must be http(s)", baseURL)
+	}
+	prefix := "/v1"
+	switch {
+	case strings.Contains(baseURL, "/v1/targets/"):
+		prefix = "" // the URL already routes to a tenant
+	case opts.Tenant != "":
+		prefix = "/v1/targets/" + url.PathEscape(opts.Tenant)
 	}
 	client := opts.Client
 	if client == nil {
@@ -148,7 +169,7 @@ func New(baseURL string, opts Options) (*RemoteTarget, error) {
 			},
 		}
 	}
-	return &RemoteTarget{base: baseURL, opts: opts, client: client}, nil
+	return &RemoteTarget{base: baseURL, prefix: prefix, opts: opts, client: client}, nil
 }
 
 // Close flushes any open coalescing window and releases pooled
@@ -279,7 +300,7 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 			Cards:   wire.FromFloats(cards[lo:hi]),
 		}
 		var resp wire.ExecuteResponse
-		if err := t.post(ctx, "/v1/execute", req, &resp); err != nil {
+		if err := t.post(ctx, t.prefix+"/execute", req, &resp); err != nil {
 			return err
 		}
 		t.queries.Add(int64(hi - lo))
@@ -290,7 +311,7 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 func (t *RemoteTarget) estimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
 	req := wire.EstimateRequest{V: wire.Version, Queries: wire.EncodeQueries(qs)}
 	var resp wire.EstimateResponse
-	if err := t.post(ctx, "/v1/estimate", req, &resp); err != nil {
+	if err := t.post(ctx, t.prefix+"/estimate", req, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Estimates) != len(qs) {
@@ -319,6 +340,9 @@ func (t *RemoteTarget) post(ctx context.Context, path string, body, dst any) err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(clientHeader, t.opts.ClientID)
+	if t.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+t.opts.AuthToken)
+	}
 
 	t.requests.Add(1)
 	resp, err := t.client.Do(req)

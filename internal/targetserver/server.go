@@ -1,26 +1,35 @@
-// Package targetserver hosts a ce.Target behind the paced HTTP/JSON
-// service, turning the in-process black box into the deployed estimator
-// of PACE's threat model: attackers (and benign clients) reach it only
-// through /v1/estimate and /v1/execute over a real wire.
+// Package targetserver hosts ce.Targets behind the paced HTTP/JSON
+// service, turning in-process black boxes into the deployed estimators
+// of PACE's threat model: attackers (and benign clients) reach them only
+// over a real wire.
 //
-// The server protects the model the way a production estimator service
-// must:
+// Since the multi-tenant refactor the server is a thin HTTP layer over
+// an internal/tenant.Registry — a directory of named estimator worlds,
+// each owning its own model goroutine, micro-batching, bounded admission
+// queues, per-client token buckets and optional estimate cache:
 //
-//   - a single model goroutine owns the estimator — CE model Forward
-//     passes are stateful, so every estimate and every incremental
-//     update is serialized through it (updates can never interleave
-//     with inference);
-//   - estimate requests are micro-batched: the model goroutine gathers
-//     queued requests up to Config.MaxBatch queries or Config.BatchWindow,
-//     then evaluates the whole batch in one pass;
-//   - admission is bounded: when the queue is full the server sheds the
-//     request with 429 + Retry-After instead of queuing without limit
-//     and collapsing into timeouts;
-//   - per-client token buckets rate-limit by X-Pace-Client (falling back
-//     to the peer host), also answering 429;
-//   - Shutdown drains gracefully: /healthz flips to 503 so load
-//     balancers stop routing, in-flight requests finish, queued jobs are
-//     answered, and only then does the model goroutine exit.
+//	POST /v1/targets/{id}/estimate   routed estimates, single or batch
+//	POST /v1/targets/{id}/execute    routed executed-query feedback
+//	GET  /v1/targets/{id}/healthz    one tenant's readiness
+//	POST /v1/targets                 provision a tenant at runtime
+//	DELETE /v1/targets/{id}          drain and destroy a tenant
+//	GET  /v1/targets                 directory listing
+//	POST /v1/estimate | /v1/execute  legacy unrouted wire, aliasing the
+//	                                 "default" tenant (old clients keep
+//	                                 working against a multi-tenant host)
+//	GET  /healthz                    overall + per-tenant readiness
+//	GET  /metrics                    tenant-labeled paced_* families
+//
+// Client identity: when Config.AuthTokens is set, the identity used for
+// per-tenant rate limiting is derived from the Authorization bearer
+// token — the X-Pace-Client header is no longer trusted (it is trivially
+// spoofable). Without tokens the header (then the peer host) is used, as
+// before.
+//
+// Shutdown drains gracefully: /healthz flips to 503 so load balancers
+// stop routing, in-flight requests on every tenant finish — the drain
+// iterates the whole registry — and only then do the model goroutines
+// exit.
 package targetserver
 
 import (
@@ -37,37 +46,48 @@ import (
 	"pace/internal/ce"
 	"pace/internal/obs"
 	"pace/internal/query"
+	"pace/internal/tenant"
 	"pace/internal/wire"
 )
 
+// DefaultTenant is the id the legacy unrouted endpoints alias.
+const DefaultTenant = "default"
+
 // Config tunes the service. The zero value serves with sane defaults.
+// The per-tenant serving knobs (MaxBatch … Burst) apply to every tenant
+// the server hosts.
 type Config struct {
-	// MaxBatch is the largest number of queries the model goroutine
-	// evaluates per micro-batch (default 64). Requests larger than
-	// wire.MaxBatch are rejected outright.
+	// MaxBatch is the largest number of queries a tenant's model
+	// goroutine evaluates per micro-batch (default 64). Requests larger
+	// than wire.MaxBatch are rejected outright.
 	MaxBatch int
-	// BatchWindow is how long the model goroutine waits for more
-	// estimate requests after the first one arrives, trading a bounded
-	// latency bump for fewer wakeups under load (default 200µs).
+	// BatchWindow is how long a model goroutine waits for more estimate
+	// requests after the first one arrives (default 200µs).
 	BatchWindow time.Duration
-	// QueueDepth bounds the estimate admission queue in requests
-	// (default 128). A full queue sheds with 429.
+	// QueueDepth bounds each tenant's estimate admission queue in
+	// requests (default 128). A full queue sheds with 429.
 	QueueDepth int
-	// ExecQueueDepth bounds the execute (retraining feedback) queue
-	// (default 8). Updates are heavy; shedding them early beats
-	// accumulating a retraining backlog.
+	// ExecQueueDepth bounds each tenant's execute (retraining feedback)
+	// queue (default 8).
 	ExecQueueDepth int
-	// RatePerSec and Burst configure the per-client token bucket;
-	// RatePerSec 0 disables rate limiting. Burst defaults to one
-	// second's worth of tokens.
+	// RatePerSec and Burst configure the per-client token bucket of each
+	// tenant; RatePerSec 0 disables rate limiting.
 	RatePerSec float64
 	Burst      int
 	// RetryAfter is the backoff hint sent with every 429/503 (default
 	// 1s; rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
-	// Telemetry instruments the service (paced_* counters, latency and
-	// batch-size histograms, queue gauges) and, when it carries a
-	// registry, mounts /metrics and /debug/pprof on the service mux.
+	// AuthTokens, when non-empty, maps bearer tokens to client names.
+	// Requests must then carry "Authorization: Bearer <token>"; unknown
+	// or missing tokens answer 401 and the mapped name replaces the
+	// spoofable X-Pace-Client header for rate limiting.
+	AuthTokens map[string]string
+	// Factory provisions tenants for POST /v1/targets (typically
+	// experiments.TenantFactory()). Nil disables runtime creation.
+	Factory tenant.Factory
+	// Telemetry instruments the service (tenant-labeled paced_*
+	// counters, latency and batch-size histograms, queue gauges) and,
+	// when it carries a registry, mounts /metrics and /debug/pprof.
 	Telemetry *obs.Telemetry
 }
 
@@ -78,94 +98,86 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch > wire.MaxBatch {
 		c.MaxBatch = wire.MaxBatch
 	}
-	if c.BatchWindow <= 0 {
-		c.BatchWindow = 200 * time.Microsecond
-	}
-	if c.QueueDepth <= 0 {
-		c.QueueDepth = 128
-	}
-	if c.ExecQueueDepth <= 0 {
-		c.ExecQueueDepth = 8
-	}
-	if c.Burst <= 0 {
-		c.Burst = int(c.RatePerSec)
-		if c.Burst < 1 {
-			c.Burst = 1
-		}
-	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
 	return c
 }
 
-type estJob struct {
-	ctx   context.Context
-	qs    []*query.Query
-	reply chan estReply // buffered(1): the model loop never blocks on it
+// TenantConfig projects the per-tenant serving knobs onto a
+// tenant.Config — what cmd/paced builds its boot registry with.
+func (c Config) TenantConfig() tenant.Config {
+	return tenant.Config{
+		MaxBatch:       c.MaxBatch,
+		BatchWindow:    c.BatchWindow,
+		QueueDepth:     c.QueueDepth,
+		ExecQueueDepth: c.ExecQueueDepth,
+		RatePerSec:     c.RatePerSec,
+		Burst:          c.Burst,
+		Telemetry:      c.Telemetry,
+	}
 }
 
-type estReply struct {
-	ests []float64
-	err  error
-}
-
-type execJob struct {
-	ctx   context.Context
-	qs    []*query.Query
-	cards []float64
-	reply chan error // buffered(1)
-}
-
-// Server is one hosted estimator service instance.
+// Server is one hosted estimator service instance: an HTTP front over a
+// tenant registry.
 type Server struct {
-	cfg    Config
-	target ce.Target
-	meta   *query.Meta
-	mux    *http.ServeMux
-
-	estQ  chan *estJob
-	execQ chan *execJob
-	stop  chan struct{} // closed by Shutdown after the listener drains
-	done  chan struct{} // closed when the model goroutine exits
+	cfg Config
+	reg *tenant.Registry
+	mux *http.ServeMux
 
 	mu       sync.Mutex
 	draining bool
-	clients  map[string]*bucket
 
 	httpSrv *http.Server
 	ln      net.Listener
 
-	// Registry instruments; all nil-safe no-ops without telemetry.
-	mEstReqs, mEstQueries   *obs.Counter
-	mExecReqs, mExecQueries *obs.Counter
-	mShed, mRateLimited     *obs.Counter
-	mInvalid, mErrors       *obs.Counter
-	mBatches                *obs.Counter
-	mQueueDepth, mDraining  *obs.Gauge
-	hBatch, hLatencyUs      *obs.Histogram
+	// Server-level instruments (tenant-level ones live on each tenant);
+	// all nil-safe no-ops without telemetry.
+	mUnknownTarget *obs.Counter
+	mUnauthorized  *obs.Counter
+	mAdminReqs     *obs.Counter
+	mTenants       *obs.Gauge
+	mDraining      *obs.Gauge
 }
 
-// New builds a server hosting target, whose queries are decoded against
-// meta, and starts its model goroutine. Callers must eventually call
-// Shutdown (or Close) even when they never Start a listener — the
-// handler form used with httptest still owns the goroutine.
+// New builds a single-tenant server: target becomes the "default"
+// tenant, reachable over both the legacy and the routed wire. Callers
+// must eventually call Shutdown (or Close) even when they never Start a
+// listener — the handler form used with httptest still owns the model
+// goroutine. Runtime tenant creation needs cfg.Factory.
 func New(target ce.Target, meta *query.Meta, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		target:  target,
-		meta:    meta,
-		estQ:    make(chan *estJob, cfg.QueueDepth),
-		execQ:   make(chan *execJob, cfg.ExecQueueDepth),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
-		clients: make(map[string]*bucket),
+	reg := tenant.NewRegistry(cfg.Factory, cfg.TenantConfig())
+	if _, err := reg.Add(tenant.Spec{ID: DefaultTenant}, target, meta); err != nil {
+		panic("targetserver: registering default tenant: " + err.Error()) // fresh registry: unreachable
 	}
+	return NewMulti(reg, cfg)
+}
+
+// NewMulti builds a server over an existing registry — the multi-tenant
+// form cmd/paced uses: boot tenants are Added/Created on the registry
+// first, and the admin API keeps mutating it at runtime.
+func NewMulti(reg *tenant.Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, reg: reg}
 	s.instrument(cfg.Telemetry.Registry())
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
-	s.mux.HandleFunc("POST /v1/execute", s.handleExecute)
+	s.mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleEstimate(w, r, DefaultTenant)
+	})
+	s.mux.HandleFunc("POST /v1/execute", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExecute(w, r, DefaultTenant)
+	})
+	s.mux.HandleFunc("POST /v1/targets/{id}/estimate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleEstimate(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExecute(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("GET /v1/targets/{id}/healthz", s.handleTenantHealthz)
+	s.mux.HandleFunc("POST /v1/targets", s.handleCreateTarget)
+	s.mux.HandleFunc("DELETE /v1/targets/{id}", s.handleDeleteTarget)
+	s.mux.HandleFunc("GET /v1/targets", s.handleListTargets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if reg := cfg.Telemetry.Registry(); reg != nil {
 		s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -178,7 +190,7 @@ func New(target ce.Target, meta *query.Meta, cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	go s.modelLoop()
+	s.mTenants.Set(int64(reg.Len()))
 	return s
 }
 
@@ -186,20 +198,15 @@ func (s *Server) instrument(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	s.mEstReqs = reg.Counter("paced_estimate_requests_total")
-	s.mEstQueries = reg.Counter("paced_estimate_queries_total")
-	s.mExecReqs = reg.Counter("paced_execute_requests_total")
-	s.mExecQueries = reg.Counter("paced_execute_queries_total")
-	s.mShed = reg.Counter("paced_shed_total")
-	s.mRateLimited = reg.Counter("paced_rate_limited_total")
-	s.mInvalid = reg.Counter("paced_invalid_queries_total")
-	s.mErrors = reg.Counter("paced_errors_total")
-	s.mBatches = reg.Counter("paced_batches_total")
-	s.mQueueDepth = reg.Gauge("paced_estimate_queue_depth")
+	s.mUnknownTarget = reg.Counter("paced_unknown_target_total")
+	s.mUnauthorized = reg.Counter("paced_unauthorized_total")
+	s.mAdminReqs = reg.Counter("paced_admin_requests_total")
+	s.mTenants = reg.Gauge("paced_tenants")
 	s.mDraining = reg.Gauge("paced_draining")
-	s.hBatch = reg.Histogram("paced_batch_queries")
-	s.hLatencyUs = reg.Histogram("paced_estimate_latency_us")
 }
+
+// Registry exposes the tenant directory (cmd/paced boot, tests).
+func (s *Server) Registry() *tenant.Registry { return s.reg }
 
 // Handler exposes the service mux (for httptest or custom listeners).
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -218,29 +225,21 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Shutdown drains gracefully: new requests are refused (healthz 503,
-// v1 endpoints 503 draining), in-flight requests complete — the model
-// goroutine keeps answering queued jobs until the listener is empty —
-// and then the model goroutine exits. ctx bounds the drain.
+// v1 endpoints 503 draining), in-flight requests on every tenant
+// complete — the drain iterates the whole registry, so a multi-tenant
+// host answers each tenant's queued jobs before exiting — and then the
+// model goroutines stop. ctx bounds the drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
-	if already {
-		<-s.done
-		return nil
-	}
 	s.mDraining.Set(1)
 	var err error
-	if s.httpSrv != nil {
+	if !already && s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	close(s.stop)
-	select {
-	case <-s.done:
-	case <-ctx.Done():
-		err = errors.Join(err, ctx.Err())
-	}
+	err = errors.Join(err, s.reg.DrainAll(ctx))
 	return err
 }
 
@@ -257,100 +256,45 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// modelLoop is the single goroutine that owns the estimator: it gathers
-// estimate jobs into micro-batches and runs execute (retraining) jobs,
-// one at a time. After stop it drains whatever is still queued (their
-// handlers are waiting) and exits.
-func (s *Server) modelLoop() {
-	defer close(s.done)
-	for {
-		select {
-		case j := <-s.estQ:
-			s.mQueueDepth.Add(-1)
-			s.gatherAndEval(j)
-		case j := <-s.execQ:
-			s.runExec(j)
-		case <-s.stop:
-			s.drainQueues()
-			return
-		}
+// resolve routes an id to its tenant, answering the error itself (404
+// unknown, 503 not ready / draining) when it cannot.
+func (s *Server) resolve(w http.ResponseWriter, id string) (*tenant.Tenant, bool) {
+	t, err := s.reg.Get(id)
+	switch {
+	case errors.Is(err, tenant.ErrNotFound):
+		s.mUnknownTarget.Inc()
+		s.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, err.Error())
+		return nil, false
+	case errors.Is(err, tenant.ErrNotReady):
+		w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeNotReady, err.Error())
+		return nil, false
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+		return nil, false
 	}
+	if t.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "tenant "+id+" draining")
+		return nil, false
+	}
+	return t, true
 }
 
-// gatherAndEval collects more estimate jobs for up to BatchWindow (or
-// until MaxBatch queries are pending), then evaluates them all.
-func (s *Server) gatherAndEval(first *estJob) {
-	batch := []*estJob{first}
-	n := len(first.qs)
-	timer := time.NewTimer(s.cfg.BatchWindow)
-	defer timer.Stop()
-gather:
-	for n < s.cfg.MaxBatch {
-		select {
-		case j := <-s.estQ:
-			s.mQueueDepth.Add(-1)
-			batch = append(batch, j)
-			n += len(j.qs)
-		case <-timer.C:
-			break gather
-		case <-s.stop:
-			break gather
-		}
-	}
-	s.mBatches.Inc()
-	s.hBatch.Observe(float64(n))
-	for _, j := range batch {
-		j.reply <- s.evalJob(j)
-	}
-}
-
-func (s *Server) evalJob(j *estJob) estReply {
-	if err := j.ctx.Err(); err != nil {
-		return estReply{err: err} // caller already gone; skip the work
-	}
-	ests := make([]float64, len(j.qs))
-	for i, q := range j.qs {
-		est, err := s.target.EstimateContext(j.ctx, q)
-		if err != nil {
-			return estReply{err: err}
-		}
-		ests[i] = est
-	}
-	return estReply{ests: ests}
-}
-
-func (s *Server) runExec(j *execJob) {
-	if err := j.ctx.Err(); err != nil {
-		j.reply <- err
-		return
-	}
-	j.reply <- s.target.ExecuteWorkload(j.ctx, j.qs, j.cards)
-}
-
-// drainQueues answers every still-queued job after stop; their handlers
-// block on the reply channels until the listener drain completes.
-func (s *Server) drainQueues() {
-	for {
-		select {
-		case j := <-s.estQ:
-			s.mQueueDepth.Add(-1)
-			j.reply <- s.evalJob(j)
-		case j := <-s.execQ:
-			s.runExec(j)
-		default:
-			return
-		}
-	}
-}
-
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.mEstReqs.Inc()
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, id string) {
 	if s.isDraining() {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
 		return
 	}
-	if !s.admitClient(w, r) {
+	client, ok := s.clientIdentity(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.resolve(w, id)
+	if !ok {
+		return
+	}
+	if !t.Admit(client) {
+		s.shed(w, wire.CodeRateLimited, "client "+client+" over rate limit")
 		return
 	}
 	var req wire.EstimateRequest
@@ -362,46 +306,36 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("request must carry 1..%d queries, got %d", wire.MaxBatch, len(req.Queries)))
 		return
 	}
-	qs, err := wire.DecodeQueries(s.meta, req.Queries)
+	qs, err := wire.DecodeQueries(t.Meta(), req.Queries)
 	if err != nil {
-		s.mInvalid.Inc()
+		t.Metrics().Invalid.Inc()
 		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
 		return
 	}
-	s.mEstQueries.Add(int64(len(qs)))
 
-	job := &estJob{ctx: r.Context(), qs: qs, reply: make(chan estReply, 1)}
-	select {
-	case s.estQ <- job:
-		s.mQueueDepth.Add(1)
-	default:
-		s.mShed.Inc()
-		s.shed(w, wire.CodeOverloaded, "estimate queue full")
+	ests, err := t.Estimate(r.Context(), qs)
+	if err != nil {
+		s.replyError(w, t, err)
 		return
 	}
-
-	select {
-	case rep := <-job.reply:
-		if rep.err != nil {
-			s.replyError(w, rep.err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, wire.EstimateResponse{V: wire.Version, Estimates: wire.FromFloats(rep.ests)})
-		s.hLatencyUs.Observe(float64(time.Since(start).Microseconds()))
-	case <-r.Context().Done():
-		// The client hung up; the model loop will notice via job.ctx.
-	case <-s.done:
-		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server stopped")
-	}
+	s.writeJSON(w, http.StatusOK, wire.EstimateResponse{V: wire.Version, Estimates: wire.FromFloats(ests)})
 }
 
-func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
-	s.mExecReqs.Inc()
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, id string) {
 	if s.isDraining() {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
 		return
 	}
-	if !s.admitClient(w, r) {
+	client, ok := s.clientIdentity(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.resolve(w, id)
+	if !ok {
+		return
+	}
+	if !t.Admit(client) {
+		s.shed(w, wire.CodeRateLimited, "client "+client+" over rate limit")
 		return
 	}
 	var req wire.ExecuteRequest
@@ -414,43 +348,144 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 				wire.MaxBatch, len(req.Queries), len(req.Cards)))
 		return
 	}
-	qs, err := wire.DecodeQueries(s.meta, req.Queries)
+	qs, err := wire.DecodeQueries(t.Meta(), req.Queries)
 	if err != nil {
-		s.mInvalid.Inc()
+		t.Metrics().Invalid.Inc()
 		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
 		return
 	}
-	s.mExecQueries.Add(int64(len(qs)))
 
-	job := &execJob{ctx: r.Context(), qs: qs, cards: wire.ToFloats(req.Cards), reply: make(chan error, 1)}
-	select {
-	case s.execQ <- job:
-	default:
-		s.mShed.Inc()
-		s.shed(w, wire.CodeOverloaded, "execute queue full")
+	if err := t.Execute(r.Context(), qs, wire.ToFloats(req.Cards)); err != nil {
+		s.replyError(w, t, err)
 		return
 	}
+	s.writeJSON(w, http.StatusOK, wire.ExecuteResponse{V: wire.Version, Executed: len(qs)})
+}
 
-	select {
-	case err := <-job.reply:
-		if err != nil {
-			s.replyError(w, err)
-			return
-		}
-		s.writeJSON(w, http.StatusOK, wire.ExecuteResponse{V: wire.Version, Executed: len(qs)})
-	case <-r.Context().Done():
-	case <-s.done:
-		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server stopped")
+// handleCreateTarget provisions a tenant through the registry's Factory.
+// The request blocks for the whole world build; concurrent creates of
+// the same id answer 409 immediately (the slot lists as "creating").
+func (s *Server) handleCreateTarget(w http.ResponseWriter, r *http.Request) {
+	s.mAdminReqs.Inc()
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
+		return
+	}
+	if _, ok := s.clientIdentity(w, r); !ok {
+		return
+	}
+	var req wire.CreateTargetRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	t, err := s.reg.Create(r.Context(), tenant.Spec{
+		ID:         req.Target.ID,
+		Dataset:    req.Target.Dataset,
+		Model:      req.Target.Model,
+		Seed:       req.Target.Seed,
+		SeedOffset: req.Target.SeedOffset,
+		Scale:      req.Target.Scale,
+		CacheSize:  req.Target.CacheSize,
+	})
+	switch {
+	case errors.Is(err, tenant.ErrExists):
+		s.writeError(w, http.StatusConflict, wire.CodeTargetExists, err.Error())
+		return
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return // the admin hung up mid-build; nobody is reading
+	case err != nil:
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	s.mTenants.Set(int64(s.reg.Len()))
+	s.writeJSON(w, http.StatusOK, wire.CreateTargetResponse{
+		V:      wire.Version,
+		Target: targetInfo(tenant.Info{Spec: t.Spec(), State: tenant.StateReady}),
+	})
+}
+
+func (s *Server) handleDeleteTarget(w http.ResponseWriter, r *http.Request) {
+	s.mAdminReqs.Inc()
+	if _, ok := s.clientIdentity(w, r); !ok {
+		return
+	}
+	id := r.PathValue("id")
+	err := s.reg.Delete(r.Context(), id)
+	switch {
+	case errors.Is(err, tenant.ErrNotFound):
+		s.mUnknownTarget.Inc()
+		s.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, err.Error())
+		return
+	case errors.Is(err, tenant.ErrNotReady):
+		w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeNotReady, err.Error())
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+		return
+	}
+	s.mTenants.Set(int64(s.reg.Len()))
+	s.writeJSON(w, http.StatusOK, wire.DeleteTargetResponse{V: wire.Version, Deleted: id})
+}
+
+func (s *Server) handleListTargets(w http.ResponseWriter, r *http.Request) {
+	s.mAdminReqs.Inc()
+	if _, ok := s.clientIdentity(w, r); !ok {
+		return
+	}
+	infos := s.reg.List()
+	resp := wire.ListTargetsResponse{V: wire.Version, Targets: make([]wire.TargetInfo, len(infos))}
+	for i, info := range infos {
+		resp.Targets[i] = targetInfo(info)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func targetInfo(info tenant.Info) wire.TargetInfo {
+	return wire.TargetInfo{
+		TargetSpec: wire.TargetSpec{
+			ID:         info.Spec.ID,
+			Dataset:    info.Spec.Dataset,
+			Model:      info.Spec.Model,
+			Seed:       info.Spec.Seed,
+			SeedOffset: info.Spec.SeedOffset,
+			Scale:      info.Spec.Scale,
+			CacheSize:  info.Spec.CacheSize,
+		},
+		State: info.State,
 	}
 }
 
+// handleHealthz reports overall service health (503 while draining) and
+// every tenant's readiness, so each tenant is observable independently.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := wire.HealthzResponse{Status: "ok", Tenants: map[string]string{}}
+	for _, info := range s.reg.List() {
+		resp.Tenants[info.Spec.ID] = info.State
+	}
+	status := http.StatusOK
 	if s.isDraining() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// handleTenantHealthz is the per-tenant readiness probe: 200 only when
+// the tenant exists and is ready.
+func (s *Server) handleTenantHealthz(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
 		return
 	}
-	fmt.Fprintln(w, "ok")
+	if _, ok := s.resolve(w, id); !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.HealthzResponse{
+		Status:  "ok",
+		Tenants: map[string]string{id: tenant.StateReady},
+	})
 }
 
 // maxBody bounds request bodies: wire.MaxBatch queries at ~16B/bound
@@ -470,6 +505,8 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) 
 		v = req.V
 	case *wire.ExecuteRequest:
 		v = req.V
+	case *wire.CreateTargetRequest:
+		v = req.V
 	}
 	if v != wire.Version {
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
@@ -479,20 +516,24 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) 
 	return true
 }
 
-// replyError maps a model-side error onto the wire: invalid queries are
-// the client's fault (400), everything else is an internal failure.
-func (s *Server) replyError(w http.ResponseWriter, err error) {
-	if errors.Is(err, ce.ErrInvalidQuery) {
-		s.mInvalid.Inc()
+// replyError maps a tenant-side error onto the wire: shed admission is
+// a 429, draining a 503, invalid queries the client's fault (400), and
+// everything else an internal failure.
+func (s *Server) replyError(w http.ResponseWriter, t *tenant.Tenant, err error) {
+	switch {
+	case errors.Is(err, tenant.ErrQueueFull):
+		s.shed(w, wire.CodeOverloaded, err.Error())
+	case errors.Is(err, tenant.ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, err.Error())
+	case errors.Is(err, ce.ErrInvalidQuery):
+		t.Metrics().Invalid.Inc()
 		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
-		return
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The request context died mid-evaluation; nobody is reading.
-		return
+	default:
+		t.Metrics().Errors.Inc()
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
 	}
-	s.mErrors.Inc()
-	s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
 }
 
 // shed answers an admission rejection: 429 with the Retry-After hint,

@@ -81,6 +81,9 @@ func (g *gateTarget) ExecuteWorkload(_ context.Context, qs []*query.Query, cards
 	return nil
 }
 
+// dflt names the default tenant's labeled metric family.
+func dflt(base string) string { return base + `{tenant="default"}` }
+
 func newTestServer(t *testing.T, bb ce.Target, cfg targetserver.Config) (*targetserver.Server, *httptest.Server) {
 	t.Helper()
 	srv := targetserver.New(bb, testMeta(), cfg)
@@ -271,10 +274,10 @@ func TestFullQueueShedsWith429(t *testing.T) {
 	wg.Add(1)
 	go send(1)
 	deadline := time.Now().Add(5 * time.Second)
-	for reg.Gauge("paced_estimate_queue_depth").Value() < 1 && time.Now().Before(deadline) {
+	for reg.Gauge(dflt("paced_estimate_queue_depth")).Value() < 1 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if reg.Gauge("paced_estimate_queue_depth").Value() < 1 {
+	if reg.Gauge(dflt("paced_estimate_queue_depth")).Value() < 1 {
 		t.Fatal("second request never queued")
 	}
 
@@ -289,7 +292,7 @@ func TestFullQueueShedsWith429(t *testing.T) {
 	if body := decodeBody[wire.ErrorResponse](t, shedResp); body.Code != wire.CodeOverloaded {
 		t.Errorf("code %q, want %q", body.Code, wire.CodeOverloaded)
 	}
-	if reg.Counter("paced_shed_total").Value() == 0 {
+	if reg.Counter(dflt("paced_shed_total")).Value() == 0 {
 		t.Error("paced_shed_total not incremented")
 	}
 
@@ -331,9 +334,9 @@ func TestPerClientRateLimit(t *testing.T) {
 		t.Errorf("bob: status %d, want 200", resp2.StatusCode)
 	}
 	resp2.Body.Close()
-	if reg.Counter("paced_rate_limited_total").Value() != 1 {
+	if reg.Counter(dflt("paced_rate_limited_total")).Value() != 1 {
 		t.Errorf("paced_rate_limited_total = %d, want 1",
-			reg.Counter("paced_rate_limited_total").Value())
+			reg.Counter(dflt("paced_rate_limited_total")).Value())
 	}
 }
 
@@ -363,16 +366,16 @@ func TestMicroBatchingCoalesces(t *testing.T) {
 	// All n arrive well inside the 250ms gather window opened by the
 	// first; release the model once they are all enqueued or in-flight.
 	deadline := time.Now().Add(5 * time.Second)
-	for reg.Counter("paced_estimate_requests_total").Value() < n && time.Now().Before(deadline) {
+	for reg.Counter(dflt("paced_estimate_requests_total")).Value() < n && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	close(gate)
 	wg.Wait()
 
-	if got := reg.Counter("paced_estimate_queries_total").Value(); got != n {
+	if got := reg.Counter(dflt("paced_estimate_queries_total")).Value(); got != n {
 		t.Errorf("paced_estimate_queries_total = %d, want %d", got, n)
 	}
-	if got := reg.Counter("paced_batches_total").Value(); got < 1 || got > 2 {
+	if got := reg.Counter(dflt("paced_batches_total")).Value(); got < 1 || got > 2 {
 		t.Errorf("paced_batches_total = %d, want 1 (micro-batched) or at most 2", got)
 	}
 }
@@ -459,7 +462,7 @@ func TestMetricsEndpointScrapes(t *testing.T) {
 	if _, err := buf.ReadFrom(mr.Body); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"paced_estimate_requests_total", "paced_batches_total"} {
+	for _, want := range []string{dflt("paced_estimate_requests_total"), dflt("paced_batches_total")} {
 		if !bytes.Contains(buf.Bytes(), []byte(want)) {
 			t.Errorf("/metrics missing %s", want)
 		}

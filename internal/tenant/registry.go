@@ -1,0 +1,222 @@
+package tenant
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+)
+
+// Factory materializes a Spec into a trained target and its schema —
+// typically experiments.TenantFactory, which builds the same world
+// cmd/pace attacks in-process so a tenant's weights are bit-identical to
+// the in-process victim of the same (dataset, model, seed, offset).
+type Factory func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error)
+
+// State of a registry slot, as reported by List and /healthz.
+const (
+	StateCreating = "creating"
+	StateReady    = "ready"
+	StateDraining = "draining"
+)
+
+// Info is one tenant's directory entry.
+type Info struct {
+	Spec  Spec
+	State string
+}
+
+// Registry is the concurrency-safe directory of a server's live tenants.
+// Lookups are lock-cheap; Create runs the (potentially minutes-long)
+// Factory outside the lock with a placeholder slot holding the id, so
+// concurrent creates of the same id fail fast with ErrExists and
+// /healthz can report the tenant as still provisioning.
+type Registry struct {
+	factory Factory
+	cfg     Config
+
+	mu    sync.Mutex
+	slots map[string]*slot
+}
+
+type slot struct {
+	state string
+	t     *Tenant // nil while creating
+	spec  Spec
+}
+
+// NewRegistry builds an empty registry. cfg is the serving configuration
+// every tenant is created with; factory may be nil, in which case only
+// Add (pre-built targets) works and Create returns an error.
+func NewRegistry(factory Factory, cfg Config) *Registry {
+	return &Registry{
+		factory: factory,
+		cfg:     cfg.withDefaults(),
+		slots:   make(map[string]*slot),
+	}
+}
+
+// Config returns the serving configuration tenants are created with.
+func (r *Registry) Config() Config { return r.cfg }
+
+func validID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("tenant: id %q must be 1..64 characters", id)
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("tenant: id %q may only contain letters, digits, '.', '_' and '-'", id)
+		}
+	}
+	return nil
+}
+
+// Add registers a tenant around an already-trained target (boot-time
+// worlds, tests). It fails with ErrExists when the id is taken.
+func (r *Registry) Add(spec Spec, target ce.Target, meta *query.Meta) (*Tenant, error) {
+	spec = spec.withDefaults()
+	if err := validID(spec.ID); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.slots[spec.ID]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, spec.ID)
+	}
+	t := NewTenant(spec, target, meta, r.cfg)
+	r.slots[spec.ID] = &slot{state: StateReady, t: t, spec: spec}
+	return t, nil
+}
+
+// Create provisions a new tenant through the Factory. The slot is
+// visible (state "creating") for the whole build, so duplicate creates
+// fail fast; on factory failure the slot is removed again.
+func (r *Registry) Create(ctx context.Context, spec Spec) (*Tenant, error) {
+	spec = spec.withDefaults()
+	if err := validID(spec.ID); err != nil {
+		return nil, err
+	}
+	if r.factory == nil {
+		return nil, fmt.Errorf("tenant: registry has no factory; cannot create %q at runtime", spec.ID)
+	}
+	r.mu.Lock()
+	if _, ok := r.slots[spec.ID]; ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrExists, spec.ID)
+	}
+	r.slots[spec.ID] = &slot{state: StateCreating, spec: spec}
+	r.mu.Unlock()
+
+	target, meta, err := r.factory(ctx, spec)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err != nil {
+		delete(r.slots, spec.ID)
+		return nil, fmt.Errorf("tenant: creating %s: %w", spec.ID, err)
+	}
+	t := NewTenant(spec, target, meta, r.cfg)
+	r.slots[spec.ID] = &slot{state: StateReady, t: t, spec: spec}
+	return t, nil
+}
+
+// Get resolves an id to its live tenant. ErrNotReady while provisioning
+// or draining, ErrNotFound otherwise.
+func (r *Registry) Get(id string) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.slots[id]
+	switch {
+	case !ok:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	case s.state == StateCreating:
+		return nil, fmt.Errorf("%w: %s", ErrNotReady, id)
+	default:
+		return s.t, nil
+	}
+}
+
+// List snapshots the directory, sorted by id.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.slots))
+	for _, s := range r.slots {
+		info := Info{Spec: s.spec, State: s.state}
+		if s.t != nil && s.t.Draining() {
+			info.State = StateDraining
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.ID < out[j].Spec.ID })
+	return out
+}
+
+// Len reports how many slots (ready or provisioning) exist.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// Delete drains the tenant (in-flight work completes) and removes it.
+// A tenant still provisioning cannot be deleted (ErrNotReady) — the
+// create call owns the slot until it resolves.
+func (r *Registry) Delete(ctx context.Context, id string) error {
+	r.mu.Lock()
+	s, ok := r.slots[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if s.state == StateCreating {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotReady, id)
+	}
+	s.state = StateDraining
+	t := s.t
+	r.mu.Unlock()
+
+	if err := t.Drain(ctx); err != nil {
+		// The drain timed out; the slot stays (draining) so the caller
+		// can retry rather than leak an undrained model goroutine.
+		return err
+	}
+	r.mu.Lock()
+	delete(r.slots, id)
+	r.mu.Unlock()
+	return nil
+}
+
+// DrainAll drains every live tenant concurrently — the process-shutdown
+// path: in-flight execute and estimate calls on every tenant complete
+// before it returns. Tenants are left registered (state draining) so
+// late lookups answer "draining", not "not found".
+func (r *Registry) DrainAll(ctx context.Context) error {
+	r.mu.Lock()
+	tenants := make([]*Tenant, 0, len(r.slots))
+	for _, s := range r.slots {
+		if s.t != nil {
+			s.state = StateDraining
+			tenants = append(tenants, s.t)
+		}
+	}
+	r.mu.Unlock()
+
+	errs := make(chan error, len(tenants))
+	for _, t := range tenants {
+		go func(t *Tenant) { errs <- t.Drain(ctx) }(t)
+	}
+	var first error
+	for range tenants {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

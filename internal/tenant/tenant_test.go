@@ -1,0 +1,283 @@
+package tenant
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+)
+
+func testMeta() *query.Meta {
+	return &query.Meta{
+		TableNames: []string{"a"},
+		AttrNames:  []string{"a0"},
+		AttrOffset: []int{0},
+	}
+}
+
+func testQuery(lo float64) *query.Query {
+	return &query.Query{
+		Tables: []bool{true},
+		Bounds: [][2]float64{{lo, 1}},
+	}
+}
+
+// countTarget answers lo*3 and counts model evaluations; executes bump a
+// shift added to later answers, so retraining observably changes output.
+type countTarget struct {
+	estimates atomic.Int64
+	executes  atomic.Int64
+	shift     atomic.Int64 // incremented per execute; added to estimates
+}
+
+func (c *countTarget) EstimateContext(_ context.Context, q *query.Query) (float64, error) {
+	c.estimates.Add(1)
+	return q.Bounds[0][0]*3 + float64(c.shift.Load()), nil
+}
+
+func (c *countTarget) ExecuteWorkload(_ context.Context, _ []*query.Query, _ []float64) error {
+	c.executes.Add(1)
+	c.shift.Add(1)
+	return nil
+}
+
+func newTestTenant(t *testing.T, spec Spec, target ce.Target) *Tenant {
+	t.Helper()
+	if spec.ID == "" {
+		spec.ID = "t"
+	}
+	tn := NewTenant(spec, target, testMeta(), Config{BatchWindow: time.Microsecond})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		tn.Drain(ctx) //nolint:errcheck // best-effort test cleanup
+	})
+	return tn
+}
+
+func TestEstimateCacheHitsAreBitExactAndFlushOnExecute(t *testing.T) {
+	ct := &countTarget{}
+	tn := newTestTenant(t, Spec{CacheSize: 8}, ct)
+	ctx := context.Background()
+	qs := []*query.Query{testQuery(0.25)}
+
+	first, err := tn.Estimate(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := tn.Estimate(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(first[0]) != math.Float64bits(second[0]) {
+		t.Fatalf("cache hit not bit-exact: %v vs %v", first[0], second[0])
+	}
+	if got := ct.estimates.Load(); got != 1 {
+		t.Fatalf("model evaluated %d times, want 1 (second call should hit the cache)", got)
+	}
+	if hits, misses, size := tn.CacheStats(); hits != 1 || misses != 1 || size != 1 {
+		t.Fatalf("cache stats hits=%d misses=%d size=%d, want 1/1/1", hits, misses, size)
+	}
+
+	// A retrain changes the model's answers; the flush must expose that.
+	if err := tn.Execute(ctx, qs, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := tn.Estimate(ctx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.estimates.Load() != 2 {
+		t.Fatalf("estimate after execute did not reach the model (cache not flushed)")
+	}
+	if third[0] == first[0] {
+		t.Fatalf("post-retrain estimate %v equals stale pre-retrain one", third[0])
+	}
+}
+
+func TestCacheGenerationGuardDropsStalePut(t *testing.T) {
+	c := newEstCache(4)
+	gen := c.generation()
+	c.flush() // a retrain lands while an estimate is in flight
+	c.put(gen, "k", 7)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("pre-retrain estimate was cached past a flush")
+	}
+	c.put(c.generation(), "k", 8)
+	if est, ok := c.get("k"); !ok || est != 8 {
+		t.Fatalf("current-generation put not cached: %v %v", est, ok)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := newEstCache(2)
+	g := c.generation()
+	c.put(g, "a", 1)
+	c.put(g, "b", 2)
+	c.get("a") // a is now most recent
+	c.put(g, "c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+func TestDrainRefusesNewWorkAndIsIdempotent(t *testing.T) {
+	tn := NewTenant(Spec{ID: "d"}, &countTarget{}, testMeta(), Config{})
+	ctx := context.Background()
+	if err := tn.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+	if !tn.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, err := tn.Estimate(ctx, []*query.Query{testQuery(0.5)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("estimate after drain: %v, want ErrDraining", err)
+	}
+}
+
+func TestAdmitTokenBucket(t *testing.T) {
+	tn := NewTenant(Spec{ID: "r"}, &countTarget{},
+		testMeta(), Config{RatePerSec: 0.0001, Burst: 2})
+	defer tn.Drain(context.Background()) //nolint:errcheck // test cleanup
+	for i := 0; i < 2; i++ {
+		if !tn.Admit("alice") {
+			t.Fatalf("alice call %d rejected within burst", i)
+		}
+	}
+	if tn.Admit("alice") {
+		t.Fatal("alice admitted past her burst")
+	}
+	if !tn.Admit("bob") {
+		t.Fatal("bob rejected on his first call (buckets not per-client)")
+	}
+}
+
+func stubFactory(delay time.Duration) Factory {
+	return func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		return &countTarget{}, testMeta(), nil
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(stubFactory(0), Config{})
+	ctx := context.Background()
+
+	if _, err := r.Create(ctx, Spec{ID: "bad id!"}); err == nil {
+		t.Fatal("invalid id accepted")
+	}
+	if _, err := r.Create(ctx, Spec{ID: "a", Dataset: "dmv", Model: "fcn"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "a"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v, want ErrExists", err)
+	}
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost lookup: %v, want ErrNotFound", err)
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Spec.ID != "a" || infos[0].State != StateReady {
+		t.Fatalf("list = %+v", infos)
+	}
+	if err := r.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("lookup after delete: %v, want ErrNotFound", err)
+	}
+	if err := r.Delete(ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+}
+
+// TestRegistryCreateDeleteRace exercises the registry's locking under
+// concurrent create/get/delete/list of overlapping ids; run with -race.
+func TestRegistryCreateDeleteRace(t *testing.T) {
+	r := NewRegistry(stubFactory(time.Millisecond), Config{})
+	ctx := context.Background()
+	const workers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("t%d", i%3) // deliberate id collisions
+			for n := 0; n < 20; n++ {
+				tn, err := r.Create(ctx, Spec{ID: id})
+				if err == nil {
+					// Use the tenant before tearing it down.
+					tn.Estimate(ctx, []*query.Query{testQuery(0.5)}) //nolint:errcheck
+				}
+				r.Get(id) //nolint:errcheck
+				r.List()
+				r.Delete(ctx, id) //nolint:errcheck
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Whatever survived the races must still drain cleanly.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := r.DrainAll(dctx); err != nil {
+		t.Fatalf("drain after race: %v", err)
+	}
+}
+
+// TestRegistryCreateIsVisibleWhileProvisioning: a slow create lists as
+// "creating", fails duplicate creates fast, and Get answers ErrNotReady.
+func TestRegistryCreateIsVisibleWhileProvisioning(t *testing.T) {
+	release := make(chan struct{})
+	factory := func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error) {
+		<-release
+		return &countTarget{}, testMeta(), nil
+	}
+	r := NewRegistry(factory, Config{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Create(context.Background(), Spec{ID: "slow"})
+		done <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := r.Get("slow"); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("get during provisioning: %v, want ErrNotReady", err)
+	}
+	if _, err := r.Create(context.Background(), Spec{ID: "slow"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create during provisioning: %v, want ErrExists", err)
+	}
+	if infos := r.List(); len(infos) != 1 || infos[0].State != StateCreating {
+		t.Fatalf("list during provisioning = %+v", infos)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("slow"); err != nil {
+		t.Fatalf("get after provisioning: %v", err)
+	}
+	r.DrainAll(context.Background()) //nolint:errcheck // test cleanup
+}

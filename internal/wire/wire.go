@@ -174,15 +174,21 @@ type ExecuteResponse struct {
 // pipeline's error taxonomy (see internal/remote):
 //
 //	bad_request, invalid_query      → permanent (ce.ErrInvalidQuery)
+//	unknown_target, target_exists   → permanent (the tenant route is wrong)
+//	unauthorized                    → permanent (fix the bearer token)
 //	rate_limited, overloaded        → transient, back off (429 + Retry-After)
-//	draining, internal              → transient (retry against a healthy peer)
+//	draining, not_ready, internal   → transient (retry against a healthy peer)
 const (
-	CodeBadRequest   = "bad_request"
-	CodeInvalidQuery = "invalid_query"
-	CodeRateLimited  = "rate_limited"
-	CodeOverloaded   = "overloaded"
-	CodeDraining     = "draining"
-	CodeInternal     = "internal"
+	CodeBadRequest    = "bad_request"
+	CodeInvalidQuery  = "invalid_query"
+	CodeRateLimited   = "rate_limited"
+	CodeOverloaded    = "overloaded"
+	CodeDraining      = "draining"
+	CodeInternal      = "internal"
+	CodeUnknownTarget = "unknown_target"
+	CodeTargetExists  = "target_exists"
+	CodeUnauthorized  = "unauthorized"
+	CodeNotReady      = "not_ready"
 )
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -190,6 +196,64 @@ type ErrorResponse struct {
 	V     int    `json:"v"`
 	Code  string `json:"code"`
 	Error string `json:"error"`
+}
+
+// TargetSpec names the world a tenant should host — what POST
+// /v1/targets accepts. A fixed (dataset, model, seed, seed_offset,
+// scale) spec always provisions a victim with bit-identical weights.
+type TargetSpec struct {
+	ID         string  `json:"id"`
+	Dataset    string  `json:"dataset"`
+	Model      string  `json:"model"`
+	Seed       int64   `json:"seed"`
+	SeedOffset int64   `json:"seed_offset,omitempty"`
+	Scale      float64 `json:"scale,omitempty"`
+	// CacheSize enables the tenant's LRU estimate cache (a modeled DBMS
+	// plan cache) with this many entries; 0 disables it.
+	CacheSize int `json:"cache_size,omitempty"`
+}
+
+// TargetInfo is one tenant's directory entry: its spec plus lifecycle
+// state ("creating", "ready" or "draining").
+type TargetInfo struct {
+	TargetSpec
+	State string `json:"state"`
+}
+
+// CreateTargetRequest provisions a tenant at runtime. POST /v1/targets.
+// The call blocks until the world is trained (or fails); while it runs,
+// the tenant lists as "creating" and duplicate creates answer 409.
+type CreateTargetRequest struct {
+	V      int        `json:"v"`
+	Target TargetSpec `json:"target"`
+}
+
+// CreateTargetResponse acknowledges a provisioned tenant.
+type CreateTargetResponse struct {
+	V      int        `json:"v"`
+	Target TargetInfo `json:"target"`
+}
+
+// ListTargetsResponse is the directory listing. GET /v1/targets.
+type ListTargetsResponse struct {
+	V       int          `json:"v"`
+	Targets []TargetInfo `json:"targets"`
+}
+
+// DeleteTargetResponse acknowledges a drained-and-removed tenant.
+// DELETE /v1/targets/{id}.
+type DeleteTargetResponse struct {
+	V       int    `json:"v"`
+	Deleted string `json:"deleted"`
+}
+
+// HealthzResponse reports overall service health plus each tenant's
+// readiness state, so load balancers and harnesses can watch tenants
+// independently. GET /healthz (per-tenant form: GET
+// /v1/targets/{id}/healthz answers 200 only for a ready tenant).
+type HealthzResponse struct {
+	Status  string            `json:"status"` // "ok" or "draining"
+	Tenants map[string]string `json:"tenants"`
 }
 
 // RetryAfter renders a Retry-After header value (whole seconds, min 1)

@@ -10,14 +10,19 @@ import (
 	"context"
 	"math"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"pace/internal/ce"
 	"pace/internal/core"
 	"pace/internal/experiments"
 	"pace/internal/faults"
+	"pace/internal/loadgen"
 	"pace/internal/metrics"
+	"pace/internal/remote"
 	"pace/internal/targetserver"
+	"pace/internal/tenant"
 	"pace/internal/workload"
 )
 
@@ -176,5 +181,146 @@ func TestIntegrationRemoteCampaignUnderFaults(t *testing.T) {
 		before, after, res.FaultCounters.Failures())
 	if after <= before {
 		t.Errorf("attack through faults+wire did not degrade accuracy: %.3f → %.3f", before, after)
+	}
+}
+
+// isolationRun executes one arm of the tenant-isolation comparison: a
+// two-tenant paced hosting the victim as tenant "a" and an unrelated
+// Linear world as tenant "b", with the seeded campaign routed at a. When
+// hammer is true, an open-loop load generator floods b's estimate
+// endpoint for the whole campaign. Returns the campaign result and the
+// victim's post-attack mean q-error.
+func isolationRun(t *testing.T, seed int64, hammer bool) (*core.Result, float64) {
+	t.Helper()
+	w, bb, runCfg := remoteCampaignWorld(t, seed)
+
+	cfg := targetserver.Config{}
+	reg := tenant.NewRegistry(nil, cfg.TenantConfig())
+	if _, err := reg.Add(tenant.Spec{ID: "a"}, bb, w.DS.Meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add(tenant.Spec{ID: "b"}, w.NewBlackBox(ce.Linear, 2), w.DS.Meta); err != nil {
+		t.Fatal(err)
+	}
+	srv := targetserver.NewMulti(reg, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	defer lcancel()
+	var (
+		lwg sync.WaitGroup
+		rep loadgen.Report
+	)
+	if hammer {
+		rt, err := remote.New(hs.URL, remote.Options{Tenant: "b", ClientID: "hammer"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		lwg.Add(1)
+		go func() {
+			defer lwg.Done()
+			rep = loadgen.Run(lctx, rt.EstimateContext, workload.Queries(w.History), loadgen.Config{
+				QPS:      200,
+				Duration: 10 * time.Minute, // canceled when the campaign ends
+			})
+		}()
+	}
+
+	c := core.Campaign{
+		TargetURL: hs.URL + "/v1/targets/a", Workload: w.WGen,
+		Test: w.Test, History: w.History,
+		Config: runCfg, Seed: seed,
+	}
+	res, err := c.Run(context.Background())
+	lcancel()
+	lwg.Wait()
+	if err != nil {
+		t.Fatalf("campaign (hammer=%v): %v", hammer, err)
+	}
+	if hammer && rep.OK == 0 {
+		t.Fatalf("load generator landed no traffic on tenant b: %+v", rep)
+	}
+	if hammer {
+		t.Logf("tenant b absorbed %d estimates (%d shed) during the attack on a", rep.OK, rep.Shed)
+	}
+	return res, meanQErr(bb, w)
+}
+
+// TestIntegrationTenantIsolationDeterminism is the multi-tenant
+// determinism contract: a fixed-seed campaign against tenant A is
+// bit-identical whether or not tenant B on the same paced is being
+// hammered concurrently. Per-tenant model goroutines and admission
+// queues mean B's load can cost A only latency, never bits.
+func TestIntegrationTenantIsolationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	const seed = 11
+
+	// The in-process reference: a third twin world, no server at all.
+	wIP, bbIP, cfgIP := remoteCampaignWorld(t, seed)
+	ip := core.Campaign{
+		Target: bbIP, Workload: wIP.WGen,
+		Test: wIP.Test, History: wIP.History,
+		Config: cfgIP, Seed: seed,
+	}
+	ipRes, err := ip.Run(context.Background())
+	if err != nil {
+		t.Fatalf("in-process campaign: %v", err)
+	}
+	afterIP := meanQErr(bbIP, wIP)
+
+	quiet, afterQuiet := isolationRun(t, seed, false)
+	loaded, afterLoaded := isolationRun(t, seed, true)
+
+	// The loaded remote run must match the in-process reference, not just
+	// the quiet remote run: tenancy + concurrent load cost zero bits.
+	if len(ipRes.Poison) != len(loaded.Poison) {
+		t.Fatalf("in-process vs loaded poison sizes differ: %d vs %d",
+			len(ipRes.Poison), len(loaded.Poison))
+	}
+	for i := range ipRes.Poison {
+		if ipRes.Poison[i].Key() != loaded.Poison[i].Key() {
+			t.Fatalf("poison query %d differs between in-process and loaded remote", i)
+		}
+	}
+	if math.Float64bits(afterIP) != math.Float64bits(afterLoaded) {
+		t.Errorf("post-attack q-error: in-process %v vs loaded remote %v", afterIP, afterLoaded)
+	}
+
+	if quiet.SpeculatedType != loaded.SpeculatedType {
+		t.Errorf("speculation verdict differs under load: %v vs %v",
+			quiet.SpeculatedType, loaded.SpeculatedType)
+	}
+	if len(quiet.Objective) != len(loaded.Objective) {
+		t.Fatalf("objective curves differ in length: %d vs %d",
+			len(quiet.Objective), len(loaded.Objective))
+	}
+	for i := range quiet.Objective {
+		if math.Float64bits(quiet.Objective[i]) != math.Float64bits(loaded.Objective[i]) {
+			t.Fatalf("objective diverges at loop %d under load: %v vs %v",
+				i, quiet.Objective[i], loaded.Objective[i])
+		}
+	}
+	if len(quiet.Poison) != len(loaded.Poison) {
+		t.Fatalf("poison sizes differ: %d vs %d", len(quiet.Poison), len(loaded.Poison))
+	}
+	for i := range quiet.Poison {
+		if quiet.Poison[i].Key() != loaded.Poison[i].Key() {
+			t.Fatalf("poison query %d differs under load", i)
+		}
+		if math.Float64bits(quiet.PoisonCards[i]) != math.Float64bits(loaded.PoisonCards[i]) {
+			t.Fatalf("poison card %d differs under load: %v vs %v",
+				i, quiet.PoisonCards[i], loaded.PoisonCards[i])
+		}
+	}
+	t.Logf("post-attack q-error: quiet=%.3f loaded=%.3f", afterQuiet, afterLoaded)
+	if math.Float64bits(afterQuiet) != math.Float64bits(afterLoaded) {
+		t.Errorf("post-attack q-error differs under load: %v vs %v", afterQuiet, afterLoaded)
 	}
 }
