@@ -131,8 +131,8 @@ func main() {
 	for _, lane := range lanes {
 		rep := ledger[lane.Target]
 		fmt.Fprintf(os.Stderr,
-			"loadgen: [%s] %d sent → %d ok, %d shed(429), %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms)\n",
-			lane.Target, rep.Sent, rep.OK, rep.Shed, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99)
+			"loadgen: [%s] %d sent → %d ok, %d shed(429), %d unavailable, %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms)\n",
+			lane.Target, rep.Sent, rep.OK, rep.Shed, rep.Unavailable, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99)
 	}
 	if err := obsShutdown(); err != nil {
 		fatal(err)

@@ -42,6 +42,7 @@ import (
 	"pace/internal/metrics"
 	"pace/internal/query"
 	"pace/internal/remote"
+	"pace/internal/resilience"
 	"pace/internal/workload"
 )
 
@@ -60,6 +61,8 @@ func main() {
 		targetURL = flag.String("target-url", "", "attack a live paced service at this base URL instead of an in-process black box (may carry a /v1/targets/{id} tenant route)")
 		tenantID  = flag.String("target", "", "tenant id at a multi-tenant paced host (default: the host's default tenant)")
 		authToken = cli.AuthToken()
+
+		retryAttempts = flag.Int("retry-attempts", 0, "retry budget per target/oracle call, campaign and evaluation traffic alike (0 = policy default of 3); raise it to ride out a backend failover behind pacerouter")
 
 		faultsName = flag.String("faults", "", "inject an unreliability profile: none, slow, flaky, lossy, noisy, throttled or chaos")
 		deadline   = flag.Duration("deadline", 0, "abort the campaign after this wall-clock duration (0 = none)")
@@ -124,7 +127,8 @@ func main() {
 		evalTarget = rt
 		fmt.Printf("remote target: %s\n", *targetURL)
 	}
-	beforeErrs, err := targetQErrors(ctx, evalTarget, qs, cards)
+	evalPol := resilience.RetryPolicy{MaxAttempts: *retryAttempts}
+	beforeErrs, err := targetQErrors(ctx, evalTarget, qs, cards, evalPol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "target unreachable:", err)
 		os.Exit(1)
@@ -140,6 +144,9 @@ func main() {
 		Generator:       w.GenCfg(),
 		Trainer:         w.TrainerCfg(),
 		Telemetry:       tel,
+	}
+	if *retryAttempts > 0 {
+		runCfg.Retry = resilience.RetryPolicy{MaxAttempts: *retryAttempts}
 	}
 	runCfg.Surrogate.Queries = cfg.TrainQueries
 	runCfg.Surrogate.HP = w.HP()
@@ -222,7 +229,7 @@ func main() {
 			fmt.Println(")")
 		}
 	}
-	afterErrs, err := targetQErrors(ctx, evalTarget, qs, cards)
+	afterErrs, err := targetQErrors(ctx, evalTarget, qs, cards, evalPol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "post-attack evaluation failed:", err)
 		os.Exit(1)
@@ -264,12 +271,22 @@ func main() {
 // targetQErrors evaluates the target's Q-error on a labeled workload
 // through the Target interface — the only view a remote deployment
 // offers. For the in-process black box it matches BlackBox.QErrors
-// exactly.
-func targetQErrors(ctx context.Context, t ce.Target, qs []*query.Query, cards []float64) ([]float64, error) {
+// exactly. Each estimate is retried under pol so a transient outage
+// (backend failover behind pacerouter, a shed queue) cannot void the
+// measurement; retrying an estimate is always safe — it mutates
+// nothing.
+func targetQErrors(ctx context.Context, t ce.Target, qs []*query.Query, cards []float64, pol resilience.RetryPolicy) ([]float64, error) {
+	if pol.Retryable == nil {
+		pol.Retryable = core.RetryableOracleError
+	}
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		est, err := t.EstimateContext(ctx, q)
-		if err != nil {
+		var est float64
+		if _, err := pol.Do(ctx, nil, func(c context.Context) error {
+			var e error
+			est, e = t.EstimateContext(c, q)
+			return e
+		}); err != nil {
 			return nil, err
 		}
 		out[i] = ce.QError(est, cards[i])

@@ -54,7 +54,7 @@ func main() {
 		modelName   = flag.String("model", "fcn", "default tenant's CE model: fcn, fcnpool, mscn, rnn, lstm or linear")
 		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = profile default)")
 		seed        = cli.Seed()
-		tenants     = flag.String("tenants", "", "boot tenants instead of the single default one: comma-separated id=dataset:model[:seedoffset]")
+		tenants     = flag.String("tenants", "", "boot tenants instead of the single default one: comma-separated id=dataset:model[:seedoffset], or \"none\" to boot empty (fleet members behind pacerouter, which provisions tenants itself)")
 		estCache    = flag.Int("est-cache", 0, "per-tenant LRU estimate cache entries, modeling a plan cache (0 = disabled)")
 		authTokens  = flag.String("auth-tokens", "", "bearer-token file (one \"token client-name\" per line); when set, client identity is token-derived and unauthenticated requests get 401")
 
@@ -65,6 +65,9 @@ func main() {
 		rate        = flag.Float64("rate", 0, "per-client admitted requests per second per tenant (0 = unlimited)")
 		burst       = flag.Int("burst", 0, "per-client token-bucket burst (0 = one second of tokens)")
 		retryAfter  = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429/503")
+		maxTenants  = flag.Int("max-tenants", 0, "cap on hosted tenants, live or evicted (0 = unlimited); creates beyond it answer 429 quota_exceeded")
+		maxPerOwner = flag.Int("max-per-client", 0, "cap on tenants one authenticated client may provision (0 = unlimited)")
+		idleEvict   = flag.Duration("idle-evict", 0, "evict tenants idle this long, spilling their spec for lazy revival (0 = never)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful drain bound on shutdown")
 		metrics     = flag.Bool("metrics", false, "serve /metrics and /debug/pprof on the service mux")
 		obsFlags    = cli.Obs()
@@ -119,6 +122,9 @@ func main() {
 		RatePerSec:     *rate,
 		Burst:          *burst,
 		RetryAfter:     *retryAfter,
+		MaxTenants:     *maxTenants,
+		MaxPerOwner:    *maxPerOwner,
+		IdleAfter:      *idleEvict,
 		AuthTokens:     tokens,
 		Telemetry:      tel,
 	}
@@ -161,8 +167,13 @@ func main() {
 
 // bootSpecs parses -tenants ("id=dataset:model[:seedoffset]", comma
 // separated); empty means one default tenant from the single-target
-// flags.
+// flags, and "none" boots zero tenants — the fleet-member mode, where
+// pacerouter provisions every tenant through POST /v1/targets and a
+// pre-claimed "default" would 409 the router's own create.
 func bootSpecs(tenants, dataset, model string, seed int64, scale float64, cacheSize int) ([]tenant.Spec, error) {
+	if tenants == "none" {
+		return nil, nil
+	}
 	if tenants == "" {
 		if _, err := ce.ParseType(model); err != nil {
 			return nil, err

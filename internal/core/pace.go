@@ -301,7 +301,19 @@ func runCampaign(ctx context.Context, target ce.Target, wgen *workload.Generator
 
 	attackStart := time.Now()
 	ectx, espan := obs.StartSpan(ctx, "poison_execute", obs.Int("queries", len(res.Poison)))
-	execErr := target.ExecuteWorkload(ectx, res.Poison, res.PoisonCards)
+	// The poison batch is the campaign's payoff — one transient outage
+	// (a shed queue, a backend failing over) must not void the whole
+	// run. Retried as ONE call, never chunk-by-chunk: the victim
+	// shuffles its whole sample set per retraining epoch, so partial
+	// re-sends are not equivalent to the original batch. Retry-After
+	// hints from the server override the backoff schedule inside Do.
+	execPol := cfg.Retry
+	if execPol.Retryable == nil {
+		execPol.Retryable = RetryableOracleError
+	}
+	_, execErr := execPol.Do(ectx, nil, func(c context.Context) error {
+		return target.ExecuteWorkload(c, res.Poison, res.PoisonCards)
+	})
 	espan.End()
 	res.AttackTime = time.Since(attackStart)
 	res.FaultCounters = faultCounters(cfg)

@@ -58,11 +58,16 @@ type Report struct {
 	AchievedQPS float64 `json:"achieved_qps"` // completed (any outcome) per second
 	DurationSec float64 `json:"duration_sec"`
 
-	Sent          int64 `json:"sent"`
-	OK            int64 `json:"ok"`
-	Shed          int64 `json:"shed_429"`
-	Invalid       int64 `json:"invalid"`
-	Errors        int64 `json:"errors"` // network/5xx/timeouts
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed_429"`
+	Invalid int64 `json:"invalid"`
+	// Unavailable counts retryable outages — network refusals and bare
+	// 503s, the signature of a backend dying or failing over behind
+	// pacerouter. Kept apart from Errors so a chaos run can assert
+	// "outage happened, nothing actually broke" (errors == 0).
+	Unavailable   int64 `json:"unavailable_503"`
+	Errors        int64 `json:"errors"` // timeouts and everything else
 	ClientDropped int64 `json:"client_dropped"`
 
 	// Percentiles over served (OK) requests.
@@ -132,6 +137,8 @@ loop:
 				shedLats = append(shedLats, ms)
 			case errors.Is(err, ce.ErrInvalidQuery):
 				rep.Invalid++
+			case errors.Is(err, remote.ErrUnavailable):
+				rep.Unavailable++
 			default:
 				rep.Errors++
 			}
@@ -141,7 +148,7 @@ loop:
 	elapsed := time.Since(start)
 
 	rep.DurationSec = elapsed.Seconds()
-	completed := rep.OK + rep.Shed + rep.Invalid + rep.Errors
+	completed := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
 	}

@@ -31,13 +31,15 @@ func testQueries() []*query.Query {
 func TestRunAccountsEveryOutcome(t *testing.T) {
 	var n atomic.Int64
 	est := func(ctx context.Context, q *query.Query) (float64, error) {
-		switch n.Add(1) % 5 {
+		switch n.Add(1) % 6 {
 		case 0:
 			return 0, fmt.Errorf("shed: %w", remote.ErrOverloaded)
 		case 1:
 			return 0, fmt.Errorf("bad: %w", ce.ErrInvalidQuery)
 		case 2:
 			return 0, errors.New("connection reset")
+		case 3:
+			return 0, fmt.Errorf("backend dead: %w", remote.ErrUnavailable)
 		default:
 			return 42, nil
 		}
@@ -51,14 +53,15 @@ func TestRunAccountsEveryOutcome(t *testing.T) {
 	if rep.Sent == 0 {
 		t.Fatal("no requests sent")
 	}
-	completed := rep.OK + rep.Shed + rep.Invalid + rep.Errors
+	completed := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors
 	if completed+rep.ClientDropped != rep.Sent {
-		t.Errorf("ledger leak: sent %d != ok %d + shed %d + invalid %d + errors %d + dropped %d",
-			rep.Sent, rep.OK, rep.Shed, rep.Invalid, rep.Errors, rep.ClientDropped)
+		t.Errorf("ledger leak: sent %d != ok %d + shed %d + invalid %d + unavailable %d + errors %d + dropped %d",
+			rep.Sent, rep.OK, rep.Shed, rep.Invalid, rep.Unavailable, rep.Errors, rep.ClientDropped)
 	}
-	// The 2/5-1/5-1/5-1/5 mix must show up in every bucket.
+	// The outcome mix must show up in every bucket.
 	for name, got := range map[string]int64{
-		"ok": rep.OK, "shed": rep.Shed, "invalid": rep.Invalid, "errors": rep.Errors,
+		"ok": rep.OK, "shed": rep.Shed, "invalid": rep.Invalid,
+		"unavailable": rep.Unavailable, "errors": rep.Errors,
 	} {
 		if got == 0 {
 			t.Errorf("bucket %s empty despite mixed outcomes (report %+v)", name, rep)
@@ -96,7 +99,7 @@ func TestRunCapsInFlight(t *testing.T) {
 	if rep.OK != 0 {
 		t.Errorf("%d requests served by a target that never answers", rep.OK)
 	}
-	if got := rep.OK + rep.Shed + rep.Invalid + rep.Errors + rep.ClientDropped; got != rep.Sent {
+	if got := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors + rep.ClientDropped; got != rep.Sent {
 		t.Errorf("ledger leak: sent %d, accounted %d", rep.Sent, got)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,54 @@ var ErrOverloaded = errors.New("remote: target overloaded")
 // refused, reset, timeout). Transient: the resilience layer retries and
 // the breaker counts it toward opening.
 var ErrUnavailable = errors.New("remote: target unavailable")
+
+// OverloadError is the concrete error behind every shed reply: a 429,
+// or a 503 that carries a Retry-After header (a router holding clients
+// off while it rebuilds a tenant on a surviving backend). It matches
+// errors.Is(err, ErrOverloaded) so existing classification keeps
+// working, and exposes the server's Retry-After hint so the resilience
+// layer can wait exactly as long as the server asked instead of blind
+// exponential backoff.
+type OverloadError struct {
+	// Status is the HTTP status that carried the shed (429 or 503).
+	Status int
+	// RetryAfter is the server's parsed Retry-After hint; 0 when the
+	// header was absent or unparseable.
+	RetryAfter time.Duration
+	// Msg is the server's code+message for logs.
+	Msg string
+}
+
+func (e *OverloadError) Error() string {
+	s := fmt.Sprintf("%v: %s", ErrOverloaded, e.Msg)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %s)", e.RetryAfter)
+	}
+	return s
+}
+
+// Is makes errors.Is(err, ErrOverloaded) true for OverloadError values.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// RetryAfterHint reports the server's requested backoff. The resilience
+// layer discovers it structurally (errors.As against an interface), so
+// it needs no import of this package.
+func (e *OverloadError) RetryAfterHint() time.Duration { return e.RetryAfter }
+
+// parseRetryAfter parses a Retry-After header in its delta-seconds form
+// (the only form paced and pacerouter emit — see wire.RetryAfter).
+// HTTP-date forms and garbage yield 0 (no hint).
+func parseRetryAfter(h string) time.Duration {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // Options tunes a RemoteTarget. The zero value works.
 type Options struct {
@@ -384,24 +433,28 @@ const clientHeader = "X-Pace-Client"
 // classify maps a non-200 reply onto the pipeline's error taxonomy:
 //
 //	429                      → ErrOverloaded (transient; server said back off)
+//	503 with Retry-After     → ErrOverloaded (transient; rebuild/revival window)
 //	other 4xx                → ce.ErrInvalidQuery (permanent; do not retry)
-//	5xx                      → ErrUnavailable (transient)
+//	other 5xx                → ErrUnavailable (transient)
 //
-// The server's machine-readable code and message ride along in the
-// wrapped text for logs.
+// Shed replies surface as *OverloadError carrying the parsed Retry-After
+// hint, so the resilience layer backs off exactly as long as the server
+// asked. A bare 503 (no header — e.g. a draining server) stays
+// ErrUnavailable: retry against a healthy peer, no mandated wait. The
+// server's machine-readable code and message ride along for logs.
 func (t *RemoteTarget) classify(resp *http.Response, raw []byte) error {
 	var er wire.ErrorResponse
 	msg := strings.TrimSpace(string(raw))
 	if err := json.Unmarshal(raw, &er); err == nil && er.Error != "" {
 		msg = er.Code + ": " + er.Error
 	}
+	hint := parseRetryAfter(resp.Header.Get("Retry-After"))
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable && hint > 0:
 		t.overloaded.Add(1)
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			msg += " (retry after " + ra + "s)"
-		}
-		return fmt.Errorf("%w: %s", ErrOverloaded, msg)
+		return &OverloadError{Status: resp.StatusCode, RetryAfter: hint,
+			Msg: fmt.Sprintf("http %d: %s", resp.StatusCode, msg)}
 	case resp.StatusCode >= 400 && resp.StatusCode < 500:
 		t.invalid.Add(1)
 		return fmt.Errorf("%w: http %d: %s", ce.ErrInvalidQuery, resp.StatusCode, msg)

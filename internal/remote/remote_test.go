@@ -106,6 +106,10 @@ func TestErrorClassification(t *testing.T) {
 		{"404 is invalid query", http.StatusNotFound, nil, ce.ErrInvalidQuery, remote.ErrUnavailable},
 		{"500 is unavailable", http.StatusInternalServerError, nil, remote.ErrUnavailable, ce.ErrInvalidQuery},
 		{"503 is unavailable", http.StatusServiceUnavailable, nil, remote.ErrUnavailable, ce.ErrInvalidQuery},
+		{"503 with Retry-After is overloaded", http.StatusServiceUnavailable,
+			map[string]string{"Retry-After": "4"}, remote.ErrOverloaded, remote.ErrUnavailable},
+		{"500 with Retry-After stays unavailable", http.StatusInternalServerError,
+			map[string]string{"Retry-After": "4"}, remote.ErrUnavailable, remote.ErrOverloaded},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -124,6 +128,52 @@ func TestErrorClassification(t *testing.T) {
 			}
 			if errors.Is(err, tc.wantNot) {
 				t.Errorf("err %v must not match %v", err, tc.wantNot)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHintSurfaces pins the OverloadError contract the
+// resilience layer depends on: shed replies expose the server's parsed
+// Retry-After duration through RetryAfterHint, and garbage headers
+// degrade to "no hint" rather than an error.
+func TestRetryAfterHintSurfaces(t *testing.T) {
+	cases := []struct {
+		name     string
+		status   int
+		header   string
+		wantHint time.Duration
+	}{
+		{"429 with seconds", http.StatusTooManyRequests, "2", 2 * time.Second},
+		{"429 without header", http.StatusTooManyRequests, "", 0},
+		{"429 with garbage", http.StatusTooManyRequests, "soon", 0},
+		{"429 with negative", http.StatusTooManyRequests, "-3", 0},
+		{"503 with seconds", http.StatusServiceUnavailable, "7", 7 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+				if tc.header != "" {
+					w.Header().Set("Retry-After", tc.header)
+				}
+				w.WriteHeader(tc.status)
+				json.NewEncoder(w).Encode(wire.ErrorResponse{V: wire.Version, Code: "overloaded", Error: "shed"})
+			}))
+			defer hs.Close()
+			rt := newTarget(t, hs.URL, remote.Options{CoalesceWindow: 0})
+			_, err := rt.EstimateContext(context.Background(), testQuery())
+			if !errors.Is(err, remote.ErrOverloaded) {
+				t.Fatalf("err %v, want ErrOverloaded", err)
+			}
+			var oe *remote.OverloadError
+			if !errors.As(err, &oe) {
+				t.Fatalf("err %T does not expose *OverloadError", err)
+			}
+			if oe.RetryAfterHint() != tc.wantHint {
+				t.Errorf("RetryAfterHint = %v, want %v", oe.RetryAfterHint(), tc.wantHint)
+			}
+			if oe.Status != tc.status {
+				t.Errorf("Status = %d, want %d", oe.Status, tc.status)
 			}
 		})
 	}

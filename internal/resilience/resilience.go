@@ -101,6 +101,16 @@ func (p RetryPolicy) Do(ctx context.Context, rng *rand.Rand, op func(context.Con
 			return attempts, err
 		}
 		d := p.Backoff(attempts)
+		// A server that said exactly how long to back off (Retry-After on a
+		// shed reply) overrides the blind exponential schedule. The hint is
+		// discovered structurally so this package needs no knowledge of the
+		// transport's error types.
+		var hinted interface{ RetryAfterHint() time.Duration }
+		if errors.As(err, &hinted) {
+			if hint := hinted.RetryAfterHint(); hint > 0 {
+				d = hint
+			}
+		}
 		if rng != nil && p.JitterFrac > 0 {
 			d += time.Duration((rng.Float64()*2 - 1) * p.JitterFrac * float64(d))
 		}

@@ -72,6 +72,54 @@ func TestDoCanceledBeforeStart(t *testing.T) {
 	}
 }
 
+// hintErr carries a server backoff hint, mirroring remote.OverloadError
+// without importing it (the discovery is structural via errors.As).
+type hintErr struct{ hint time.Duration }
+
+func (e *hintErr) Error() string                 { return "shed with hint" }
+func (e *hintErr) RetryAfterHint() time.Duration { return e.hint }
+
+func TestDoHonorsRetryAfterHint(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	hint := 60 * time.Millisecond
+	start := time.Now()
+	calls := 0
+	attempts, err := p.Do(context.Background(), nil, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintErr{hint: hint}
+		}
+		return nil
+	})
+	if err != nil || attempts != 2 {
+		t.Fatalf("attempts=%d err=%v, want 2/nil", attempts, err)
+	}
+	// The policy's own MaxDelay is 10µs; waiting ≥ the hint proves the
+	// server's Retry-After overrode the exponential schedule.
+	if waited := time.Since(start); waited < hint {
+		t.Errorf("waited %v, want at least the %v hint", waited, hint)
+	}
+}
+
+func TestDoIgnoresZeroHint(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	start := time.Now()
+	calls := 0
+	_, err := p.Do(context.Background(), nil, func(context.Context) error {
+		calls++
+		if calls == 1 {
+			return &hintErr{hint: 0}
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("calls=%d err=%v, want 2/nil", calls, err)
+	}
+	if waited := time.Since(start); waited > 50*time.Millisecond {
+		t.Errorf("waited %v for a zero hint; exponential schedule should apply", waited)
+	}
+}
+
 func TestBackoffDoublesAndCaps(t *testing.T) {
 	p := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
 	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"pace/internal/obs"
+	"pace/internal/resilience"
+)
+
+// backend is one paced fleet member as the router sees it: its base URL,
+// a circuit breaker accumulating probe and data-path failures, and the
+// current up/down verdict.
+//
+// The breaker gives the health checker its failure-threshold and
+// half-open semantics for free: FailThreshold consecutive failures open
+// it (the backend is marked down and its tenants fail over), and while
+// open, Allow() rejects — probes are skipped for the Cooldown, after
+// which one probe rides through half-open and a success closes the
+// breaker and marks the backend up again.
+type backend struct {
+	url string
+	br  *resilience.Breaker
+	up  atomic.Bool
+
+	mUp *obs.Gauge // router_backend_up{backend="url"}; nil-safe
+}
+
+// probe performs one health check: GET /healthz must answer 200 (a
+// draining or dead backend must not receive placements or traffic).
+func (rt *Router) probe(ctx context.Context, b *backend) error {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: %s /healthz answered %d", b.url, resp.StatusCode)
+	}
+	return nil
+}
+
+// healthLoop polls one backend for its whole life. Each tick consults
+// the breaker first: while open (cooling down after the failure
+// threshold) the probe is skipped entirely — that skip IS the down
+// window — and the first tick past the cooldown is the half-open probe.
+func (rt *Router) healthLoop(b *backend) {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		rt.probeOnce(b)
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// probeOnce runs a single health check against b and feeds the outcome
+// through the shared breaker/transition machinery.
+func (rt *Router) probeOnce(b *backend) {
+	if err := b.br.Allow(); err != nil {
+		return // breaker open: still cooling down, stay down
+	}
+	rt.recordBackend(b, rt.probe(context.Background(), b))
+}
+
+// recordBackend feeds one observed outcome (probe or data-path) into
+// the backend's breaker and drives the up/down transitions. A success
+// closes the breaker and, on a down→up edge, reconciles the backend; a
+// failure that opens the breaker forces the up→down edge and fails the
+// backend's tenants over.
+func (rt *Router) recordBackend(b *backend, err error) {
+	b.br.Record(err)
+	if err == nil {
+		if !b.up.Swap(true) {
+			b.mUp.Set(1)
+			go rt.backendRecovered(b)
+		}
+		return
+	}
+	if b.br.Stats().Open && b.up.Swap(false) {
+		b.mUp.Set(0)
+		rt.backendDown(b)
+	}
+}
+
+// backendDown is the failover trigger: every tenant placed on b flips
+// to rebuilding and a re-provision goroutine races to rebuild it on a
+// surviving backend. Clients see 503 + Retry-After until the rebuild
+// lands; the retry layer rides through on the hint.
+func (rt *Router) backendDown(b *backend) {
+	rt.mFailover.Inc()
+	rt.mu.Lock()
+	var lost []string
+	for id, e := range rt.entries {
+		if e.backend == b && e.state == StateReady {
+			e.state = StateRebuilding
+			e.backend = nil
+			lost = append(lost, id)
+		}
+	}
+	rt.mu.Unlock()
+	for _, id := range lost {
+		go rt.rebuild(id)
+	}
+}
+
+// backendRecovered reconciles a backend that came back: any tenant it
+// still hosts that the placement map no longer assigns to it is stale
+// state from before the failure (the tenant has been rebuilt elsewhere)
+// and is deleted best-effort so the fleet does not leak model
+// goroutines.
+func (rt *Router) backendRecovered(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	targets, err := rt.listBackend(ctx, b)
+	cancel()
+	if err != nil {
+		return
+	}
+	for _, info := range targets {
+		rt.mu.Lock()
+		e, ok := rt.entries[info.ID]
+		stale := !ok || e.backend == nil || e.backend.url != b.url
+		rt.mu.Unlock()
+		if stale {
+			dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			rt.deleteOnBackend(dctx, b, info.ID) //nolint:errcheck // best-effort GC
+			dcancel()
+		}
+	}
+}

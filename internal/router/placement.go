@@ -1,0 +1,34 @@
+package router
+
+import "hash/fnv"
+
+// score is the rendezvous (highest-random-weight) weight of placing
+// tenant id on the backend at url: FNV-1a over id NUL url. Each (id,
+// backend) pair gets an independent pseudo-random weight, so removing
+// one backend only moves that backend's tenants — every other placement
+// is unchanged, which is exactly the stability failover needs.
+func score(id, url string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))  //nolint:errcheck // fnv never fails
+	h.Write([]byte{0})   //nolint:errcheck
+	h.Write([]byte(url)) //nolint:errcheck
+	return h.Sum64()
+}
+
+// pick returns the up backend with the highest rendezvous score for id,
+// or nil when none is up. Ties break on URL order so the choice is
+// deterministic for a fixed fleet.
+func pick(id string, backends []*backend) *backend {
+	var best *backend
+	var bestScore uint64
+	for _, b := range backends {
+		if !b.up.Load() {
+			continue
+		}
+		s := score(id, b.url)
+		if best == nil || s > bestScore || (s == bestScore && b.url < best.url) {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,1032 @@
+// Package router implements pacerouter: a reverse proxy that places
+// tenants (hosted estimator worlds) across a fleet of paced backends
+// and keeps them reachable when backends die.
+//
+// Placement is rendezvous hashing over the up backends — consulted once
+// at (re)create time; afterwards the placement map is authoritative, so
+// a recovering backend never steals tenants back. Each backend is
+// actively health-checked (GET /healthz through a circuit breaker:
+// FailThreshold consecutive failures mark it down, the breaker cooldown
+// is the down window, a half-open probe success marks it back up). When
+// a backend dies, every tenant placed on it flips to "rebuilding" and
+// is re-provisioned on a surviving backend from its stored spec — the
+// fixed (dataset, model, seed) spec rebuilds the world bit-identically
+// — and the router's execute journal is replayed in order to restore
+// the retraining state exactly. Until the rebuild lands, requests for
+// the tenant answer 503 + Retry-After, which the retry layer in
+// internal/remote + internal/resilience rides through.
+//
+// Exactly-once journaling: an execute body is appended to the journal
+// only after the hosting backend acked it with 200, under a per-tenant
+// lock held across send→ack→append. In the crash case this is exact —
+// an unacked in-flight execute is not journaled AND the dead backend's
+// state is discarded wholesale, so the client's retry applies the batch
+// once to the rebuilt world. (A transport glitch on a *healthy* backend
+// can still double-apply on retry, as with any at-least-once HTTP call;
+// the bit-exactness contract covers the crash-failover path.)
+//
+// Admission hardening mirrors paced's: a fleet-wide tenant cap and
+// per-client provisioning quotas answer 429 quota_exceeded on POST
+// /v1/targets, and idle tenants are evicted from their backend (spec
+// and journal spilled in the router) and lazily revived — rebuilt
+// bit-identically — on their next request.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pace/internal/obs"
+	"pace/internal/resilience"
+	"pace/internal/targetserver"
+	"pace/internal/wire"
+)
+
+// Tenant entry states as reported on /healthz and /v1/fleet. "ready" is
+// the string remote.Admin.WaitReady polls for, so the router's healthz
+// is drop-in compatible with paced's.
+const (
+	StateCreating   = "creating"
+	StateReady      = "ready"
+	StateRebuilding = "rebuilding"
+	StateEvicted    = "evicted"
+)
+
+// routerClient is the X-Pace-Client identity the router uses for its
+// own fleet housekeeping (journal replay, stale-tenant GC) so backend
+// rate limiting and logs can tell it apart from proxied client traffic.
+const routerClient = "pacerouter"
+
+// maxBody mirrors the backends' request-body bound.
+const maxBody = 64 << 20
+
+// Config tunes the router. The zero value is not usable — Backends is
+// required — but every other field has a sane default.
+type Config struct {
+	// Backends lists the paced base URLs forming the fleet, e.g.
+	// "http://127.0.0.1:8645". Scheme-less entries get http://.
+	Backends []string
+	// AuthToken, when set, is forwarded to backends as a bearer token —
+	// the fleet's members run with -auth-tokens and trust only the
+	// router. Client identity still travels in X-Pace-Client.
+	AuthToken string
+	// AuthTokens, when non-empty, makes the router itself demand bearer
+	// auth from its clients (same file format as paced -auth-tokens);
+	// the mapped name becomes the spoof-proof identity for quotas.
+	AuthTokens map[string]string
+	// RetryAfter is the backoff hint sent with every router-originated
+	// 429/503 (default 1s).
+	RetryAfter time.Duration
+	// HealthInterval is the per-backend probe period (default 500ms).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive failures (probe or
+	// data-path) mark a backend down (default 3).
+	FailThreshold int
+	// Cooldown is the down window before a half-open re-probe
+	// (default 1s).
+	Cooldown time.Duration
+	// MaxTenants caps tenants fleet-wide, any state (0 = unlimited).
+	MaxTenants int
+	// MaxPerOwner caps tenants one client identity may provision
+	// (0 = unlimited).
+	MaxPerOwner int
+	// IdleAfter evicts tenants idle this long: deleted from their
+	// backend, spec+journal spilled in the router, lazily revived on
+	// the next request (0 = never).
+	IdleAfter time.Duration
+	// CreateTimeout bounds one re-provision attempt, world build plus
+	// journal replay (default 10m). Client-driven creates use the
+	// request's own context instead.
+	CreateTimeout time.Duration
+	// Telemetry mounts router_* metrics (and /metrics when it carries a
+	// registry).
+	Telemetry *obs.Telemetry
+	// Client is the HTTP client used to reach backends (default: a
+	// fresh http.Client; per-request contexts bound each call).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.CreateTimeout <= 0 {
+		c.CreateTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// entry is the router's authoritative record of one tenant: where it
+// lives, what state it is in, and the journal that rebuilds its
+// retraining state bit-identically after a failover or revival.
+type entry struct {
+	spec  wire.TargetSpec
+	owner string
+
+	// state and backend are guarded by Router.mu. backend is non-nil
+	// exactly in StateReady.
+	state   string
+	backend *backend
+
+	lastActive atomic.Int64 // UnixNano of the last request touching this tenant
+
+	// execMu serializes the execute send→ack→journal-append critical
+	// section and guards journal. Rebuild snapshots the journal under
+	// it but replays without it, so waiting executes see a quick 503
+	// (retryable) instead of blocking past their deadline.
+	execMu  sync.Mutex
+	journal [][]byte
+}
+
+func (e *entry) touch() { e.lastActive.Store(time.Now().UnixNano()) }
+func (e *entry) idleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - e.lastActive.Load())
+}
+
+// Router is the fleet front: an HTTP server speaking the same wire as
+// paced, proxying to backends it health-checks and heals.
+type Router struct {
+	cfg      Config
+	client   *http.Client
+	backends []*backend
+	mux      *http.ServeMux
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	draining bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// All nil-safe no-ops without telemetry.
+	mFailover      *obs.Counter
+	mReprovision   *obs.Counter
+	mReprovLatency *obs.Histogram
+	mEvicted       *obs.Counter
+	mRevived       *obs.Counter
+	mQuotaDenied   *obs.Counter
+	mShed          *obs.Counter
+	mUnknownTarget *obs.Counter
+	mUnauthorized  *obs.Counter
+	mAdminReqs     *obs.Counter
+	mTenants       *obs.Gauge
+	mDraining      *obs.Gauge
+}
+
+// New builds the router, probes every backend once synchronously (so
+// placement works the moment it returns) and starts the health loops.
+// Callers must eventually call Shutdown or Close.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:     cfg,
+		client:  cfg.Client,
+		entries: map[string]*entry{},
+		stop:    make(chan struct{}),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{}
+	}
+	rt.instrument(cfg.Telemetry.Registry())
+
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			u = "http://" + u
+		}
+		if _, err := url.Parse(u); err != nil {
+			return nil, fmt.Errorf("router: backend %q: %w", raw, err)
+		}
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		b := &backend{url: u, br: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: cfg.FailThreshold,
+			Cooldown:         cfg.Cooldown,
+		})}
+		if reg := cfg.Telemetry.Registry(); reg != nil {
+			b.mUp = reg.Gauge(fmt.Sprintf("router_backend_up{backend=%q}", u))
+		}
+		rt.backends = append(rt.backends, b)
+	}
+	if len(rt.backends) == 0 {
+		return nil, errors.New("router: at least one backend required")
+	}
+
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, targetserver.DefaultTenant, false)
+	})
+	rt.mux.HandleFunc("POST /v1/execute", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, targetserver.DefaultTenant, true)
+	})
+	rt.mux.HandleFunc("POST /v1/targets/{id}/estimate", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, r.PathValue("id"), false)
+	})
+	rt.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleData(w, r, r.PathValue("id"), true)
+	})
+	rt.mux.HandleFunc("GET /v1/targets/{id}/healthz", rt.handleTenantHealthz)
+	rt.mux.HandleFunc("POST /v1/targets", rt.handleCreate)
+	rt.mux.HandleFunc("DELETE /v1/targets/{id}", rt.handleDelete)
+	rt.mux.HandleFunc("GET /v1/targets", rt.handleList)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /v1/fleet", rt.handleFleet)
+	if reg := cfg.Telemetry.Registry(); reg != nil {
+		rt.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w) //nolint:errcheck // best-effort scrape
+		})
+	}
+
+	// Boot probe round: parallel, synchronous, so the first create after
+	// New can already place. The health loops take over from here.
+	var boot sync.WaitGroup
+	for _, b := range rt.backends {
+		boot.Add(1)
+		go func(b *backend) { defer boot.Done(); rt.probeOnce(b) }(b)
+	}
+	boot.Wait()
+	for _, b := range rt.backends {
+		rt.wg.Add(1)
+		go rt.healthLoop(b)
+	}
+	if cfg.IdleAfter > 0 {
+		rt.wg.Add(1)
+		go rt.janitor()
+	}
+	return rt, nil
+}
+
+func (rt *Router) instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	rt.mFailover = reg.Counter("router_failover_total")
+	rt.mReprovision = reg.Counter("router_reprovision_total")
+	rt.mReprovLatency = reg.Histogram("router_reprovision_latency_us")
+	rt.mEvicted = reg.Counter("router_evicted_total")
+	rt.mRevived = reg.Counter("router_revived_total")
+	rt.mQuotaDenied = reg.Counter("router_quota_denied_total")
+	rt.mShed = reg.Counter("router_shed_total")
+	rt.mUnknownTarget = reg.Counter("router_unknown_target_total")
+	rt.mUnauthorized = reg.Counter("router_unauthorized_total")
+	rt.mAdminReqs = reg.Counter("router_admin_requests_total")
+	rt.mTenants = reg.Gauge("router_tenants")
+	rt.mDraining = reg.Gauge("router_draining")
+}
+
+// Handler exposes the router mux (for httptest or custom listeners).
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Start binds addr and serves in the background, returning the bound
+// address (port 0 picks an ephemeral one).
+func (rt *Router) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("router: listen: %w", err)
+	}
+	rt.ln = ln
+	rt.httpSrv = &http.Server{Handler: rt.mux, ReadHeaderTimeout: 10 * time.Second}
+	go rt.httpSrv.Serve(ln) //nolint:errcheck // Serve always errors on Shutdown
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops serving and the health/janitor loops. It does NOT
+// drain or destroy the backends — they are separate processes with
+// their own lifecycles.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	already := rt.draining
+	rt.draining = true
+	rt.mu.Unlock()
+	rt.mDraining.Set(1)
+	if already {
+		return nil
+	}
+	close(rt.stop)
+	var err error
+	if rt.httpSrv != nil {
+		err = rt.httpSrv.Shutdown(ctx)
+	}
+	rt.wg.Wait()
+	return err
+}
+
+// Close is Shutdown with a short bound.
+func (rt *Router) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return rt.Shutdown(ctx)
+}
+
+func (rt *Router) isDraining() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.draining
+}
+
+// forward sends one request to a backend and reads the whole response,
+// feeding the transport outcome into the backend's health machinery
+// (an HTTP response of any status is a live backend; only transport
+// errors count against it). A canceled client context is not held
+// against the backend.
+func (rt *Router) forward(ctx context.Context, b *backend, method, path string, body []byte, client string) (*http.Response, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if client != "" {
+		req.Header.Set(targetserver.ClientHeader, client)
+	}
+	if rt.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+rt.cfg.AuthToken)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			rt.recordBackend(b, err)
+		}
+		return nil, nil, err
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	resp.Body.Close()
+	if err != nil {
+		if ctx.Err() == nil {
+			rt.recordBackend(b, err)
+		}
+		return nil, nil, err
+	}
+	rt.recordBackend(b, nil)
+	return resp, raw, nil
+}
+
+// passthrough relays a backend response verbatim: status, body and the
+// headers the wire protocol cares about.
+func (rt *Router) passthrough(w http.ResponseWriter, resp *http.Response, raw []byte) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(raw) //nolint:errcheck // client hang-ups are its problem
+}
+
+// handleData proxies one estimate or execute to the tenant's backend.
+// Execute bodies are journaled on ack so a failover can replay them.
+func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, exec bool) {
+	if rt.isDraining() {
+		rt.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "router draining")
+		return
+	}
+	client, ok := rt.clientIdentity(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "reading body: "+err.Error())
+		return
+	}
+
+	rt.mu.Lock()
+	e := rt.entries[id]
+	if e == nil {
+		rt.mu.Unlock()
+		rt.mUnknownTarget.Inc()
+		rt.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, "no tenant "+id)
+		return
+	}
+	state, b := e.state, e.backend
+	rt.mu.Unlock()
+	e.touch()
+
+	switch state {
+	case StateEvicted:
+		go rt.revive(id)
+		rt.shed503(w, wire.CodeEvicted, "tenant "+id+" evicted; revival under way")
+		return
+	case StateCreating, StateRebuilding:
+		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" "+state)
+		return
+	}
+
+	op := "estimate"
+	if exec {
+		op = "execute"
+	}
+	path := "/v1/targets/" + id + "/" + op
+
+	if !exec {
+		if b == nil || !b.up.Load() {
+			rt.shed503(w, wire.CodeNotReady, "tenant "+id+" losing its backend; failover under way")
+			return
+		}
+		resp, raw, err := rt.forward(r.Context(), b, http.MethodPost, path, body, client)
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client hung up; nobody is reading
+			}
+			rt.shed503(w, wire.CodeNotReady, "backend for tenant "+id+" unreachable; failover under way")
+			return
+		}
+		rt.passthrough(w, resp, raw)
+		return
+	}
+
+	// Execute: hold the journal lock across send→ack→append so the
+	// journal order IS the apply order, then re-check placement — a
+	// failover may have started while we queued on the lock.
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	rt.mu.Lock()
+	if e.state != StateReady || e.backend == nil || !e.backend.up.Load() {
+		rt.mu.Unlock()
+		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" rebuilding")
+		return
+	}
+	b = e.backend
+	rt.mu.Unlock()
+	resp, raw, err := rt.forward(r.Context(), b, http.MethodPost, path, body, client)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return
+		}
+		rt.shed503(w, wire.CodeNotReady, "backend for tenant "+id+" unreachable; failover under way")
+		return
+	}
+	if resp.StatusCode == http.StatusOK {
+		e.journal = append(e.journal, body)
+	}
+	rt.passthrough(w, resp, raw)
+}
+
+// handleCreate admits a tenant (quotas), places it by rendezvous hash
+// and provisions it on the chosen backend, blocking for the world
+// build like paced's own create does.
+func (rt *Router) handleCreate(w http.ResponseWriter, r *http.Request) {
+	rt.mAdminReqs.Inc()
+	if rt.isDraining() {
+		rt.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "router draining")
+		return
+	}
+	owner, ok := rt.clientIdentity(w, r)
+	if !ok {
+		return
+	}
+	var req wire.CreateTargetRequest
+	if !rt.decodeRequest(w, r, &req) {
+		return
+	}
+	id := req.Target.ID
+	if id == "" {
+		rt.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "target id required")
+		return
+	}
+
+	rt.mu.Lock()
+	if _, exists := rt.entries[id]; exists {
+		rt.mu.Unlock()
+		rt.writeError(w, http.StatusConflict, wire.CodeTargetExists, "tenant "+id+" already exists")
+		return
+	}
+	if rt.cfg.MaxTenants > 0 && len(rt.entries) >= rt.cfg.MaxTenants {
+		rt.mu.Unlock()
+		rt.mQuotaDenied.Inc()
+		w.Header().Set("Retry-After", wire.RetryAfter(rt.cfg.RetryAfter))
+		rt.writeError(w, http.StatusTooManyRequests, wire.CodeQuotaExceeded,
+			fmt.Sprintf("fleet at its %d-tenant cap", rt.cfg.MaxTenants))
+		return
+	}
+	if rt.cfg.MaxPerOwner > 0 {
+		n := 0
+		for _, e := range rt.entries {
+			if e.owner == owner {
+				n++
+			}
+		}
+		if n >= rt.cfg.MaxPerOwner {
+			rt.mu.Unlock()
+			rt.mQuotaDenied.Inc()
+			w.Header().Set("Retry-After", wire.RetryAfter(rt.cfg.RetryAfter))
+			rt.writeError(w, http.StatusTooManyRequests, wire.CodeQuotaExceeded,
+				fmt.Sprintf("client %s at its %d-tenant quota", owner, rt.cfg.MaxPerOwner))
+			return
+		}
+	}
+	e := &entry{spec: req.Target, owner: owner, state: StateCreating}
+	e.touch()
+	rt.entries[id] = e
+	n := len(rt.entries)
+	rt.mu.Unlock()
+	rt.mTenants.Set(int64(n))
+
+	b := pick(id, rt.backends)
+	if b == nil {
+		rt.dropEntry(id, e)
+		rt.shed503(w, wire.CodeNotReady, "no backend up to place tenant "+id)
+		return
+	}
+	resp, raw, err := rt.createOn(r.Context(), b, req, owner)
+	if err != nil {
+		rt.dropEntry(id, e)
+		if r.Context().Err() != nil {
+			return
+		}
+		rt.shed503(w, wire.CodeNotReady, "backend "+b.url+" unreachable: "+err.Error())
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		rt.dropEntry(id, e)
+		rt.passthrough(w, resp, raw)
+		return
+	}
+	rt.mu.Lock()
+	if rt.entries[id] == e {
+		e.state, e.backend = StateReady, b
+		if !b.up.Load() {
+			// The backend finished the build and then died: hand the
+			// tenant straight to failover; the client's next request
+			// rides the 503 + Retry-After through the rebuild.
+			e.state, e.backend = StateRebuilding, nil
+			defer func() { go rt.rebuild(id) }()
+		}
+	}
+	rt.mu.Unlock()
+	rt.passthrough(w, resp, raw)
+}
+
+// createOn provisions spec on b. A 409 means a stale tenant from before
+// a router restart or failover still lives there — it is deleted and
+// the create retried once, making the router's placement authoritative.
+func (rt *Router) createOn(ctx context.Context, b *backend, req wire.CreateTargetRequest, owner string) (*http.Response, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, raw, err := rt.forward(ctx, b, http.MethodPost, "/v1/targets", body, owner)
+	if err != nil || resp.StatusCode != http.StatusConflict {
+		return resp, raw, err
+	}
+	if err := rt.deleteOnBackend(ctx, b, req.Target.ID); err != nil {
+		return resp, raw, nil // keep the 409; the stale world would not budge
+	}
+	return rt.forward(ctx, b, http.MethodPost, "/v1/targets", body, owner)
+}
+
+func (rt *Router) dropEntry(id string, e *entry) {
+	rt.mu.Lock()
+	if rt.entries[id] == e {
+		delete(rt.entries, id)
+	}
+	n := len(rt.entries)
+	rt.mu.Unlock()
+	rt.mTenants.Set(int64(n))
+}
+
+// handleDelete removes a tenant everywhere: from the placement map and,
+// best-effort, from its backend. Deleting a rebuilding or evicted
+// tenant just drops the router-side record (journal included).
+func (rt *Router) handleDelete(w http.ResponseWriter, r *http.Request) {
+	rt.mAdminReqs.Inc()
+	if _, ok := rt.clientIdentity(w, r); !ok {
+		return
+	}
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	e := rt.entries[id]
+	if e == nil {
+		rt.mu.Unlock()
+		rt.mUnknownTarget.Inc()
+		rt.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, "no tenant "+id)
+		return
+	}
+	if e.state == StateCreating {
+		rt.mu.Unlock()
+		w.Header().Set("Retry-After", wire.RetryAfter(rt.cfg.RetryAfter))
+		rt.writeError(w, http.StatusServiceUnavailable, wire.CodeNotReady, "tenant "+id+" still provisioning")
+		return
+	}
+	b := e.backend
+	delete(rt.entries, id)
+	n := len(rt.entries)
+	rt.mu.Unlock()
+	rt.mTenants.Set(int64(n))
+	if b != nil {
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		rt.deleteOnBackend(ctx, b, id) //nolint:errcheck // backend GC catches leftovers
+		cancel()
+	}
+	rt.writeJSON(w, http.StatusOK, wire.DeleteTargetResponse{V: wire.Version, Deleted: id})
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.mAdminReqs.Inc()
+	if _, ok := rt.clientIdentity(w, r); !ok {
+		return
+	}
+	rt.mu.Lock()
+	resp := wire.ListTargetsResponse{V: wire.Version, Targets: make([]wire.TargetInfo, 0, len(rt.entries))}
+	for _, e := range rt.entries {
+		resp.Targets = append(resp.Targets, wire.TargetInfo{TargetSpec: e.spec, State: e.state})
+	}
+	rt.mu.Unlock()
+	sort.Slice(resp.Targets, func(i, j int) bool { return resp.Targets[i].ID < resp.Targets[j].ID })
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports the router's own health plus every tenant's
+// state — wire-compatible with paced's /healthz, so remote.Admin's
+// WaitReady works unchanged through the router.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := wire.HealthzResponse{Status: "ok", Tenants: map[string]string{}}
+	rt.mu.Lock()
+	draining := rt.draining
+	for id, e := range rt.entries {
+		resp.Tenants[id] = e.state
+	}
+	rt.mu.Unlock()
+	for _, b := range rt.backends {
+		if !b.up.Load() {
+			resp.Status = "degraded"
+			break
+		}
+	}
+	status := http.StatusOK
+	if draining {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, status, resp)
+}
+
+// handleTenantHealthz is the per-tenant readiness probe: 200 only when
+// the tenant is ready on an up backend.
+func (rt *Router) handleTenantHealthz(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rt.isDraining() {
+		rt.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "router draining")
+		return
+	}
+	rt.mu.Lock()
+	e := rt.entries[id]
+	var state string
+	var b *backend
+	if e != nil {
+		state, b = e.state, e.backend
+	}
+	rt.mu.Unlock()
+	switch {
+	case e == nil:
+		rt.mUnknownTarget.Inc()
+		rt.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, "no tenant "+id)
+	case state == StateEvicted:
+		go rt.revive(id)
+		rt.shed503(w, wire.CodeEvicted, "tenant "+id+" evicted; revival under way")
+	case state != StateReady || b == nil || !b.up.Load():
+		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" "+state)
+	default:
+		rt.writeJSON(w, http.StatusOK, wire.HealthzResponse{
+			Status:  "ok",
+			Tenants: map[string]string{id: StateReady},
+		})
+	}
+}
+
+// handleFleet reports fleet topology: each backend's health and load,
+// and every tenant's placement — the operator's (and chaos test's)
+// view of who lives where.
+func (rt *Router) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	resp := wire.FleetStatusResponse{V: wire.Version, Status: "ok", Tenants: map[string]wire.TenantPlacement{}}
+	hosted := map[string]int{}
+	rt.mu.Lock()
+	for id, e := range rt.entries {
+		p := wire.TenantPlacement{State: e.state}
+		if e.backend != nil {
+			p.Backend = e.backend.url
+			hosted[e.backend.url]++
+		}
+		resp.Tenants[id] = p
+	}
+	rt.mu.Unlock()
+	for _, b := range rt.backends {
+		up := b.up.Load()
+		if !up {
+			resp.Status = "degraded"
+		}
+		resp.Backends = append(resp.Backends, wire.BackendStatus{URL: b.url, Up: up, Tenants: hosted[b.url]})
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+}
+
+// rebuild re-provisions one rebuilding tenant on a surviving backend:
+// create from spec (bit-identical world), replay the execute journal in
+// order (bit-identical retraining state), then flip it ready. It keeps
+// retrying — waiting out windows with no backend up — until the tenant
+// is rebuilt, deleted, or the router shuts down.
+func (rt *Router) rebuild(id string) {
+	start := time.Now()
+	for {
+		if rt.isDraining() {
+			return
+		}
+		rt.mu.Lock()
+		e := rt.entries[id]
+		if e == nil || e.state != StateRebuilding {
+			rt.mu.Unlock()
+			return
+		}
+		rt.mu.Unlock()
+
+		b := pick(id, rt.backends)
+		if b == nil {
+			if !rt.sleep(rt.cfg.HealthInterval) {
+				return
+			}
+			continue
+		}
+		if err := rt.provision(e, b); err != nil {
+			if !rt.sleep(rt.cfg.HealthInterval) {
+				return
+			}
+			continue
+		}
+		rt.mu.Lock()
+		landed := rt.entries[id] == e && e.state == StateRebuilding && b.up.Load()
+		if landed {
+			e.state, e.backend = StateReady, b
+		}
+		rt.mu.Unlock()
+		if !landed {
+			// The tenant was deleted mid-rebuild, or b died right after
+			// provisioning. Drop the fresh world (best-effort; a dead
+			// backend's copy is GC'd if it ever comes back) and either
+			// stop or pick again.
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			rt.deleteOnBackend(ctx, b, id) //nolint:errcheck
+			cancel()
+			continue
+		}
+		rt.mReprovision.Inc()
+		rt.mReprovLatency.Observe(float64(time.Since(start).Microseconds()))
+		return
+	}
+}
+
+// provision creates e's world on b and replays the journal. The journal
+// cannot grow underneath it: executes are rejected (503, retryable)
+// while the entry is rebuilding, so the snapshot is complete.
+func (rt *Router) provision(e *entry, b *backend) error {
+	e.execMu.Lock()
+	journal := append([][]byte(nil), e.journal...)
+	e.execMu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.CreateTimeout)
+	defer cancel()
+	resp, raw, err := rt.createOn(ctx, b, wire.CreateTargetRequest{V: wire.Version, Target: e.spec}, e.owner)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("router: rebuild create %s on %s: http %d: %s", e.spec.ID, b.url, resp.StatusCode, raw)
+	}
+	for _, body := range journal {
+		if err := rt.replayExecute(ctx, b, e.spec.ID, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayExecute re-applies one journaled execute body, riding out
+// admission sheds (429/503 + Retry-After) — a freshly built tenant can
+// still rate-limit the router's replay identity.
+func (rt *Router) replayExecute(ctx context.Context, b *backend, id string, body []byte) error {
+	for {
+		resp, raw, err := rt.forward(ctx, b, http.MethodPost, "/v1/targets/"+id+"/execute", body, routerClient)
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return nil
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			d := 100 * time.Millisecond
+			if secs, aerr := strconv.Atoi(resp.Header.Get("Retry-After")); aerr == nil && secs > 0 {
+				d = time.Duration(secs) * time.Second
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(d):
+			}
+		default:
+			return fmt.Errorf("router: replay execute %s on %s: http %d: %s", id, b.url, resp.StatusCode, raw)
+		}
+	}
+}
+
+// revive flips an evicted tenant to rebuilding and runs the same
+// rebuild path — the kept journal makes revival bit-exact, not just
+// spec-exact.
+func (rt *Router) revive(id string) {
+	rt.mu.Lock()
+	e := rt.entries[id]
+	if e == nil || e.state != StateEvicted {
+		rt.mu.Unlock()
+		return
+	}
+	e.state = StateRebuilding
+	rt.mu.Unlock()
+	rt.mRevived.Inc()
+	rt.rebuild(id)
+}
+
+// janitor evicts idle ready tenants: the backend's copy is deleted
+// (freeing its model goroutine), the spec and journal stay spilled in
+// the router, and the next request lazily revives the tenant.
+func (rt *Router) janitor() {
+	defer rt.wg.Done()
+	period := rt.cfg.IdleAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+		}
+		type victim struct {
+			id string
+			b  *backend
+		}
+		var victims []victim
+		rt.mu.Lock()
+		for id, e := range rt.entries {
+			if e.state == StateReady && e.idleFor() > rt.cfg.IdleAfter {
+				victims = append(victims, victim{id, e.backend})
+				e.state, e.backend = StateEvicted, nil
+			}
+		}
+		rt.mu.Unlock()
+		for _, v := range victims {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			rt.deleteOnBackend(ctx, v.b, v.id) //nolint:errcheck // backend GC catches leftovers
+			cancel()
+			rt.mEvicted.Inc()
+		}
+	}
+}
+
+func (rt *Router) sleep(d time.Duration) bool {
+	select {
+	case <-rt.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// listBackend asks a backend for its hosted tenants (reconciliation).
+func (rt *Router) listBackend(ctx context.Context, b *backend) ([]wire.TargetInfo, error) {
+	resp, raw, err := rt.forward(ctx, b, http.MethodGet, "/v1/targets", nil, routerClient)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: list %s: http %d: %s", b.url, resp.StatusCode, raw)
+	}
+	var lr wire.ListTargetsResponse
+	if err := json.Unmarshal(raw, &lr); err != nil {
+		return nil, fmt.Errorf("router: list %s: %w", b.url, err)
+	}
+	return lr.Targets, nil
+}
+
+// deleteOnBackend destroys one tenant on one backend; 404 (already
+// gone) counts as success.
+func (rt *Router) deleteOnBackend(ctx context.Context, b *backend, id string) error {
+	resp, raw, err := rt.forward(ctx, b, http.MethodDelete, "/v1/targets/"+id, nil, routerClient)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("router: delete %s on %s: http %d: %s", id, b.url, resp.StatusCode, raw)
+	}
+	return nil
+}
+
+// clientIdentity mirrors paced's: token-derived (spoof-proof) when
+// AuthTokens is set, else the X-Pace-Client header, else the peer host.
+func (rt *Router) clientIdentity(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if len(rt.cfg.AuthTokens) > 0 {
+		tok, ok := bearerToken(r)
+		if !ok {
+			rt.mUnauthorized.Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="pacerouter"`)
+			rt.writeError(w, http.StatusUnauthorized, wire.CodeUnauthorized,
+				"missing Authorization: Bearer token")
+			return "", false
+		}
+		name, known := rt.cfg.AuthTokens[tok]
+		if !known {
+			rt.mUnauthorized.Inc()
+			w.Header().Set("WWW-Authenticate", `Bearer realm="pacerouter"`)
+			rt.writeError(w, http.StatusUnauthorized, wire.CodeUnauthorized, "unknown bearer token")
+			return "", false
+		}
+		return name, true
+	}
+	if c := r.Header.Get(targetserver.ClientHeader); c != "" {
+		return c, true
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host, true
+	}
+	return r.RemoteAddr, true
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if len(auth) <= len(prefix) || !strings.EqualFold(auth[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(auth[len(prefix):]), true
+}
+
+func (rt *Router) decodeRequest(w http.ResponseWriter, r *http.Request, dst *wire.CreateTargetRequest) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		rt.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "malformed body: "+err.Error())
+		return false
+	}
+	if dst.V != wire.Version {
+		rt.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("protocol version %d, router speaks %d", dst.V, wire.Version))
+		return false
+	}
+	return true
+}
+
+// shed503 answers a retryable unavailability with the Retry-After hint
+// the client-side resilience layer honors.
+func (rt *Router) shed503(w http.ResponseWriter, code, msg string) {
+	rt.mShed.Inc()
+	w.Header().Set("Retry-After", wire.RetryAfter(rt.cfg.RetryAfter))
+	rt.writeError(w, http.StatusServiceUnavailable, code, msg)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	rt.writeJSON(w, status, wire.ErrorResponse{V: wire.Version, Code: code, Error: msg})
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) //nolint:errcheck // client hang-ups are its problem
+}

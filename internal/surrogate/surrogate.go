@@ -103,7 +103,7 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 	// Probe the remote target first: its surviving probe set defines the
 	// comparison workload for every local candidate.
 	pctx, pspan := obs.StartSpan(ctx, "probe_target", obs.Int("groups", len(groups)))
-	kept, bbVec, failed, err := probeTarget(pctx, bb, groups, cfg, rng)
+	kept, bbVec, failed, err := probeTarget(pctx, bb, groups, cfg)
 	pspan.SetAttr(obs.Int("failed_probes", failed))
 	pspan.End()
 	if err != nil {
@@ -162,7 +162,7 @@ func Speculate(ctx context.Context, bb ce.Target, gen *workload.Generator, cfg S
 // groups, the target's performance vector over them, and the failed
 // probe count. More than half the probes lost (or an empty surviving
 // group set) is an error — the comparison would be meaningless.
-func probeTarget(ctx context.Context, bb ce.Target, groups []probeGroup, cfg SpeculationConfig, rng *rand.Rand) ([]probeGroup, []float64, int, error) {
+func probeTarget(ctx context.Context, bb ce.Target, groups []probeGroup, cfg SpeculationConfig) ([]probeGroup, []float64, int, error) {
 	total, failed := 0, 0
 	kept := make([]probeGroup, 0, len(groups))
 	var errDims, latDims []float64
@@ -171,7 +171,7 @@ func probeTarget(ctx context.Context, bb ce.Target, groups []probeGroup, cfg Spe
 		var sumErr, sumLat float64
 		for _, l := range g.items {
 			total++
-			est, lat, err := timedEstimate(ctx, bb, l.Q, cfg, rng)
+			est, lat, err := timedEstimate(ctx, bb, l.Q, cfg)
 			if err != nil {
 				if ctx.Err() != nil {
 					return nil, nil, failed, ctx.Err()
@@ -201,12 +201,16 @@ func probeTarget(ctx context.Context, bb ce.Target, groups []probeGroup, cfg Spe
 // retrying each attempt. The measured latency includes whatever the
 // network (or fault injector) adds — the side channel the attacker
 // actually observes.
-func timedEstimate(ctx context.Context, bb ce.Target, q *query.Query, cfg SpeculationConfig, rng *rand.Rand) (float64, time.Duration, error) {
+func timedEstimate(ctx context.Context, bb ce.Target, q *query.Query, cfg SpeculationConfig) (float64, time.Duration, error) {
 	best := time.Duration(math.MaxInt64)
 	var est float64
 	for r := 0; r < cfg.LatencyRepeats; r++ {
 		start := time.Now()
-		_, err := cfg.Retry.Do(ctx, rng, func(c context.Context) error {
+		// nil rng: retry jitter must never draw from the attack's
+		// deterministic stream, or a single failover-induced retry
+		// desyncs every label drawn after it. These probes are
+		// sequential, so jitterless backoff loses nothing.
+		_, err := cfg.Retry.Do(ctx, nil, func(c context.Context) error {
 			var e error
 			est, e = bb.EstimateContext(c, q)
 			return e

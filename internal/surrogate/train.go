@@ -90,7 +90,13 @@ func Train(ctx context.Context, bb ce.Target, typ ce.Type, gen *workload.Generat
 			yGT: est.Norm.Norm(l.Card),
 		}
 		var bbEst float64
-		_, err := cfg.Retry.Do(ctx, rng, func(c context.Context) error {
+		// nil rng: the imitation loop shares rng with model init and
+		// epoch shuffling, so retry jitter drawing from it would make
+		// the trained surrogate depend on how many transient target
+		// failures happened — a failover mid-imitation must not change
+		// the poison. Jitterless backoff (plus the server's Retry-After
+		// hint) paces these sequential calls fine.
+		_, err := cfg.Retry.Do(ctx, nil, func(c context.Context) error {
 			var e error
 			bbEst, e = bb.EstimateContext(c, l.Q)
 			return e

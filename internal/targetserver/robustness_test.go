@@ -1,0 +1,182 @@
+package targetserver_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+	"pace/internal/targetserver"
+	"pace/internal/tenant"
+	"pace/internal/wire"
+)
+
+// stubFactory builds mulTarget worlds instantly; panicking is switchable
+// per test via the pointer.
+func stubFactory(panics *bool) tenant.Factory {
+	return func(_ context.Context, spec tenant.Spec) (ce.Target, *query.Meta, error) {
+		if panics != nil && *panics {
+			panic("factory exploded mid-build")
+		}
+		return &mulTarget{k: 10}, testMeta(), nil
+	}
+}
+
+func newFactoryServer(t *testing.T, cfg targetserver.Config, panics *bool) (*targetserver.Server, *httptest.Server) {
+	t.Helper()
+	cfg.Factory = stubFactory(panics)
+	reg := tenant.NewRegistry(cfg.Factory, cfg.TenantConfig())
+	srv := targetserver.NewMulti(reg, cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+func createReq(id string) wire.CreateTargetRequest {
+	return wire.CreateTargetRequest{V: wire.Version, Target: wire.TargetSpec{
+		ID: id, Dataset: "dmv", Model: "fcn", Seed: 1,
+	}}
+}
+
+func decodeErr(t *testing.T, resp *http.Response) wire.ErrorResponse {
+	t.Helper()
+	var er wire.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return er
+}
+
+// TestQuotaExceededAnswers429 pins the admission hardening on POST
+// /v1/targets: host cap and per-owner cap both answer 429
+// quota_exceeded with a Retry-After hint.
+func TestQuotaExceededAnswers429(t *testing.T) {
+	_, hs := newFactoryServer(t, targetserver.Config{MaxTenants: 2, MaxPerOwner: 1}, nil)
+
+	resp := request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("a"), "alice", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// alice at her per-owner cap.
+	resp = request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("a2"), "alice", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("owner over quota: %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("quota rejection missing Retry-After")
+	}
+	if er := decodeErr(t, resp); er.Code != wire.CodeQuotaExceeded {
+		t.Errorf("code %q, want %q", er.Code, wire.CodeQuotaExceeded)
+	}
+
+	// bob fits; carol hits the host cap.
+	resp = request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("b"), "bob", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bob create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("c"), "carol", "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("host over cap: %d, want 429", resp.StatusCode)
+	}
+	if er := decodeErr(t, resp); er.Code != wire.CodeQuotaExceeded {
+		t.Errorf("code %q, want %q", er.Code, wire.CodeQuotaExceeded)
+	}
+}
+
+// TestFactoryPanicAnswers500AndReleasesSlot: a panicking world build
+// must answer 500 internal (not wedge the id in "creating") and leave
+// the id creatable once the factory behaves.
+func TestFactoryPanicAnswers500AndReleasesSlot(t *testing.T) {
+	panics := true
+	srv, hs := newFactoryServer(t, targetserver.Config{}, &panics)
+
+	resp := request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("p"), "alice", "")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked create: %d, want 500", resp.StatusCode)
+	}
+	if er := decodeErr(t, resp); er.Code != wire.CodeInternal {
+		t.Errorf("code %q, want %q", er.Code, wire.CodeInternal)
+	}
+	if srv.Registry().Len() != 0 {
+		t.Fatalf("registry holds %d slots after panicked create, want 0", srv.Registry().Len())
+	}
+
+	panics = false
+	resp = request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("p"), "alice", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-create after panic: %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestIdleEvictionAndLazyRevival: an idle tenant is evicted by the
+// janitor (spec spilled, 503 evicted + Retry-After on the next hit) and
+// that first hit triggers a background rebuild — polling until ready
+// mirrors what the retry layer does with the hint.
+func TestIdleEvictionAndLazyRevival(t *testing.T) {
+	_, hs := newFactoryServer(t, targetserver.Config{IdleAfter: 50 * time.Millisecond}, nil)
+
+	resp := request(t, http.MethodPost, hs.URL+"/v1/targets", createReq("idle"), "alice", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wait for the janitor to evict.
+	deadline := time.Now().Add(5 * time.Second)
+	evicted := false
+	for time.Now().Before(deadline) {
+		resp := request(t, http.MethodGet, hs.URL+"/healthz", nil, "", "")
+		var hz wire.HealthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if hz.Tenants["idle"] == tenant.StateEvicted {
+			evicted = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !evicted {
+		t.Fatal("janitor never evicted the idle tenant")
+	}
+
+	// The first estimate answers 503 evicted with a hint and kicks off
+	// revival.
+	resp = request(t, http.MethodPost, hs.URL+"/v1/targets/idle/estimate", estReq(), "alice", "")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("estimate on evicted tenant: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("evicted reply missing Retry-After")
+	}
+	if er := decodeErr(t, resp); er.Code != wire.CodeEvicted {
+		t.Errorf("code %q, want %q", er.Code, wire.CodeEvicted)
+	}
+
+	// Retrying (with fresh activity resetting the idle clock) reaches a
+	// revived tenant.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp := request(t, http.MethodPost, hs.URL+"/v1/targets/idle/estimate", estReq(), "alice", "")
+		if resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			return
+		}
+		resp.Body.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("evicted tenant never revived")
+}

@@ -77,6 +77,17 @@ type Config struct {
 	// RetryAfter is the backoff hint sent with every 429/503 (default
 	// 1s; rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
+	// MaxTenants caps how many tenants this host admits (live,
+	// provisioning or evicted); creates beyond it answer 429
+	// quota_exceeded. 0 = unlimited.
+	MaxTenants int
+	// MaxPerOwner caps how many tenants one authenticated client may
+	// provision; 0 = unlimited.
+	MaxPerOwner int
+	// IdleAfter enables the idle-eviction janitor: tenants that serve no
+	// request for this long are drained and their spec spilled; the next
+	// request (or an explicit revive) rebuilds them. 0 disables eviction.
+	IdleAfter time.Duration
 	// AuthTokens, when non-empty, maps bearer tokens to client names.
 	// Requests must then carry "Authorization: Bearer <token>"; unknown
 	// or missing tokens answer 401 and the mapped name replaces the
@@ -114,6 +125,8 @@ func (c Config) TenantConfig() tenant.Config {
 		ExecQueueDepth: c.ExecQueueDepth,
 		RatePerSec:     c.RatePerSec,
 		Burst:          c.Burst,
+		MaxTenants:     c.MaxTenants,
+		MaxPerOwner:    c.MaxPerOwner,
 		Telemetry:      c.Telemetry,
 	}
 }
@@ -131,11 +144,17 @@ type Server struct {
 	httpSrv *http.Server
 	ln      net.Listener
 
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
 	// Server-level instruments (tenant-level ones live on each tenant);
 	// all nil-safe no-ops without telemetry.
 	mUnknownTarget *obs.Counter
 	mUnauthorized  *obs.Counter
 	mAdminReqs     *obs.Counter
+	mQuotaDenied   *obs.Counter
+	mEvicted       *obs.Counter
+	mRevived       *obs.Counter
 	mTenants       *obs.Gauge
 	mDraining      *obs.Gauge
 }
@@ -191,7 +210,41 @@ func NewMulti(reg *tenant.Registry, cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	s.mTenants.Set(int64(reg.Len()))
+	if cfg.IdleAfter > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor periodically evicts tenants idle past Config.IdleAfter,
+// spilling their specs for lazy revival on the next request.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	period := s.cfg.IdleAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			evicted := s.reg.EvictIdle(ctx, s.cfg.IdleAfter)
+			cancel()
+			if len(evicted) > 0 {
+				s.mEvicted.Add(int64(len(evicted)))
+				s.mTenants.Set(int64(s.reg.Len()))
+			}
+		}
+	}
 }
 
 func (s *Server) instrument(reg *obs.Registry) {
@@ -201,6 +254,9 @@ func (s *Server) instrument(reg *obs.Registry) {
 	s.mUnknownTarget = reg.Counter("paced_unknown_target_total")
 	s.mUnauthorized = reg.Counter("paced_unauthorized_total")
 	s.mAdminReqs = reg.Counter("paced_admin_requests_total")
+	s.mQuotaDenied = reg.Counter("paced_quota_denied_total")
+	s.mEvicted = reg.Counter("paced_evicted_total")
+	s.mRevived = reg.Counter("paced_revived_total")
 	s.mTenants = reg.Gauge("paced_tenants")
 	s.mDraining = reg.Gauge("paced_draining")
 }
@@ -235,12 +291,27 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	s.mDraining.Set(1)
+	if !already && s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
 	var err error
 	if !already && s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
 	err = errors.Join(err, s.reg.DrainAll(ctx))
 	return err
+}
+
+// Kill abruptly stops serving — the listener closes and in-flight
+// connections are torn down with no drain. It simulates a crashed
+// backend (the integration-test stand-in for SIGKILL); the registry and
+// its model goroutines are intentionally left unreclaimed, exactly like
+// a dead process's state.
+func (s *Server) Kill() {
+	if s.httpSrv != nil {
+		s.httpSrv.Close() //nolint:errcheck // abrupt death: errors are the point
+	}
 }
 
 // Close is Shutdown with a short drain bound.
@@ -257,13 +328,21 @@ func (s *Server) isDraining() bool {
 }
 
 // resolve routes an id to its tenant, answering the error itself (404
-// unknown, 503 not ready / draining) when it cannot.
+// unknown, 503 not ready / draining / evicted) when it cannot. A hit on
+// an evicted tenant triggers lazy revival in the background and tells
+// the client to retry — by the time a well-behaved client comes back,
+// the world is rebuilt (bit-identically, by spec construction).
 func (s *Server) resolve(w http.ResponseWriter, id string) (*tenant.Tenant, bool) {
 	t, err := s.reg.Get(id)
 	switch {
 	case errors.Is(err, tenant.ErrNotFound):
 		s.mUnknownTarget.Inc()
 		s.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, err.Error())
+		return nil, false
+	case errors.Is(err, tenant.ErrEvicted):
+		go s.reviveAsync(id)
+		w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeEvicted, err.Error())
 		return nil, false
 	case errors.Is(err, tenant.ErrNotReady):
 		w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
@@ -278,6 +357,16 @@ func (s *Server) resolve(w http.ResponseWriter, id string) (*tenant.Tenant, bool
 		return nil, false
 	}
 	return t, true
+}
+
+// reviveAsync rebuilds an evicted tenant off the request path. Losing a
+// race is fine — Revive coalesces concurrent revivals on the creating
+// slot, so at most one world build runs per id.
+func (s *Server) reviveAsync(id string) {
+	if _, err := s.reg.Revive(context.Background(), id); err == nil {
+		s.mRevived.Inc()
+		s.mTenants.Set(int64(s.reg.Len()))
+	}
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, id string) {
@@ -371,7 +460,8 @@ func (s *Server) handleCreateTarget(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
 		return
 	}
-	if _, ok := s.clientIdentity(w, r); !ok {
+	client, ok := s.clientIdentity(w, r)
+	if !ok {
 		return
 	}
 	var req wire.CreateTargetRequest
@@ -386,10 +476,25 @@ func (s *Server) handleCreateTarget(w http.ResponseWriter, r *http.Request) {
 		SeedOffset: req.Target.SeedOffset,
 		Scale:      req.Target.Scale,
 		CacheSize:  req.Target.CacheSize,
+		// Owner is stamped from the authenticated identity, never taken
+		// off the wire — per-owner quotas count what a token actually
+		// provisioned, not what it claims.
+		Owner: client,
 	})
 	switch {
 	case errors.Is(err, tenant.ErrExists):
 		s.writeError(w, http.StatusConflict, wire.CodeTargetExists, err.Error())
+		return
+	case errors.Is(err, tenant.ErrQuota):
+		s.mQuotaDenied.Inc()
+		w.Header().Set("Retry-After", wire.RetryAfter(s.cfg.RetryAfter))
+		s.writeError(w, http.StatusTooManyRequests, wire.CodeQuotaExceeded, err.Error())
+		return
+	case errors.Is(err, tenant.ErrDraining):
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, err.Error())
+		return
+	case errors.Is(err, tenant.ErrCreatePanic):
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
 		return
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		return // the admin hung up mid-build; nobody is reading

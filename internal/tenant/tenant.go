@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pace/internal/ce"
@@ -52,6 +53,17 @@ var (
 	// ErrNotReady marks a tenant still being provisioned — its world is
 	// training (HTTP 503, code "not_ready"; retryable).
 	ErrNotReady = errors.New("tenant: still provisioning")
+	// ErrQuota marks a create refused by admission control — the host is
+	// at its tenant cap, or the owner at its per-owner quota (HTTP 429,
+	// code "quota_exceeded").
+	ErrQuota = errors.New("tenant: quota exceeded")
+	// ErrEvicted marks a lookup of a tenant whose live state was spilled
+	// by idle eviction. Its spec survives; revival rebuilds it (HTTP 503,
+	// code "evicted"; retryable).
+	ErrEvicted = errors.New("tenant: evicted")
+	// ErrCreatePanic marks a Factory that panicked mid-build. The slot is
+	// released — the id can be created again (HTTP 500, code "internal").
+	ErrCreatePanic = errors.New("tenant: factory panicked")
 )
 
 // Spec identifies the world a tenant hosts. It is what the admin API
@@ -75,6 +87,11 @@ type Spec struct {
 	// CacheSize enables the per-tenant LRU estimate cache with this many
 	// entries (0 = no cache).
 	CacheSize int
+	// Owner is the identity of the client that provisioned the tenant,
+	// stamped by the server from the authenticated caller — it is never
+	// accepted off the wire. Per-owner quotas (Config.MaxPerOwner) count
+	// it; empty means unowned (boot-time tenants).
+	Owner string
 }
 
 func (s Spec) withDefaults() Spec {
@@ -101,6 +118,13 @@ type Config struct {
 	// (RatePerSec 0 disables; Burst 0 = one second of tokens).
 	RatePerSec float64
 	Burst      int
+	// MaxTenants caps how many tenants (live, provisioning or evicted)
+	// the registry admits; 0 = unlimited. Creates beyond the cap answer
+	// ErrQuota.
+	MaxTenants int
+	// MaxPerOwner caps how many tenants one owner may hold; 0 =
+	// unlimited. Only specs with a non-empty Owner are counted.
+	MaxPerOwner int
 	// Telemetry binds the tenant's instruments (tenant-labeled paced_*
 	// families) to a registry; nil disables them.
 	Telemetry *obs.Telemetry
@@ -178,6 +202,10 @@ type Tenant struct {
 	draining bool
 	clients  map[string]*bucket
 
+	// lastActive is the unix-nano timestamp of the most recent Estimate
+	// or Execute call; the idle-eviction janitor reads it through IdleFor.
+	lastActive atomic.Int64
+
 	cache *estCache
 
 	m Metrics
@@ -202,6 +230,7 @@ func NewTenant(spec Spec, target ce.Target, meta *query.Meta, cfg Config) *Tenan
 	if spec.CacheSize > 0 {
 		t.cache = newEstCache(spec.CacheSize)
 	}
+	t.lastActive.Store(time.Now().UnixNano())
 	t.instrument(cfg.Telemetry.Registry())
 	go t.modelLoop()
 	return t
@@ -268,6 +297,7 @@ func (t *Tenant) CacheStats() (hits, misses int64, size int) {
 // returns ErrQueueFull when admission sheds, ErrDraining when the tenant
 // stopped, ctx.Err() when the caller gave up, or the model's error.
 func (t *Tenant) Estimate(ctx context.Context, qs []*query.Query) ([]float64, error) {
+	t.lastActive.Store(time.Now().UnixNano())
 	t.m.EstReqs.Inc()
 	t.m.EstQueries.Add(int64(len(qs)))
 	start := time.Now()
@@ -335,6 +365,7 @@ func (t *Tenant) Estimate(ctx context.Context, qs []*query.Query) ([]float64, er
 // change — before the update is queued and again after it applies, so no
 // stale estimate survives the retrain.
 func (t *Tenant) Execute(ctx context.Context, qs []*query.Query, cards []float64) error {
+	t.lastActive.Store(time.Now().UnixNano())
 	t.m.ExecReqs.Inc()
 	t.m.ExecQueries.Add(int64(len(qs)))
 	if t.cache != nil {
@@ -355,6 +386,12 @@ func (t *Tenant) Execute(ctx context.Context, qs []*query.Query, cards []float64
 	case <-t.done:
 		return ErrDraining
 	}
+}
+
+// IdleFor reports how long the tenant has gone without an Estimate or
+// Execute call — the idle-eviction criterion.
+func (t *Tenant) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - t.lastActive.Load())
 }
 
 // Admit applies the tenant's per-client token bucket; false means the

@@ -245,6 +245,245 @@ func TestRegistryCreateDeleteRace(t *testing.T) {
 	}
 }
 
+// TestRegistryCreatePanicReleasesSlot: a panicking Factory must not
+// wedge the id in "creating" — the slot is released, the panic surfaces
+// as ErrCreatePanic, and the id is creatable again.
+func TestRegistryCreatePanicReleasesSlot(t *testing.T) {
+	boom := true
+	factory := func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error) {
+		if boom {
+			panic("world build exploded")
+		}
+		return &countTarget{}, testMeta(), nil
+	}
+	r := NewRegistry(factory, Config{})
+	ctx := context.Background()
+
+	_, err := r.Create(ctx, Spec{ID: "p"})
+	if !errors.Is(err, ErrCreatePanic) {
+		t.Fatalf("create with panicking factory: %v, want ErrCreatePanic", err)
+	}
+	if _, err := r.Get("p"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("slot survived the panic: %v, want ErrNotFound", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after panicked create, want 0", r.Len())
+	}
+
+	boom = false
+	if _, err := r.Create(ctx, Spec{ID: "p"}); err != nil {
+		t.Fatalf("re-create after panic: %v", err)
+	}
+	r.DrainAll(ctx) //nolint:errcheck // test cleanup
+}
+
+// TestRegistryQuotas pins the admission rules: a host-wide tenant cap
+// and a per-owner cap, with evicted tenants still counting toward both.
+func TestRegistryQuotas(t *testing.T) {
+	r := NewRegistry(stubFactory(0), Config{MaxTenants: 2, MaxPerOwner: 1})
+	ctx := context.Background()
+
+	if _, err := r.Create(ctx, Spec{ID: "a", Owner: "alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "a2", Owner: "alice"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("owner over quota: %v, want ErrQuota", err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "b", Owner: "bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "c", Owner: "carol"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("host over cap: %v, want ErrQuota", err)
+	}
+
+	// Eviction spills live state but keeps the id and owner slot: the
+	// caps must still hold.
+	if got := r.EvictIdle(ctx, 0); len(got) != 2 {
+		t.Fatalf("EvictIdle = %v, want both tenants", got)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "c", Owner: "carol"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("host cap ignored evicted tenants: %v, want ErrQuota", err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "a2", Owner: "alice"}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("owner cap ignored evicted tenants: %v, want ErrQuota", err)
+	}
+
+	// Deleting an evicted tenant frees its slot for a new create.
+	if err := r.Delete(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "a2", Owner: "alice"}); err != nil {
+		t.Fatalf("create after freeing quota: %v", err)
+	}
+	r.DrainAll(ctx) //nolint:errcheck // test cleanup
+}
+
+// TestRegistryEvictAndRevive: an idle tenant's live state spills to a
+// spec, lookups answer ErrEvicted, and Revive rebuilds a working tenant.
+func TestRegistryEvictAndRevive(t *testing.T) {
+	r := NewRegistry(stubFactory(0), Config{})
+	ctx := context.Background()
+	if _, err := r.Create(ctx, Spec{ID: "idle", Dataset: "dmv", Model: "fcn"}); err != nil {
+		t.Fatal(err)
+	}
+	// An active tenant must not be evicted.
+	if got := r.EvictIdle(ctx, time.Hour); len(got) != 0 {
+		t.Fatalf("EvictIdle(1h) evicted fresh tenant: %v", got)
+	}
+	got := r.EvictIdle(ctx, 0)
+	if len(got) != 1 || got[0] != "idle" {
+		t.Fatalf("EvictIdle = %v, want [idle]", got)
+	}
+	if _, err := r.Get("idle"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("get of evicted tenant: %v, want ErrEvicted", err)
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].State != StateEvicted {
+		t.Fatalf("list after evict = %+v", infos)
+	}
+	if _, err := r.Create(ctx, Spec{ID: "idle"}); !errors.Is(err, ErrExists) {
+		t.Fatalf("create over evicted id: %v, want ErrExists", err)
+	}
+
+	tn, err := r.Revive(ctx, "idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Spec().Dataset != "dmv" || tn.Spec().Model != "fcn" {
+		t.Fatalf("revived spec = %+v, want the spilled one", tn.Spec())
+	}
+	if _, err := tn.Estimate(ctx, []*query.Query{testQuery(0.5)}); err != nil {
+		t.Fatalf("estimate on revived tenant: %v", err)
+	}
+	// Reviving an already-live tenant hands back the live one.
+	again, err := r.Revive(ctx, "idle")
+	if err != nil || again != tn {
+		t.Fatalf("second revive = %v, %v, want the live tenant", again, err)
+	}
+	if _, err := r.Revive(ctx, "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("revive of unknown id: %v, want ErrNotFound", err)
+	}
+	r.DrainAll(ctx) //nolint:errcheck // test cleanup
+}
+
+// TestRegistryReviveFailureRespills: a failed revival puts the spec back
+// so a later request can retry.
+func TestRegistryReviveFailureRespills(t *testing.T) {
+	fail := false
+	factory := func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error) {
+		if fail {
+			return nil, nil, errors.New("transient build failure")
+		}
+		return &countTarget{}, testMeta(), nil
+	}
+	r := NewRegistry(factory, Config{})
+	ctx := context.Background()
+	if _, err := r.Create(ctx, Spec{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.EvictIdle(ctx, 0); len(got) != 1 {
+		t.Fatalf("EvictIdle = %v", got)
+	}
+	fail = true
+	if _, err := r.Revive(ctx, "x"); err == nil {
+		t.Fatal("revive succeeded with failing factory")
+	}
+	if _, err := r.Get("x"); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("spec not re-spilled after failed revive: %v, want ErrEvicted", err)
+	}
+	fail = false
+	if _, err := r.Revive(ctx, "x"); err != nil {
+		t.Fatalf("retry revive: %v", err)
+	}
+	r.DrainAll(ctx) //nolint:errcheck // test cleanup
+}
+
+// TestRegistryDrainDuringCreateRace: a create whose factory completes
+// after DrainAll began must NOT register a live tenant — its model
+// goroutine would outlive the shutdown. Run with -race.
+func TestRegistryDrainDuringCreateRace(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	factory := func(ctx context.Context, spec Spec) (ce.Target, *query.Meta, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return &countTarget{}, testMeta(), nil
+	}
+	r := NewRegistry(factory, Config{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Create(context.Background(), Spec{ID: "late"})
+		done <- err
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- r.DrainAll(context.Background()) }()
+	// DrainAll must not block on the in-flight create (its slot has no
+	// tenant yet).
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("DrainAll: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DrainAll blocked on an in-flight create")
+	}
+
+	close(release)
+	if err := <-done; !errors.Is(err, ErrDraining) {
+		t.Fatalf("create completing after drain: %v, want ErrDraining", err)
+	}
+	// The discarded create must leave nothing behind.
+	if _, err := r.Get("late"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("late create left a slot: %v, want ErrNotFound", err)
+	}
+	if _, err := r.Create(context.Background(), Spec{ID: "post"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("create after drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestRegistryDeleteDuringEstimateRace: deletes racing in-flight
+// estimates must either serve or fail cleanly (ErrDraining/NotFound) and
+// the drain must wait for queued work. Run with -race.
+func TestRegistryDeleteDuringEstimateRace(t *testing.T) {
+	r := NewRegistry(stubFactory(0), Config{BatchWindow: time.Microsecond})
+	ctx := context.Background()
+	const rounds = 10
+	for n := 0; n < rounds; n++ {
+		tn, err := r.Create(ctx, Spec{ID: "victim"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := 0; k < 10; k++ {
+					_, err := tn.Estimate(ctx, []*query.Query{testQuery(0.5)})
+					switch {
+					case err == nil,
+						errors.Is(err, ErrDraining),
+						errors.Is(err, ErrQueueFull):
+					default:
+						t.Errorf("estimate during delete: %v", err)
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.Delete(ctx, "victim"); err != nil && !errors.Is(err, ErrNotFound) {
+				t.Errorf("delete: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+}
+
 // TestRegistryCreateIsVisibleWhileProvisioning: a slow create lists as
 // "creating", fails duplicate creates fast, and Get answers ErrNotReady.
 func TestRegistryCreateIsVisibleWhileProvisioning(t *testing.T) {

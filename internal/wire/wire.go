@@ -177,7 +177,12 @@ type ExecuteResponse struct {
 //	unknown_target, target_exists   → permanent (the tenant route is wrong)
 //	unauthorized                    → permanent (fix the bearer token)
 //	rate_limited, overloaded        → transient, back off (429 + Retry-After)
+//	quota_exceeded                  → transient-ish (429 + Retry-After; free a
+//	                                  tenant slot, or wait for idle eviction)
 //	draining, not_ready, internal   → transient (retry against a healthy peer)
+//	evicted                         → transient (503 + Retry-After; the first
+//	                                  request triggers lazy revival — retry
+//	                                  until the tenant is rebuilt)
 const (
 	CodeBadRequest    = "bad_request"
 	CodeInvalidQuery  = "invalid_query"
@@ -189,6 +194,8 @@ const (
 	CodeTargetExists  = "target_exists"
 	CodeUnauthorized  = "unauthorized"
 	CodeNotReady      = "not_ready"
+	CodeQuotaExceeded = "quota_exceeded"
+	CodeEvicted       = "evicted"
 )
 
 // ErrorResponse is the body of every non-2xx reply.
@@ -254,6 +261,31 @@ type DeleteTargetResponse struct {
 type HealthzResponse struct {
 	Status  string            `json:"status"` // "ok" or "draining"
 	Tenants map[string]string `json:"tenants"`
+}
+
+// BackendStatus is one fleet member's health entry: its base URL, the
+// router's current up/down verdict, and how many tenants it hosts.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Up      bool   `json:"up"`
+	Tenants int    `json:"tenants"`
+}
+
+// TenantPlacement reports where the router has placed a tenant and what
+// lifecycle state the placement is in ("ready", "rebuilding" or
+// "evicted"). Backend is empty while evicted.
+type TenantPlacement struct {
+	State   string `json:"state"`
+	Backend string `json:"backend,omitempty"`
+}
+
+// FleetStatusResponse is pacerouter's admin view: per-backend health and
+// the tenant placement map. GET /v1/fleet.
+type FleetStatusResponse struct {
+	V        int                        `json:"v"`
+	Status   string                     `json:"status"` // "ok" or "degraded"
+	Backends []BackendStatus            `json:"backends"`
+	Tenants  map[string]TenantPlacement `json:"tenants"`
 }
 
 // RetryAfter renders a Retry-After header value (whole seconds, min 1)
