@@ -50,6 +50,7 @@ func main() {
 		duration    = flag.Duration("duration", 10*time.Second, "how long to offer load")
 		timeout     = flag.Duration("timeout", 5*time.Second, "per-request timeout")
 		clientID    = flag.String("client", "", "X-Pace-Client identity (default host/pid)")
+		codecName   = flag.String("codec", "binary", "data-path wire codec: binary or json (415 from an older server downgrades the lane to json)")
 		authToken   = cli.AuthToken()
 		out         = flag.String("out", "", "write the JSON report here (default stdout)")
 		obsFlags    = cli.Obs()
@@ -78,30 +79,28 @@ func main() {
 		}
 	}
 
-	dial := func(tenant string) *remote.RemoteTarget {
-		rt, err := remote.New(*url, remote.Options{
-			CoalesceWindow: 0, // one request per estimate: honest per-call latency
-			RequestTimeout: *timeout,
-			ClientID:       *clientID,
-			Tenant:         tenant,
-			AuthToken:      *authToken,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		return rt
+	// One shared client; each lane gets its own routed target view so
+	// per-tenant wire counters stay separate while connections pool.
+	rc, err := remote.NewClient(*url, remote.Options{
+		CoalesceWindow: 0, // one request per estimate: honest per-call latency
+		RequestTimeout: *timeout,
+		ClientID:       *clientID,
+		AuthToken:      *authToken,
+		Codec:          *codecName,
+	})
+	if err != nil {
+		fatal(err)
 	}
+	defer rc.Close()
 
 	var lanes []loadgen.Lane
 	if len(tenants) == 0 {
-		rt := dial("")
-		defer rt.Close()
-		lanes = []loadgen.Lane{{Target: "default", Est: rt.EstimateContext, Queries: pool, Config: lcfg}}
+		rt := rc.Target("")
+		lanes = []loadgen.Lane{{Target: "default", Est: rt.EstimateContext, Stats: rt.Stats, Queries: pool, Config: lcfg}}
 	} else {
 		for _, id := range tenants {
-			rt := dial(id)
-			defer rt.Close()
-			lanes = append(lanes, loadgen.Lane{Target: id, Est: rt.EstimateContext, Queries: clonePool(pool), Config: lcfg})
+			rt := rc.Target(id)
+			lanes = append(lanes, loadgen.Lane{Target: id, Est: rt.EstimateContext, Stats: rt.Stats, Queries: clonePool(pool), Config: lcfg})
 		}
 	}
 
@@ -131,8 +130,9 @@ func main() {
 	for _, lane := range lanes {
 		rep := ledger[lane.Target]
 		fmt.Fprintf(os.Stderr,
-			"loadgen: [%s] %d sent → %d ok, %d shed(429), %d unavailable, %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms)\n",
-			lane.Target, rep.Sent, rep.OK, rep.Shed, rep.Unavailable, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99)
+			"loadgen: [%s] %d sent → %d ok, %d shed(429), %d unavailable, %d errors; p50 %.2fms p99 %.2fms (shed p99 %.2fms); %s codec, %.1f KiB out / %.1f KiB in\n",
+			lane.Target, rep.Sent, rep.OK, rep.Shed, rep.Unavailable, rep.Errors, rep.LatencyMsP50, rep.LatencyMsP99, rep.ShedMsP99,
+			rep.Codec, float64(rep.WireBytesOut)/1024, float64(rep.WireBytesIn)/1024)
 	}
 	if err := obsShutdown(); err != nil {
 		fatal(err)

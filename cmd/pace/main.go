@@ -61,6 +61,9 @@ func main() {
 		targetURL = flag.String("target-url", "", "attack a live paced service at this base URL instead of an in-process black box (may carry a /v1/targets/{id} tenant route)")
 		tenantID  = flag.String("target", "", "tenant id at a multi-tenant paced host (default: the host's default tenant)")
 		authToken = cli.AuthToken()
+		codecName = flag.String("codec", "binary", "data-path wire codec for the remote target: binary or json (the client downgrades to json if the server answers 415)")
+		streamEx  = flag.Bool("stream-execute", false, "deliver the poisoning workload over the streamed-execute protocol (chunked upload, async completion poll) instead of sequential synchronous posts")
+		streamChk = flag.Int("stream-chunk", 0, "queries per streamed-execute chunk (0 = default 512)")
 
 		retryAttempts = flag.Int("retry-attempts", 0, "retry budget per target/oracle call, campaign and evaluation traffic alike (0 = policy default of 3); raise it to ride out a backend failover behind pacerouter")
 
@@ -114,18 +117,19 @@ func main() {
 		bb := w.NewBlackBox(typ, 1)
 		evalTarget = bb
 	} else {
-		rt, err := remote.New(*targetURL, remote.Options{
+		rc, err := remote.NewClient(*targetURL, remote.Options{
 			ClientID:       "pace-eval",
 			CoalesceWindow: 0,
-			Tenant:         *tenantID,
 			AuthToken:      *authToken,
+			Codec:          *codecName,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		evalTarget = rt
-		fmt.Printf("remote target: %s\n", *targetURL)
+		defer rc.Close()
+		evalTarget = rc.Target(*tenantID)
+		fmt.Printf("remote target: %s (%s codec)\n", *targetURL, *codecName)
 	}
 	evalPol := resilience.RetryPolicy{MaxAttempts: *retryAttempts}
 	beforeErrs, err := targetQErrors(ctx, evalTarget, qs, cards, evalPol)
@@ -196,6 +200,9 @@ func main() {
 		campaign.TargetURL = *targetURL
 		campaign.Remote.Tenant = *tenantID
 		campaign.Remote.AuthToken = *authToken
+		campaign.Remote.Codec = *codecName
+		campaign.Remote.StreamExecute = *streamEx
+		campaign.Remote.StreamChunk = *streamChk
 	} else {
 		campaign.Target = evalTarget
 	}

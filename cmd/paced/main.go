@@ -56,6 +56,7 @@ func main() {
 		seed        = cli.Seed()
 		tenants     = flag.String("tenants", "", "boot tenants instead of the single default one: comma-separated id=dataset:model[:seedoffset], or \"none\" to boot empty (fleet members behind pacerouter, which provisions tenants itself)")
 		estCache    = flag.Int("est-cache", 0, "per-tenant LRU estimate cache entries, modeling a plan cache (0 = disabled)")
+		codecs      = flag.String("codecs", "", "data-path codecs the server negotiates, comma-separated subset of json,binary (default: both; control plane is always json)")
 		authTokens  = flag.String("auth-tokens", "", "bearer-token file (one \"token client-name\" per line); when set, client identity is token-derived and unauthenticated requests get 401")
 
 		maxBatch    = flag.Int("max-batch", 64, "micro-batch size cap in queries")
@@ -114,6 +115,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	var codecList []string
+	for _, name := range strings.Split(*codecs, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if name != "json" && name != "binary" {
+				fmt.Fprintf(os.Stderr, "paced: -codecs %q: unknown codec %q (want json or binary)\n", *codecs, name)
+				os.Exit(2)
+			}
+			codecList = append(codecList, name)
+		}
+	}
+
 	cfg := targetserver.Config{
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
@@ -127,6 +139,7 @@ func main() {
 		IdleAfter:      *idleEvict,
 		AuthTokens:     tokens,
 		Telemetry:      tel,
+		Codecs:         codecList,
 	}
 	// The same factory serves boot-time -tenants and runtime POST
 	// /v1/targets; its base profile matches cmd/pace's defaults.

@@ -71,12 +71,12 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 	case target != nil && c.TargetURL != "":
 		return nil, errors.New("core: Target and TargetURL are mutually exclusive")
 	case target == nil:
-		rt, err := remote.New(c.TargetURL, c.Remote)
+		rc, err := remote.NewClient(c.TargetURL, c.Remote)
 		if err != nil {
 			return nil, err
 		}
-		defer rt.Close()
-		target = rt
+		defer rc.Close()
+		target = rc.Target(c.Remote.Tenant)
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	return runCampaign(ctx, target, c.Workload, c.Test, c.History, c.Config, rng)

@@ -142,11 +142,12 @@ func RunMatrixRemote(name string, models []ce.Type, cfg Config, baseURL string, 
 	if err != nil {
 		return nil, err
 	}
-	admin, err := remote.NewAdmin(baseURL, opts)
+	client, err := remote.NewClient(baseURL, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer admin.Close()
+	defer client.Close()
+	admin := client.Admin()
 
 	res := &MatrixResult{
 		Dataset: name,
@@ -170,14 +171,9 @@ func RunMatrixRemote(name string, models []ce.Type, cfg Config, baseURL string, 
 			return fmt.Errorf("provisioning %s: %w", id, err)
 		}
 		defer admin.DeleteTarget(ctx, id) //nolint:errcheck // best-effort cleanup
-		ropts := opts
-		ropts.Tenant = id
-		rt, err := remote.New(baseURL, ropts)
-		if err != nil {
-			return err
-		}
-		defer rt.Close()
-		return fn(rt)
+		// Targets share the client's connection pool; each cell just gets
+		// its own routed view.
+		return fn(client.Target(id))
 	}
 
 	rows := make([]map[core.Method]*MatrixCell, len(models))

@@ -78,6 +78,15 @@ type Report struct {
 	// Shed latency: how quickly the server said 429 — load shedding
 	// only helps if rejection is much cheaper than service.
 	ShedMsP99 float64 `json:"shed_ms_p99"`
+
+	// Wire accounting, filled when the lane exposes its client's Stats:
+	// the data codec that actually served the lane ("json" may appear
+	// after a sticky 415 downgrade of a "binary" lane) and the request/
+	// response body bytes it moved — the per-tenant bandwidth column
+	// behind BENCH_remote.json's codec comparison.
+	Codec        string `json:"codec,omitempty"`
+	WireBytesOut int64  `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64  `json:"wire_bytes_in,omitempty"`
 }
 
 // Run offers cfg.QPS of estimate traffic over the queries (round-robin)
@@ -168,6 +177,10 @@ type Lane struct {
 	Target string
 	// Est fires one estimate against the lane's tenant.
 	Est Estimate
+	// Stats, when set, snapshots the lane's wire counters (normally the
+	// RemoteTarget.Stats method behind Est); the lane's Report then
+	// carries the codec and byte columns as the delta across the run.
+	Stats func() remote.Stats
 	// Queries is the lane's replayed pool.
 	Queries []*query.Query
 	// Config shapes the lane's offered load.
@@ -189,7 +202,18 @@ func RunLanes(ctx context.Context, lanes []Lane) Ledger {
 		wg.Add(1)
 		go func(i int, lane Lane) {
 			defer wg.Done()
-			reports[i] = Run(ctx, lane.Est, lane.Queries, lane.Config)
+			var before remote.Stats
+			if lane.Stats != nil {
+				before = lane.Stats()
+			}
+			rep := Run(ctx, lane.Est, lane.Queries, lane.Config)
+			if lane.Stats != nil {
+				after := lane.Stats()
+				rep.Codec = after.Codec
+				rep.WireBytesOut = after.BytesOut - before.BytesOut
+				rep.WireBytesIn = after.BytesIn - before.BytesIn
+			}
+			reports[i] = rep
 		}(i, lane)
 	}
 	wg.Wait()

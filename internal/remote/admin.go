@@ -29,12 +29,15 @@ type Admin struct {
 // NewAdmin builds an admin client for the host at baseURL
 // (scheme://host:port). Options.Tenant is ignored — admin routes carry
 // their tenant ids explicitly.
+//
+// Deprecated: use NewClient(baseURL, opts).Admin(). NewAdmin is kept as
+// a thin wrapper.
 func NewAdmin(baseURL string, opts Options) (*Admin, error) {
-	t, err := New(baseURL, opts)
+	c, err := NewClient(baseURL, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Admin{base: t.base, opts: t.opts, client: t.client, t: t}, nil
+	return c.Admin(), nil
 }
 
 // Close releases pooled connections.

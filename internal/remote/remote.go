@@ -28,9 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
-	"net/url"
 	"os"
 	"strconv"
 	"strings"
@@ -126,6 +124,21 @@ type Options struct {
 	// AuthToken, when set, is sent as "Authorization: Bearer <token>" —
 	// required by servers running with -auth-tokens.
 	AuthToken string
+	// Codec picks the data-path wire codec: "binary" (default) or
+	// "json". Control-plane and admin calls always speak JSON. If the
+	// server rejects the binary codec (415 unsupported_media), the
+	// client downgrades to JSON once and sticks there.
+	Codec string
+	// StreamExecute switches ExecuteWorkload onto the streamed-execute
+	// protocol: chunk uploads acked asynchronously (202 = enqueued) with
+	// a completion poll, instead of sequential synchronous /execute
+	// posts. Exactly-once under whole-stream retries: the execution
+	// token is derived from the workload content and the server dedupes
+	// (token, seq).
+	StreamExecute bool
+	// StreamChunk caps queries per streamed chunk (default 512, max
+	// wire.MaxBatch).
+	StreamChunk int
 	// Client overrides the pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -147,6 +160,15 @@ func (o Options) withDefaults() Options {
 		host, _ := os.Hostname()
 		o.ClientID = fmt.Sprintf("%s/%d", host, os.Getpid())
 	}
+	if o.Codec == "" {
+		o.Codec = "binary"
+	}
+	if o.StreamChunk <= 0 {
+		o.StreamChunk = 512
+	}
+	if o.StreamChunk > wire.MaxBatch {
+		o.StreamChunk = wire.MaxBatch
+	}
 	return o
 }
 
@@ -161,6 +183,14 @@ type Stats struct {
 	Coalesced int64
 	// Overloaded, Invalid, Unavailable count classified failures.
 	Overloaded, Invalid, Unavailable int64
+	// BytesOut and BytesIn count request/response body bytes on the
+	// wire (headers excluded) — the numbers behind the codec bandwidth
+	// comparison in BENCH_remote.json.
+	BytesOut, BytesIn int64
+	// Codec names the data codec currently in effect ("binary" or
+	// "json" — the latter either by configuration or after a sticky 415
+	// downgrade).
+	Codec string
 }
 
 // RemoteTarget implements ce.Target over the paced wire protocol.
@@ -170,12 +200,25 @@ type RemoteTarget struct {
 	opts   Options
 	client *http.Client
 
+	codec      wire.Codec  // configured data codec
+	downgraded atomic.Bool // sticky JSON fallback after a 415
+
 	mu      sync.Mutex
 	pending []*pendingEst
 	flushT  *time.Timer
 
 	requests, queries, coalesced          atomic.Int64
 	overloaded, invalid, unavailableCount atomic.Int64
+	bytesOut, bytesIn                     atomic.Int64
+}
+
+// wireCodec is the data codec currently in effect: the configured one,
+// or JSON after a sticky 415 downgrade.
+func (t *RemoteTarget) wireCodec() wire.Codec {
+	if t.downgraded.Load() {
+		return wire.JSON
+	}
+	return t.codec
 }
 
 var _ ce.Target = (*RemoteTarget)(nil)
@@ -194,31 +237,16 @@ type pendingRes struct {
 // scheme://host:port (optionally routed by Options.Tenant) or a full
 // tenant route scheme://host:port/v1/targets/<id>, the form README's
 // multi-tenant quickstart passes to cmd/pace -target-url.
+//
+// Deprecated: use NewClient(baseURL, opts).Target(opts.Tenant) — one
+// Client now hands out both the data-path target and the admin surface
+// over a shared connection pool. New is kept as a thin wrapper.
 func New(baseURL string, opts Options) (*RemoteTarget, error) {
-	opts = opts.withDefaults()
-	baseURL = strings.TrimRight(baseURL, "/")
-	if !strings.HasPrefix(baseURL, "http://") && !strings.HasPrefix(baseURL, "https://") {
-		return nil, fmt.Errorf("remote: target URL %q must be http(s)", baseURL)
+	c, err := NewClient(baseURL, opts)
+	if err != nil {
+		return nil, err
 	}
-	prefix := "/v1"
-	switch {
-	case strings.Contains(baseURL, "/v1/targets/"):
-		prefix = "" // the URL already routes to a tenant
-	case opts.Tenant != "":
-		prefix = "/v1/targets/" + url.PathEscape(opts.Tenant)
-	}
-	client := opts.Client
-	if client == nil {
-		client = &http.Client{
-			Transport: &http.Transport{
-				DialContext:         (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
-				MaxIdleConns:        64,
-				MaxIdleConnsPerHost: 64,
-				IdleConnTimeout:     90 * time.Second,
-			},
-		}
-	}
-	return &RemoteTarget{base: baseURL, prefix: prefix, opts: opts, client: client}, nil
+	return c.Target(opts.Tenant), nil
 }
 
 // Close flushes any open coalescing window and releases pooled
@@ -247,6 +275,9 @@ func (t *RemoteTarget) Stats() Stats {
 		Overloaded:  t.overloaded.Load(),
 		Invalid:     t.invalid.Load(),
 		Unavailable: t.unavailableCount.Load(),
+		BytesOut:    t.bytesOut.Load(),
+		BytesIn:     t.bytesIn.Load(),
+		Codec:       t.wireCodec().Name(),
 	}
 }
 
@@ -332,9 +363,17 @@ func (t *RemoteTarget) sendBatch(batch []*pendingEst) {
 
 // ExecuteWorkload implements ce.Target: the feedback channel that makes
 // the remote estimator incrementally retrain. Cards travel bit-exactly.
+// With Options.StreamExecute the workload rides the streamed-execute
+// protocol; otherwise it is chunked into sequential synchronous posts.
 func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, cards []float64) error {
 	if len(qs) != len(cards) {
 		return fmt.Errorf("%w: %d queries with %d cards", ce.ErrInvalidQuery, len(qs), len(cards))
+	}
+	if len(qs) == 0 {
+		return nil
+	}
+	if t.opts.StreamExecute {
+		return t.executeStream(ctx, qs, cards)
 	}
 	// Chunk to the wire cap; the server applies each chunk in arrival
 	// order through its single trainer goroutine.
@@ -348,8 +387,13 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 			Queries: wire.EncodeQueries(qs[lo:hi]),
 			Cards:   wire.FromFloats(cards[lo:hi]),
 		}
-		var resp wire.ExecuteResponse
-		if err := t.post(ctx, t.prefix+"/execute", req, &resp); err != nil {
+		err := t.postData(ctx, t.prefix+"/execute",
+			func(c wire.Codec) ([]byte, error) { return c.EncodeExecuteRequest(&req) },
+			func(c wire.Codec, raw []byte) error {
+				_, err := c.DecodeExecuteResponse(raw)
+				return err
+			})
+		if err != nil {
 			return err
 		}
 		t.queries.Add(int64(hi - lo))
@@ -359,8 +403,15 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 
 func (t *RemoteTarget) estimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
 	req := wire.EstimateRequest{V: wire.Version, Queries: wire.EncodeQueries(qs)}
-	var resp wire.EstimateResponse
-	if err := t.post(ctx, t.prefix+"/estimate", req, &resp); err != nil {
+	var resp *wire.EstimateResponse
+	err := t.postData(ctx, t.prefix+"/estimate",
+		func(c wire.Codec) ([]byte, error) { return c.EncodeEstimateRequest(&req) },
+		func(c wire.Codec, raw []byte) error {
+			var derr error
+			resp, derr = c.DecodeEstimateResponse(raw)
+			return derr
+		})
+	if err != nil {
 		return nil, err
 	}
 	if len(resp.Estimates) != len(qs) {
@@ -371,56 +422,118 @@ func (t *RemoteTarget) estimateBatch(ctx context.Context, qs []*query.Query) ([]
 	return wire.ToFloats(resp.Estimates), nil
 }
 
-// post sends one JSON exchange and decodes the reply, classifying every
-// failure mode onto the pipeline's error taxonomy.
-func (t *RemoteTarget) post(ctx context.Context, path string, body, dst any) error {
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, t.opts.RequestTimeout)
-		defer cancel()
-	}
-	payload, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("remote: encode: %w", err)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("remote: request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(clientHeader, t.opts.ClientID)
-	if t.opts.AuthToken != "" {
-		req.Header.Set("Authorization", "Bearer "+t.opts.AuthToken)
-	}
+// errUnsupportedCodec marks a 415: the server does not speak the codec
+// the request body arrived in. The data path downgrades to JSON (which
+// every server speaks) and retries once.
+var errUnsupportedCodec = errors.New("remote: server rejected request codec")
 
-	t.requests.Add(1)
-	resp, err := t.client.Do(req)
-	if err != nil {
-		// The caller's context expiring is its own error class — the
-		// retry layer must NOT retry it.
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+// errUnknownExecution marks a 404 carrying the unknown_execution code:
+// the streamed-execute token is not in the server's registry.
+var errUnknownExecution = errors.New("remote: unknown execution")
+
+// postData sends one data-path exchange in the negotiated codec. The
+// request body travels in wireCodec()'s encoding; the Accept header asks
+// for the same back, and the response is decoded by whatever
+// Content-Type the server chose (a binary-asking client must still
+// accept JSON from a JSON-only server). A 415 downgrades the codec to
+// JSON — sticky, so one old server demotes the connection exactly once.
+func (t *RemoteTarget) postData(ctx context.Context, path string, encode func(wire.Codec) ([]byte, error), decode func(wire.Codec, []byte) error) error {
+	for {
+		c := t.wireCodec()
+		payload, err := encode(c)
+		if err != nil {
+			return fmt.Errorf("remote: encode: %w", err)
 		}
-		t.unavailableCount.Add(1)
-		return fmt.Errorf("%w: %v", ErrUnavailable, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
-	if err != nil {
-		if cerr := ctx.Err(); cerr != nil {
-			return cerr
+		raw, respCT, err := t.roundTrip(ctx, http.MethodPost, path, c.ContentType(), nil, payload, http.StatusOK)
+		if err != nil {
+			if errors.Is(err, errUnsupportedCodec) && c.Name() != "json" {
+				t.downgraded.Store(true)
+				continue
+			}
+			return err
 		}
-		t.unavailableCount.Add(1)
-		return fmt.Errorf("%w: reading response: %v", ErrUnavailable, err)
-	}
-	if resp.StatusCode == http.StatusOK {
-		if err := json.Unmarshal(raw, dst); err != nil {
+		respC, ok := wire.CodecForContentType(respCT)
+		if !ok {
+			t.unavailableCount.Add(1)
+			return fmt.Errorf("%w: response in unknown content type %q", ErrUnavailable, respCT)
+		}
+		if err := decode(respC, raw); err != nil {
 			t.unavailableCount.Add(1)
 			return fmt.Errorf("%w: malformed response: %v", ErrUnavailable, err)
 		}
 		return nil
 	}
-	return t.classify(resp, raw)
+}
+
+// roundTrip runs one HTTP exchange: deadline backstop, identity and
+// codec headers, byte accounting, and classification of every non-want
+// status onto the pipeline's error taxonomy. It returns the body and
+// its Content-Type on wantStatus; contentType may be "" for bodyless
+// requests.
+func (t *RemoteTarget) roundTrip(ctx context.Context, method, path, contentType string, hdr map[string]string, payload []byte, wantStatus int) ([]byte, string, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.opts.RequestTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, rd)
+	if err != nil {
+		return nil, "", fmt.Errorf("remote: request: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if t.wireCodec().Name() == "binary" {
+		// Ask for binary responses; JSON stays acceptable implicitly —
+		// the server falls back to it when binary is disabled.
+		req.Header.Set("Accept", wire.BinaryContentType)
+	}
+	req.Header.Set(clientHeader, t.opts.ClientID)
+	if t.opts.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+t.opts.AuthToken)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+
+	t.requests.Add(1)
+	t.bytesOut.Add(int64(len(payload)))
+	resp, err := t.client.Do(req)
+	if err != nil {
+		// The caller's context expiring is its own error class — the
+		// retry layer must NOT retry it.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, "", cerr
+		}
+		t.unavailableCount.Add(1)
+		return nil, "", fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponse))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, "", cerr
+		}
+		t.unavailableCount.Add(1)
+		return nil, "", fmt.Errorf("%w: reading response: %v", ErrUnavailable, err)
+	}
+	t.bytesIn.Add(int64(len(raw)))
+	if resp.StatusCode == wantStatus {
+		return raw, resp.Header.Get("Content-Type"), nil
+	}
+	// Negotiation and streamed-execute outcomes the caller handles
+	// structurally, ahead of the generic taxonomy.
+	switch {
+	case resp.StatusCode == http.StatusUnsupportedMediaType:
+		return nil, "", fmt.Errorf("%w: %s", errUnsupportedCodec, strings.TrimSpace(string(raw)))
+	case resp.StatusCode == http.StatusNotFound && bytes.Contains(raw, []byte(`"`+wire.CodeUnknownExecution+`"`)):
+		return nil, "", errUnknownExecution
+	}
+	return nil, "", t.classify(resp, raw)
 }
 
 // maxResponse bounds response bodies (mirror of the server's request cap).

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -34,22 +35,40 @@ func testQuery() *query.Query {
 }
 
 // echoServer answers estimates with a fixed bit pattern per query and
-// counts requests and queries.
+// counts requests and queries. It speaks whatever codec the request
+// body arrived in, like a real paced host.
 func echoServer(t *testing.T, est float64) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
 	t.Helper()
 	var reqs, queries atomic.Int64
 	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
-		var req wire.EstimateRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c, ok := wire.CodecForContentType(r.Header.Get("Content-Type"))
+		if !ok {
+			t.Errorf("server: unknown content type %q", r.Header.Get("Content-Type"))
+			return
+		}
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		req, err := c.DecodeEstimateRequest(raw)
+		if err != nil {
 			t.Errorf("server decode: %v", err)
+			return
 		}
 		queries.Add(int64(len(req.Queries)))
 		ests := make([]wire.B64, len(req.Queries))
 		for i := range ests {
 			ests[i] = wire.FromFloat(est)
 		}
-		json.NewEncoder(w).Encode(wire.EstimateResponse{V: wire.Version, Estimates: ests})
+		blob, err := c.EncodeEstimateResponse(&wire.EstimateResponse{V: wire.Version, Estimates: ests})
+		if err != nil {
+			t.Errorf("server encode: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", c.ContentType())
+		w.Write(blob)
 	}))
 	t.Cleanup(hs.Close)
 	return hs, &reqs, &queries
@@ -290,15 +309,28 @@ func TestExecuteWorkloadChunksAtWireCap(t *testing.T) {
 	var total atomic.Int64
 	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		reqs.Add(1)
-		var req wire.ExecuteRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		c, ok := wire.CodecForContentType(r.Header.Get("Content-Type"))
+		if !ok {
+			t.Errorf("unknown content type %q", r.Header.Get("Content-Type"))
+			return
+		}
+		raw, err := io.ReadAll(r.Body)
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		req, err := c.DecodeExecuteRequest(raw)
+		if err != nil {
 			t.Errorf("decode: %v", err)
+			return
 		}
 		if len(req.Queries) > wire.MaxBatch {
 			t.Errorf("chunk of %d queries exceeds wire cap %d", len(req.Queries), wire.MaxBatch)
 		}
 		total.Add(int64(len(req.Queries)))
-		json.NewEncoder(w).Encode(wire.ExecuteResponse{V: wire.Version, Executed: len(req.Queries)})
+		blob, _ := c.EncodeExecuteResponse(&wire.ExecuteResponse{V: wire.Version, Executed: len(req.Queries)})
+		w.Header().Set("Content-Type", c.ContentType())
+		w.Write(blob)
 	}))
 	defer hs.Close()
 	rt := newTarget(t, hs.URL, remote.Options{})

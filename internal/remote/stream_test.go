@@ -1,0 +1,299 @@
+package remote_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pace/internal/ce"
+	"pace/internal/query"
+	"pace/internal/remote"
+	"pace/internal/wire"
+)
+
+// streamServer fakes the paced streamed-execute surface with fault
+// hooks, so the client's protocol loops (shed rides, codec downgrade,
+// re-open after a forgotten token) can be driven deterministically.
+type streamServer struct {
+	t  *testing.T
+	hs *httptest.Server
+
+	mu      sync.Mutex
+	opens   int
+	deletes int
+	opened  map[string]bool
+	applied map[int64]int      // seq → times applied
+	codecs  map[int64]string   // seq → codec name the chunk arrived in
+	cards   map[int64][]uint64 // seq → card bit patterns
+
+	rejectBinary bool  // 415 every binary chunk
+	shedOnce     int64 // -1 off: shed this seq's first attempt with 429
+	forgetOnce   int64 // -1 off: forget the token when this seq first arrives
+	failStream   bool  // status poll reports the execution failed
+}
+
+func newStreamServer(t *testing.T) *streamServer {
+	ss := &streamServer{
+		t:          t,
+		opened:     map[string]bool{},
+		applied:    map[int64]int{},
+		codecs:     map[int64]string{},
+		cards:      map[int64][]uint64{},
+		shedOnce:   -1,
+		forgetOnce: -1,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/targets/default/executions", ss.open)
+	mux.HandleFunc("POST /v1/targets/default/executions/{token}", ss.chunk)
+	mux.HandleFunc("GET /v1/targets/default/executions/{token}", ss.status)
+	mux.HandleFunc("DELETE /v1/targets/default/executions/{token}", ss.del)
+	ss.hs = httptest.NewServer(mux)
+	t.Cleanup(ss.hs.Close)
+	return ss
+}
+
+func (ss *streamServer) errJSON(w http.ResponseWriter, status int, code string) {
+	w.Header().Set("Content-Type", wire.JSONContentType)
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"v":%d,"code":%q,"error":%q}`, wire.Version, code, code)
+}
+
+func (ss *streamServer) ack(w http.ResponseWriter, status int, token, state string) {
+	ss.mu.Lock()
+	n := int64(len(ss.applied))
+	ss.mu.Unlock()
+	w.Header().Set("Content-Type", wire.JSONContentType)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(wire.ExecutionResponse{ //nolint:errcheck
+		V: wire.Version, Token: token, State: state, Applied: n, Queries: n,
+	})
+}
+
+func (ss *streamServer) open(w http.ResponseWriter, r *http.Request) {
+	var req wire.OpenExecutionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || !wire.ValidExecutionToken(req.Token) {
+		ss.errJSON(w, http.StatusBadRequest, wire.CodeBadRequest)
+		return
+	}
+	ss.mu.Lock()
+	ss.opens++
+	ss.opened[req.Token] = true
+	ss.mu.Unlock()
+	ss.ack(w, http.StatusOK, req.Token, wire.ExecutionRunning)
+}
+
+func (ss *streamServer) chunk(w http.ResponseWriter, r *http.Request) {
+	token := r.PathValue("token")
+	var seq int64
+	if _, err := fmt.Sscan(r.Header.Get(wire.ChunkSeqHeader), &seq); err != nil {
+		ss.errJSON(w, http.StatusBadRequest, wire.CodeBadRequest)
+		return
+	}
+	ss.mu.Lock()
+	if !ss.opened[token] {
+		ss.mu.Unlock()
+		ss.errJSON(w, http.StatusNotFound, wire.CodeUnknownExecution)
+		return
+	}
+	if ss.forgetOnce == seq {
+		ss.forgetOnce = -1
+		delete(ss.opened, token)
+		ss.mu.Unlock()
+		ss.errJSON(w, http.StatusNotFound, wire.CodeUnknownExecution)
+		return
+	}
+	if ss.shedOnce == seq {
+		ss.shedOnce = -1
+		ss.mu.Unlock()
+		w.Header().Set("Retry-After", "0")
+		ss.errJSON(w, http.StatusTooManyRequests, wire.CodeOverloaded)
+		return
+	}
+	ss.mu.Unlock()
+
+	c, ok := wire.CodecForContentType(r.Header.Get("Content-Type"))
+	if !ok {
+		ss.errJSON(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia)
+		return
+	}
+	if ss.rejectBinary && c.Name() == "binary" {
+		ss.errJSON(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia)
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		ss.errJSON(w, http.StatusBadRequest, wire.CodeBadRequest)
+		return
+	}
+	req, err := c.DecodeExecuteRequest(raw)
+	if err != nil {
+		ss.errJSON(w, http.StatusBadRequest, wire.CodeBadFrame)
+		return
+	}
+	ss.mu.Lock()
+	ss.applied[seq]++
+	ss.codecs[seq] = c.Name()
+	bits := make([]uint64, len(req.Cards))
+	for i, b := range req.Cards {
+		bits[i] = uint64(b)
+	}
+	ss.cards[seq] = bits
+	ss.mu.Unlock()
+	ss.ack(w, http.StatusAccepted, token, wire.ExecutionRunning)
+}
+
+func (ss *streamServer) status(w http.ResponseWriter, r *http.Request) {
+	token := r.PathValue("token")
+	ss.mu.Lock()
+	known := ss.opened[token]
+	ss.mu.Unlock()
+	if !known {
+		ss.errJSON(w, http.StatusNotFound, wire.CodeUnknownExecution)
+		return
+	}
+	state := wire.ExecutionDone
+	if ss.failStream {
+		state = wire.ExecutionFailed
+	}
+	ss.ack(w, http.StatusOK, token, state)
+}
+
+func (ss *streamServer) del(w http.ResponseWriter, r *http.Request) {
+	ss.mu.Lock()
+	ss.deletes++
+	ss.mu.Unlock()
+	ss.ack(w, http.StatusOK, r.PathValue("token"), wire.ExecutionDone)
+}
+
+func streamWorkload(n int) ([]*query.Query, []float64) {
+	qs := make([]*query.Query, n)
+	cards := make([]float64, n)
+	for i := range qs {
+		q := query.New(testMeta())
+		q.Tables[0] = true
+		q.Bounds[0] = [2]float64{float64(i) / float64(n+1), 0.9}
+		qs[i] = q
+		// A bit pattern JSON floats cannot carry: NaN with a payload.
+		cards[i] = math.Float64frombits(0x7ff8000000000000 | uint64(i))
+	}
+	return qs, cards
+}
+
+func streamTarget(t *testing.T, url string, mut func(*remote.Options)) *remote.RemoteTarget {
+	t.Helper()
+	opts := remote.Options{CoalesceWindow: 0, StreamExecute: true, StreamChunk: 2}
+	if mut != nil {
+		mut(&opts)
+	}
+	return newTarget(t, url, opts)
+}
+
+func TestStreamExecuteHappyPath(t *testing.T) {
+	ss := newStreamServer(t)
+	rt := streamTarget(t, ss.hs.URL, nil)
+	qs, cards := streamWorkload(5)
+	if err := rt.ExecuteWorkload(context.Background(), qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.opens != 1 || ss.deletes != 1 {
+		t.Errorf("opens=%d deletes=%d, want 1 and 1", ss.opens, ss.deletes)
+	}
+	if len(ss.applied) != 3 { // ceil(5/2) chunks
+		t.Fatalf("%d chunks applied, want 3: %v", len(ss.applied), ss.applied)
+	}
+	for seq, n := range ss.applied {
+		if n != 1 {
+			t.Errorf("seq %d applied %d times", seq, n)
+		}
+		if ss.codecs[seq] != "binary" {
+			t.Errorf("seq %d arrived as %s, want binary by default", seq, ss.codecs[seq])
+		}
+	}
+	// Cards must cross the wire bit-exactly (NaN payloads survive).
+	if got := ss.cards[2]; len(got) != 1 || got[0] != math.Float64bits(cards[4]) {
+		t.Errorf("last chunk cards %#x, want [%#x]", got, math.Float64bits(cards[4]))
+	}
+}
+
+func TestStreamExecuteRidesShed(t *testing.T) {
+	ss := newStreamServer(t)
+	ss.shedOnce = 1
+	rt := streamTarget(t, ss.hs.URL, nil)
+	qs, cards := streamWorkload(4)
+	if err := rt.ExecuteWorkload(context.Background(), qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.applied[1] != 1 {
+		t.Errorf("shed seq applied %d times, want exactly 1 after the retry", ss.applied[1])
+	}
+	if len(ss.applied) != 2 {
+		t.Errorf("%d chunks applied, want 2", len(ss.applied))
+	}
+}
+
+func TestStreamExecuteDowngradesOn415(t *testing.T) {
+	ss := newStreamServer(t)
+	ss.rejectBinary = true
+	rt := streamTarget(t, ss.hs.URL, nil)
+	qs, cards := streamWorkload(4)
+	if err := rt.ExecuteWorkload(context.Background(), qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for seq, name := range ss.codecs {
+		if name != "json" {
+			t.Errorf("seq %d arrived as %s after the 415, want json", seq, name)
+		}
+	}
+	// Sticky: the downgrade happens once, then every chunk goes JSON
+	// first try — so each seq is applied exactly once.
+	for seq, n := range ss.applied {
+		if n != 1 {
+			t.Errorf("seq %d applied %d times", seq, n)
+		}
+	}
+	if st := rt.Stats(); st.Codec != "json" {
+		t.Errorf("Stats().Codec = %q after downgrade, want json", st.Codec)
+	}
+}
+
+func TestStreamExecuteReopensAfterUnknownExecution(t *testing.T) {
+	ss := newStreamServer(t)
+	ss.forgetOnce = 1 // a failover replaced the backend mid-stream
+	rt := streamTarget(t, ss.hs.URL, nil)
+	qs, cards := streamWorkload(6)
+	if err := rt.ExecuteWorkload(context.Background(), qs, cards); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.opens != 2 {
+		t.Errorf("opens=%d, want 2 (initial + re-open after the 404)", ss.opens)
+	}
+	if len(ss.applied) != 3 || ss.applied[1] != 1 {
+		t.Errorf("applied %v, want seqs 0..2 once each", ss.applied)
+	}
+}
+
+func TestStreamExecuteFailureIsPermanent(t *testing.T) {
+	ss := newStreamServer(t)
+	ss.failStream = true
+	rt := streamTarget(t, ss.hs.URL, nil)
+	qs, cards := streamWorkload(2)
+	err := rt.ExecuteWorkload(context.Background(), qs, cards)
+	if !errors.Is(err, ce.ErrInvalidQuery) {
+		t.Fatalf("stream failure classified %v, want permanent ce.ErrInvalidQuery", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pace/internal/obs"
+	"pace/internal/remote"
 	"pace/internal/resilience"
 )
 
@@ -26,7 +27,40 @@ type backend struct {
 	br  *resilience.Breaker
 	up  atomic.Bool
 
+	// admin is the consolidated remote client's admin surface for this
+	// backend, used for provisioning, listing and deleting tenants. Its
+	// transport records every outcome into the breaker (see
+	// recordingTransport).
+	admin *remote.Admin
+
 	mUp *obs.Gauge // router_backend_up{backend="url"}; nil-safe
+}
+
+// recordingTransport routes one backend's admin traffic through the
+// router's HTTP transport while feeding transport outcomes into the
+// backend health machinery — the same accounting rt.forwardHdr does for
+// proxied traffic. Canceled caller contexts are not held against the
+// backend.
+type recordingTransport struct {
+	rt   *Router
+	b    *backend
+	base http.RoundTripper
+}
+
+func (t *recordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		if req.Context().Err() == nil {
+			t.rt.recordBackend(t.b, err)
+		}
+		return nil, err
+	}
+	t.rt.recordBackend(t.b, nil)
+	return resp, nil
 }
 
 // probe performs one health check: GET /healthz must answer 200 (a

@@ -48,7 +48,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pace/internal/ce"
 	"pace/internal/obs"
+	"pace/internal/remote"
 	"pace/internal/resilience"
 	"pace/internal/targetserver"
 	"pace/internal/wire"
@@ -142,6 +144,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// journalEntry is one acked execute body: the bytes exactly as the
+// client sent them plus the Content-Type they arrived in, so failover
+// replay re-sends binary frames as binary and JSON as JSON.
+type journalEntry struct {
+	contentType string
+	body        []byte
+}
+
 // entry is the router's authoritative record of one tenant: where it
 // lives, what state it is in, and the journal that rebuilds its
 // retraining state bit-identically after a failover or revival.
@@ -157,11 +167,19 @@ type entry struct {
 	lastActive atomic.Int64 // UnixNano of the last request touching this tenant
 
 	// execMu serializes the execute send→ack→journal-append critical
-	// section and guards journal. Rebuild snapshots the journal under
-	// it but replays without it, so waiting executes see a quick 503
-	// (retryable) instead of blocking past their deadline.
+	// section and guards journal and streams. Rebuild snapshots the
+	// journal under it but replays without it, so waiting executes see a
+	// quick 503 (retryable) instead of blocking past their deadline.
 	execMu  sync.Mutex
-	journal [][]byte
+	journal []journalEntry
+	// streams records, per streamed-execute token, the chunk seqs whose
+	// bodies are already journaled. A journaled (token, seq) resubmitted
+	// after a failover is acked 202 without forwarding — the replay
+	// already applied it — which is what keeps streamed retrains
+	// exactly-once across backend deaths. Kept until the tenant is
+	// deleted (a deleted seq set would let a whole-stream retry
+	// double-apply).
+	streams map[string]map[int64]bool
 }
 
 func (e *entry) touch() { e.lastActive.Store(time.Now().UnixNano()) }
@@ -240,6 +258,15 @@ func New(cfg Config) (*Router, error) {
 		if reg := cfg.Telemetry.Registry(); reg != nil {
 			b.mUp = reg.Gauge(fmt.Sprintf("router_backend_up{backend=%q}", u))
 		}
+		rc, err := remote.NewClient(u, remote.Options{
+			ClientID:  routerClient,
+			AuthToken: cfg.AuthToken,
+			Client:    &http.Client{Transport: &recordingTransport{rt: rt, b: b, base: rt.client.Transport}},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("router: backend %q: %w", raw, err)
+		}
+		b.admin = rc.Admin()
 		rt.backends = append(rt.backends, b)
 	}
 	if len(rt.backends) == 0 {
@@ -258,6 +285,18 @@ func New(cfg Config) (*Router, error) {
 	})
 	rt.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
 		rt.handleData(w, r, r.PathValue("id"), true)
+	})
+	rt.mux.HandleFunc("POST /v1/targets/{id}/executions", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleOpenExecution(w, r, r.PathValue("id"))
+	})
+	rt.mux.HandleFunc("POST /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleExecutionChunk(w, r, r.PathValue("id"), r.PathValue("token"))
+	})
+	rt.mux.HandleFunc("GET /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleExecutionStatus(w, r, r.PathValue("id"), r.PathValue("token"))
+	})
+	rt.mux.HandleFunc("DELETE /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		rt.handleExecutionDelete(w, r, r.PathValue("id"), r.PathValue("token"))
 	})
 	rt.mux.HandleFunc("GET /v1/targets/{id}/healthz", rt.handleTenantHealthz)
 	rt.mux.HandleFunc("POST /v1/targets", rt.handleCreate)
@@ -359,18 +398,32 @@ func (rt *Router) isDraining() bool {
 	return rt.draining
 }
 
-// forward sends one request to a backend and reads the whole response,
-// feeding the transport outcome into the backend's health machinery
-// (an HTTP response of any status is a live backend; only transport
-// errors count against it). A canceled client context is not held
-// against the backend.
+// forward sends one JSON (or bodyless) request to a backend — the
+// admin/control plane. Data-path proxying goes through forwardHdr,
+// which carries the client's codec headers verbatim.
 func (rt *Router) forward(ctx context.Context, b *backend, method, path string, body []byte, client string) (*http.Response, []byte, error) {
+	return rt.forwardHdr(ctx, b, method, path, body, client, nil)
+}
+
+// forwardHdr sends one request to a backend and reads the whole
+// response, feeding the transport outcome into the backend's health
+// machinery (an HTTP response of any status is a live backend; only
+// transport errors count against it). A canceled client context is not
+// held against the backend. hdr entries override the default JSON
+// Content-Type — the data path uses them to relay the client's
+// negotiated codec (Content-Type, Accept, chunk seq) untouched.
+func (rt *Router) forwardHdr(ctx context.Context, b *backend, method, path string, body []byte, client string, hdr map[string]string) (*http.Response, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, method, b.url+path, strings.NewReader(string(body)))
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		if v != "" {
+			req.Header.Set(k, v)
+		}
 	}
 	if client != "" {
 		req.Header.Set(targetserver.ClientHeader, client)
@@ -410,14 +463,69 @@ func (rt *Router) passthrough(w http.ResponseWriter, resp *http.Response, raw []
 	w.Write(raw) //nolint:errcheck // client hang-ups are its problem
 }
 
-// handleData proxies one estimate or execute to the tenant's backend.
-// Execute bodies are journaled on ack so a failover can replay them.
-func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, exec bool) {
+// resolveData runs the shared data-path preamble: drain gate, client
+// identity, entry lookup, touch, and the evicted/creating/rebuilding
+// state gates. The returned entry's backend is NOT validated — each
+// path re-checks placement where its consistency needs demand.
+func (rt *Router) resolveData(w http.ResponseWriter, r *http.Request, id string) (*entry, string, bool) {
 	if rt.isDraining() {
 		rt.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "router draining")
-		return
+		return nil, "", false
 	}
 	client, ok := rt.clientIdentity(w, r)
+	if !ok {
+		return nil, "", false
+	}
+	rt.mu.Lock()
+	e := rt.entries[id]
+	var state string
+	if e != nil {
+		state = e.state
+	}
+	rt.mu.Unlock()
+	if e == nil {
+		rt.mUnknownTarget.Inc()
+		rt.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, "no tenant "+id)
+		return nil, "", false
+	}
+	e.touch()
+	switch state {
+	case StateEvicted:
+		go rt.revive(id)
+		rt.shed503(w, wire.CodeEvicted, "tenant "+id+" evicted; revival under way")
+		return nil, "", false
+	case StateCreating, StateRebuilding:
+		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" "+state)
+		return nil, "", false
+	}
+	return e, client, true
+}
+
+// dataContentType is the Content-Type a data-path body arrived in,
+// defaulting absent headers to JSON (the v1 behaviour) so journal
+// entries always carry an explicit codec.
+func dataContentType(r *http.Request) string {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		return ct
+	}
+	return wire.JSONContentType
+}
+
+// dataHdr collects the codec headers a data-path proxy hop relays
+// verbatim: the body's Content-Type and the client's Accept ask.
+func dataHdr(r *http.Request) map[string]string {
+	return map[string]string{
+		"Content-Type": dataContentType(r),
+		"Accept":       r.Header.Get("Accept"),
+	}
+}
+
+// handleData proxies one estimate or execute to the tenant's backend,
+// relaying the negotiated codec untouched — the router never decodes
+// data-path bodies. Execute bodies are journaled on ack (with their
+// Content-Type) so a failover can replay them.
+func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, exec bool) {
+	e, client, ok := rt.resolveData(w, r, id)
 	if !ok {
 		return
 	}
@@ -426,28 +534,7 @@ func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, 
 		rt.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "reading body: "+err.Error())
 		return
 	}
-
-	rt.mu.Lock()
-	e := rt.entries[id]
-	if e == nil {
-		rt.mu.Unlock()
-		rt.mUnknownTarget.Inc()
-		rt.writeError(w, http.StatusNotFound, wire.CodeUnknownTarget, "no tenant "+id)
-		return
-	}
-	state, b := e.state, e.backend
-	rt.mu.Unlock()
-	e.touch()
-
-	switch state {
-	case StateEvicted:
-		go rt.revive(id)
-		rt.shed503(w, wire.CodeEvicted, "tenant "+id+" evicted; revival under way")
-		return
-	case StateCreating, StateRebuilding:
-		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" "+state)
-		return
-	}
+	hdr := dataHdr(r)
 
 	op := "estimate"
 	if exec {
@@ -456,11 +543,14 @@ func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, 
 	path := "/v1/targets/" + id + "/" + op
 
 	if !exec {
+		rt.mu.Lock()
+		b := e.backend
+		rt.mu.Unlock()
 		if b == nil || !b.up.Load() {
 			rt.shed503(w, wire.CodeNotReady, "tenant "+id+" losing its backend; failover under way")
 			return
 		}
-		resp, raw, err := rt.forward(r.Context(), b, http.MethodPost, path, body, client)
+		resp, raw, err := rt.forwardHdr(r.Context(), b, http.MethodPost, path, body, client, hdr)
 		if err != nil {
 			if r.Context().Err() != nil {
 				return // client hung up; nobody is reading
@@ -483,9 +573,9 @@ func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, 
 		rt.shed503(w, wire.CodeNotReady, "tenant "+id+" rebuilding")
 		return
 	}
-	b = e.backend
+	b := e.backend
 	rt.mu.Unlock()
-	resp, raw, err := rt.forward(r.Context(), b, http.MethodPost, path, body, client)
+	resp, raw, err := rt.forwardHdr(r.Context(), b, http.MethodPost, path, body, client, hdr)
 	if err != nil {
 		if r.Context().Err() != nil {
 			return
@@ -494,7 +584,7 @@ func (rt *Router) handleData(w http.ResponseWriter, r *http.Request, id string, 
 		return
 	}
 	if resp.StatusCode == http.StatusOK {
-		e.journal = append(e.journal, body)
+		e.journal = append(e.journal, journalEntry{contentType: hdr["Content-Type"], body: body})
 	}
 	rt.passthrough(w, resp, raw)
 }
@@ -811,36 +901,43 @@ func (rt *Router) rebuild(id string) {
 	}
 }
 
-// provision creates e's world on b and replays the journal. The journal
-// cannot grow underneath it: executes are rejected (503, retryable)
-// while the entry is rebuilding, so the snapshot is complete.
+// provision creates e's world on b through the backend's admin client
+// and replays the journal. The journal cannot grow underneath it:
+// executes are rejected (503, retryable) while the entry is rebuilding,
+// so the snapshot is complete. Streamed chunks sit in the journal like
+// plain executes and replay through the synchronous path — apply order
+// is journal order either way.
 func (rt *Router) provision(e *entry, b *backend) error {
 	e.execMu.Lock()
-	journal := append([][]byte(nil), e.journal...)
+	journal := append([]journalEntry(nil), e.journal...)
 	e.execMu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.CreateTimeout)
 	defer cancel()
-	resp, raw, err := rt.createOn(ctx, b, wire.CreateTargetRequest{V: wire.Version, Target: e.spec}, e.owner)
-	if err != nil {
+	// A stale copy from before a router restart or failover may still
+	// live on b; the router's placement map is authoritative, so clear
+	// it unconditionally before creating (already-gone is fine).
+	if err := rt.deleteOnBackend(ctx, b, e.spec.ID); err != nil {
 		return err
 	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("router: rebuild create %s on %s: http %d: %s", e.spec.ID, b.url, resp.StatusCode, raw)
+	if _, err := b.admin.CreateTarget(ctx, e.spec); err != nil {
+		return fmt.Errorf("router: rebuild create %s on %s: %w", e.spec.ID, b.url, err)
 	}
-	for _, body := range journal {
-		if err := rt.replayExecute(ctx, b, e.spec.ID, body); err != nil {
+	for _, je := range journal {
+		if err := rt.replayExecute(ctx, b, e.spec.ID, je); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replayExecute re-applies one journaled execute body, riding out
-// admission sheds (429/503 + Retry-After) — a freshly built tenant can
-// still rate-limit the router's replay identity.
-func (rt *Router) replayExecute(ctx context.Context, b *backend, id string, body []byte) error {
+// replayExecute re-applies one journaled execute body in the codec it
+// was journaled in, riding out admission sheds (429/503 + Retry-After)
+// — a freshly built tenant can still rate-limit the router's replay
+// identity.
+func (rt *Router) replayExecute(ctx context.Context, b *backend, id string, je journalEntry) error {
+	hdr := map[string]string{"Content-Type": je.contentType}
 	for {
-		resp, raw, err := rt.forward(ctx, b, http.MethodPost, "/v1/targets/"+id+"/execute", body, routerClient)
+		resp, raw, err := rt.forwardHdr(ctx, b, http.MethodPost, "/v1/targets/"+id+"/execute", je.body, routerClient, hdr)
 		if err != nil {
 			return err
 		}
@@ -932,31 +1029,18 @@ func (rt *Router) sleep(d time.Duration) bool {
 
 // listBackend asks a backend for its hosted tenants (reconciliation).
 func (rt *Router) listBackend(ctx context.Context, b *backend) ([]wire.TargetInfo, error) {
-	resp, raw, err := rt.forward(ctx, b, http.MethodGet, "/v1/targets", nil, routerClient)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("router: list %s: http %d: %s", b.url, resp.StatusCode, raw)
-	}
-	var lr wire.ListTargetsResponse
-	if err := json.Unmarshal(raw, &lr); err != nil {
-		return nil, fmt.Errorf("router: list %s: %w", b.url, err)
-	}
-	return lr.Targets, nil
+	return b.admin.ListTargets(ctx)
 }
 
-// deleteOnBackend destroys one tenant on one backend; 404 (already
-// gone) counts as success.
+// deleteOnBackend destroys one tenant on one backend; already gone
+// (404 and kin, surfaced by the admin client as the permanent error
+// class) counts as success.
 func (rt *Router) deleteOnBackend(ctx context.Context, b *backend, id string) error {
-	resp, raw, err := rt.forward(ctx, b, http.MethodDelete, "/v1/targets/"+id, nil, routerClient)
-	if err != nil {
-		return err
+	err := b.admin.DeleteTarget(ctx, id)
+	if err == nil || errors.Is(err, ce.ErrInvalidQuery) {
+		return nil
 	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-		return fmt.Errorf("router: delete %s on %s: http %d: %s", id, b.url, resp.StatusCode, raw)
-	}
-	return nil
+	return err
 }
 
 // clientIdentity mirrors paced's: token-derived (spoof-proof) when

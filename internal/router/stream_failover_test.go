@@ -1,0 +1,184 @@
+package router_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"pace/internal/router"
+	"pace/internal/wire"
+)
+
+// streamHelpers: raw HTTP against the router's streamed-execute proxy,
+// binary chunk bodies, explicit seq headers.
+
+func openExec(t *testing.T, f *fleet, id, token string) int {
+	t.Helper()
+	var er wire.ExecutionResponse
+	resp, _ := doJSON(t, http.MethodPost, f.url+"/v1/targets/"+id+"/executions",
+		wire.OpenExecutionRequest{V: wire.Version, Token: token}, &er, "streamer")
+	return resp.StatusCode
+}
+
+func binChunk(t *testing.T, f *fleet, id, token string, seq int64, card float64) int {
+	t.Helper()
+	blob, err := wire.Binary.EncodeExecuteRequest(&wire.ExecuteRequest{
+		V:       wire.Version,
+		Queries: []wire.Query{openQuery()},
+		Cards:   wire.FromFloats([]float64{card}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost,
+		f.url+"/v1/targets/"+id+"/executions/"+token, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.BinaryContentType)
+	req.Header.Set(wire.ChunkSeqHeader, strconv.FormatInt(seq, 10))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return resp.StatusCode
+}
+
+// chunkUntilAcked rides failover 503s: the same (token, seq) is
+// resubmitted until the fleet acks it — the protocol's idempotency key
+// makes this safe even if an earlier attempt was applied but its ack
+// lost.
+func chunkUntilAcked(t *testing.T, f *fleet, id, token string, seq int64, card float64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		switch code := binChunk(t, f, id, token, seq, card); code {
+		case http.StatusAccepted:
+			return
+		case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+			if time.Now().After(deadline) {
+				t.Fatalf("chunk %d still shedding at deadline", seq)
+			}
+			time.Sleep(10 * time.Millisecond)
+		default:
+			t.Fatalf("chunk %d: status %d", seq, code)
+		}
+	}
+}
+
+func pollUntilDone(t *testing.T, f *fleet, id, token string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(f.url + "/v1/targets/" + id + "/executions/" + token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var er wire.ExecutionResponse
+			if err := json.Unmarshal(raw, &er); err != nil {
+				t.Fatalf("poll decode: %v (%s)", err, raw)
+			}
+			if er.State == wire.ExecutionFailed {
+				t.Fatalf("execution failed on the server: %s", er.Error)
+			}
+			if er.State == wire.ExecutionDone {
+				return
+			}
+		} else if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("poll: status %d (%s)", resp.StatusCode, raw)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("execution never settled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverMidStreamExactlyOnce kills the hosting backend in the
+// middle of a streamed execute and asserts the strongest property the
+// protocol promises: after failover replay plus a full whole-stream
+// client retry, every chunk has been applied exactly once, in order.
+// seqTarget's order-sensitive fold makes any drop, duplicate, or
+// reorder visible in the estimate bits.
+func TestFailoverMidStreamExactlyOnce(t *testing.T) {
+	f := newFleet(t, 2, router.Config{})
+	if resp, _ := createTenant(t, f, "t", "alice"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	const token = "stream-failover-1"
+	cards := []float64{3, 1, 4, 1}
+
+	if code := openExec(t, f, "t", token); code != http.StatusOK {
+		t.Fatalf("open: %d", code)
+	}
+	// First half of the stream lands on the original host.
+	chunkUntilAcked(t, f, "t", token, 0, cards[0])
+	chunkUntilAcked(t, f, "t", token, 1, cards[1])
+	// A retry after a lost ack: the router's journal dedupes it without
+	// re-applying (202 either way).
+	if code := binChunk(t, f, "t", token, 1, cards[1]); code != http.StatusAccepted {
+		t.Fatalf("duplicate chunk resubmit: %d", code)
+	}
+
+	victim, victimURL := f.hostOf(t, "t")
+	victim.Kill()
+
+	// Second half rides the failover: the router replays the journaled
+	// chunks into a fresh backend, re-opens the execution there, and the
+	// retried chunks apply exactly once.
+	chunkUntilAcked(t, f, "t", token, 2, cards[2])
+	chunkUntilAcked(t, f, "t", token, 3, cards[3])
+	pollUntilDone(t, f, "t", token)
+
+	// Exactly-once, in-order: the rebuilt world's fold must match a
+	// local replay of the stream.
+	sum := 0.0
+	for _, c := range cards {
+		sum = math.Mod(sum*3+c, 1e9)
+	}
+	want := 0.25*1000 + sum
+	got, code, werr := estimate(t, f, "t")
+	if code != http.StatusOK {
+		t.Fatalf("post-failover estimate: %d (%q)", code, werr.Code)
+	}
+	if got != want {
+		t.Fatalf("post-failover estimate %v, want %v — stream dropped, duplicated, or reordered a chunk", got, want)
+	}
+	if _, host := f.hostOf(t, "t"); host == victimURL {
+		t.Fatal("tenant still placed on the killed backend")
+	}
+
+	// Whole-stream retry (what the client's resilience layer does after
+	// a transport error): same token, every chunk again. The (token,
+	// seq) ledger must swallow all of it.
+	if code := openExec(t, f, "t", token); code != http.StatusOK {
+		t.Fatalf("retry open: %d", code)
+	}
+	for seq, c := range cards {
+		if code := binChunk(t, f, "t", token, int64(seq), c); code != http.StatusAccepted {
+			t.Fatalf("retry chunk %d: %d", seq, code)
+		}
+	}
+	pollUntilDone(t, f, "t", token)
+	got, code, _ = estimate(t, f, "t")
+	if code != http.StatusOK {
+		t.Fatalf("post-retry estimate: %d", code)
+	}
+	if got != want {
+		t.Fatalf("whole-stream retry re-applied chunks: estimate %v, want unchanged %v", got, want)
+	}
+}

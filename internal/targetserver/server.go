@@ -37,9 +37,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,6 +96,11 @@ type Config struct {
 	// or missing tokens answer 401 and the mapped name replaces the
 	// spoofable X-Pace-Client header for rate limiting.
 	AuthTokens map[string]string
+	// Codecs restricts which data-path codecs the server speaks
+	// ("json", "binary"). Empty means both. Requests carrying a
+	// disabled codec's Content-Type answer 415 unsupported_media, and
+	// Accept headers asking for a disabled codec fall back to JSON.
+	Codecs []string
 	// Factory provisions tenants for POST /v1/targets (typically
 	// experiments.TenantFactory()). Nil disables runtime creation.
 	Factory tenant.Factory
@@ -147,6 +155,12 @@ type Server struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
+	// codecs is the enabled codec set by name ("json", "binary").
+	codecs map[string]bool
+	// legacyOnce gates the one-time deprecation log for the unrouted
+	// /v1/estimate|execute aliases.
+	legacyOnce sync.Once
+
 	// Server-level instruments (tenant-level ones live on each tenant);
 	// all nil-safe no-ops without telemetry.
 	mUnknownTarget *obs.Counter
@@ -179,12 +193,24 @@ func New(target ce.Target, meta *query.Meta, cfg Config) *Server {
 func NewMulti(reg *tenant.Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{cfg: cfg, reg: reg}
+	s.codecs = map[string]bool{}
+	if len(cfg.Codecs) == 0 {
+		s.codecs["json"], s.codecs["binary"] = true, true
+	} else {
+		for _, name := range cfg.Codecs {
+			if c, ok := wire.CodecByName(name); ok {
+				s.codecs[c.Name()] = true
+			}
+		}
+	}
 	s.instrument(cfg.Telemetry.Registry())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
+		s.deprecateLegacy(w, "/v1/estimate")
 		s.handleEstimate(w, r, DefaultTenant)
 	})
 	s.mux.HandleFunc("POST /v1/execute", func(w http.ResponseWriter, r *http.Request) {
+		s.deprecateLegacy(w, "/v1/execute")
 		s.handleExecute(w, r, DefaultTenant)
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -192,6 +218,18 @@ func NewMulti(reg *tenant.Registry, cfg Config) *Server {
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
 		s.handleExecute(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("POST /v1/targets/{id}/executions", func(w http.ResponseWriter, r *http.Request) {
+		s.handleOpenExecution(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("POST /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExecutionChunk(w, r, r.PathValue("id"), r.PathValue("token"))
+	})
+	s.mux.HandleFunc("GET /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExecutionStatus(w, r, r.PathValue("id"), r.PathValue("token"))
+	})
+	s.mux.HandleFunc("DELETE /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
+		s.handleExecutionDelete(w, r, r.PathValue("id"), r.PathValue("token"))
 	})
 	s.mux.HandleFunc("GET /v1/targets/{id}/healthz", s.handleTenantHealthz)
 	s.mux.HandleFunc("POST /v1/targets", s.handleCreateTarget)
@@ -369,25 +407,96 @@ func (s *Server) reviveAsync(id string) {
 	}
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, id string) {
+// deprecateLegacy stamps the un-tenanted /v1/estimate|execute aliases:
+// a Deprecation response header on every hit and one server log line
+// per process. The aliases route through the same handlers as
+// /v1/targets/default/... and will be removed two protocol majors
+// after v2 (see DESIGN.md, "Removal horizon").
+func (s *Server) deprecateLegacy(w http.ResponseWriter, path string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "</v1/targets/"+DefaultTenant+path[len("/v1"):]+`>; rel="successor-version"`)
+	s.legacyOnce.Do(func() {
+		log.Printf("targetserver: deprecated unrouted %s hit; clients should move to /v1/targets/{id}%s",
+			path, path[len("/v1"):])
+	})
+}
+
+// dataCodecs negotiates one data-path exchange's codecs: the request
+// body's from Content-Type, the response's from Accept. Disabled or
+// unknown request codecs answer 415 unsupported_media; a response-side
+// ask the server cannot honor silently falls back to JSON.
+func (s *Server) dataCodecs(w http.ResponseWriter, r *http.Request) (reqC, respC wire.Codec, ok bool) {
+	reqC, known := wire.CodecForContentType(r.Header.Get("Content-Type"))
+	if !known || !s.codecs[reqC.Name()] {
+		s.writeError(w, http.StatusUnsupportedMediaType, wire.CodeUnsupportedMedia,
+			fmt.Sprintf("unsupported Content-Type %q", r.Header.Get("Content-Type")))
+		return nil, nil, false
+	}
+	respC = wire.JSON
+	if wire.AcceptsBinary(r.Header.Get("Accept")) && s.codecs["binary"] {
+		respC = wire.Binary
+	}
+	return reqC, respC, true
+}
+
+// readBody slurps a bounded request body for codec decoding.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	return raw, true
+}
+
+// decodeError maps a codec decode failure onto the wire: rejected
+// binary frames get their own machine-readable code.
+func (s *Server) decodeError(w http.ResponseWriter, err error) {
+	code := wire.CodeBadRequest
+	if errors.Is(err, wire.ErrBadFrame) {
+		code = wire.CodeBadFrame
+	}
+	s.writeError(w, http.StatusBadRequest, code, err.Error())
+}
+
+// admitData runs the shared data-path preamble: drain gate, identity,
+// tenant resolution and per-client admission.
+func (s *Server) admitData(w http.ResponseWriter, r *http.Request, id string) (*tenant.Tenant, bool) {
 	if s.isDraining() {
 		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
-		return
+		return nil, false
 	}
 	client, ok := s.clientIdentity(w, r)
 	if !ok {
-		return
+		return nil, false
 	}
 	t, ok := s.resolve(w, id)
 	if !ok {
-		return
+		return nil, false
 	}
 	if !t.Admit(client) {
 		s.shed(w, wire.CodeRateLimited, "client "+client+" over rate limit")
+		return nil, false
+	}
+	return t, true
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, id string) {
+	reqC, respC, ok := s.dataCodecs(w, r)
+	if !ok {
 		return
 	}
-	var req wire.EstimateRequest
-	if !s.decodeRequest(w, r, &req) {
+	t, ok := s.admitData(w, r, id)
+	if !ok {
+		return
+	}
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := reqC.DecodeEstimateRequest(raw)
+	if err != nil {
+		s.decodeError(w, err)
 		return
 	}
 	if len(req.Queries) == 0 || len(req.Queries) > wire.MaxBatch {
@@ -407,40 +516,52 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request, id strin
 		s.replyError(w, t, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, wire.EstimateResponse{V: wire.Version, Estimates: wire.FromFloats(ests)})
+	resp := wire.EstimateResponse{V: wire.Version, Estimates: wire.FromFloats(ests)}
+	if blob, err := respC.EncodeEstimateResponse(&resp); err == nil {
+		s.writeRaw(w, http.StatusOK, respC.ContentType(), blob)
+	} else {
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+	}
 }
 
-func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, id string) {
-	if s.isDraining() {
-		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
-		return
-	}
-	client, ok := s.clientIdentity(w, r)
+// decodeExecuteBody shares the execute-request decode + validation
+// between the sync execute and the streamed chunk handlers.
+func (s *Server) decodeExecuteBody(w http.ResponseWriter, r *http.Request, t *tenant.Tenant, reqC wire.Codec) (*wire.ExecuteRequest, []*query.Query, bool) {
+	raw, ok := s.readBody(w, r)
 	if !ok {
-		return
+		return nil, nil, false
 	}
-	t, ok := s.resolve(w, id)
-	if !ok {
-		return
-	}
-	if !t.Admit(client) {
-		s.shed(w, wire.CodeRateLimited, "client "+client+" over rate limit")
-		return
-	}
-	var req wire.ExecuteRequest
-	if !s.decodeRequest(w, r, &req) {
-		return
+	req, err := reqC.DecodeExecuteRequest(raw)
+	if err != nil {
+		s.decodeError(w, err)
+		return nil, nil, false
 	}
 	if len(req.Queries) == 0 || len(req.Queries) > wire.MaxBatch || len(req.Queries) != len(req.Cards) {
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
 			fmt.Sprintf("want 1..%d queries with matching cards, got %d queries / %d cards",
 				wire.MaxBatch, len(req.Queries), len(req.Cards)))
-		return
+		return nil, nil, false
 	}
 	qs, err := wire.DecodeQueries(t.Meta(), req.Queries)
 	if err != nil {
 		t.Metrics().Invalid.Inc()
 		s.writeError(w, http.StatusBadRequest, wire.CodeInvalidQuery, err.Error())
+		return nil, nil, false
+	}
+	return req, qs, true
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, id string) {
+	reqC, respC, ok := s.dataCodecs(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.admitData(w, r, id)
+	if !ok {
+		return
+	}
+	req, qs, ok := s.decodeExecuteBody(w, r, t, reqC)
+	if !ok {
 		return
 	}
 
@@ -448,7 +569,139 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request, id string
 		s.replyError(w, t, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, wire.ExecuteResponse{V: wire.Version, Executed: len(qs)})
+	resp := wire.ExecuteResponse{V: wire.Version, Executed: len(qs)}
+	if blob, err := respC.EncodeExecuteResponse(&resp); err == nil {
+		s.writeRaw(w, http.StatusOK, respC.ContentType(), blob)
+	} else {
+		s.writeError(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
+	}
+}
+
+// executionResponse renders a tenant ExecutionStatus onto the wire.
+func executionResponse(st tenant.ExecutionStatus) wire.ExecutionResponse {
+	resp := wire.ExecutionResponse{
+		V:       wire.Version,
+		Token:   st.Token,
+		State:   wire.ExecutionRunning,
+		Pending: st.Pending,
+		Applied: st.Applied,
+		Queries: st.Queries,
+	}
+	switch {
+	case st.Err != nil:
+		resp.State = wire.ExecutionFailed
+		resp.Error = st.Err.Error()
+	case st.Pending == 0:
+		resp.State = wire.ExecutionDone
+	}
+	return resp
+}
+
+// handleOpenExecution opens (or idempotently re-opens) a streamed
+// execute. The token is client-supplied — content-derived on the client
+// side, so a whole-stream retry reuses it. Control plane: always JSON.
+func (s *Server) handleOpenExecution(w http.ResponseWriter, r *http.Request, id string) {
+	t, ok := s.admitData(w, r, id)
+	if !ok {
+		return
+	}
+	var req wire.OpenExecutionRequest
+	if !s.decodeRequest(w, r, &req) {
+		return
+	}
+	if !wire.ValidExecutionToken(req.Token) {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("execution token must be 1..%d URL-safe chars", wire.MaxExecutionToken))
+		return
+	}
+	st, err := t.OpenExecution(req.Token)
+	if err != nil {
+		s.replyExecutionError(w, t, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, executionResponse(st))
+}
+
+// handleExecutionChunk accepts one chunk of a streamed execute, acking
+// 202 as soon as the chunk is enqueued — the retrain applies
+// asynchronously, so the client pipelines chunks. The chunk body is an
+// ExecuteRequest in the negotiated codec; the sequence number travels
+// in the X-Pace-Chunk-Seq header, and (token, seq) is the idempotency
+// key: duplicates ack 202 again without re-applying.
+func (s *Server) handleExecutionChunk(w http.ResponseWriter, r *http.Request, id, token string) {
+	reqC, _, ok := s.dataCodecs(w, r)
+	if !ok {
+		return
+	}
+	t, ok := s.admitData(w, r, id)
+	if !ok {
+		return
+	}
+	seq, err := strconv.ParseInt(r.Header.Get(wire.ChunkSeqHeader), 10, 64)
+	if err != nil || seq < 0 {
+		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
+			wire.ChunkSeqHeader+" must carry the chunk's non-negative sequence number")
+		return
+	}
+	req, qs, ok := s.decodeExecuteBody(w, r, t, reqC)
+	if !ok {
+		return
+	}
+	st, err := t.SubmitChunk(token, seq, qs, wire.ToFloats(req.Cards))
+	if err != nil {
+		s.replyExecutionError(w, t, err)
+		return
+	}
+	s.writeJSON(w, http.StatusAccepted, executionResponse(st))
+}
+
+// handleExecutionStatus is the completion poll: 200 with the
+// execution's progress. Clients are done when all their chunks are
+// acked and State is done.
+func (s *Server) handleExecutionStatus(w http.ResponseWriter, r *http.Request, id, token string) {
+	if s.isDraining() {
+		s.writeError(w, http.StatusServiceUnavailable, wire.CodeDraining, "server draining")
+		return
+	}
+	if _, ok := s.clientIdentity(w, r); !ok {
+		return
+	}
+	t, ok := s.resolve(w, id)
+	if !ok {
+		return
+	}
+	st, err := t.ExecutionStatus(token)
+	if err != nil {
+		s.replyExecutionError(w, t, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, executionResponse(st))
+}
+
+// handleExecutionDelete forgets a completed stream's dedupe state.
+func (s *Server) handleExecutionDelete(w http.ResponseWriter, r *http.Request, id, token string) {
+	if _, ok := s.clientIdentity(w, r); !ok {
+		return
+	}
+	t, ok := s.resolve(w, id)
+	if !ok {
+		return
+	}
+	st, err := t.DeleteExecution(token)
+	if err != nil {
+		s.replyExecutionError(w, t, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, executionResponse(st))
+}
+
+// replyExecutionError extends replyError with the execution taxonomy.
+func (s *Server) replyExecutionError(w http.ResponseWriter, t *tenant.Tenant, err error) {
+	if errors.Is(err, tenant.ErrUnknownExecution) {
+		s.writeError(w, http.StatusNotFound, wire.CodeUnknownExecution, err.Error())
+		return
+	}
+	s.replyError(w, t, err)
 }
 
 // handleCreateTarget provisions a tenant through the registry's Factory.
@@ -612,6 +865,8 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) 
 		v = req.V
 	case *wire.CreateTargetRequest:
 		v = req.V
+	case *wire.OpenExecutionRequest:
+		v = req.V
 	}
 	if v != wire.Version {
 		s.writeError(w, http.StatusBadRequest, wire.CodeBadRequest,
@@ -656,4 +911,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body) //nolint:errcheck // client hang-ups are its problem
+}
+
+// writeRaw ships a pre-encoded data-path response in its codec's
+// Content-Type.
+func (s *Server) writeRaw(w http.ResponseWriter, status int, contentType string, blob []byte) {
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
+	w.Write(blob) //nolint:errcheck // client hang-ups are its problem
 }

@@ -202,6 +202,10 @@ type Tenant struct {
 	draining bool
 	clients  map[string]*bucket
 
+	// execsMu guards the streamed-execute registry (execution.go).
+	execsMu sync.Mutex
+	execs   map[string]*execution
+
 	// lastActive is the unix-nano timestamp of the most recent Estimate
 	// or Execute call; the idle-eviction janitor reads it through IdleFor.
 	lastActive atomic.Int64

@@ -1,0 +1,574 @@
+// Wire protocol v2: the codec split. The estimate/execute data path is
+// spoken through a Codec — either the canonical JSON codec (protocol v1,
+// unchanged on the wire, the fallback every old client keeps using) or
+// the length-prefixed binary codec introduced here. Both are lossless:
+// every float64 travels as its IEEE-754 bit pattern, so query.Key
+// survives the hop byte-identically whichever codec carried it.
+//
+// Binary frame layout (all integers little-endian; uvarints are
+// unsigned LEB128 as encoding/binary.Uvarint):
+//
+//	offset  size  field
+//	0       2     magic "PW" (0x50 0x57)
+//	2       1     frame version (BinaryVersion = 2)
+//	3       1     message type (1 EstimateRequest, 2 EstimateResponse,
+//	              3 ExecuteRequest, 4 ExecuteResponse)
+//	4       4     payload length N (u32 LE; must equal the remaining bytes)
+//	8       N     payload
+//
+// Payloads:
+//
+//	Query            = uvarint nTables, nTables × uvarint tableIndex,
+//	                   uvarint nBounds, ⌈nBounds/8⌉ bitmap bytes (bit i
+//	                   set = bound i constrained), then one (u64 lo,
+//	                   u64 hi) pair per SET bit
+//	EstimateRequest  = uvarint nQueries, nQueries × Query
+//	EstimateResponse = uvarint nEstimates, nEstimates × u64
+//	ExecuteRequest   = uvarint nQueries, nQueries × Query, nQueries × u64
+//	ExecuteResponse  = uvarint executed
+//
+// Bounds, estimates and cards are fixed 8-byte u64 lanes (the B64 bit
+// patterns); batch headers are uvarint-framed. A constrained bound
+// costs 16 bytes instead of the ~40 bytes its two base-10 u64 digit
+// strings cost in JSON, and an open bound — the [0,1] untouched
+// predicate, the most common bound in real workloads — costs one
+// bitmap bit instead of ~22 JSON bytes. That is where the
+// estimate-path bandwidth goes. The encoding is canonical: explicit
+// [0,1] pairs in the constrained lane and set bitmap bits past
+// nBounds are rejected, so any accepted frame re-encodes
+// byte-identically (the fuzz suite holds the parser to this).
+//
+// Codec negotiation happens per request on top of the version gate:
+// the request body's codec is declared by Content-Type, the desired
+// response codec by Accept (see CodecForContentType / AcceptsBinary).
+// Error responses are always JSON — machine-readable codes stay
+// uniformly parseable no matter what the data plane speaks. Malformed
+// binary frames are rejected with ErrBadFrame (wire code "bad_frame"),
+// never a panic; the frame parser is fuzzed against truncated,
+// oversized and garbage frames.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// Content types negotiated on the data path. Anything else answers 415
+// unsupported_media.
+const (
+	JSONContentType   = "application/json"
+	BinaryContentType = "application/x-pace-binary"
+)
+
+// BinaryVersion is the frame-level protocol version carried in byte 2 of
+// every binary frame — the binary face of wire protocol v2. JSON bodies
+// keep carrying Version in their "v" field, so old JSON clients work
+// unmodified.
+const BinaryVersion = 2
+
+// ErrBadFrame marks a binary frame the parser rejected: bad magic, a
+// truncated or oversized payload, trailing garbage, or counts that
+// cannot fit the remaining bytes. Servers map it to the "bad_frame"
+// code.
+var ErrBadFrame = errors.New("wire: bad binary frame")
+
+// ErrVersionMismatch marks a request whose protocol version (JSON "v"
+// field or binary frame version byte) is not the one this build speaks.
+var ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+
+// Frame message types.
+const (
+	msgEstimateRequest byte = 1 + iota
+	msgEstimateResponse
+	msgExecuteRequest
+	msgExecuteResponse
+)
+
+// frameHeaderLen is magic(2) + version(1) + type(1) + length(4).
+const frameHeaderLen = 8
+
+// Per-query decode caps, keeping a hostile frame from forcing huge
+// allocations before the length guards run.
+const (
+	maxTablesPerQuery = 1 << 16
+	maxBoundsPerQuery = 1 << 20
+)
+
+// Codec encodes and decodes the four data-path message types. Both
+// implementations validate the protocol version during decode
+// (ErrVersionMismatch) and return requests with V normalized to
+// Version, so handlers never re-check.
+type Codec interface {
+	// Name is the codec's flag-friendly name: "json" or "binary".
+	Name() string
+	// ContentType is the MIME type the codec travels under.
+	ContentType() string
+
+	EncodeEstimateRequest(*EstimateRequest) ([]byte, error)
+	DecodeEstimateRequest([]byte) (*EstimateRequest, error)
+	EncodeEstimateResponse(*EstimateResponse) ([]byte, error)
+	DecodeEstimateResponse([]byte) (*EstimateResponse, error)
+	EncodeExecuteRequest(*ExecuteRequest) ([]byte, error)
+	DecodeExecuteRequest([]byte) (*ExecuteRequest, error)
+	EncodeExecuteResponse(*ExecuteResponse) ([]byte, error)
+	DecodeExecuteResponse([]byte) (*ExecuteResponse, error)
+}
+
+// JSON is the canonical v1 codec — unchanged bytes on the wire, kept as
+// the negotiation fallback.
+var JSON Codec = jsonCodec{}
+
+// Binary is the length-prefixed v2 codec.
+var Binary Codec = binaryCodec{}
+
+// CodecByName resolves a -codec flag value.
+func CodecByName(name string) (Codec, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "json":
+		return JSON, name != ""
+	case "binary":
+		return Binary, true
+	}
+	return nil, false
+}
+
+// CodecForContentType resolves a request body's codec from its
+// Content-Type header. An absent Content-Type means JSON (the v1
+// behaviour); parameters (charset etc.) are ignored.
+func CodecForContentType(ct string) (Codec, bool) {
+	switch mediaType(ct) {
+	case "", JSONContentType:
+		return JSON, true
+	case BinaryContentType:
+		return Binary, true
+	}
+	return nil, false
+}
+
+// AcceptsBinary reports whether an Accept header lists the binary
+// content type. q-values are ignored: listing the type at all is the
+// opt-in, and a server that cannot honor it falls back to JSON.
+func AcceptsBinary(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		if mediaType(part) == BinaryContentType {
+			return true
+		}
+	}
+	return false
+}
+
+func mediaType(h string) string {
+	if i := strings.IndexByte(h, ';'); i >= 0 {
+		h = h[:i]
+	}
+	return strings.ToLower(strings.TrimSpace(h))
+}
+
+// ---------------------------------------------------------------------
+// JSON codec
+
+type jsonCodec struct{}
+
+func (jsonCodec) Name() string        { return "json" }
+func (jsonCodec) ContentType() string { return JSONContentType }
+
+func decodeStrictJSON(raw []byte, dst any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("wire: malformed body: %w", err)
+	}
+	return nil
+}
+
+func checkVersion(v int) error {
+	if v != Version {
+		return fmt.Errorf("%w: request v%d, this build speaks v%d", ErrVersionMismatch, v, Version)
+	}
+	return nil
+}
+
+func (jsonCodec) EncodeEstimateRequest(req *EstimateRequest) ([]byte, error) {
+	return json.Marshal(req)
+}
+
+func (jsonCodec) DecodeEstimateRequest(raw []byte) (*EstimateRequest, error) {
+	var req EstimateRequest
+	if err := decodeStrictJSON(raw, &req); err != nil {
+		return nil, err
+	}
+	if err := checkVersion(req.V); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (jsonCodec) EncodeEstimateResponse(resp *EstimateResponse) ([]byte, error) {
+	return json.Marshal(resp)
+}
+
+func (jsonCodec) DecodeEstimateResponse(raw []byte) (*EstimateResponse, error) {
+	var resp EstimateResponse
+	if err := decodeStrictJSON(raw, &resp); err != nil {
+		return nil, err
+	}
+	if err := checkVersion(resp.V); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (jsonCodec) EncodeExecuteRequest(req *ExecuteRequest) ([]byte, error) {
+	return json.Marshal(req)
+}
+
+func (jsonCodec) DecodeExecuteRequest(raw []byte) (*ExecuteRequest, error) {
+	var req ExecuteRequest
+	if err := decodeStrictJSON(raw, &req); err != nil {
+		return nil, err
+	}
+	if err := checkVersion(req.V); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+func (jsonCodec) EncodeExecuteResponse(resp *ExecuteResponse) ([]byte, error) {
+	return json.Marshal(resp)
+}
+
+func (jsonCodec) DecodeExecuteResponse(raw []byte) (*ExecuteResponse, error) {
+	var resp ExecuteResponse
+	if err := decodeStrictJSON(raw, &resp); err != nil {
+		return nil, err
+	}
+	if err := checkVersion(resp.V); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ---------------------------------------------------------------------
+// Binary codec
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string        { return "binary" }
+func (binaryCodec) ContentType() string { return BinaryContentType }
+
+func frame(msgType byte, payload []byte) ([]byte, error) {
+	if uint64(len(payload)) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: %d-byte payload exceeds the u32 frame length", len(payload))
+	}
+	out := make([]byte, 0, frameHeaderLen+len(payload))
+	out = append(out, 'P', 'W', BinaryVersion, msgType)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...), nil
+}
+
+// parseFrame validates the 8-byte header and returns the payload. The
+// declared length must equal the remaining bytes exactly — a short body
+// is truncation, a long one trailing garbage; both are ErrBadFrame.
+func parseFrame(raw []byte, wantType byte) ([]byte, error) {
+	if len(raw) < frameHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header",
+			ErrBadFrame, len(raw), frameHeaderLen)
+	}
+	if raw[0] != 'P' || raw[1] != 'W' {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x%02x", ErrBadFrame, raw[0], raw[1])
+	}
+	if raw[2] != BinaryVersion {
+		return nil, fmt.Errorf("%w: frame v%d, this build speaks v%d",
+			ErrVersionMismatch, raw[2], BinaryVersion)
+	}
+	if raw[3] != wantType {
+		return nil, fmt.Errorf("%w: message type %d, want %d", ErrBadFrame, raw[3], wantType)
+	}
+	n := binary.LittleEndian.Uint32(raw[4:8])
+	if uint64(n) != uint64(len(raw)-frameHeaderLen) {
+		return nil, fmt.Errorf("%w: declared payload %d bytes, carried %d",
+			ErrBadFrame, n, len(raw)-frameHeaderLen)
+	}
+	return raw[frameHeaderLen:], nil
+}
+
+// breader walks a frame payload; every read is bounds-checked so a
+// hostile frame fails with ErrBadFrame instead of panicking.
+type breader struct{ b []byte }
+
+func (r *breader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrBadFrame, what)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *breader) u64(what string) (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, fmt.Errorf("%w: truncated %s", ErrBadFrame, what)
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+
+func (r *breader) finish() error {
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrBadFrame, len(r.b))
+	}
+	return nil
+}
+
+// openLo/openHi are the bit patterns of the open predicate [0,1] —
+// query.New's untouched default. The binary codec elides open bounds:
+// they travel as a clear bitmap bit and are restored on decode.
+var openLo, openHi = FromFloat(0), FromFloat(1)
+
+func appendQuery(buf []byte, q *Query) ([]byte, error) {
+	buf = binary.AppendUvarint(buf, uint64(len(q.Tables)))
+	for _, t := range q.Tables {
+		if t < 0 {
+			return nil, fmt.Errorf("wire: negative table index %d", t)
+		}
+		buf = binary.AppendUvarint(buf, uint64(t))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(q.Bounds)))
+	bitmap := make([]byte, (len(q.Bounds)+7)/8)
+	for i, b := range q.Bounds {
+		if b[0] != openLo || b[1] != openHi {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf = append(buf, bitmap...)
+	for _, b := range q.Bounds {
+		if b[0] == openLo && b[1] == openHi {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b[0]))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b[1]))
+	}
+	return buf, nil
+}
+
+func (r *breader) query() (Query, error) {
+	var q Query
+	nt, err := r.uvarint("table count")
+	if err != nil {
+		return q, err
+	}
+	// Each table index costs at least one byte; a count the remaining
+	// bytes cannot possibly hold is rejected before any allocation.
+	if nt > maxTablesPerQuery || nt > uint64(len(r.b)) {
+		return q, fmt.Errorf("%w: table count %d cannot fit the payload", ErrBadFrame, nt)
+	}
+	if nt > 0 {
+		q.Tables = make([]int, nt)
+		for i := range q.Tables {
+			t, err := r.uvarint("table index")
+			if err != nil {
+				return q, err
+			}
+			if t > math.MaxInt32 {
+				return q, fmt.Errorf("%w: table index %d out of range", ErrBadFrame, t)
+			}
+			q.Tables[i] = int(t)
+		}
+	}
+	nb, err := r.uvarint("bound count")
+	if err != nil {
+		return q, err
+	}
+	if nb > maxBoundsPerQuery || (nb+7)/8 > uint64(len(r.b)) {
+		return q, fmt.Errorf("%w: bound count %d cannot fit the payload", ErrBadFrame, nb)
+	}
+	bitmap := r.b[:(nb+7)/8]
+	r.b = r.b[(nb+7)/8:]
+	if nb%8 != 0 && len(bitmap) > 0 && bitmap[len(bitmap)-1]>>(nb%8) != 0 {
+		return q, fmt.Errorf("%w: bound bitmap sets bits past the count", ErrBadFrame)
+	}
+	constrained := 0
+	for _, bb := range bitmap {
+		constrained += bits.OnesCount8(bb)
+	}
+	if uint64(constrained)*16 > uint64(len(r.b)) {
+		return q, fmt.Errorf("%w: %d constrained bounds cannot fit the payload", ErrBadFrame, constrained)
+	}
+	q.Bounds = make([][2]B64, nb)
+	for i := range q.Bounds {
+		if bitmap[i/8]&(1<<(i%8)) == 0 {
+			q.Bounds[i] = [2]B64{openLo, openHi}
+			continue
+		}
+		lo, err := r.u64("bound")
+		if err != nil {
+			return q, err
+		}
+		hi, err := r.u64("bound")
+		if err != nil {
+			return q, err
+		}
+		if B64(lo) == openLo && B64(hi) == openHi {
+			return q, fmt.Errorf("%w: non-canonical explicit open bound", ErrBadFrame)
+		}
+		q.Bounds[i] = [2]B64{B64(lo), B64(hi)}
+	}
+	return q, nil
+}
+
+func (r *breader) queries() ([]Query, error) {
+	n, err := r.uvarint("query count")
+	if err != nil {
+		return nil, err
+	}
+	// A query payload costs at least two bytes (two zero counts).
+	if n > MaxBatch || n > uint64(len(r.b)/2)+1 {
+		return nil, fmt.Errorf("%w: query count %d exceeds the %d cap", ErrBadFrame, n, MaxBatch)
+	}
+	qs := make([]Query, n)
+	for i := range qs {
+		q, err := r.query()
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		qs[i] = q
+	}
+	return qs, nil
+}
+
+func (binaryCodec) EncodeEstimateRequest(req *EstimateRequest) ([]byte, error) {
+	payload := binary.AppendUvarint(nil, uint64(len(req.Queries)))
+	var err error
+	for i := range req.Queries {
+		if payload, err = appendQuery(payload, &req.Queries[i]); err != nil {
+			return nil, err
+		}
+	}
+	return frame(msgEstimateRequest, payload)
+}
+
+func (binaryCodec) DecodeEstimateRequest(raw []byte) (*EstimateRequest, error) {
+	payload, err := parseFrame(raw, msgEstimateRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{payload}
+	qs, err := r.queries()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return &EstimateRequest{V: Version, Queries: qs}, nil
+}
+
+func (binaryCodec) EncodeEstimateResponse(resp *EstimateResponse) ([]byte, error) {
+	payload := binary.AppendUvarint(nil, uint64(len(resp.Estimates)))
+	for _, e := range resp.Estimates {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(e))
+	}
+	return frame(msgEstimateResponse, payload)
+}
+
+func (binaryCodec) DecodeEstimateResponse(raw []byte) (*EstimateResponse, error) {
+	payload, err := parseFrame(raw, msgEstimateResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{payload}
+	n, err := r.uvarint("estimate count")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatch || n > uint64(len(r.b)/8) {
+		return nil, fmt.Errorf("%w: estimate count %d cannot fit the payload", ErrBadFrame, n)
+	}
+	ests := make([]B64, n)
+	for i := range ests {
+		v, err := r.u64("estimate")
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = B64(v)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return &EstimateResponse{V: Version, Estimates: ests}, nil
+}
+
+func (binaryCodec) EncodeExecuteRequest(req *ExecuteRequest) ([]byte, error) {
+	if len(req.Cards) != len(req.Queries) {
+		return nil, fmt.Errorf("wire: %d queries with %d cards", len(req.Queries), len(req.Cards))
+	}
+	payload := binary.AppendUvarint(nil, uint64(len(req.Queries)))
+	var err error
+	for i := range req.Queries {
+		if payload, err = appendQuery(payload, &req.Queries[i]); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range req.Cards {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(c))
+	}
+	return frame(msgExecuteRequest, payload)
+}
+
+func (binaryCodec) DecodeExecuteRequest(raw []byte) (*ExecuteRequest, error) {
+	payload, err := parseFrame(raw, msgExecuteRequest)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{payload}
+	qs, err := r.queries()
+	if err != nil {
+		return nil, err
+	}
+	// The card lane's length is implied: one u64 per query.
+	cards := make([]B64, len(qs))
+	for i := range cards {
+		v, err := r.u64("card")
+		if err != nil {
+			return nil, err
+		}
+		cards[i] = B64(v)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return &ExecuteRequest{V: Version, Queries: qs, Cards: cards}, nil
+}
+
+func (binaryCodec) EncodeExecuteResponse(resp *ExecuteResponse) ([]byte, error) {
+	if resp.Executed < 0 {
+		return nil, fmt.Errorf("wire: negative executed count %d", resp.Executed)
+	}
+	return frame(msgExecuteResponse, binary.AppendUvarint(nil, uint64(resp.Executed)))
+}
+
+func (binaryCodec) DecodeExecuteResponse(raw []byte) (*ExecuteResponse, error) {
+	payload, err := parseFrame(raw, msgExecuteResponse)
+	if err != nil {
+		return nil, err
+	}
+	r := &breader{payload}
+	n, err := r.uvarint("executed count")
+	if err != nil {
+		return nil, err
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: executed count %d out of range", ErrBadFrame, n)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return &ExecuteResponse{V: Version, Executed: int(n)}, nil
+}

@@ -144,6 +144,89 @@ func TestIntegrationRemoteCampaignMatchesInProcess(t *testing.T) {
 	}
 }
 
+// TestIntegrationRemoteCampaignBinaryStreamingBitExact is the protocol
+// v2 acceptance run: the campaign crosses the wire on the binary codec
+// with the streamed-execute protocol (chunked uploads, async
+// completion), fault-free, and must still be bit-identical to the
+// in-process reference — the codec and the streaming pipeline cost
+// zero bits.
+func TestIntegrationRemoteCampaignBinaryStreamingBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test is slow")
+	}
+	const seed = 11
+
+	wLocal, bbLocal, cfgLocal := remoteCampaignWorld(t, seed)
+	wRemote, bbRemote, cfgRemote := remoteCampaignWorld(t, seed)
+
+	srv := targetserver.New(bbRemote, wRemote.DS.Meta, targetserver.Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+
+	local := core.Campaign{
+		Target: bbLocal, Workload: wLocal.WGen,
+		Test: wLocal.Test, History: wLocal.History,
+		Config: cfgLocal, Seed: seed,
+	}
+	resLocal, err := local.Run(context.Background())
+	if err != nil {
+		t.Fatalf("in-process campaign: %v", err)
+	}
+
+	over := core.Campaign{
+		TargetURL: hs.URL, Workload: wRemote.WGen,
+		Test: wRemote.Test, History: wRemote.History,
+		Config: cfgRemote, Seed: seed,
+		Remote: remote.Options{
+			Codec:         "binary",
+			StreamExecute: true,
+			StreamChunk:   64, // several chunks per poison batch
+			ClientID:      "binary-stream-acceptance",
+		},
+	}
+	resRemote, err := over.Run(context.Background())
+	if err != nil {
+		t.Fatalf("binary streaming campaign: %v", err)
+	}
+
+	if resLocal.SpeculatedType != resRemote.SpeculatedType {
+		t.Errorf("speculation verdict differs: %v in-process vs %v binary-streaming",
+			resLocal.SpeculatedType, resRemote.SpeculatedType)
+	}
+	if len(resLocal.Objective) != len(resRemote.Objective) {
+		t.Fatalf("objective curves differ in length: %d vs %d",
+			len(resLocal.Objective), len(resRemote.Objective))
+	}
+	for i := range resLocal.Objective {
+		if math.Float64bits(resLocal.Objective[i]) != math.Float64bits(resRemote.Objective[i]) {
+			t.Fatalf("objective diverges at loop %d: %v vs %v (binary frame not bit-exact?)",
+				i, resLocal.Objective[i], resRemote.Objective[i])
+		}
+	}
+	if len(resLocal.Poison) != len(resRemote.Poison) {
+		t.Fatalf("poison sizes differ: %d vs %d", len(resLocal.Poison), len(resRemote.Poison))
+	}
+	for i := range resLocal.Poison {
+		if resLocal.Poison[i].Key() != resRemote.Poison[i].Key() {
+			t.Fatalf("poison query %d differs across transports", i)
+		}
+		if math.Float64bits(resLocal.PoisonCards[i]) != math.Float64bits(resRemote.PoisonCards[i]) {
+			t.Fatalf("poison card %d differs: %v vs %v",
+				i, resLocal.PoisonCards[i], resRemote.PoisonCards[i])
+		}
+	}
+
+	afterLocal, afterRemote := meanQErr(bbLocal, wLocal), meanQErr(bbRemote, wRemote)
+	t.Logf("binary+streaming q-error after attack: in-process=%.3f remote=%.3f", afterLocal, afterRemote)
+	if math.Float64bits(afterLocal) != math.Float64bits(afterRemote) {
+		t.Errorf("post-attack q-error differs: %v in-process vs %v binary-streaming",
+			afterLocal, afterRemote)
+	}
+}
+
 // TestIntegrationRemoteCampaignUnderFaults composes the fault injector
 // with the remote transport: a flaky client-side network plus the real
 // HTTP hop, with the campaign's retry layer recovering. The attack must
