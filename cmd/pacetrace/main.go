@@ -1,0 +1,286 @@
+// pacetrace merges per-process JSONL span files into one stitched fleet
+// trace and renders it.
+//
+// Each process in a fleet run (pace client, pacerouter, paced backends)
+// writes its own span file via -trace. Spans carry globally-unique IDs
+// (per-process random base mixed into a sequential counter) and the
+// trace/parent linkage rides the X-Pace-Trace header, so stitching is a
+// pure merge: concatenate the files, index by span ID, hang children
+// under parents.
+//
+// Usage:
+//
+//	pacetrace [-json] [-trace <32-hex id>] file.jsonl...
+//
+// Default output is a human view: a summary header, a text flamegraph of
+// the stitched tree, and critical-path attribution. -json instead prints
+// a machine-readable summary ({spans, roots, orphans, procs, ...}) for
+// CI assertions.
+//
+// Clock skew: the files come from different processes whose clocks need
+// not agree. A child whose start precedes its parent's start is
+// annotated with the negative offset rather than "fixed" — the structure
+// is trustworthy (it came from explicit parent links), the absolute
+// timestamps are not.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"pace/internal/obs"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "print a machine-readable summary instead of the tree")
+	traceID := flag.String("trace", "", "stitch only this trace ID (default: the trace with the most spans)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pacetrace [-json] [-trace <id>] file.jsonl...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var all []obs.SpanRecord
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pacetrace: %v\n", err)
+			os.Exit(1)
+		}
+		recs, err := obs.ParseTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pacetrace: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		all = append(all, recs...)
+	}
+
+	tree := stitch(all, *traceID)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tree.summary()); err != nil {
+			fmt.Fprintf(os.Stderr, "pacetrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tree.render(os.Stdout)
+}
+
+// node is one stitched span plus its children, sorted by start time.
+type node struct {
+	rec      obs.SpanRecord
+	children []*node
+	// skewUS is the child-starts-before-parent offset in microseconds
+	// (negative), 0 when the clocks agree with causality.
+	skewUS int64
+}
+
+// tree is the stitched view of one trace across all merged files.
+type tree struct {
+	trace   string
+	traces  int // distinct trace IDs seen across the input
+	spans   []obs.SpanRecord
+	roots   []*node
+	orphans []obs.SpanRecord // parent ID never seen in any input file
+	procs   map[string]int
+}
+
+// summary is the -json output shape; CI asserts on it.
+type summary struct {
+	Trace   string         `json:"trace"`
+	Traces  int            `json:"traces"`
+	Spans   int            `json:"spans"`
+	Roots   int            `json:"roots"`
+	Orphans int            `json:"orphans"`
+	Skewed  int            `json:"skewed"`
+	Procs   map[string]int `json:"procs"`
+}
+
+// stitch merges records into one tree. With want == "" it picks the
+// trace ID with the most spans — in a fleet run that is the campaign's
+// seed-derived trace; the router's own background trace (rebuild spans)
+// is smaller and reported only through the `traces` count.
+func stitch(all []obs.SpanRecord, want string) *tree {
+	byTrace := map[string]int{}
+	for _, r := range all {
+		byTrace[r.Trace]++
+	}
+	if want == "" {
+		for id, n := range byTrace {
+			if want == "" || n > byTrace[want] || (n == byTrace[want] && id < want) {
+				want = id
+			}
+		}
+	}
+
+	t := &tree{trace: want, traces: len(byTrace), procs: map[string]int{}}
+	nodes := map[uint64]*node{}
+	for _, r := range all {
+		if r.Trace != want {
+			continue
+		}
+		t.spans = append(t.spans, r)
+		t.procs[procName(r)]++
+		nodes[r.ID] = &node{rec: r}
+	}
+	for _, n := range nodes {
+		p := n.rec.Parent
+		switch {
+		case p == 0:
+			t.roots = append(t.roots, n)
+		case nodes[p] != nil:
+			parent := nodes[p]
+			parent.children = append(parent.children, n)
+			if d := n.rec.StartUS - parent.rec.StartUS; d < 0 {
+				n.skewUS = d
+			}
+		default:
+			t.orphans = append(t.orphans, n.rec)
+		}
+	}
+	sortNodes(t.roots)
+	for _, n := range nodes {
+		sortNodes(n.children)
+	}
+	return t
+}
+
+// sortNodes orders siblings by start time, then ID for a stable tie.
+func sortNodes(ns []*node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].rec.StartUS != ns[j].rec.StartUS {
+			return ns[i].rec.StartUS < ns[j].rec.StartUS
+		}
+		return ns[i].rec.ID < ns[j].rec.ID
+	})
+}
+
+func procName(r obs.SpanRecord) string {
+	if r.Proc == "" {
+		return "unknown"
+	}
+	return r.Proc
+}
+
+func (t *tree) summary() summary {
+	s := summary{
+		Trace:   t.trace,
+		Traces:  t.traces,
+		Spans:   len(t.spans),
+		Roots:   len(t.roots),
+		Orphans: len(t.orphans),
+		Procs:   t.procs,
+	}
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.skewUS < 0 {
+			s.Skewed++
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+	return s
+}
+
+func (t *tree) render(w *os.File) {
+	fmt.Fprintf(w, "trace %s: %d spans, %d roots, %d orphans", t.trace, len(t.spans), len(t.roots), len(t.orphans))
+	if t.traces > 1 {
+		fmt.Fprintf(w, " (+%d other trace(s) in input)", t.traces-1)
+	}
+	fmt.Fprintln(w)
+	procs := make([]string, 0, len(t.procs))
+	for p := range t.procs {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	for _, p := range procs {
+		fmt.Fprintf(w, "  proc %-12s %d spans\n", p, t.procs[p])
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.roots {
+		renderNode(w, r, 0)
+	}
+	for _, o := range t.orphans {
+		fmt.Fprintf(w, "ORPHAN %s [%s] parent=%016x (not in any input file)\n", o.Name, procName(o), o.Parent)
+	}
+	if len(t.roots) > 0 {
+		fmt.Fprintln(w, "\ncritical path:")
+		for _, seg := range t.criticalPath() {
+			fmt.Fprintf(w, "  %-24s [%s] %s\n", seg.rec.Name, procName(seg.rec), durUS(seg.rec.DurUS))
+		}
+	}
+}
+
+func renderNode(w *os.File, n *node, depth int) {
+	skew := ""
+	if n.skewUS < 0 {
+		skew = fmt.Sprintf("  (clock skew %dµs)", n.skewUS)
+	}
+	attrs := ""
+	if len(n.rec.Attrs) > 0 {
+		keys := make([]string, 0, len(n.rec.Attrs))
+		for k := range n.rec.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, n.rec.Attrs[k]))
+		}
+		attrs = " {" + strings.Join(parts, " ") + "}"
+	}
+	fmt.Fprintf(w, "%s%s [%s] %s%s%s\n", strings.Repeat("  ", depth), n.rec.Name, procName(n.rec), durUS(n.rec.DurUS), attrs, skew)
+	for _, c := range n.children {
+		renderNode(w, c, depth+1)
+	}
+}
+
+// criticalPath walks from the longest root into, at each level, the
+// child whose end time is latest — the chain that bounded the run's
+// wall clock.
+func (t *tree) criticalPath() []*node {
+	var cur *node
+	for _, r := range t.roots {
+		if cur == nil || r.rec.DurUS > cur.rec.DurUS {
+			cur = r
+		}
+	}
+	var path []*node
+	for cur != nil {
+		path = append(path, cur)
+		var next *node
+		for _, c := range cur.children {
+			if next == nil || c.rec.StartUS+c.rec.DurUS > next.rec.StartUS+next.rec.DurUS {
+				next = c
+			}
+		}
+		cur = next
+	}
+	return path
+}
+
+func durUS(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

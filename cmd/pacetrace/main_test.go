@@ -1,0 +1,77 @@
+package main
+
+import (
+	"testing"
+
+	"pace/internal/obs"
+)
+
+// fleetRecords models a minimal three-process trace: a client root with
+// an rpc child, a router proxy span under the rpc, a backend srv span
+// under the proxy, plus an orphan (its parent was never flushed) and a
+// second, unrelated trace that stitching must set aside.
+func fleetRecords() []obs.SpanRecord {
+	const trace = "0123456789abcdef0123456789abcdef"
+	return []obs.SpanRecord{
+		{ID: 1, Trace: trace, Proc: "pace", Name: "campaign", StartUS: 1000, DurUS: 900},
+		{ID: 2, Parent: 1, Trace: trace, Proc: "pace", Name: "rpc_estimate", StartUS: 1100, DurUS: 400},
+		{ID: 30, Parent: 2, Trace: trace, Proc: "pacerouter", Name: "proxy_estimate", StartUS: 1150, DurUS: 300},
+		{ID: 40, Parent: 30, Trace: trace, Proc: "paced", Name: "srv_estimate", StartUS: 1100, DurUS: 200}, // starts "before" parent: skew
+		{ID: 50, Parent: 99, Trace: trace, Proc: "paced", Name: "model_inference", StartUS: 1300, DurUS: 50},
+		{ID: 7, Trace: "ffffffffffffffffffffffffffffffff", Proc: "pacerouter", Name: "rebuild", StartUS: 2000, DurUS: 10},
+	}
+}
+
+func TestStitchSummary(t *testing.T) {
+	s := stitch(fleetRecords(), "").summary()
+	if s.Trace != "0123456789abcdef0123456789abcdef" {
+		t.Fatalf("primary trace = %s; want the larger trace", s.Trace)
+	}
+	if s.Traces != 2 {
+		t.Errorf("traces = %d, want 2", s.Traces)
+	}
+	if s.Spans != 5 || s.Roots != 1 || s.Orphans != 1 {
+		t.Errorf("spans/roots/orphans = %d/%d/%d, want 5/1/1", s.Spans, s.Roots, s.Orphans)
+	}
+	if s.Skewed != 1 {
+		t.Errorf("skewed = %d, want 1 (srv_estimate starts before proxy_estimate)", s.Skewed)
+	}
+	for _, p := range []string{"pace", "pacerouter", "paced"} {
+		if s.Procs[p] == 0 {
+			t.Errorf("procs[%s] = 0, want > 0", p)
+		}
+	}
+}
+
+func TestStitchTreeShape(t *testing.T) {
+	tr := stitch(fleetRecords(), "")
+	if len(tr.roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tr.roots))
+	}
+	// campaign → rpc_estimate → proxy_estimate → srv_estimate
+	n := tr.roots[0]
+	for _, want := range []string{"campaign", "rpc_estimate", "proxy_estimate", "srv_estimate"} {
+		if n.rec.Name != want {
+			t.Fatalf("chain node = %s, want %s", n.rec.Name, want)
+		}
+		if len(n.children) == 0 {
+			n = nil
+			break
+		}
+		n = n.children[0]
+	}
+	if tr.orphans[0].Name != "model_inference" {
+		t.Errorf("orphan = %s, want model_inference", tr.orphans[0].Name)
+	}
+	path := tr.criticalPath()
+	if len(path) != 4 || path[len(path)-1].rec.Name != "srv_estimate" {
+		t.Errorf("critical path len %d ending %q, want 4 ending srv_estimate", len(path), path[len(path)-1].rec.Name)
+	}
+}
+
+func TestStitchExplicitTraceFilter(t *testing.T) {
+	s := stitch(fleetRecords(), "ffffffffffffffffffffffffffffffff").summary()
+	if s.Spans != 1 || s.Roots != 1 || s.Procs["pacerouter"] != 1 {
+		t.Errorf("filtered trace summary = %+v, want the single rebuild span", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"pace/internal/obs"
 )
@@ -16,6 +17,7 @@ type ObsFlags struct {
 	LogLevel    *string
 	LogFormat   *string
 	Trace       *string
+	TraceActor  *string
 	PprofCPU    *string
 	PprofMem    *string
 	MetricsAddr *string
@@ -31,6 +33,7 @@ func Obs() *ObsFlags {
 		LogLevel:    flag.String("log-level", "", "enable structured logging at this level: debug, info, warn or error (default off)"),
 		LogFormat:   flag.String("log-format", "text", "structured log format: text or json"),
 		Trace:       flag.String("trace", "", "write a JSONL span trace of the run to this file"),
+		TraceActor:  flag.String("trace-actor", "", "process name stamped on every span (default: the binary's name); pacetrace groups merged spans by it"),
 		PprofCPU:    flag.String("pprof-cpu", "", "write a CPU profile to this file"),
 		PprofMem:    flag.String("pprof-mem", "", "write a heap profile to this file on exit"),
 		MetricsAddr: flag.String("metrics-addr", "", "serve Prometheus metrics and net/http/pprof on this address (e.g. :9090, or 127.0.0.1:0 for an ephemeral port)"),
@@ -74,6 +77,11 @@ func (f *ObsFlags) Setup() (*obs.Telemetry, func() error, error) {
 		if err != nil {
 			return nil, shutdown, err
 		}
+		actor := *f.TraceActor
+		if actor == "" {
+			actor = filepath.Base(os.Args[0])
+		}
+		tr.SetProc(actor)
 		tel.Tracer = tr
 		closers = append(closers, tr.Close)
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"pace/internal/ce"
+	"pace/internal/obs"
 	"pace/internal/remote"
 	"pace/internal/workload"
 )
@@ -77,6 +78,12 @@ func (c *Campaign) Run(ctx context.Context) (*Result, error) {
 		}
 		defer rc.Close()
 		target = rc.Target(c.Remote.Tenant)
+	}
+	// Derive the trace ID from the seed: two runs of the same campaign
+	// carry the same trace ID, so their stitched fleet traces are
+	// directly comparable (and the determinism tests can diff them).
+	if tel := c.Config.Telemetry; tel != nil && tel.Tracer != nil {
+		tel.Tracer.SetTraceID(obs.DeriveTraceID(c.Seed))
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	return runCampaign(ctx, target, c.Workload, c.Test, c.History, c.Config, rng)

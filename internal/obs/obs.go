@@ -41,6 +41,14 @@ func (t *Telemetry) Registry() *Registry {
 
 type ctxKeyTelemetry struct{}
 type ctxKeySpan struct{}
+type ctxKeyRemoteParent struct{}
+
+// remoteParent carries the trace/span identity extracted from an
+// incoming X-Pace-Trace header: the caller's span in another process.
+type remoteParent struct {
+	trace string
+	span  uint64
+}
 
 // NewContext attaches tel to ctx for the pipeline below.
 func NewContext(ctx context.Context, tel *Telemetry) context.Context {
@@ -67,10 +75,16 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 		return ctx, nil
 	}
 	var parentID uint64
+	trace := ""
 	if parent, _ := ctx.Value(ctxKeySpan{}).(*Span); parent != nil {
 		parentID = parent.id
+		trace = parent.trace
+	} else if rp, ok := ctx.Value(ctxKeyRemoteParent{}).(remoteParent); ok {
+		// No local parent: stitch under the remote caller's span.
+		parentID = rp.span
+		trace = rp.trace
 	}
-	sp := tel.Tracer.startSpan(name, parentID, attrs...)
+	sp := tel.Tracer.startSpan(name, parentID, trace, attrs...)
 	return context.WithValue(ctx, ctxKeySpan{}, sp), sp
 }
 
@@ -78,6 +92,41 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 func CurrentSpan(ctx context.Context) *Span {
 	sp, _ := ctx.Value(ctxKeySpan{}).(*Span)
 	return sp
+}
+
+// ContextWithRemoteParent records a cross-process parent (from a parsed
+// X-Pace-Trace header) on ctx. The next StartSpan with no local parent
+// span parents under it, stitching the server-side subtree beneath the
+// remote caller. Invalid inputs leave ctx unchanged.
+func ContextWithRemoteParent(ctx context.Context, trace string, span uint64) context.Context {
+	if !validTraceID(trace) || span == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRemoteParent{}, remoteParent{trace: trace, span: span})
+}
+
+// TraceParent renders ctx's current span as an X-Pace-Trace header
+// value, or "" when ctx carries no live span — callers then skip the
+// header and the downstream request is untraced.
+func TraceParent(ctx context.Context) string {
+	sp := CurrentSpan(ctx)
+	if sp == nil {
+		return ""
+	}
+	return FormatTraceParent(sp.trace, sp.id)
+}
+
+// TraceIDFrom reports the trace ID the work under ctx belongs to: the
+// current span's trace, else a remote parent's, else "". Metric
+// exemplars use this to link a slow request back to its trace.
+func TraceIDFrom(ctx context.Context) string {
+	if sp := CurrentSpan(ctx); sp != nil {
+		return sp.trace
+	}
+	if rp, ok := ctx.Value(ctxKeyRemoteParent{}).(remoteParent); ok {
+		return rp.trace
+	}
+	return ""
 }
 
 // discardLogger drops everything; it stands in wherever no logger was

@@ -97,6 +97,16 @@ type Histogram struct {
 	counts [histBuckets]atomic.Int64
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// ex holds at most one exemplar per bucket: the largest value seen,
+	// with the trace ID of the request that produced it — so a /metrics
+	// scrape links the worst request in a bucket straight to its trace.
+	ex [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // bucketOf maps a value to its bucket index.
@@ -138,6 +148,30 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, keeps it as the bucket's exemplar if it is the largest
+// value that bucket has seen (max-value-wins via CAS). No-op on nil.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	slot := &h.ex[bucketOf(v)]
+	next := &Exemplar{Value: v, TraceID: traceID}
+	for {
+		old := slot.Load()
+		if old != nil && old.Value >= v {
+			return
+		}
+		if slot.CompareAndSwap(old, next) {
 			return
 		}
 	}
@@ -251,12 +285,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// HistogramSnapshot is a point-in-time copy of one histogram. Buckets is
-// sparse: exponent-bucket index → count, only non-empty buckets present.
+// HistogramSnapshot is a point-in-time copy of one histogram. Buckets
+// maps exponent-bucket index → count; every bucket between the first
+// and last populated index is present (zeros included), so cumulative
+// renderings are monotone without re-deriving the bucket layout.
 type HistogramSnapshot struct {
-	Count   int64           `json:"count"`
-	Sum     float64         `json:"sum"`
-	Buckets map[int]int64   `json:"buckets,omitempty"`
+	Count     int64            `json:"count"`
+	Sum       float64          `json:"sum"`
+	Buckets   map[int]int64    `json:"buckets,omitempty"`
+	Exemplars map[int]Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of a registry's instruments —
@@ -289,9 +326,26 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: map[int]int64{}}
+		lo, hi := -1, -1
 		for i := 0; i < histBuckets; i++ {
-			if n := h.counts[i].Load(); n > 0 {
-				hs.Buckets[i] = n
+			if h.counts[i].Load() > 0 {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		// Include the zero buckets between the populated extremes so the
+		// cumulative Prometheus rendering stays monotone with no gaps.
+		for i := lo; i >= 0 && i <= hi; i++ {
+			hs.Buckets[i] = h.counts[i].Load()
+		}
+		for i := 0; i < histBuckets; i++ {
+			if e := h.ex[i].Load(); e != nil {
+				if hs.Exemplars == nil {
+					hs.Exemplars = map[int]Exemplar{}
+				}
+				hs.Exemplars[i] = *e
 			}
 		}
 		s.Histograms[name] = hs
@@ -333,6 +387,14 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		for i, n := range v.Buckets {
 			m.Buckets[i] += n
 		}
+		for i, e := range v.Exemplars {
+			if old, ok := m.Exemplars[i]; !ok || e.Value > old.Value {
+				if m.Exemplars == nil {
+					m.Exemplars = map[int]Exemplar{}
+				}
+				m.Exemplars[i] = e
+			}
+		}
 		out.Histograms[k] = m
 	}
 	return out
@@ -344,6 +406,12 @@ func (h HistogramSnapshot) clone() HistogramSnapshot {
 		c.Buckets = make(map[int]int64, len(h.Buckets))
 		for i, n := range h.Buckets {
 			c.Buckets[i] = n
+		}
+	}
+	if h.Exemplars != nil {
+		c.Exemplars = make(map[int]Exemplar, len(h.Exemplars))
+		for i, e := range h.Exemplars {
+			c.Exemplars[i] = e
 		}
 	}
 	return c
@@ -396,7 +464,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		var cum int64
 		for _, i := range idxs {
 			cum += h.Buckets[i]
-			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", promName(name), promFloat(bucketUpper(i)), cum)
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d", promName(name), promFloat(bucketUpper(i)), cum)
+			// OpenMetrics-style exemplar: the worst request in this bucket
+			// and the trace it belongs to.
+			if e, ok := h.Exemplars[i]; ok {
+				fmt.Fprintf(w, " # {trace_id=%q} %g", e.TraceID, e.Value)
+			}
+			fmt.Fprintf(w, "\n")
 		}
 		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", promName(name), h.Count)
 		fmt.Fprintf(w, "%s_sum %g\n", promName(name), h.Sum)

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO tracks one tenant's latency objective over a sliding window and
+// exposes the burn rate as a gauge. The objective is "fraction p of
+// requests complete within threshold" — a request slower than the
+// threshold (or failed) burns error budget. Burn rate is the classic
+// SRE ratio
+//
+//	badFraction / (1 - objective)
+//
+// over the window: 1.0 (rendered as 1000 permille) means the budget is
+// being spent exactly as fast as the objective allows; higher means the
+// tenant is on course to violate the SLO.
+//
+// The window is a ring of per-second slots keyed by unix second, so old
+// traffic ages out without a background goroutine. Nil-safe.
+type SLO struct {
+	threshold float64 // seconds
+	objective float64 // e.g. 0.99
+	gauge     *Gauge  // burn rate in permille
+
+	mu    sync.Mutex
+	slots [sloWindowSeconds]sloSlot
+}
+
+const sloWindowSeconds = 60
+
+type sloSlot struct {
+	sec  int64 // unix second this slot currently holds
+	good int64
+	bad  int64
+}
+
+// NewSLO builds a tracker writing its burn rate (permille) to the named
+// gauge in reg. threshold is the latency objective; objective the target
+// fraction of requests under it (clamped to [0.5, 0.9999]).
+func NewSLO(reg *Registry, gaugeName string, threshold time.Duration, objective float64) *SLO {
+	if objective < 0.5 {
+		objective = 0.5
+	}
+	if objective > 0.9999 {
+		objective = 0.9999
+	}
+	return &SLO{
+		threshold: threshold.Seconds(),
+		objective: objective,
+		gauge:     reg.Gauge(gaugeName),
+	}
+}
+
+// Observe records one request outcome and refreshes the burn-rate
+// gauge. isErr marks a failed request, which always burns budget.
+func (s *SLO) Observe(dSeconds float64, isErr bool) {
+	if s == nil {
+		return
+	}
+	now := time.Now().Unix()
+	bad := isErr || dSeconds > s.threshold
+
+	s.mu.Lock()
+	slot := &s.slots[now%sloWindowSeconds]
+	if slot.sec != now {
+		slot.sec, slot.good, slot.bad = now, 0, 0
+	}
+	if bad {
+		slot.bad++
+	} else {
+		slot.good++
+	}
+	var good, badN int64
+	for i := range s.slots {
+		if now-s.slots[i].sec < sloWindowSeconds {
+			good += s.slots[i].good
+			badN += s.slots[i].bad
+		}
+	}
+	s.mu.Unlock()
+
+	total := good + badN
+	if total == 0 {
+		return
+	}
+	burn := (float64(badN) / float64(total)) / (1 - s.objective)
+	s.gauge.Set(int64(math.Round(burn * 1000)))
+}
+
+// RED bundles the per-(route, tenant) request/error/duration instruments
+// for one data-path route, plus the tenant's shared SLO tracker. All
+// fields tolerate a nil registry.
+type RED struct {
+	Reqs *Counter
+	Errs *Counter
+	Dur  *Histogram
+	slo  *SLO
+}
+
+// NewRED builds the RED instruments for one route and tenant:
+//
+//	<prefix>_requests_total{route="…",tenant="…"}
+//	<prefix>_errors_total{route="…",tenant="…"}
+//	<prefix>_duration_seconds{route="…",tenant="…"}
+//
+// slo may be nil (no objective tracked for this route).
+func NewRED(reg *Registry, prefix, route, tenant string, slo *SLO) *RED {
+	labels := fmt.Sprintf("{route=%q,tenant=%q}", route, tenant)
+	return &RED{
+		Reqs: reg.Counter(prefix + "_requests_total" + labels),
+		Errs: reg.Counter(prefix + "_errors_total" + labels),
+		Dur:  reg.Histogram(prefix + "_duration_seconds" + labels),
+		slo:  slo,
+	}
+}
+
+// Observe records one request: rate, error, duration with a slow-request
+// exemplar pointing at traceID, and the SLO budget burn.
+func (m *RED) Observe(dSeconds float64, isErr bool, traceID string) {
+	if m == nil {
+		return
+	}
+	m.Reqs.Inc()
+	if isErr {
+		m.Errs.Inc()
+	}
+	m.Dur.ObserveExemplar(dSeconds, traceID)
+	m.slo.Observe(dSeconds, isErr)
+}

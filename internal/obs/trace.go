@@ -2,10 +2,14 @@ package obs
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +45,8 @@ func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
 type SpanRecord struct {
 	ID      uint64         `json:"id"`
 	Parent  uint64         `json:"parent,omitempty"`
+	Trace   string         `json:"trace,omitempty"`
+	Proc    string         `json:"proc,omitempty"`
 	Name    string         `json:"name"`
 	StartUS int64          `json:"start_us"`
 	DurUS   int64          `json:"dur_us"`
@@ -57,11 +63,122 @@ type Tracer struct {
 	err    error
 	nextID atomic.Uint64
 	spans  atomic.Int64
+
+	// idBase is a per-process random offset mixed into every span ID so
+	// IDs from different processes in a fleet never collide when traces
+	// are merged. Immutable after construction.
+	idBase uint64
+	trace  atomic.Pointer[string]
+	proc   atomic.Pointer[string]
 }
 
 // NewTracer builds a tracer writing JSONL to w.
 func NewTracer(w io.Writer) *Tracer {
-	return &Tracer{w: bufio.NewWriter(w)}
+	t := &Tracer{w: bufio.NewWriter(w), idBase: randomBase()}
+	// Default trace ID: random per tracer, so headers are always valid
+	// even before a campaign pins a seed-derived ID via SetTraceID.
+	def := fmt.Sprintf("%016x%016x", mix64(t.idBase), mix64(t.idBase+1))
+	t.trace.Store(&def)
+	return t
+}
+
+// randomBase draws the per-process span-ID offset; crypto/rand so two
+// identically-named backends started in the same nanosecond still get
+// distinct ID spaces.
+func randomBase() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err == nil {
+		return binary.LittleEndian.Uint64(b[:])
+	}
+	return uint64(time.Now().UnixNano())
+}
+
+// mix64 is the splitmix64 finalizer — a bijective avalanche over the
+// sequential span counter, giving well-spread IDs without coordination.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SetProc stamps every subsequently-emitted span with the process role
+// ("pace", "pacerouter", "paced") so merged fleet traces attribute spans
+// to the right process. Nil-safe.
+func (t *Tracer) SetProc(proc string) {
+	if t == nil || proc == "" {
+		return
+	}
+	t.proc.Store(&proc)
+}
+
+// SetTraceID pins the trace ID new root spans are tagged with. Campaigns
+// call this with DeriveTraceID(seed) so a fixed-seed run produces the
+// same trace ID everywhere. Must be a 32-char lowercase hex string;
+// anything else is ignored. Nil-safe.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil || !validTraceID(id) {
+		return
+	}
+	t.trace.Store(&id)
+}
+
+func (t *Tracer) traceID() string {
+	if p := t.trace.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (t *Tracer) procName() string {
+	if p := t.proc.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// DeriveTraceID maps a campaign seed onto a stable 32-hex trace ID so
+// fixed-seed runs are findable by trace ID across re-runs.
+func DeriveTraceID(seed int64) string {
+	const golden = uint64(0x9e3779b97f4a7c15)
+	base := uint64(seed) + golden
+	return fmt.Sprintf("%016x%016x", mix64(base), mix64(base+golden))
+}
+
+func validTraceID(id string) bool {
+	if len(id) != 32 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return id != strings.Repeat("0", 32)
+}
+
+// FormatTraceParent renders the X-Pace-Trace header value in W3C
+// traceparent form: 00-<32 hex trace>-<16 hex span>-01.
+func FormatTraceParent(trace string, span uint64) string {
+	return fmt.Sprintf("00-%s-%016x-01", trace, span)
+}
+
+// ParseTraceParent decodes an X-Pace-Trace header. ok is false for any
+// malformed value (wrong field count, bad hex, zero span ID) — callers
+// then treat the request as untraced.
+func ParseTraceParent(v string) (trace string, span uint64, ok bool) {
+	parts := strings.Split(v, "-")
+	if len(parts) != 4 || parts[0] != "00" || !validTraceID(parts[1]) || len(parts[2]) != 16 {
+		return "", 0, false
+	}
+	id, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil || id == 0 {
+		return "", 0, false
+	}
+	return parts[1], id, true
 }
 
 // NewFileTracer builds a tracer writing to the named file (truncated).
@@ -113,6 +230,7 @@ type Span struct {
 	tr     *Tracer
 	id     uint64
 	parent uint64
+	trace  string
 	name   string
 	start  time.Time
 
@@ -121,15 +239,25 @@ type Span struct {
 	ended bool
 }
 
-// startSpan opens a span under the given parent ID (0 = root).
-func (t *Tracer) startSpan(name string, parent uint64, attrs ...Attr) *Span {
+// startSpan opens a span under the given parent ID (0 = root). trace is
+// the trace ID inherited from the parent; "" means "use the tracer's
+// current trace ID" (the root case).
+func (t *Tracer) startSpan(name string, parent uint64, trace string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
+	if trace == "" {
+		trace = t.traceID()
+	}
+	id := mix64(t.idBase + t.nextID.Add(1))
+	if id == 0 {
+		id = 1 // 0 is reserved for "no parent"
+	}
 	return &Span{
 		tr:     t,
-		id:     t.nextID.Add(1),
+		id:     id,
 		parent: parent,
+		trace:  trace,
 		name:   name,
 		start:  time.Now(),
 		attrs:  append([]Attr(nil), attrs...),
@@ -168,6 +296,8 @@ func (s *Span) End() {
 	rec := SpanRecord{
 		ID:      s.id,
 		Parent:  s.parent,
+		Trace:   s.trace,
+		Proc:    s.tr.procName(),
 		Name:    s.name,
 		StartUS: s.start.UnixMicro(),
 		DurUS:   time.Since(s.start).Microseconds(),

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"pace/internal/ce"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/wire"
 )
@@ -224,6 +225,7 @@ func (t *RemoteTarget) wireCodec() wire.Codec {
 var _ ce.Target = (*RemoteTarget)(nil)
 
 type pendingEst struct {
+	ctx context.Context // first caller's context; carries telemetry/trace
 	q   *query.Query
 	res chan pendingRes // buffered(1)
 }
@@ -292,7 +294,7 @@ func (t *RemoteTarget) EstimateContext(ctx context.Context, q *query.Query) (flo
 		return ests[0], nil
 	}
 
-	p := &pendingEst{q: q, res: make(chan pendingRes, 1)}
+	p := &pendingEst{ctx: ctx, q: q, res: make(chan pendingRes, 1)}
 	t.mu.Lock()
 	t.pending = append(t.pending, p)
 	switch {
@@ -345,7 +347,10 @@ func (t *RemoteTarget) flushWindow() {
 // callers' contexts only govern how long they wait, not the request
 // (other callers in the batch still want the answer).
 func (t *RemoteTarget) sendBatch(batch []*pendingEst) {
-	ctx, cancel := context.WithTimeout(context.Background(), t.opts.RequestTimeout)
+	// Keep the first caller's telemetry and trace context (values only —
+	// WithoutCancel detaches its lifetime so one caller bailing cannot
+	// kill the batch the others are still waiting on).
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(batch[0].ctx), t.opts.RequestTimeout)
 	defer cancel()
 	qs := make([]*query.Query, len(batch))
 	for i, p := range batch {
@@ -387,12 +392,14 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 			Queries: wire.EncodeQueries(qs[lo:hi]),
 			Cards:   wire.FromFloats(cards[lo:hi]),
 		}
-		err := t.postData(ctx, t.prefix+"/execute",
+		cctx, sp := obs.StartSpan(ctx, "rpc_execute", obs.Int("queries", hi-lo))
+		err := t.postData(cctx, t.prefix+"/execute",
 			func(c wire.Codec) ([]byte, error) { return c.EncodeExecuteRequest(&req) },
 			func(c wire.Codec, raw []byte) error {
 				_, err := c.DecodeExecuteResponse(raw)
 				return err
 			})
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -402,6 +409,8 @@ func (t *RemoteTarget) ExecuteWorkload(ctx context.Context, qs []*query.Query, c
 }
 
 func (t *RemoteTarget) estimateBatch(ctx context.Context, qs []*query.Query) ([]float64, error) {
+	ctx, sp := obs.StartSpan(ctx, "rpc_estimate", obs.Int("queries", len(qs)))
+	defer sp.End()
 	req := wire.EstimateRequest{V: wire.Version, Queries: wire.EncodeQueries(qs)}
 	var resp *wire.EstimateResponse
 	err := t.postData(ctx, t.prefix+"/estimate",
@@ -498,6 +507,11 @@ func (t *RemoteTarget) roundTrip(ctx context.Context, method, path, contentType 
 	}
 	for k, v := range hdr {
 		req.Header.Set(k, v)
+	}
+	// Propagate trace context: the receiving process parents its spans
+	// under the caller's current span, stitching the fleet-wide tree.
+	if tp := obs.TraceParent(ctx); tp != "" {
+		req.Header.Set(wire.TraceHeader, tp)
 	}
 
 	t.requests.Add(1)

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pace/internal/ce"
+	"pace/internal/obs"
 	"pace/internal/query"
 	"pace/internal/wire"
 )
@@ -54,6 +55,9 @@ func (t *RemoteTarget) executeStream(ctx context.Context, qs []*query.Query, car
 	token := streamToken(qs, cards)
 	path := t.streamPrefix() + "/executions/" + url.PathEscape(token)
 
+	ctx, ssp := obs.StartSpan(ctx, "stream_execute", obs.Int("queries", len(qs)))
+	defer ssp.End()
+
 	if err := t.openExecution(ctx, token); err != nil {
 		return err
 	}
@@ -75,7 +79,10 @@ func (t *RemoteTarget) executeStream(ctx context.Context, qs []*query.Query, car
 		t.queries.Add(int64(hi - lo))
 	}
 
-	if err := t.awaitExecution(ctx, path, token); err != nil {
+	actx, asp := obs.StartSpan(ctx, "exec_await")
+	err := t.awaitExecution(actx, path, token)
+	asp.End()
+	if err != nil {
 		return err
 	}
 
@@ -101,6 +108,8 @@ func (t *RemoteTarget) streamPrefix() string {
 
 // openExecution registers the token, riding shed replies.
 func (t *RemoteTarget) openExecution(ctx context.Context, token string) error {
+	ctx, sp := obs.StartSpan(ctx, "rpc_exec_open")
+	defer sp.End()
 	deadline := time.Now().Add(2 * t.opts.RequestTimeout)
 	for {
 		_, err := t.controlJSON(ctx, http.MethodPost, t.streamPrefix()+"/executions",
@@ -121,6 +130,8 @@ func (t *RemoteTarget) openExecution(ctx context.Context, token string) error {
 // failover landed the stream on a freshly re-provisioned host — re-open
 // and resubmit).
 func (t *RemoteTarget) submitChunk(ctx context.Context, token string, seq int64, req *wire.ExecuteRequest) error {
+	ctx, sp := obs.StartSpan(ctx, "rpc_exec_chunk", obs.Int64("seq", seq))
+	defer sp.End()
 	path := t.streamPrefix() + "/executions/" + url.PathEscape(token)
 	hdr := map[string]string{wire.ChunkSeqHeader: strconv.FormatInt(seq, 10)}
 	deadline := time.Now().Add(2 * t.opts.RequestTimeout)

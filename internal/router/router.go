@@ -117,6 +117,12 @@ type Config struct {
 	// Telemetry mounts router_* metrics (and /metrics when it carries a
 	// registry).
 	Telemetry *obs.Telemetry
+	// SLOTarget is the per-request latency objective behind the
+	// per-tenant burn-rate gauge (default 100ms).
+	SLOTarget time.Duration
+	// SLOObjective is the target fraction of requests within SLOTarget
+	// (default 0.99).
+	SLOObjective float64
 	// Client is the HTTP client used to reach backends (default: a
 	// fresh http.Client; per-request contexts bound each call).
 	Client *http.Client
@@ -141,6 +147,12 @@ func (c Config) withDefaults() Config {
 	if c.CreateTimeout <= 0 {
 		c.CreateTimeout = 10 * time.Minute
 	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 100 * time.Millisecond
+	}
+	if c.SLOObjective <= 0 {
+		c.SLOObjective = 0.99
+	}
 	return c
 }
 
@@ -150,6 +162,10 @@ func (c Config) withDefaults() Config {
 type journalEntry struct {
 	contentType string
 	body        []byte
+	// stream marks a journaled streamed-execute chunk (vs a synchronous
+	// execute body) — replaying one counts toward the stream-replay
+	// metric.
+	stream bool
 }
 
 // entry is the router's authoritative record of one tenant: where it
@@ -204,19 +220,33 @@ type Router struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
+	// bg is the router's background telemetry context: root spans for
+	// self-initiated work (rebuild, revival) start from it.
+	bg context.Context
+
 	// All nil-safe no-ops without telemetry.
-	mFailover      *obs.Counter
-	mReprovision   *obs.Counter
-	mReprovLatency *obs.Histogram
-	mEvicted       *obs.Counter
-	mRevived       *obs.Counter
-	mQuotaDenied   *obs.Counter
-	mShed          *obs.Counter
-	mUnknownTarget *obs.Counter
-	mUnauthorized  *obs.Counter
-	mAdminReqs     *obs.Counter
-	mTenants       *obs.Gauge
-	mDraining      *obs.Gauge
+	mFailover       *obs.Counter
+	mReprovision    *obs.Counter
+	mReprovLatency  *obs.Histogram
+	mEvicted        *obs.Counter
+	mRevived        *obs.Counter
+	mQuotaDenied    *obs.Counter
+	mShed           *obs.Counter
+	mUnknownTarget  *obs.Counter
+	mUnauthorized   *obs.Counter
+	mAdminReqs      *obs.Counter
+	mTenants        *obs.Gauge
+	mDraining       *obs.Gauge
+	mStreamOpens    *obs.Counter
+	mStreamFwd      *obs.Counter
+	mStreamDedup    *obs.Counter
+	mStreamReplayed *obs.Counter
+
+	// Per-(route, tenant) RED instruments and per-tenant SLO trackers,
+	// created lazily on first request.
+	redMu sync.Mutex
+	reds  map[string]*obs.RED
+	slos  map[string]*obs.SLO
 }
 
 // New builds the router, probes every backend once synchronously (so
@@ -229,6 +259,9 @@ func New(cfg Config) (*Router, error) {
 		client:  cfg.Client,
 		entries: map[string]*entry{},
 		stop:    make(chan struct{}),
+		bg:      obs.NewContext(context.Background(), cfg.Telemetry),
+		reds:    map[string]*obs.RED{},
+		slos:    map[string]*obs.SLO{},
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{}
@@ -275,28 +308,51 @@ func New(cfg Config) (*Router, error) {
 
 	rt.mux = http.NewServeMux()
 	rt.mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleData(w, r, targetserver.DefaultTenant, false)
+		rt.serveData(w, r, targetserver.DefaultTenant, "estimate", "proxy_estimate",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleData(w, r, id, false)
+			})
 	})
 	rt.mux.HandleFunc("POST /v1/execute", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleData(w, r, targetserver.DefaultTenant, true)
+		rt.serveData(w, r, targetserver.DefaultTenant, "execute", "proxy_execute",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleData(w, r, id, true)
+			})
 	})
 	rt.mux.HandleFunc("POST /v1/targets/{id}/estimate", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleData(w, r, r.PathValue("id"), false)
+		rt.serveData(w, r, r.PathValue("id"), "estimate", "proxy_estimate",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleData(w, r, id, false)
+			})
 	})
 	rt.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleData(w, r, r.PathValue("id"), true)
+		rt.serveData(w, r, r.PathValue("id"), "execute", "proxy_execute",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleData(w, r, id, true)
+			})
 	})
 	rt.mux.HandleFunc("POST /v1/targets/{id}/executions", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleOpenExecution(w, r, r.PathValue("id"))
+		rt.serveData(w, r, r.PathValue("id"), "exec_open", "proxy_exec_open", rt.handleOpenExecution)
 	})
 	rt.mux.HandleFunc("POST /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleExecutionChunk(w, r, r.PathValue("id"), r.PathValue("token"))
+		rt.serveData(w, r, r.PathValue("id"), "exec_chunk", "proxy_exec_chunk",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleExecutionChunk(w, r, id, r.PathValue("token"))
+			})
 	})
 	rt.mux.HandleFunc("GET /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleExecutionStatus(w, r, r.PathValue("id"), r.PathValue("token"))
+		// Status polls are RED-metered but never spanned: poll counts are
+		// timing-dependent and would break trace-structure determinism.
+		rt.serveData(w, r, r.PathValue("id"), "exec_status", "",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleExecutionStatus(w, r, id, r.PathValue("token"))
+			})
 	})
 	rt.mux.HandleFunc("DELETE /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		rt.handleExecutionDelete(w, r, r.PathValue("id"), r.PathValue("token"))
+		rt.serveData(w, r, r.PathValue("id"), "exec_delete", "proxy_exec_delete",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				rt.handleExecutionDelete(w, r, id, r.PathValue("token"))
+			})
 	})
 	rt.mux.HandleFunc("GET /v1/targets/{id}/healthz", rt.handleTenantHealthz)
 	rt.mux.HandleFunc("POST /v1/targets", rt.handleCreate)
@@ -346,6 +402,69 @@ func (rt *Router) instrument(reg *obs.Registry) {
 	rt.mAdminReqs = reg.Counter("router_admin_requests_total")
 	rt.mTenants = reg.Gauge("router_tenants")
 	rt.mDraining = reg.Gauge("router_draining")
+	rt.mStreamOpens = reg.Counter("router_stream_opens_total")
+	rt.mStreamFwd = reg.Counter("router_stream_chunks_forwarded_total")
+	rt.mStreamDedup = reg.Counter("router_stream_chunks_deduped_total")
+	rt.mStreamReplayed = reg.Counter("router_stream_chunks_replayed_total")
+}
+
+// statusWriter captures the status code the handler chain wrote so the
+// RED layer can classify the request.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// serveData wraps one data-path route with per-tenant RED metrics and —
+// when the caller sent an X-Pace-Trace header and spanName is non-empty
+// — a proxy span parented under the remote caller. Requests without the
+// header are metered but never spanned, which keeps trace structure a
+// pure function of the instrumented client's behaviour.
+func (rt *Router) serveData(w http.ResponseWriter, r *http.Request, id, route, spanName string, fn func(http.ResponseWriter, *http.Request, string)) {
+	ctx := obs.NewContext(r.Context(), rt.cfg.Telemetry)
+	var sp *obs.Span
+	if tp := r.Header.Get(wire.TraceHeader); tp != "" {
+		if trace, span, ok := obs.ParseTraceParent(tp); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, trace, span)
+			if spanName != "" {
+				ctx, sp = obs.StartSpan(ctx, spanName, obs.String("tenant", id))
+			}
+		}
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	fn(sw, r.WithContext(ctx), id)
+	sp.End()
+	rt.red(route, id).Observe(time.Since(start).Seconds(), sw.status >= 500, obs.TraceIDFrom(ctx))
+}
+
+// red returns the (route, tenant) RED instrument set, creating it — and
+// the tenant's SLO tracker — on first use. Nil without a registry.
+func (rt *Router) red(route, id string) *obs.RED {
+	reg := rt.cfg.Telemetry.Registry()
+	if reg == nil {
+		return nil
+	}
+	key := route + "\x00" + id
+	rt.redMu.Lock()
+	defer rt.redMu.Unlock()
+	if red, ok := rt.reds[key]; ok {
+		return red
+	}
+	slo, ok := rt.slos[id]
+	if !ok {
+		slo = obs.NewSLO(reg, fmt.Sprintf("router_slo_burn_rate_permille{tenant=%q}", id),
+			rt.cfg.SLOTarget, rt.cfg.SLOObjective)
+		rt.slos[id] = slo
+	}
+	red := obs.NewRED(reg, "router_http", route, id, slo)
+	rt.reds[key] = red
+	return red
 }
 
 // Handler exposes the router mux (for httptest or custom listeners).
@@ -424,6 +543,11 @@ func (rt *Router) forwardHdr(ctx context.Context, b *backend, method, path strin
 		if v != "" {
 			req.Header.Set(k, v)
 		}
+	}
+	// Trace propagation: the proxy span (or the caller's remote parent)
+	// rides to the backend so its srv_* spans stitch under this hop.
+	if tp := obs.TraceParent(ctx); tp != "" {
+		req.Header.Set(wire.TraceHeader, tp)
 	}
 	if client != "" {
 		req.Header.Set(targetserver.ClientHeader, client)
@@ -854,6 +978,10 @@ func (rt *Router) handleFleet(w http.ResponseWriter, _ *http.Request) {
 // is rebuilt, deleted, or the router shuts down.
 func (rt *Router) rebuild(id string) {
 	start := time.Now()
+	// Rebuilds are router-initiated, so their spans root in the router's
+	// own trace rather than under any client request.
+	rctx, rsp := obs.StartSpan(rt.bg, "rebuild", obs.String("tenant", id))
+	defer rsp.End()
 	for {
 		if rt.isDraining() {
 			return
@@ -873,7 +1001,7 @@ func (rt *Router) rebuild(id string) {
 			}
 			continue
 		}
-		if err := rt.provision(e, b); err != nil {
+		if err := rt.provision(rctx, e, b); err != nil {
 			if !rt.sleep(rt.cfg.HealthInterval) {
 				return
 			}
@@ -907,11 +1035,13 @@ func (rt *Router) rebuild(id string) {
 // so the snapshot is complete. Streamed chunks sit in the journal like
 // plain executes and replay through the synchronous path — apply order
 // is journal order either way.
-func (rt *Router) provision(e *entry, b *backend) error {
+func (rt *Router) provision(parent context.Context, e *entry, b *backend) error {
 	e.execMu.Lock()
 	journal := append([]journalEntry(nil), e.journal...)
 	e.execMu.Unlock()
-	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.CreateTimeout)
+	pctx, psp := obs.StartSpan(parent, "provision", obs.Int("journal", len(journal)))
+	defer psp.End()
+	ctx, cancel := context.WithTimeout(pctx, rt.cfg.CreateTimeout)
 	defer cancel()
 	// A stale copy from before a router restart or failover may still
 	// live on b; the router's placement map is authoritative, so clear
@@ -922,9 +1052,14 @@ func (rt *Router) provision(e *entry, b *backend) error {
 	if _, err := b.admin.CreateTarget(ctx, e.spec); err != nil {
 		return fmt.Errorf("router: rebuild create %s on %s: %w", e.spec.ID, b.url, err)
 	}
+	jctx, jsp := obs.StartSpan(ctx, "journal_replay", obs.Int("entries", len(journal)))
+	defer jsp.End()
 	for _, je := range journal {
-		if err := rt.replayExecute(ctx, b, e.spec.ID, je); err != nil {
+		if err := rt.replayExecute(jctx, b, e.spec.ID, je); err != nil {
 			return err
+		}
+		if je.stream {
+			rt.mStreamReplayed.Inc()
 		}
 	}
 	return nil

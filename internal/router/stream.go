@@ -105,6 +105,7 @@ func (rt *Router) handleOpenExecution(w http.ResponseWriter, r *http.Request, id
 		if e.streams[req.Token] == nil {
 			e.streams[req.Token] = map[int64]bool{}
 		}
+		rt.mStreamOpens.Inc()
 	}
 	rt.passthrough(w, resp, raw)
 }
@@ -138,6 +139,7 @@ func (rt *Router) handleExecutionChunk(w http.ResponseWriter, r *http.Request, i
 		// Journaled already: the chunk is applied on the current backend
 		// (or will be, by the next replay). Ack without forwarding —
 		// this is what makes whole-stream retries exactly-once.
+		rt.mStreamDedup.Inc()
 		rt.syntheticAck(w, http.StatusAccepted, token, wire.ExecutionRunning, len(e.streams[token]))
 		return
 	}
@@ -179,7 +181,8 @@ func (rt *Router) handleExecutionChunk(w http.ResponseWriter, r *http.Request, i
 			e.streams[token] = map[int64]bool{}
 		}
 		e.streams[token][seq] = true
-		e.journal = append(e.journal, journalEntry{contentType: hdr["Content-Type"], body: body})
+		e.journal = append(e.journal, journalEntry{contentType: hdr["Content-Type"], body: body, stream: true})
+		rt.mStreamFwd.Inc()
 	}
 	rt.passthrough(w, resp, raw)
 }

@@ -108,6 +108,13 @@ type Config struct {
 	// counters, latency and batch-size histograms, queue gauges) and,
 	// when it carries a registry, mounts /metrics and /debug/pprof.
 	Telemetry *obs.Telemetry
+	// SLOTarget is the per-request latency objective behind the
+	// per-tenant burn-rate gauge (default 100ms): a data-path request
+	// slower than this — or failing — burns error budget.
+	SLOTarget time.Duration
+	// SLOObjective is the target fraction of requests within SLOTarget
+	// (default 0.99).
+	SLOObjective float64
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +126,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.SLOTarget <= 0 {
+		c.SLOTarget = 100 * time.Millisecond
+	}
+	if c.SLOObjective <= 0 {
+		c.SLOObjective = 0.99
 	}
 	return c
 }
@@ -171,6 +184,12 @@ type Server struct {
 	mRevived       *obs.Counter
 	mTenants       *obs.Gauge
 	mDraining      *obs.Gauge
+
+	// Per-(route, tenant) RED instruments and per-tenant SLO trackers,
+	// created lazily on first request.
+	redMu sync.Mutex
+	reds  map[string]*obs.RED
+	slos  map[string]*obs.SLO
 }
 
 // New builds a single-tenant server: target becomes the "default"
@@ -204,32 +223,46 @@ func NewMulti(reg *tenant.Registry, cfg Config) *Server {
 		}
 	}
 	s.instrument(cfg.Telemetry.Registry())
+	s.reds = map[string]*obs.RED{}
+	s.slos = map[string]*obs.SLO{}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/estimate", func(w http.ResponseWriter, r *http.Request) {
 		s.deprecateLegacy(w, "/v1/estimate")
-		s.handleEstimate(w, r, DefaultTenant)
+		s.serveData(w, r, DefaultTenant, "estimate", "srv_estimate", s.handleEstimate)
 	})
 	s.mux.HandleFunc("POST /v1/execute", func(w http.ResponseWriter, r *http.Request) {
 		s.deprecateLegacy(w, "/v1/execute")
-		s.handleExecute(w, r, DefaultTenant)
+		s.serveData(w, r, DefaultTenant, "execute", "srv_execute", s.handleExecute)
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/estimate", func(w http.ResponseWriter, r *http.Request) {
-		s.handleEstimate(w, r, r.PathValue("id"))
+		s.serveData(w, r, r.PathValue("id"), "estimate", "srv_estimate", s.handleEstimate)
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/execute", func(w http.ResponseWriter, r *http.Request) {
-		s.handleExecute(w, r, r.PathValue("id"))
+		s.serveData(w, r, r.PathValue("id"), "execute", "srv_execute", s.handleExecute)
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/executions", func(w http.ResponseWriter, r *http.Request) {
-		s.handleOpenExecution(w, r, r.PathValue("id"))
+		s.serveData(w, r, r.PathValue("id"), "exec_open", "srv_exec_open", s.handleOpenExecution)
 	})
 	s.mux.HandleFunc("POST /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		s.handleExecutionChunk(w, r, r.PathValue("id"), r.PathValue("token"))
+		s.serveData(w, r, r.PathValue("id"), "exec_chunk", "srv_exec_chunk",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				s.handleExecutionChunk(w, r, id, r.PathValue("token"))
+			})
 	})
 	s.mux.HandleFunc("GET /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		s.handleExecutionStatus(w, r, r.PathValue("id"), r.PathValue("token"))
+		// Status polls are RED-metered but never spanned: poll counts are
+		// timing-dependent, and spans here would break the fixed-seed
+		// trace-structure determinism contract.
+		s.serveData(w, r, r.PathValue("id"), "exec_status", "",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				s.handleExecutionStatus(w, r, id, r.PathValue("token"))
+			})
 	})
 	s.mux.HandleFunc("DELETE /v1/targets/{id}/executions/{token}", func(w http.ResponseWriter, r *http.Request) {
-		s.handleExecutionDelete(w, r, r.PathValue("id"), r.PathValue("token"))
+		s.serveData(w, r, r.PathValue("id"), "exec_delete", "srv_exec_delete",
+			func(w http.ResponseWriter, r *http.Request, id string) {
+				s.handleExecutionDelete(w, r, id, r.PathValue("token"))
+			})
 	})
 	s.mux.HandleFunc("GET /v1/targets/{id}/healthz", s.handleTenantHealthz)
 	s.mux.HandleFunc("POST /v1/targets", s.handleCreateTarget)
@@ -283,6 +316,66 @@ func (s *Server) janitor() {
 			}
 		}
 	}
+}
+
+// serveData wraps one data-path handler with the fleet observability
+// preamble: trace extraction (an X-Pace-Trace header makes the
+// server-side work parent under the remote caller's span; spanName ""
+// means the route is metered but never spanned) and per-(route, tenant)
+// RED accounting with the tenant's SLO burn and a slow-request exemplar
+// carrying the trace ID.
+func (s *Server) serveData(w http.ResponseWriter, r *http.Request, id, route, spanName string, fn func(http.ResponseWriter, *http.Request, string)) {
+	ctx := obs.NewContext(r.Context(), s.cfg.Telemetry)
+	var sp *obs.Span
+	if tp := r.Header.Get(wire.TraceHeader); tp != "" {
+		if trace, span, ok := obs.ParseTraceParent(tp); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, trace, span)
+			if spanName != "" {
+				ctx, sp = obs.StartSpan(ctx, spanName, obs.String("tenant", id))
+			}
+		}
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	fn(sw, r.WithContext(ctx), id)
+	sp.End()
+	s.red(route, id).Observe(time.Since(start).Seconds(), sw.status >= 500, obs.TraceIDFrom(ctx))
+}
+
+// statusWriter captures the response status for RED error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// red returns the (route, tenant) RED bundle, creating it — and the
+// tenant's shared SLO tracker — on first use. nil (all methods no-op)
+// without a metrics registry.
+func (s *Server) red(route, id string) *obs.RED {
+	reg := s.cfg.Telemetry.Registry()
+	if reg == nil {
+		return nil
+	}
+	key := route + "\x00" + id
+	s.redMu.Lock()
+	defer s.redMu.Unlock()
+	if m, ok := s.reds[key]; ok {
+		return m
+	}
+	slo, ok := s.slos[id]
+	if !ok {
+		slo = obs.NewSLO(reg, fmt.Sprintf("paced_slo_burn_rate_permille{tenant=%q}", id),
+			s.cfg.SLOTarget, s.cfg.SLOObjective)
+		s.slos[id] = slo
+	}
+	m := obs.NewRED(reg, "paced_http", route, id, slo)
+	s.reds[key] = m
+	return m
 }
 
 func (s *Server) instrument(reg *obs.Registry) {
@@ -647,7 +740,7 @@ func (s *Server) handleExecutionChunk(w http.ResponseWriter, r *http.Request, id
 	if !ok {
 		return
 	}
-	st, err := t.SubmitChunk(token, seq, qs, wire.ToFloats(req.Cards))
+	st, err := t.SubmitChunk(r.Context(), token, seq, qs, wire.ToFloats(req.Cards))
 	if err != nil {
 		s.replyExecutionError(w, t, err)
 		return

@@ -45,6 +45,11 @@ type execution struct {
 	queries int64
 	failed  error
 	touched time.Time
+	// opened and lastDone bound the stream's completion latency:
+	// OpenExecution → the last moment pending drained to zero. Observed
+	// once, at DeleteExecution.
+	opened   time.Time
+	lastDone time.Time
 }
 
 func (e *execution) status() ExecutionStatus {
@@ -79,7 +84,8 @@ func (t *Tenant) OpenExecution(token string) (ExecutionStatus, error) {
 		t.m.Shed.Inc()
 		return ExecutionStatus{}, ErrQueueFull
 	}
-	e := &execution{token: token, seqs: map[int64]bool{}, touched: time.Now()}
+	now := time.Now()
+	e := &execution{token: token, seqs: map[int64]bool{}, touched: now, opened: now}
 	t.execs[token] = e
 	return e.status(), nil
 }
@@ -122,7 +128,7 @@ func (t *Tenant) execution(token string) (*execution, bool) {
 // retries. A full execute queue sheds (ErrQueueFull, 429 + Retry-After
 // on the wire) — that is flow control, the client resubmits the same
 // seq after the hint.
-func (t *Tenant) SubmitChunk(token string, seq int64, qs []*query.Query, cards []float64) (ExecutionStatus, error) {
+func (t *Tenant) SubmitChunk(ctx context.Context, token string, seq int64, qs []*query.Query, cards []float64) (ExecutionStatus, error) {
 	if t.Draining() {
 		return ExecutionStatus{}, ErrDraining
 	}
@@ -137,6 +143,7 @@ func (t *Tenant) SubmitChunk(token string, seq int64, qs []*query.Query, cards [
 	if e.seqs[seq] {
 		st := e.status()
 		t.execsMu.Unlock()
+		t.m.ChunksDeduped.Inc()
 		return st, nil // duplicate: ack again, apply nothing
 	}
 	// Mark before enqueueing so a concurrent duplicate of the same seq
@@ -149,10 +156,10 @@ func (t *Tenant) SubmitChunk(token string, seq int64, qs []*query.Query, cards [
 	if t.cache != nil {
 		t.cache.flush() // the model's answers are about to change
 	}
-	// The job carries no request context: the 202 ack returns before the
-	// retrain runs, so the submitting request's lifetime must not cancel
-	// the work.
-	job := &execJob{ctx: context.Background(), qs: qs, cards: cards, reply: make(chan error, 1)}
+	// The job keeps the request's telemetry and trace values but not its
+	// lifetime: the 202 ack returns before the retrain runs, so the
+	// submitting request expiring must not cancel the work.
+	job := &execJob{ctx: context.WithoutCancel(ctx), qs: qs, cards: cards, reply: make(chan error, 1)}
 	select {
 	case t.execQ <- job:
 	default:
@@ -161,8 +168,10 @@ func (t *Tenant) SubmitChunk(token string, seq int64, qs []*query.Query, cards [
 		e.pending--
 		t.execsMu.Unlock()
 		t.m.Shed.Inc()
+		t.m.ChunksShed.Inc()
 		return ExecutionStatus{}, ErrQueueFull
 	}
+	t.m.ChunksEnq.Inc()
 	t.m.ExecQueries.Add(int64(len(qs)))
 	go t.consumeChunk(e, job, int64(len(qs)))
 
@@ -197,6 +206,9 @@ func (t *Tenant) consumeChunk(e *execution, job *execJob, nQueries int64) {
 		e.applied++
 		e.queries += nQueries
 	}
+	if e.pending == 0 {
+		e.lastDone = time.Now()
+	}
 	t.execsMu.Unlock()
 }
 
@@ -224,5 +236,10 @@ func (t *Tenant) DeleteExecution(token string) (ExecutionStatus, error) {
 		return ExecutionStatus{}, ErrUnknownExecution
 	}
 	delete(t.execs, token)
+	// The delete marks the stream's lifecycle end; observe its completion
+	// latency (open → last chunk applied) once, here.
+	if !e.opened.IsZero() && !e.lastDone.IsZero() && e.lastDone.After(e.opened) {
+		t.m.StreamSeconds.Observe(e.lastDone.Sub(e.opened).Seconds())
+	}
 	return e.status(), nil
 }

@@ -51,7 +51,7 @@ func TestExecutionOpenIsIdempotent(t *testing.T) {
 	if st.Applied != 0 || st.Pending != 0 {
 		t.Fatalf("fresh open status %+v, want zeros", st)
 	}
-	if _, err := tn.SubmitChunk("tok-1", 0, oneQuery(0.1), cards(1)); err != nil {
+	if _, err := tn.SubmitChunk(context.Background(), "tok-1", 0, oneQuery(0.1), cards(1)); err != nil {
 		t.Fatalf("chunk: %v", err)
 	}
 	waitStatus(t, tn, "tok-1")
@@ -74,7 +74,7 @@ func TestSubmitChunkDedupesAndCountsOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ { // same seq three times
-		if _, err := tn.SubmitChunk("tok", 7, oneQuery(0.2), cards(1)); err != nil {
+		if _, err := tn.SubmitChunk(context.Background(), "tok", 7, oneQuery(0.2), cards(1)); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -89,7 +89,7 @@ func TestSubmitChunkDedupesAndCountsOnce(t *testing.T) {
 
 func TestSubmitChunkUnknownToken(t *testing.T) {
 	tn := newTestTenant(t, Spec{}, &countTarget{})
-	if _, err := tn.SubmitChunk("never-opened", 0, oneQuery(0.1), cards(1)); !errors.Is(err, ErrUnknownExecution) {
+	if _, err := tn.SubmitChunk(context.Background(), "never-opened", 0, oneQuery(0.1), cards(1)); !errors.Is(err, ErrUnknownExecution) {
 		t.Fatalf("error %v, want ErrUnknownExecution", err)
 	}
 	if _, err := tn.ExecutionStatus("never-opened"); !errors.Is(err, ErrUnknownExecution) {
@@ -153,7 +153,7 @@ func TestSubmitChunkShedUnmarksSeq(t *testing.T) {
 	var acked []int64
 	shed := int64(-1)
 	for seq := int64(0); seq < 8; seq++ {
-		_, err := tn.SubmitChunk("tok", seq, oneQuery(0.3), cards(1))
+		_, err := tn.SubmitChunk(context.Background(), "tok", seq, oneQuery(0.3), cards(1))
 		switch {
 		case err == nil:
 			acked = append(acked, seq)
@@ -176,7 +176,7 @@ func TestSubmitChunkShedUnmarksSeq(t *testing.T) {
 	unblock()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, err := tn.SubmitChunk("tok", shed, oneQuery(0.3), cards(1)); err == nil {
+		if _, err := tn.SubmitChunk(context.Background(), "tok", shed, oneQuery(0.3), cards(1)); err == nil {
 			break
 		} else if !errors.Is(err, ErrQueueFull) {
 			t.Fatalf("resubmit: %v", err)
@@ -208,7 +208,7 @@ func TestExecutionFailureIsSticky(t *testing.T) {
 	if _, err := tn.OpenExecution("tok"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tn.SubmitChunk("tok", 0, oneQuery(0.4), cards(1)); err != nil {
+	if _, err := tn.SubmitChunk(context.Background(), "tok", 0, oneQuery(0.4), cards(1)); err != nil {
 		t.Fatal(err)
 	}
 	st := waitStatus(t, tn, "tok")
@@ -255,7 +255,7 @@ func TestExecutionRefusedWhileDraining(t *testing.T) {
 	if _, err := tn.OpenExecution("tok2"); !errors.Is(err, ErrDraining) {
 		t.Fatalf("open while draining: %v, want ErrDraining", err)
 	}
-	if _, err := tn.SubmitChunk("tok", 0, oneQuery(0.1), cards(1)); !errors.Is(err, ErrDraining) {
+	if _, err := tn.SubmitChunk(context.Background(), "tok", 0, oneQuery(0.1), cards(1)); !errors.Is(err, ErrDraining) {
 		t.Fatalf("chunk while draining: %v, want ErrDraining", err)
 	}
 }

@@ -155,6 +155,7 @@ func (c Config) withDefaults() Config {
 type estJob struct {
 	ctx   context.Context
 	qs    []*query.Query
+	wait  *obs.Span     // queue_wait: enqueue → picked up by the model loop
 	reply chan estReply // buffered(1): the model loop never blocks on it
 }
 
@@ -180,8 +181,13 @@ type Metrics struct {
 	Invalid, Errors       *obs.Counter
 	Batches               *obs.Counter
 	CacheHits, CacheMiss  *obs.Counter
-	QueueDepth, Ready     *obs.Gauge
-	Batch, LatencyUs      *obs.Histogram
+	// Streamed-execute accounting: chunks enqueued onto the execute
+	// queue, duplicate (token, seq) acks, chunks shed by a full queue,
+	// and whole-stream completion latency (open → last chunk applied).
+	ChunksEnq, ChunksDeduped, ChunksShed *obs.Counter
+	QueueDepth, Ready                    *obs.Gauge
+	Batch, LatencyUs                     *obs.Histogram
+	StreamSeconds                        *obs.Histogram
 }
 
 // Tenant is one hosted estimator world. Create through a Registry (or
@@ -266,8 +272,12 @@ func (t *Tenant) instrument(reg *obs.Registry) {
 		QueueDepth:  reg.Gauge(labeled("paced_estimate_queue_depth", id)),
 		Ready:       reg.Gauge(labeled("paced_tenant_ready", id)),
 	}
+	t.m.ChunksEnq = reg.Counter(labeled("paced_stream_chunks_enqueued_total", id))
+	t.m.ChunksDeduped = reg.Counter(labeled("paced_stream_chunks_deduped_total", id))
+	t.m.ChunksShed = reg.Counter(labeled("paced_stream_chunks_shed_total", id))
 	t.m.Batch = reg.Histogram(labeled("paced_batch_queries", id))
 	t.m.LatencyUs = reg.Histogram(labeled("paced_estimate_latency_us", id))
+	t.m.StreamSeconds = reg.Histogram(labeled("paced_stream_completion_seconds", id))
 	t.m.Ready.Set(1)
 }
 
@@ -334,11 +344,16 @@ func (t *Tenant) Estimate(ctx context.Context, qs []*query.Query) ([]float64, er
 	for j, i := range missIdx {
 		missQs[j] = qs[i]
 	}
-	job := &estJob{ctx: ctx, qs: missQs, reply: make(chan estReply, 1)}
+	// The queue_wait span measures enqueue → model-loop pickup. It is
+	// started without replacing ctx so the later model_inference span is
+	// its sibling (both under the server span), not its child.
+	_, wspan := obs.StartSpan(ctx, "queue_wait")
+	job := &estJob{ctx: ctx, qs: missQs, wait: wspan, reply: make(chan estReply, 1)}
 	select {
 	case t.estQ <- job:
 		t.m.QueueDepth.Add(1)
 	default:
+		wspan.End()
 		t.m.Shed.Inc()
 		return nil, ErrQueueFull
 	}
@@ -454,6 +469,7 @@ func (t *Tenant) modelLoop() {
 // gatherAndEval collects more estimate jobs for up to BatchWindow (or
 // until MaxBatch queries are pending), then evaluates them all.
 func (t *Tenant) gatherAndEval(first *estJob) {
+	first.wait.End()
 	batch := []*estJob{first}
 	n := len(first.qs)
 	timer := time.NewTimer(t.cfg.BatchWindow)
@@ -463,6 +479,7 @@ gather:
 		select {
 		case j := <-t.estQ:
 			t.m.QueueDepth.Add(-1)
+			j.wait.End()
 			batch = append(batch, j)
 			n += len(j.qs)
 		case <-timer.C:
@@ -473,18 +490,25 @@ gather:
 	}
 	t.m.Batches.Inc()
 	t.m.Batch.Observe(float64(n))
+	// The batch span parents under the first job's request. Batch
+	// composition is timing-dependent, so trace-structure determinism
+	// checks exclude "batch" spans (like the pace_pool_* counters).
+	_, bsp := obs.StartSpan(first.ctx, "batch", obs.Int("jobs", len(batch)), obs.Int("queries", n))
 	for _, j := range batch {
 		j.reply <- t.evalJob(j)
 	}
+	bsp.End()
 }
 
 func (t *Tenant) evalJob(j *estJob) estReply {
 	if err := j.ctx.Err(); err != nil {
 		return estReply{err: err} // caller already gone; skip the work
 	}
+	ctx, sp := obs.StartSpan(j.ctx, "model_inference", obs.Int("queries", len(j.qs)))
+	defer sp.End()
 	ests := make([]float64, len(j.qs))
 	for i, q := range j.qs {
-		est, err := t.target.EstimateContext(j.ctx, q)
+		est, err := t.target.EstimateContext(ctx, q)
 		if err != nil {
 			return estReply{err: err}
 		}
@@ -503,7 +527,9 @@ func (t *Tenant) runExec(j *execJob) {
 		j.reply <- err
 		return
 	}
-	j.reply <- t.target.ExecuteWorkload(j.ctx, j.qs, j.cards)
+	ctx, sp := obs.StartSpan(j.ctx, "retrain", obs.Int("queries", len(j.qs)))
+	j.reply <- t.target.ExecuteWorkload(ctx, j.qs, j.cards)
+	sp.End()
 }
 
 // drainQueues answers every still-queued job after stop; their callers
@@ -513,6 +539,7 @@ func (t *Tenant) drainQueues() {
 		select {
 		case j := <-t.estQ:
 			t.m.QueueDepth.Add(-1)
+			j.wait.End()
 			j.reply <- t.evalJob(j)
 		case j := <-t.execQ:
 			t.runExec(j)

@@ -304,6 +304,14 @@ type FleetStatusResponse struct {
 // through a failover — is acked again without re-applying it.
 const ChunkSeqHeader = "X-Pace-Chunk-Seq"
 
+// TraceHeader carries distributed-trace context on every data-path
+// request, in W3C traceparent form: 00-<32 hex trace>-<16 hex span>-01.
+// The span field is the caller's current span ID; the receiving process
+// parents its server-side spans under it so a fleet-wide trace merge
+// (cmd/pacetrace) stitches the per-process JSONL files into one tree.
+// Requests without the header are served normally but untraced.
+const TraceHeader = "X-Pace-Trace"
+
 // Execution states reported by ExecutionResponse.
 const (
 	// ExecutionRunning: chunks are enqueued and retraining.

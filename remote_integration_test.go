@@ -29,7 +29,7 @@ import (
 // remoteCampaignWorld builds one side of the comparison: a world, its
 // trained black-box victim, and the campaign config. Both sides call it
 // with the same seed, yielding twin victims with identical weights.
-func remoteCampaignWorld(t *testing.T, seed int64) (*experiments.World, *ce.BlackBox, core.Config) {
+func remoteCampaignWorld(t testing.TB, seed int64) (*experiments.World, *ce.BlackBox, core.Config) {
 	t.Helper()
 	cfg := experiments.Config{Seed: seed}.WithDefaults()
 	w, err := experiments.NewWorld("dmv", cfg)
