@@ -6,6 +6,15 @@
 // Example:
 //
 //	datagen -dataset tpch -scale 0.2 -out /tmp/tpch -workload 500
+//
+// With -size, datagen instead streams a sized corpus of a single table
+// in constant memory: chunked CSV files plus a progress manifest, with
+// every chunk fsynced and atomically renamed before the manifest records
+// it. Interrupting the run (Ctrl-C, SIGKILL, power loss) never leaves a
+// truncated chunk; re-running the same command resumes where the
+// manifest left off and produces a byte-identical corpus.
+//
+//	datagen -dataset tpch -table lineitem -size 100M -out /tmp/corpus
 package main
 
 import (
@@ -29,10 +38,13 @@ import (
 func main() {
 	var (
 		name      = flag.String("dataset", "dmv", "dataset: dmv, imdb, tpch or stats")
-		scale     = flag.Float64("scale", 0.1, "dataset scale factor")
+		scale     = flag.Float64("scale", 0.1, "dataset scale factor (export mode)")
 		seed      = cli.Seed()
 		outDir    = flag.String("out", "", "output directory (required)")
 		nWorkload = flag.Int("workload", 0, "also export this many labeled random queries as workload.json")
+		size      = flag.String("size", "", "stream a sized corpus instead: rows (\"500000\") or bytes (\"100M\", \"2G\")")
+		table     = flag.String("table", "", "table to stream in -size mode (default: the dataset's largest table)")
+		chunkRows = flag.Int("chunk-rows", 0, "rows per corpus chunk file in -size mode (default 8192)")
 		obsFlags  = cli.Obs()
 	)
 	flag.Parse()
@@ -48,10 +60,15 @@ func main() {
 	}
 	defer obsShutdown()
 
-	// Ctrl-C / SIGTERM stops between files, so the export directory never
-	// holds a torn CSV; the partial file in flight is removed.
+	// Ctrl-C / SIGTERM stops between files (export mode) or between rows
+	// (stream mode), so the output directory never holds a torn CSV.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+
+	if *size != "" {
+		streamCorpus(ctx, *name, *table, *size, *chunkRows, *seed, *outDir)
+		return
+	}
 
 	ds, err := dataset.Build(*name, dataset.Config{Scale: *scale, Seed: *seed})
 	if err != nil {
@@ -90,69 +107,124 @@ func main() {
 	}
 }
 
+// streamCorpus runs the sized-corpus mode: resumable, chunked,
+// constant-memory generation driven by internal/dataset.Stream. A
+// pre-existing manifest in -out (same parameters) is resumed
+// automatically.
+func streamCorpus(ctx context.Context, name, table, size string, chunkRows int, seed int64, outDir string) {
+	target, err := dataset.ParseSize(size)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := dataset.Stream(ctx, outDir, dataset.StreamConfig{
+		Dataset:   name,
+		Table:     table,
+		Seed:      seed,
+		Target:    target,
+		ChunkRows: chunkRows,
+		Progress: func(ch dataset.StreamChunk) {
+			fmt.Printf("chunk %06d: %s (%d rows, %d bytes)\n", ch.Index, ch.File, ch.Rows, ch.Bytes)
+		},
+	})
+	if err == context.Canceled {
+		fmt.Printf("interrupted after %d chunks (%d rows, %d bytes); re-run to resume\n",
+			len(m.Chunks), m.Rows, m.Bytes)
+		os.Exit(1)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus complete: %s.%s, %d chunks, %d rows, %d bytes (target %s)\n",
+		m.Dataset, m.Table, len(m.Chunks), m.Rows, m.Bytes, m.Target)
+}
+
 // checkEvery bounds how many rows are written between cancellation
 // checks — coarse enough to stay off the hot path, fine enough that an
 // interrupt lands within milliseconds.
 const checkEvery = 4096
 
-func writeTable(ctx context.Context, dir string, tab *dataset.Table) error {
-	path := filepath.Join(dir, tab.Name+".csv")
-	f, err := os.Create(path)
+// atomicCSV writes one CSV file via tmp + fsync + rename so an
+// interrupted export never leaves a truncated file under the final name.
+// body streams rows into the writer; a non-nil error (including ctx
+// cancellation) discards the tmp file.
+func atomicCSV(path string, body func(w *csv.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	w := csv.NewWriter(f)
-	defer w.Flush()
-	if err := w.Write(tab.ColNames); err != nil {
+	if err := body(w); err != nil {
 		return err
 	}
-	row := make([]string, len(tab.Cols))
-	for r := 0; r < tab.Rows; r++ {
-		if r%checkEvery == 0 && ctx.Err() != nil {
-			f.Close()
-			os.Remove(path)
-			return ctx.Err()
-		}
-		for c := range tab.Cols {
-			row[c] = strconv.FormatFloat(tab.Cols[c][r], 'g', 6, 64)
-		}
-		if err := w.Write(row); err != nil {
-			return err
-		}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
 	}
-	return w.Error()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmp)
+		return err
+	}
+	f = nil
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
-func writeEdges(ctx context.Context, dir string, ds *dataset.Dataset) error {
-	path := filepath.Join(dir, "edges.csv")
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	defer w.Flush()
-	if err := w.Write([]string{"child", "parent", "child_row", "parent_row"}); err != nil {
-		return err
-	}
-	n := 0
-	for _, e := range ds.Edges {
-		child, parent := ds.Tables[e.Child].Name, ds.Tables[e.Parent].Name
-		for cr, pr := range e.Refs {
-			if n%checkEvery == 0 && ctx.Err() != nil {
-				f.Close()
-				os.Remove(path)
+func writeTable(ctx context.Context, dir string, tab *dataset.Table) error {
+	return atomicCSV(filepath.Join(dir, tab.Name+".csv"), func(w *csv.Writer) error {
+		if err := w.Write(tab.ColNames); err != nil {
+			return err
+		}
+		row := make([]string, len(tab.Cols))
+		for r := 0; r < tab.Rows; r++ {
+			if r%checkEvery == 0 && ctx.Err() != nil {
 				return ctx.Err()
 			}
-			n++
-			if err := w.Write([]string{child, parent,
-				strconv.Itoa(cr), strconv.Itoa(pr)}); err != nil {
+			for c := range tab.Cols {
+				row[c] = strconv.FormatFloat(tab.Cols[c][r], 'g', 6, 64)
+			}
+			if err := w.Write(row); err != nil {
 				return err
 			}
 		}
-	}
-	return w.Error()
+		return nil
+	})
+}
+
+func writeEdges(ctx context.Context, dir string, ds *dataset.Dataset) error {
+	return atomicCSV(filepath.Join(dir, "edges.csv"), func(w *csv.Writer) error {
+		if err := w.Write([]string{"child", "parent", "child_row", "parent_row"}); err != nil {
+			return err
+		}
+		n := 0
+		for _, e := range ds.Edges {
+			child, parent := ds.Tables[e.Child].Name, ds.Tables[e.Parent].Name
+			for cr, pr := range e.Refs {
+				if n%checkEvery == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				n++
+				if err := w.Write([]string{child, parent,
+					strconv.Itoa(cr), strconv.Itoa(pr)}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
 }
 
 func fatal(err error) {

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Tolerance is the regression gate's slack, as fractions of the old
+// value: Speed guards throughput and wall time (machine-bound, noisy —
+// CI uses a wide tolerance or disables it across machines), Efficacy
+// guards attack degradation (seed-deterministic — a tight tolerance
+// holds across machines). A negative field disables that gate.
+type Tolerance struct {
+	Speed    float64
+	Efficacy float64
+}
+
+// Regression is one gated metric that moved the wrong way.
+type Regression struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Change is the relative move, negative when the metric got worse.
+	Change float64 `json:"change"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Cell, r.Metric, r.Old, r.New, 100*r.Change)
+}
+
+// CompareReport is the outcome of diffing two trajectories.
+type CompareReport struct {
+	// Regressions are the gate violations; non-empty fails the gate.
+	Regressions []Regression
+	// Compared counts cells present in both trajectories.
+	Compared int
+	// MissingNew lists cells the old trajectory has but the new lacks —
+	// a silently dropped benchmark also fails the gate.
+	MissingNew []string
+	// OnlyNew lists cells that appear for the first time (informational).
+	OnlyNew []string
+}
+
+// Regressed reports whether the gate fails.
+func (r *CompareReport) Regressed() bool {
+	return len(r.Regressions) > 0 || len(r.MissingNew) > 0
+}
+
+// Print renders the report for humans.
+func (r *CompareReport) Print(w io.Writer) {
+	fmt.Fprintf(w, "compared %d cells\n", r.Compared)
+	for _, m := range r.MissingNew {
+		fmt.Fprintf(w, "MISSING  %s (present in old, absent in new)\n", m)
+	}
+	for _, reg := range r.Regressions {
+		fmt.Fprintf(w, "REGRESSED %s\n", reg)
+	}
+	for _, c := range r.OnlyNew {
+		fmt.Fprintf(w, "new cell %s\n", c)
+	}
+	if !r.Regressed() {
+		fmt.Fprintln(w, "no regressions")
+	}
+}
+
+// Compare diffs the latest record per cell between two trajectories
+// under the tolerance. Speed regresses when throughput falls (or, for
+// cells without a throughput column, wall time rises) by more than
+// tol.Speed; efficacy regresses when attack degradation falls by more
+// than tol.Efficacy. Imported records gate on whatever first-class
+// columns they carry.
+func Compare(old, new *Trajectory, tol Tolerance) *CompareReport {
+	oldByKey := make(map[string]Record)
+	for _, r := range old.Latest() {
+		oldByKey[r.Key()] = r
+	}
+	newByKey := make(map[string]Record)
+	var newOrder []string
+	for _, r := range new.Latest() {
+		if _, ok := newByKey[r.Key()]; !ok {
+			newOrder = append(newOrder, r.Key())
+		}
+		newByKey[r.Key()] = r
+	}
+
+	rep := &CompareReport{}
+	for _, key := range newOrder {
+		nr := newByKey[key]
+		or, ok := oldByKey[key]
+		if !ok {
+			rep.OnlyNew = append(rep.OnlyNew, key)
+			continue
+		}
+		rep.Compared++
+		if tol.Speed >= 0 {
+			switch {
+			case or.Throughput > 0 && nr.Throughput > 0:
+				if change := nr.Throughput/or.Throughput - 1; change < -tol.Speed {
+					rep.Regressions = append(rep.Regressions, Regression{
+						Cell: key, Metric: "throughput_qps",
+						Old: or.Throughput, New: nr.Throughput, Change: change,
+					})
+				}
+			case or.WallSec > 0 && nr.WallSec > 0:
+				// Wall time: more is worse, so the change sign flips.
+				if change := or.WallSec/nr.WallSec - 1; change < -tol.Speed {
+					rep.Regressions = append(rep.Regressions, Regression{
+						Cell: key, Metric: "wall_sec",
+						Old: or.WallSec, New: nr.WallSec, Change: change,
+					})
+				}
+			}
+		}
+		if tol.Efficacy >= 0 && or.Degradation > 0 && nr.Degradation > 0 {
+			if change := nr.Degradation/or.Degradation - 1; change < -tol.Efficacy {
+				rep.Regressions = append(rep.Regressions, Regression{
+					Cell: key, Metric: "degradation",
+					Old: or.Degradation, New: nr.Degradation, Change: change,
+				})
+			}
+		}
+	}
+	for key := range oldByKey {
+		if _, ok := newByKey[key]; !ok {
+			rep.MissingNew = append(rep.MissingNew, key)
+		}
+	}
+	sort.Strings(rep.MissingNew)
+	return rep
+}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ImportLegacy converts one of the repository's pre-unification bench
+// files (BENCH_parallel.json, BENCH_obs.json, BENCH_remote.json) into
+// unified-schema records under the "legacy" suite, so their numbers
+// live in the same trajectory as new runs. The original files are left
+// untouched — this is a read-only migration.
+func ImportLegacy(path string) ([]Record, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	prefix := strings.ToLower(strings.TrimSuffix(filepath.Base(path), ".json"))
+	prefix = strings.TrimPrefix(prefix, "bench_")
+
+	var recs []Record
+	switch {
+	case doc["runs"] != nil:
+		recs, err = importRemote(prefix, doc)
+	case hasNsPerOpSection(doc):
+		recs, err = importNsPerOp(prefix, doc)
+	default:
+		return nil, fmt.Errorf("bench: %s: unrecognized legacy bench layout", path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("bench: %s: no records extracted", path)
+	}
+	for i := range recs {
+		recs[i].Suite = "legacy"
+		recs[i].Kind = "imported"
+		if err := recs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
+}
+
+func hasNsPerOpSection(doc map[string]any) bool {
+	for _, v := range doc {
+		if sec, ok := v.(map[string]any); ok {
+			if _, ok := sec["ns_per_op"].(map[string]any); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedKeys makes map iteration deterministic so imports are
+// byte-stable run to run.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// importNsPerOp handles BENCH_parallel.json and BENCH_obs.json: every
+// section carrying an ns_per_op map becomes one record per variant,
+// with wall time as the first-class speed column and every other
+// numeric leaf of the section preserved in Extra.
+func importNsPerOp(prefix string, doc map[string]any) ([]Record, error) {
+	var recs []Record
+	for _, section := range sortedKeys(doc) {
+		sec, ok := doc[section].(map[string]any)
+		if !ok {
+			continue
+		}
+		nsMap, ok := sec["ns_per_op"].(map[string]any)
+		if !ok {
+			continue
+		}
+		note, _ := sec["config"].(string)
+		for _, variant := range sortedKeys(nsMap) {
+			ns, ok := nsMap[variant].(float64)
+			if !ok {
+				continue
+			}
+			recs = append(recs, Record{
+				Cell:    prefix + "/" + section + "/" + sanitize(variant),
+				WallSec: ns / 1e9,
+				Extra:   map[string]float64{"ns_per_op": ns},
+				Notes:   note,
+			})
+		}
+	}
+	return recs, nil
+}
+
+// importRemote handles BENCH_remote.json: every load report under
+// "runs" (recursively — two_tenant_overload_2x nests per-tenant
+// reports) becomes a load-shaped record, and the codec_v2 section's
+// wire measurements and microbenchmarks come along.
+func importRemote(prefix string, doc map[string]any) ([]Record, error) {
+	var recs []Record
+	runs, _ := doc["runs"].(map[string]any)
+	var walk func(name string, node map[string]any)
+	walk = func(name string, node map[string]any) {
+		if _, isReport := node["target_qps"]; isReport {
+			recs = append(recs, reportRecord(prefix+"/"+name, node))
+			return
+		}
+		for _, k := range sortedKeys(node) {
+			if child, ok := node[k].(map[string]any); ok {
+				walk(name+"/"+k, child)
+			}
+		}
+	}
+	for _, k := range sortedKeys(runs) {
+		if node, ok := runs[k].(map[string]any); ok {
+			walk(k, node)
+		}
+	}
+
+	if codec, ok := doc["codec_v2"].(map[string]any); ok {
+		if lw, ok := codec["loadgen_wire_bytes"].(map[string]any); ok {
+			for _, name := range sortedKeys(lw) {
+				run, ok := lw[name].(map[string]any)
+				if !ok {
+					continue
+				}
+				rec := Record{
+					Cell:         prefix + "/codec_v2/loadgen/" + name,
+					Codec:        name,
+					OK:           int64(num(run, "ok")),
+					WireBytesOut: int64(num(run, "bytes_out")),
+					WireBytesIn:  int64(num(run, "bytes_in")),
+					LatencyMsP50: num(run, "latency_ms_p50"),
+					LatencyMsP99: num(run, "latency_ms_p99"),
+				}
+				recs = append(recs, rec)
+			}
+		}
+		micro := Record{Cell: prefix + "/codec_v2/microbench", Extra: map[string]float64{}}
+		for _, section := range []string{"estimate_batch_bytes", "encode_ns_per_op", "decode_ns_per_op"} {
+			if m, ok := codec[section].(map[string]any); ok {
+				for _, k := range sortedKeys(m) {
+					if v, ok := m[k].(float64); ok {
+						micro.Extra[section+"/"+k] = v
+					}
+				}
+			}
+		}
+		if len(micro.Extra) > 0 {
+			recs = append(recs, micro)
+		}
+	}
+	return recs, nil
+}
+
+// reportRecord maps a legacy loadgen report object onto the unified
+// load columns.
+func reportRecord(cell string, run map[string]any) Record {
+	return Record{
+		Cell:         cell,
+		WallSec:      num(run, "duration_sec"),
+		Throughput:   num(run, "achieved_qps"),
+		LatencyMsP50: num(run, "latency_ms_p50"),
+		LatencyMsP90: num(run, "latency_ms_p90"),
+		LatencyMsP99: num(run, "latency_ms_p99"),
+		Sent:         int64(num(run, "sent")),
+		OK:           int64(num(run, "ok")),
+		Shed:         int64(num(run, "shed_429")),
+		Errors:       int64(num(run, "errors")),
+	}
+}
+
+func num(m map[string]any, key string) float64 {
+	v, _ := m[key].(float64)
+	return v
+}
+
+// sanitize keeps legacy variant labels ("workers=1", "miss (cold
+// cache)") readable as cell-name segments.
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, " ", "_")
+	s = strings.ReplaceAll(s, "(", "")
+	s = strings.ReplaceAll(s, ")", "")
+	return s
+}

@@ -97,21 +97,29 @@ type Config struct {
 // Names lists the available built-in datasets in paper order.
 func Names() []string { return []string{"dmv", "imdb", "tpch", "stats"} }
 
+// SpecByName returns the schema blueprint of a built-in dataset ("dmv",
+// "imdb", "tpch" or "stats") without materializing it.
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case "dmv":
+		return dmvSpec(), nil
+	case "imdb":
+		return imdbSpec(), nil
+	case "tpch":
+		return tpchSpec(), nil
+	case "stats":
+		return statsSpec(), nil
+	default:
+		return Spec{}, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+}
+
 // Build materializes one of the built-in datasets ("dmv", "imdb", "tpch"
 // or "stats").
 func Build(name string, cfg Config) (*Dataset, error) {
-	var spec Spec
-	switch name {
-	case "dmv":
-		spec = dmvSpec()
-	case "imdb":
-		spec = imdbSpec()
-	case "tpch":
-		spec = tpchSpec()
-	case "stats":
-		spec = statsSpec()
-	default:
-		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	spec, err := SpecByName(name)
+	if err != nil {
+		return nil, err
 	}
 	return Materialize(spec, cfg)
 }

@@ -27,6 +27,17 @@ func genTable(ts TableSpec, rows int, rng *rand.Rand) *Table {
 }
 
 func drawValue(dist Distribution, first []float64, row int, rng *rand.Rand) float64 {
+	if first == nil {
+		return draw(dist, 0, false, rng)
+	}
+	return draw(dist, first[row], true, rng)
+}
+
+// draw produces one value of the distribution. first is the row's
+// first-column value (haveFirst false when this IS the first column).
+// Both the column-major batch generator and the row-major streamer feed
+// through here, so the two paths draw from identical per-value logic.
+func draw(dist Distribution, first float64, haveFirst bool, rng *rand.Rand) float64 {
 	switch dist {
 	case Zipf:
 		// Power-law mass near 0: u^3 concentrates ~87% of values
@@ -38,10 +49,10 @@ func drawValue(dist Distribution, first []float64, row int, rng *rand.Rand) floa
 		v := 0.5 + rng.NormFloat64()*0.15
 		return clamp01(v)
 	case Correlated:
-		if first == nil {
+		if !haveFirst {
 			return rng.Float64()
 		}
-		return clamp01(first[row] + rng.NormFloat64()*0.1)
+		return clamp01(first + rng.NormFloat64()*0.1)
 	default:
 		return rng.Float64()
 	}
@@ -63,12 +74,17 @@ func quantize(vals []float64, n int) {
 		return
 	}
 	for i, v := range vals {
-		level := math.Floor(v * float64(n))
-		if level >= float64(n) {
-			level = float64(n - 1)
-		}
-		vals[i] = level / float64(n-1)
+		vals[i] = quantizeVal(v, n)
 	}
+}
+
+// quantizeVal snaps one value onto n equally spaced levels in [0, 1].
+func quantizeVal(v float64, n int) float64 {
+	level := math.Floor(v * float64(n))
+	if level >= float64(n) {
+		level = float64(n - 1)
+	}
+	return level / float64(n-1)
 }
 
 // genRefs draws a parent row reference for every child row. skew == 0

@@ -1,0 +1,388 @@
+package dataset
+
+// Sized corpus streaming: generate arbitrarily large seeded corpora of
+// one table's rows in constant memory, chunked on disk with a progress
+// manifest so an interrupted generation resumes bit-identically.
+//
+// The design follows elastic-package's `benchmark generate-corpus
+// --size 100M`: the caller names an *approximate* size target (rows or
+// bytes) and the generator streams until it is met. Three properties
+// are load-bearing:
+//
+//   - Constant memory: rows are drawn, formatted and written one at a
+//     time; nothing scales with the corpus size.
+//   - Crash safety: every chunk is written to a *.tmp file, fsynced and
+//     atomically renamed before the manifest records it, and the
+//     manifest itself is replaced the same way. A SIGKILL at any point
+//     leaves either a complete, recorded chunk or an ignorable *.tmp —
+//     never a truncated chunk that resume would trust.
+//   - Deterministic resume: chunk i draws from its own RNG seeded by
+//     mix64(seed, i), so resuming after chunk N reproduces chunks N+1…
+//     without replaying 0…N. Interrupted and uninterrupted runs emit
+//     byte-identical corpora.
+//
+// Note the streamed corpus is row-major (each row draws its columns in
+// schema order) while Materialize is column-major; the two RNG streams
+// differ, so a streamed corpus is its own artifact, not a chunked copy
+// of a Materialize table.
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// SizeTarget is a parsed -size value: exactly one of Rows or Bytes is
+// set.
+type SizeTarget struct {
+	Rows  int64 `json:"rows,omitempty"`
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// ParseSize parses a corpus size target: a plain integer is a row
+// count; a K/M/G suffix (binary multiples, optional trailing B) is an
+// approximate byte size — "4096" is 4096 rows, "100M" ≈ 100 MiB,
+// "2GB" ≈ 2 GiB.
+func ParseSize(s string) (SizeTarget, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	if t == "" {
+		return SizeTarget{}, fmt.Errorf("dataset: empty size")
+	}
+	mult := int64(0)
+	t = strings.TrimSuffix(t, "B")
+	switch {
+	case strings.HasSuffix(t, "K"):
+		mult = 1 << 10
+	case strings.HasSuffix(t, "M"):
+		mult = 1 << 20
+	case strings.HasSuffix(t, "G"):
+		mult = 1 << 30
+	}
+	if mult > 0 {
+		t = t[:len(t)-1]
+	} else if t != strings.ToUpper(strings.TrimSpace(s)) {
+		// A bare trailing B ("500B") is a byte count too.
+		mult = 1
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n <= 0 {
+		return SizeTarget{}, fmt.Errorf("dataset: invalid size %q", s)
+	}
+	if mult > 0 {
+		return SizeTarget{Bytes: n * mult}, nil
+	}
+	return SizeTarget{Rows: n}, nil
+}
+
+// String renders the target the way ParseSize accepts it.
+func (s SizeTarget) String() string {
+	if s.Bytes > 0 {
+		return fmt.Sprintf("%dB", s.Bytes)
+	}
+	return fmt.Sprintf("%d rows", s.Rows)
+}
+
+// StreamConfig shapes one corpus stream.
+type StreamConfig struct {
+	// Dataset names the built-in schema ("dmv", "imdb", "tpch",
+	// "stats") the streamed table belongs to.
+	Dataset string
+	// Table names the table to stream; empty picks the schema's
+	// largest table (its fact table).
+	Table string
+	// Seed drives all randomness. The same (Dataset, Table, Seed,
+	// ChunkRows, Target) always streams byte-identical chunks.
+	Seed int64
+	// Target is the approximate corpus size (rows or bytes); required.
+	Target SizeTarget
+	// ChunkRows is the number of rows per chunk file (default 8192).
+	ChunkRows int
+	// Progress, when set, is called after every completed (fsynced,
+	// renamed, manifest-recorded) chunk.
+	Progress func(StreamChunk)
+}
+
+// StreamChunk records one completed chunk in the manifest.
+type StreamChunk struct {
+	Index int    `json:"index"`
+	File  string `json:"file"`
+	Rows  int64  `json:"rows"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Manifest is the durable progress record of a corpus stream
+// (manifest.json in the corpus directory). Resume trusts only chunks
+// listed here — a chunk file is recorded strictly after its rename
+// succeeded, so the manifest never references torn data.
+type Manifest struct {
+	Version   int           `json:"version"`
+	Dataset   string        `json:"dataset"`
+	Table     string        `json:"table"`
+	Columns   []string      `json:"columns"`
+	Seed      int64         `json:"seed"`
+	ChunkRows int           `json:"chunk_rows"`
+	Target    SizeTarget    `json:"target"`
+	Rows      int64         `json:"rows"`
+	Bytes     int64         `json:"bytes"`
+	Chunks    []StreamChunk `json:"chunks"`
+	Done      bool          `json:"done"`
+}
+
+// manifestVersion is bumped when the chunk format changes
+// incompatibly; resume refuses a manifest from another version.
+const manifestVersion = 1
+
+// ManifestFile is the manifest's file name inside the corpus directory.
+const ManifestFile = "manifest.json"
+
+// mix64 is a splitmix64 finalizer over (seed, chunk index): every chunk
+// owns an independent, well-separated RNG stream, which is what makes
+// constant-time deterministic resume possible.
+func mix64(seed int64, idx int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+func (c StreamConfig) withDefaults() (StreamConfig, TableSpec, error) {
+	spec, err := SpecByName(c.Dataset)
+	if err != nil {
+		return c, TableSpec{}, err
+	}
+	if c.ChunkRows <= 0 {
+		c.ChunkRows = 8192
+	}
+	if c.Target.Rows <= 0 && c.Target.Bytes <= 0 {
+		return c, TableSpec{}, fmt.Errorf("dataset: stream needs a size target")
+	}
+	if c.Table == "" {
+		for _, ts := range spec.Tables {
+			if c.Table == "" || ts.Rows > tableRows(spec, c.Table) {
+				c.Table = ts.Name
+			}
+		}
+	}
+	for _, ts := range spec.Tables {
+		if ts.Name == c.Table {
+			return c, ts, nil
+		}
+	}
+	return c, TableSpec{}, fmt.Errorf("dataset: %s has no table %q", c.Dataset, c.Table)
+}
+
+func tableRows(spec Spec, name string) int {
+	for _, ts := range spec.Tables {
+		if ts.Name == name {
+			return ts.Rows
+		}
+	}
+	return -1
+}
+
+// Stream generates (or resumes generating) a sized corpus under dir and
+// returns the final manifest. A cancelled ctx aborts between chunks or
+// mid-chunk; completed chunks stay durable and a later call with the
+// same config continues where the manifest left off, emitting exactly
+// the bytes an uninterrupted run would have.
+func Stream(ctx context.Context, dir string, cfg StreamConfig) (*Manifest, error) {
+	cfg, ts, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m, err := loadOrInitManifest(dir, cfg, ts)
+	if err != nil {
+		return nil, err
+	}
+	for !m.Done {
+		if err := ctx.Err(); err != nil {
+			return m, err
+		}
+		rows := int64(cfg.ChunkRows)
+		switch {
+		case cfg.Target.Rows > 0:
+			if left := cfg.Target.Rows - m.Rows; left <= 0 {
+				m.Done = true
+			} else if left < rows {
+				rows = left
+			}
+		case cfg.Target.Bytes > 0:
+			if m.Bytes >= cfg.Target.Bytes {
+				m.Done = true
+			}
+		}
+		if m.Done {
+			if err := writeManifest(dir, m); err != nil {
+				return m, err
+			}
+			break
+		}
+		idx := len(m.Chunks)
+		ch, err := writeChunk(ctx, dir, ts, cfg, idx, rows)
+		if err != nil {
+			return m, err
+		}
+		m.Chunks = append(m.Chunks, ch)
+		m.Rows += ch.Rows
+		m.Bytes += ch.Bytes
+		// The chunk is durable before the manifest points at it: a crash
+		// between the two regenerates the chunk (bit-identically) rather
+		// than trusting an unrecorded file.
+		if err := writeManifest(dir, m); err != nil {
+			return m, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(ch)
+		}
+	}
+	return m, nil
+}
+
+func loadOrInitManifest(dir string, cfg StreamConfig, ts TableSpec) (*Manifest, error) {
+	cols := make([]string, len(ts.Cols))
+	for i, cs := range ts.Cols {
+		cols[i] = cs.Name
+	}
+	want := &Manifest{
+		Version: manifestVersion, Dataset: cfg.Dataset, Table: cfg.Table,
+		Columns: cols, Seed: cfg.Seed, ChunkRows: cfg.ChunkRows, Target: cfg.Target,
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return want, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var have Manifest
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return nil, fmt.Errorf("dataset: corrupt manifest in %s: %w", dir, err)
+	}
+	if have.Version != want.Version || have.Dataset != want.Dataset ||
+		have.Table != want.Table || have.Seed != want.Seed ||
+		have.ChunkRows != want.ChunkRows || have.Target != want.Target {
+		return nil, fmt.Errorf("dataset: manifest in %s was generated with different parameters (have %s/%s seed %d chunk %d target %s); use a fresh directory",
+			dir, have.Dataset, have.Table, have.Seed, have.ChunkRows, have.Target)
+	}
+	return &have, nil
+}
+
+// writeChunk streams one chunk to <table>-chunk-<idx>.csv via a tmp
+// file: rows are drawn from the chunk's private RNG, formatted and
+// written one at a time, then the file is fsynced and renamed into
+// place. On any error (including ctx cancellation mid-chunk) the tmp
+// file is removed and the final name is never created.
+func writeChunk(ctx context.Context, dir string, ts TableSpec, cfg StreamConfig, idx int, rows int64) (StreamChunk, error) {
+	name := fmt.Sprintf("%s-chunk-%06d.csv", ts.Name, idx)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return StreamChunk{}, err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	cw := &countingWriter{w: f}
+	w := csv.NewWriter(cw)
+	rng := rand.New(rand.NewSource(mix64(cfg.Seed, idx)))
+	rec := make([]string, len(ts.Cols))
+	for r := int64(0); r < rows; r++ {
+		if r%checkRows == 0 && ctx.Err() != nil {
+			return StreamChunk{}, ctx.Err()
+		}
+		var first float64
+		for ci, cs := range ts.Cols {
+			v := draw(cs.Dist, first, ci > 0, rng)
+			if cs.Distinct > 0 {
+				v = quantizeVal(v, cs.Distinct)
+			}
+			if ci == 0 {
+				first = v
+			}
+			rec[ci] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		if err := w.Write(rec); err != nil {
+			return StreamChunk{}, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return StreamChunk{}, err
+	}
+	if err := f.Sync(); err != nil {
+		return StreamChunk{}, err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmp)
+		return StreamChunk{}, err
+	}
+	f = nil
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return StreamChunk{}, err
+	}
+	return StreamChunk{Index: idx, File: name, Rows: rows, Bytes: cw.n}, nil
+}
+
+// checkRows bounds how many rows are generated between cancellation
+// checks inside one chunk.
+const checkRows = 4096
+
+// writeManifest atomically replaces the manifest: tmp, fsync, rename.
+func writeManifest(dir string, m *Manifest) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, ManifestFile)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(raw, '\n')); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

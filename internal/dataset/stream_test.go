@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SizeTarget
+		err  bool
+	}{
+		{"4096", SizeTarget{Rows: 4096}, false},
+		{" 250 ", SizeTarget{Rows: 250}, false},
+		{"500B", SizeTarget{Bytes: 500}, false},
+		{"100K", SizeTarget{Bytes: 100 << 10}, false},
+		{"100M", SizeTarget{Bytes: 100 << 20}, false},
+		{"100MB", SizeTarget{Bytes: 100 << 20}, false},
+		{"2g", SizeTarget{Bytes: 2 << 30}, false},
+		{"", SizeTarget{}, true},
+		{"-5", SizeTarget{}, true},
+		{"0", SizeTarget{}, true},
+		{"12X", SizeTarget{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseSize(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// corpusBytes concatenates every chunk the manifest records, in order.
+func corpusBytes(t *testing.T, dir string, m *Manifest) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, ch := range m.Chunks {
+		raw, err := os.ReadFile(filepath.Join(dir, ch.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(raw)) != ch.Bytes {
+			t.Errorf("%s: %d bytes on disk, manifest says %d", ch.File, len(raw), ch.Bytes)
+		}
+		buf.Write(raw)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamResumeBitIdentical is the crash-safety contract end to end:
+// interrupt a generation after two chunks, litter the directory with the
+// debris a SIGKILL can leave (a torn *.tmp and an unrecorded, truncated
+// chunk file), resume, and require the corpus to be byte-identical to an
+// uninterrupted run — manifest included.
+func TestStreamResumeBitIdentical(t *testing.T) {
+	cfg := StreamConfig{
+		Dataset: "dmv", Seed: 7, ChunkRows: 64,
+		Target: SizeTarget{Rows: 300},
+	}
+	ctx := context.Background()
+
+	dirA := t.TempDir()
+	mA, err := Stream(ctx, dirA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mA.Done || mA.Rows != 300 || len(mA.Chunks) != 5 {
+		t.Fatalf("uninterrupted run: done=%v rows=%d chunks=%d", mA.Done, mA.Rows, len(mA.Chunks))
+	}
+
+	dirB := t.TempDir()
+	ictx, cancel := context.WithCancel(ctx)
+	icfg := cfg
+	icfg.Progress = func(ch StreamChunk) {
+		if ch.Index == 1 {
+			cancel() // interrupt after the second chunk commits
+		}
+	}
+	mB, err := Stream(ictx, dirB, icfg)
+	if err != context.Canceled {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	if len(mB.Chunks) != 2 {
+		t.Fatalf("interrupted run committed %d chunks, want 2", len(mB.Chunks))
+	}
+
+	// SIGKILL debris: a torn tmp of the next chunk, and — the failure
+	// mode the atomic rename exists to prevent becoming real — a
+	// truncated chunk file the manifest does not record (as if a
+	// non-atomic writer had died mid-write).
+	if err := os.WriteFile(filepath.Join(dirB, "vehicles-chunk-000002.csv.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, "vehicles-chunk-000002.csv"), []byte("0.5,trunc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mB2, err := Stream(ctx, dirB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mB2.Done || mB2.Rows != mA.Rows || mB2.Bytes != mA.Bytes {
+		t.Fatalf("resumed run: done=%v rows=%d bytes=%d, want rows=%d bytes=%d",
+			mB2.Done, mB2.Rows, mB2.Bytes, mA.Rows, mA.Bytes)
+	}
+	if !bytes.Equal(corpusBytes(t, dirA, mA), corpusBytes(t, dirB, mB2)) {
+		t.Error("resumed corpus differs from uninterrupted corpus")
+	}
+	rawA, _ := os.ReadFile(filepath.Join(dirA, ManifestFile))
+	rawB, _ := os.ReadFile(filepath.Join(dirB, ManifestFile))
+	if !bytes.Equal(rawA, rawB) {
+		t.Errorf("manifests differ:\nA: %s\nB: %s", rawA, rawB)
+	}
+}
+
+// TestStreamBytesTarget checks the approximate byte-size mode: the
+// stream stops at the first chunk boundary past the target, and resume
+// under a byte target is bit-identical too.
+func TestStreamBytesTarget(t *testing.T) {
+	cfg := StreamConfig{
+		Dataset: "tpch", Table: "lineitem", Seed: 3, ChunkRows: 32,
+		Target: SizeTarget{Bytes: 8 << 10},
+	}
+	ctx := context.Background()
+	dirA := t.TempDir()
+	mA, err := Stream(ctx, dirA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mA.Done || mA.Bytes < cfg.Target.Bytes {
+		t.Fatalf("byte-target run: done=%v bytes=%d, want ≥ %d", mA.Done, mA.Bytes, cfg.Target.Bytes)
+	}
+	last := mA.Chunks[len(mA.Chunks)-1]
+	if mA.Bytes-last.Bytes >= cfg.Target.Bytes {
+		t.Errorf("overshot by more than one chunk: %d bytes, last chunk %d", mA.Bytes, last.Bytes)
+	}
+
+	dirB := t.TempDir()
+	ictx, cancel := context.WithCancel(ctx)
+	icfg := cfg
+	icfg.Progress = func(ch StreamChunk) {
+		if ch.Index == 0 {
+			cancel()
+		}
+	}
+	if _, err := Stream(ictx, dirB, icfg); err != context.Canceled {
+		t.Fatalf("interrupted byte-target run: err = %v", err)
+	}
+	mB, err := Stream(ctx, dirB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(corpusBytes(t, dirA, mA), corpusBytes(t, dirB, mB)) {
+		t.Error("byte-target resume differs from uninterrupted run")
+	}
+}
+
+// TestStreamManifestMismatch: a directory generated under different
+// parameters must be refused, not silently mixed.
+func TestStreamManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := StreamConfig{Dataset: "dmv", Seed: 1, ChunkRows: 32, Target: SizeTarget{Rows: 40}}
+	if _, err := Stream(context.Background(), dir, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	if _, err := Stream(context.Background(), dir, cfg); err == nil {
+		t.Fatal("resume with a different seed must fail")
+	}
+}
+
+// TestStreamConstantMemory: peak heap while streaming a 10× larger
+// corpus must not grow with the corpus — the streamer holds one row and
+// one chunk writer, never the table. (A materialized 550k-row, 11-col
+// table alone would hold ~48 MB of float64 columns.)
+func TestStreamConstantMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile run skipped in -short mode")
+	}
+	peak := func(rows int64) uint64 {
+		dir := t.TempDir()
+		var max uint64
+		cfg := StreamConfig{
+			Dataset: "dmv", Seed: 11, ChunkRows: 4096,
+			Target: SizeTarget{Rows: rows},
+			Progress: func(StreamChunk) {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > max {
+					max = ms.HeapAlloc
+				}
+			},
+		}
+		if _, err := Stream(context.Background(), dir, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return max
+	}
+	small := peak(55_000)
+	large := peak(550_000)
+	// Allow generous slack for GC pacing; what must NOT appear is the
+	// ~43 MB delta a materialized 495k-row table would add.
+	if large > small+16<<20 {
+		t.Errorf("peak heap grew with corpus size: %d B at 55k rows vs %d B at 550k rows", small, large)
+	}
+}

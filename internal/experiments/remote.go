@@ -102,9 +102,14 @@ func (w *World) NewSurrogateTarget(target ce.Target, typ ce.Type, seedOffset int
 	}, rng)
 }
 
-// targetQErrors evaluates any ce.Target on a labeled workload, mirroring
+// TargetQErrors evaluates any ce.Target on a labeled workload, mirroring
 // BlackBox.QErrors query by query; against a remote tenant the estimates
 // arrive bit-exactly, so the distribution matches the in-process one.
+// Exported for harnesses (internal/bench) that measure arbitrary targets.
+func TargetQErrors(ctx context.Context, t ce.Target, qs []*query.Query, cards []float64) ([]float64, error) {
+	return targetQErrors(ctx, t, qs, cards)
+}
+
 func targetQErrors(ctx context.Context, t ce.Target, qs []*query.Query, cards []float64) ([]float64, error) {
 	out := make([]float64, len(qs))
 	for i, q := range qs {

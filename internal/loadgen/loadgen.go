@@ -193,6 +193,52 @@ type Lane struct {
 // hammered tenant's collapse is visible next to its neighbor's health.
 type Ledger map[string]Report
 
+// Aggregate folds a ledger into one fleet-level report: counts, rates
+// and wire bytes sum across lanes; latency percentiles take the
+// worst lane (the isolation claim is "no lane degrades", so the
+// aggregate's percentile column is the weakest tenant's); the codec
+// column is kept only when every lane agrees. TargetQPS and
+// AchievedQPS become the fleet's aggregate offered and admitted rates —
+// the capacity-scaling column of the bench harness.
+func (l Ledger) Aggregate() Report {
+	var agg Report
+	first := true
+	for _, rep := range l {
+		agg.TargetQPS += rep.TargetQPS
+		agg.AchievedQPS += rep.AchievedQPS
+		agg.Sent += rep.Sent
+		agg.OK += rep.OK
+		agg.Shed += rep.Shed
+		agg.Invalid += rep.Invalid
+		agg.Unavailable += rep.Unavailable
+		agg.Errors += rep.Errors
+		agg.ClientDropped += rep.ClientDropped
+		agg.WireBytesOut += rep.WireBytesOut
+		agg.WireBytesIn += rep.WireBytesIn
+		if rep.DurationSec > agg.DurationSec {
+			agg.DurationSec = rep.DurationSec
+		}
+		for _, p := range []struct{ dst, src *float64 }{
+			{&agg.LatencyMsP50, &rep.LatencyMsP50},
+			{&agg.LatencyMsP90, &rep.LatencyMsP90},
+			{&agg.LatencyMsP99, &rep.LatencyMsP99},
+			{&agg.LatencyMsMax, &rep.LatencyMsMax},
+			{&agg.ShedMsP99, &rep.ShedMsP99},
+		} {
+			if *p.src > *p.dst {
+				*p.dst = *p.src
+			}
+		}
+		if first {
+			agg.Codec = rep.Codec
+			first = false
+		} else if agg.Codec != rep.Codec {
+			agg.Codec = ""
+		}
+	}
+	return agg
+}
+
 // RunLanes offers every lane's load concurrently against its own tenant
 // and collects the per-tenant ledger. ctx cancels all lanes.
 func RunLanes(ctx context.Context, lanes []Lane) Ledger {

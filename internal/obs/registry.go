@@ -296,6 +296,36 @@ type HistogramSnapshot struct {
 	Exemplars map[int]Exemplar `json:"exemplars,omitempty"`
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the snapshot's
+// buckets, returning the upper bound of the bucket holding the rank —
+// the same estimator Histogram.Quantile applies to the live instrument,
+// available after the fact on a serialized snapshot. This is the export
+// path benchmark harnesses use to turn a run's latency histograms into
+// record percentiles without keeping the registry alive. 0 when nothing
+// was observed.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	idxs := make([]int, 0, len(h.Buckets))
+	for i := range h.Buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var cum int64
+	for _, i := range idxs {
+		cum += h.Buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
 // Snapshot is a point-in-time copy of a registry's instruments —
 // JSON-serializable, comparable, and mergeable, so per-run snapshots can
 // be aggregated across campaigns or shards.

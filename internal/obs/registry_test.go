@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"sync"
@@ -121,6 +122,38 @@ func TestHistogramObserveAndQuantile(t *testing.T) {
 	}
 	if q := (&Histogram{}).Quantile(0.9); q != 0 {
 		t.Errorf("empty histogram Quantile = %g, want 0", q)
+	}
+}
+
+// TestSnapshotQuantile pins the after-the-fact percentile export: a
+// snapshot must estimate the same bucketed quantiles as the live
+// histogram it was copied from, and survive a JSON round trip (the
+// bench-record path) unchanged.
+func TestSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{0.001, 0.001, 0.002, 0.004, 1000} {
+		h.Observe(v)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if got, want := hs.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("snapshot Quantile(%g) = %g, live histogram = %g", q, got, want)
+		}
+	}
+	raw, err := json.Marshal(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Quantile(0.99), h.Quantile(0.99); got != want {
+		t.Errorf("round-tripped Quantile(0.99) = %g, want %g", got, want)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty snapshot Quantile = %g, want 0", q)
 	}
 }
 
