@@ -402,3 +402,45 @@ func TestBuiltinSuitesValidate(t *testing.T) {
 		t.Fatal("unknown built-in should error")
 	}
 }
+
+// TestWorkloadLoadCell: a load cell with a workload spec replays the
+// planned bursty stream instead of the uniform loop, and the record
+// carries the arrival ledger plus per-SLO-class columns.
+func TestWorkloadLoadCell(t *testing.T) {
+	s := Suite{
+		Name: "wl", Seed: 1,
+		Scale: 0.02, TrainQueries: 60, TestQueries: 20, Epochs: 5, NumPoison: 10,
+		Cells: []Cell{
+			{Kind: "load", Dataset: "dmv", Model: "linear", QPS: 200, DurationSec: 2, Workload: "bursty"},
+		},
+	}
+	recs, err := RunSuite(context.Background(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recs[0]
+	if rec.Workload != "bursty" || !strings.Contains(rec.Cell, "bursty") {
+		t.Fatalf("workload coordinate missing: %+v", rec)
+	}
+	if rec.Offered == 0 || rec.Offered != rec.Sent+rec.ClientDropped {
+		t.Fatalf("arrival ledger broken: offered %d sent %d dropped %d",
+			rec.Offered, rec.Sent, rec.ClientDropped)
+	}
+	// The bursty profile's gold/bronze splits must surface as columns.
+	for _, k := range []string{"class_gold_latency_ms_p99", "class_gold_shed_fraction", "class_gold_offered"} {
+		if _, ok := rec.Extra[k]; !ok {
+			t.Errorf("class column %s missing from %v", k, rec.Extra)
+		}
+	}
+
+	// Same suite, same seed: the planned stream is identical, so the
+	// offered count is bit-identical across runs.
+	recs2, err := RunSuite(context.Background(), s, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs2[0].Offered != rec.Offered {
+		t.Fatalf("planned arrivals not deterministic: %d vs %d (workers=4)",
+			recs2[0].Offered, rec.Offered)
+	}
+}

@@ -21,7 +21,7 @@ import (
 // records tenants hosted plus aggregate admitted throughput. The sweep
 // is self-contained — it ignores Options.TargetURL and builds its own
 // fleet, so the 1→2→4 scaling row is reproducible anywhere.
-func (r *runner) capacityCell(ctx context.Context, c Cell) ([]Record, error) {
+func (r *runner) capacityCell(ctx context.Context, c Cell, off int64) ([]Record, error) {
 	model := c.Model
 	if model == "" {
 		model = "linear"
@@ -39,12 +39,29 @@ func (r *runner) capacityCell(ctx context.Context, c Cell) ([]Record, error) {
 		dur = 4 * time.Second
 	}
 
+	// A workload-shaped sweep plans one stream and offers it to every
+	// tenant lane — per-lane firing identities keep the server's view
+	// per-client, and equal plans keep the scaling row comparable.
+	var sched *loadgen.Schedule
+	if c.Workload != "" {
+		w, err := r.world(ds)
+		if err != nil {
+			return nil, err
+		}
+		wc := c
+		wc.QPS = qps
+		sched, err = r.cellSchedule(wc, w, off, dur)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	var out []Record
 	for _, n := range c.Nodes {
 		if n <= 0 {
 			return nil, fmt.Errorf("bench: capacity cell %q has node count %d", c.ID(), n)
 		}
-		rec, err := r.capacityPoint(ctx, c, ds, model, n, qps, dur)
+		rec, err := r.capacityPoint(ctx, c, ds, model, n, qps, dur, sched)
 		if err != nil {
 			return out, fmt.Errorf("nodes=%d: %w", n, err)
 		}
@@ -53,7 +70,7 @@ func (r *runner) capacityCell(ctx context.Context, c Cell) ([]Record, error) {
 	return out, nil
 }
 
-func (r *runner) capacityPoint(ctx context.Context, c Cell, ds, model string, n int, qps float64, dur time.Duration) (Record, error) {
+func (r *runner) capacityPoint(ctx context.Context, c Cell, ds, model string, n int, qps float64, dur time.Duration, sched *loadgen.Schedule) (Record, error) {
 	factory := experiments.TenantFactory(r.cfg)
 
 	var urls []string
@@ -109,13 +126,18 @@ func (r *runner) capacityPoint(ctx context.Context, c Cell, ds, model string, n 
 			return Record{}, fmt.Errorf("provisioning %s: %w", id, err)
 		}
 		t := client.Target(id)
-		lanes = append(lanes, loadgen.Lane{
+		lane := loadgen.Lane{
 			Target:  id,
 			Est:     t.EstimateContext,
 			Stats:   t.Stats,
 			Queries: workload.Queries(w.Test),
 			Config:  loadgen.Config{QPS: qps, Duration: dur},
-		})
+		}
+		if sched != nil {
+			lane.Schedule = sched
+			lane.FireAs, lane.Stats = fireVia(client, id, t)
+		}
+		lanes = append(lanes, lane)
 	}
 
 	start := time.Now()
@@ -127,6 +149,7 @@ func (r *runner) capacityPoint(ctx context.Context, c Cell, ds, model string, n 
 		Kind:    "capacity",
 		Seed:    r.cfg.Seed,
 		Dataset: ds, Model: model, Codec: agg.Codec,
+		Workload:      c.Workload,
 		Nodes:         n,
 		TenantsHosted: n,
 		WallSec:       time.Since(start).Seconds(),
@@ -134,12 +157,15 @@ func (r *runner) capacityPoint(ctx context.Context, c Cell, ds, model string, n 
 		LatencyMsP50:  agg.LatencyMsP50,
 		LatencyMsP90:  agg.LatencyMsP90,
 		LatencyMsP99:  agg.LatencyMsP99,
+		Offered:       agg.Offered,
 		Sent:          agg.Sent,
 		OK:            agg.OK,
 		Shed:          agg.Shed,
 		Errors:        agg.Errors + agg.Unavailable + agg.Invalid,
+		ClientDropped: agg.ClientDropped,
 		WireBytesOut:  agg.WireBytesOut,
 		WireBytesIn:   agg.WireBytesIn,
+		Extra:         classColumns(agg),
 	}
 	return rec, nil
 }

@@ -45,6 +45,10 @@ type Record struct {
 	// Codec is the wire codec of a remote cell ("binary", "json") or
 	// "local" for an in-process target.
 	Codec string `json:"codec,omitempty"`
+	// Workload names the planned stream of a workload-shaped load or
+	// capacity cell (a built-in profile or spec file); empty means the
+	// uniform open loop.
+	Workload string `json:"workload,omitempty"`
 	// Nodes is the fleet size of a capacity cell.
 	Nodes int `json:"nodes,omitempty"`
 
@@ -68,11 +72,15 @@ type Record struct {
 	WireBytesOut int64 `json:"wire_bytes_out,omitempty"`
 	WireBytesIn  int64 `json:"wire_bytes_in,omitempty"`
 
-	// Load/capacity accounting.
+	// Load/capacity accounting. Offered counts planned arrivals
+	// (Sent + client-side drops); per-SLO-class splits of workload-shaped
+	// cells land in Extra as class_<name>_* columns.
+	Offered       int64 `json:"offered,omitempty"`
 	Sent          int64 `json:"sent,omitempty"`
 	OK            int64 `json:"ok,omitempty"`
 	Shed          int64 `json:"shed_429,omitempty"`
 	Errors        int64 `json:"errors,omitempty"`
+	ClientDropped int64 `json:"client_dropped,omitempty"`
 	TenantsHosted int   `json:"tenants_hosted,omitempty"`
 
 	// Extra carries numeric metrics that have no first-class column —

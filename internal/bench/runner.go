@@ -144,7 +144,7 @@ func RunSuite(ctx context.Context, s Suite, opts Options) ([]Record, error) {
 			rec, err = r.loadCell(ctx, c, int64(i+1))
 			recs = []Record{rec}
 		case "capacity":
-			recs, err = r.capacityCell(ctx, c)
+			recs, err = r.capacityCell(ctx, c, int64(i+1))
 		}
 		if err != nil {
 			return out, fmt.Errorf("bench: cell %s: %w", c.ID(), err)
@@ -340,8 +340,10 @@ func (r *runner) attackCell(ctx context.Context, c Cell, off int64) (Record, err
 	return rec, nil
 }
 
-// loadCell replays the dataset's test workload open-loop at the cell's
-// offered rate and records what the target did with it.
+// loadCell replays the dataset's test workload at the cell's offered
+// rate — a uniform open loop, or (with Workload set) a planned
+// workloadgen stream at the same mean rate — and records what the
+// target did with it.
 func (r *runner) loadCell(ctx context.Context, c Cell, off int64) (Record, error) {
 	typ, err := ce.ParseType(c.Model)
 	if err != nil {
@@ -357,8 +359,20 @@ func (r *runner) loadCell(ctx context.Context, c Cell, off int64) (Record, error
 	rec := Record{
 		Cell: c.ID(), Kind: "load", Seed: r.cfg.Seed,
 		Dataset: c.Dataset, Model: c.Model, Faults: c.Faults, Codec: "local",
+		Workload: c.Workload,
 	}
 	lane := loadgen.Lane{Target: c.ID(), Queries: qs, Config: lcfg}
+	if c.Workload != "" {
+		dur := lcfg.Duration
+		if dur <= 0 {
+			dur = 10 * time.Second
+		}
+		sched, err := r.cellSchedule(c, w, off, dur)
+		if err != nil {
+			return Record{}, err
+		}
+		lane.Schedule = sched
+	}
 	if r.opts.TargetURL == "" {
 		bb := w.NewBlackBox(typ, off)
 		target := ce.Target(bb)
@@ -396,6 +410,9 @@ func (r *runner) loadCell(ctx context.Context, c Cell, off int64) (Record, error
 		rt := client.Target(id)
 		lane.Est = rt.EstimateContext
 		lane.Stats = rt.Stats
+		if lane.Schedule != nil {
+			lane.FireAs, lane.Stats = fireVia(client, id, rt)
+		}
 	}
 
 	start := time.Now()
@@ -407,9 +424,11 @@ func (r *runner) loadCell(ctx context.Context, c Cell, off int64) (Record, error
 	rec.LatencyMsP50 = rep.LatencyMsP50
 	rec.LatencyMsP90 = rep.LatencyMsP90
 	rec.LatencyMsP99 = rep.LatencyMsP99
-	rec.Sent, rec.OK, rec.Shed = rep.Sent, rep.OK, rep.Shed
+	rec.Offered, rec.Sent, rec.OK, rec.Shed = rep.Offered, rep.Sent, rep.OK, rep.Shed
 	rec.Errors = rep.Errors + rep.Unavailable + rep.Invalid
+	rec.ClientDropped = rep.ClientDropped
 	rec.WireBytesOut, rec.WireBytesIn = rep.WireBytesOut, rep.WireBytesIn
+	rec.Extra = classColumns(rep)
 	if rep.Codec != "" {
 		rec.Codec = rep.Codec
 	}

@@ -13,7 +13,7 @@ import (
 // load run, or a fleet-capacity sweep.
 type Cell struct {
 	// Name uniquely identifies the cell within the suite; empty derives
-	// "kind-dataset-model-method-faults-codec".
+	// "kind-dataset-model-method-faults-codec-workload".
 	Name string `json:"name,omitempty"`
 	// Kind: "attack", "load" or "capacity".
 	Kind string `json:"kind"`
@@ -34,6 +34,11 @@ type Cell struct {
 	// Load-cell knobs.
 	QPS         float64 `json:"qps,omitempty"`
 	DurationSec float64 `json:"duration_sec,omitempty"`
+	// Workload, when set, replaces the uniform open loop of a load or
+	// capacity cell with a planned workloadgen stream (a built-in
+	// profile name like "bursty" or a spec-file path), offered at the
+	// cell's QPS so equal-mean cells stay comparable.
+	Workload string `json:"workload,omitempty"`
 
 	// Capacity-cell knob: the fleet sizes to sweep (e.g. [1, 2, 4]).
 	Nodes []int `json:"nodes,omitempty"`
@@ -45,7 +50,7 @@ func (c Cell) ID() string {
 		return c.Name
 	}
 	parts := []string{c.Kind}
-	for _, p := range []string{c.Dataset, c.Model, c.Method, c.Faults, c.Codec} {
+	for _, p := range []string{c.Dataset, c.Model, c.Method, c.Faults, c.Codec, c.Workload} {
 		if p != "" {
 			parts = append(parts, p)
 		}
@@ -174,6 +179,9 @@ func Builtin(name string) (Suite, error) {
 				{Kind: "load", Dataset: "dmv", Model: "linear", QPS: 300, DurationSec: 5},
 				{Kind: "load", Dataset: "dmv", Model: "linear", QPS: 300, DurationSec: 5, Codec: "binary"},
 				{Kind: "load", Dataset: "dmv", Model: "linear", QPS: 300, DurationSec: 5, Codec: "json"},
+				// Equal mean rate to the uniform cell above, very
+				// different peaks: the burstiness comparison.
+				{Kind: "load", Dataset: "dmv", Model: "linear", QPS: 300, DurationSec: 5, Workload: "bursty"},
 			},
 		}, nil
 	case "capacity":

@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Calibration: does a replayed trace land where the recording did?
+//
+// A trace is only useful evidence if replaying it reproduces the
+// outcome ledger of the run it recorded — same offered rate, same
+// served/shed split, comparable percentiles. Calibrate diffs a
+// replayed Report against a recorded one bucket by bucket and class by
+// class and gates each delta against a tolerance, so CI can assert
+// "this trace still reproduces the recorded behaviour" after any
+// server-side change.
+
+// CalTolerance bounds the acceptable recorded-vs-replayed deltas. The
+// zero value takes the defaults.
+type CalTolerance struct {
+	// RateFrac bounds outcome-mix deltas: each bucket's share of
+	// offered arrivals (ok, shed, errors, dropped) may move by at most
+	// this absolute fraction (default 0.15).
+	RateFrac float64
+	// OfferedFrac bounds the offered-rate delta as a relative fraction
+	// (default 0.10) — a replay that offers a different load isn't
+	// replaying.
+	OfferedFrac float64
+	// LatencyFrac bounds relative served-percentile deltas (default
+	// 1.0, i.e. 2× — latency is machine-bound, so the default gate is
+	// deliberately loose; tighten it for same-host comparisons).
+	LatencyFrac float64
+	// MinBucket skips mix checks on buckets where both runs saw fewer
+	// than this many arrivals (default 10) — tiny tails are noise.
+	MinBucket int64
+}
+
+func (t CalTolerance) withDefaults() CalTolerance {
+	if t.RateFrac == 0 {
+		t.RateFrac = 0.15
+	}
+	if t.OfferedFrac == 0 {
+		t.OfferedFrac = 0.10
+	}
+	if t.LatencyFrac == 0 {
+		t.LatencyFrac = 1.0
+	}
+	if t.MinBucket == 0 {
+		t.MinBucket = 10
+	}
+	return t
+}
+
+// CalCheck is one gated comparison.
+type CalCheck struct {
+	Name     string  `json:"name"`
+	Recorded float64 `json:"recorded"`
+	Replayed float64 `json:"replayed"`
+	// Delta is the gated quantity (absolute or relative per the
+	// check's semantics) and Limit its tolerance.
+	Delta float64 `json:"delta"`
+	Limit float64 `json:"limit"`
+	Pass  bool    `json:"pass"`
+}
+
+// Calibration is the full report: every check, and the conjunction.
+type Calibration struct {
+	Pass   bool       `json:"pass"`
+	Checks []CalCheck `json:"checks"`
+}
+
+// String renders the report as one line per check.
+func (c Calibration) String() string {
+	out := ""
+	for _, ch := range c.Checks {
+		verdict := "ok"
+		if !ch.Pass {
+			verdict = "FAIL"
+		}
+		out += fmt.Sprintf("%-32s recorded %10.4f replayed %10.4f delta %8.4f (limit %g) %s\n",
+			ch.Name, ch.Recorded, ch.Replayed, ch.Delta, ch.Limit, verdict)
+	}
+	if c.Pass {
+		return out + "calibration: PASS"
+	}
+	return out + "calibration: FAIL"
+}
+
+// Calibrate gates a replayed report against the recorded one.
+func Calibrate(recorded, replayed Report, tol CalTolerance) Calibration {
+	tol = tol.withDefaults()
+	var cal Calibration
+	cal.Pass = true
+	add := func(ch CalCheck) {
+		cal.Checks = append(cal.Checks, ch)
+		if !ch.Pass {
+			cal.Pass = false
+		}
+	}
+
+	// Offered rate: relative delta.
+	recRate := rate(recorded.Offered, recorded.DurationSec)
+	repRate := rate(replayed.Offered, replayed.DurationSec)
+	add(relCheck("offered_qps", recRate, repRate, tol.OfferedFrac))
+
+	// Outcome mix: each bucket's share of offered arrivals.
+	mix := func(prefix string, rec, rep Report) {
+		for _, b := range []struct {
+			name     string
+			rec, rep int64
+		}{
+			{"ok", rec.OK, rep.OK},
+			{"shed_429", rec.Shed, rep.Shed},
+			{"errors", rec.Invalid + rec.Unavailable + rec.Errors, rep.Invalid + rep.Unavailable + rep.Errors},
+			{"client_dropped", rec.ClientDropped, rep.ClientDropped},
+		} {
+			if b.rec < tol.MinBucket && b.rep < tol.MinBucket {
+				continue
+			}
+			rf := frac(b.rec, rec.Offered)
+			pf := frac(b.rep, rep.Offered)
+			add(CalCheck{
+				Name: prefix + b.name + "_fraction", Recorded: rf, Replayed: pf,
+				Delta: math.Abs(pf - rf), Limit: tol.RateFrac,
+				Pass: math.Abs(pf-rf) <= tol.RateFrac,
+			})
+		}
+	}
+	mix("", recorded, replayed)
+
+	// Served latency percentiles: relative deltas, only when both runs
+	// actually served traffic.
+	if recorded.OK >= tol.MinBucket && replayed.OK >= tol.MinBucket {
+		add(relCheck("latency_ms_p50", recorded.LatencyMsP50, replayed.LatencyMsP50, tol.LatencyFrac))
+		add(relCheck("latency_ms_p99", recorded.LatencyMsP99, replayed.LatencyMsP99, tol.LatencyFrac))
+	}
+
+	// Per-SLO-class: shed fraction and served p99, for classes both
+	// runs saw.
+	names := make([]string, 0, len(recorded.Classes))
+	for name := range recorded.Classes {
+		if _, ok := replayed.Classes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rc, pc := recorded.Classes[name], replayed.Classes[name]
+		if rc.Offered < tol.MinBucket && pc.Offered < tol.MinBucket {
+			continue
+		}
+		add(CalCheck{
+			Name: "class_" + name + "_shed_fraction", Recorded: rc.ShedFraction, Replayed: pc.ShedFraction,
+			Delta: math.Abs(pc.ShedFraction - rc.ShedFraction), Limit: tol.RateFrac,
+			Pass: math.Abs(pc.ShedFraction-rc.ShedFraction) <= tol.RateFrac,
+		})
+		if rc.OK >= tol.MinBucket && pc.OK >= tol.MinBucket {
+			add(relCheck("class_"+name+"_latency_ms_p99", rc.LatencyMsP99, pc.LatencyMsP99, tol.LatencyFrac))
+		}
+	}
+	return cal
+}
+
+func rate(n int64, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return float64(n) / sec
+}
+
+func frac(n, of int64) float64 {
+	if of <= 0 {
+		return 0
+	}
+	return float64(n) / float64(of)
+}
+
+// relCheck gates a relative delta |b−a| / max(a, floor). The floor
+// keeps near-zero recorded values from turning noise into failure.
+func relCheck(name string, a, b, limit float64) CalCheck {
+	base := math.Abs(a)
+	if base < 1e-9 {
+		base = 1e-9
+	}
+	delta := math.Abs(b-a) / base
+	// Both effectively zero: pass trivially.
+	if math.Abs(a) < 1e-9 && math.Abs(b) < 1e-9 {
+		delta = 0
+	}
+	return CalCheck{Name: name, Recorded: a, Replayed: b, Delta: delta, Limit: limit, Pass: delta <= limit}
+}

@@ -1,10 +1,17 @@
 // Package loadgen replays a query workload against an estimator target
-// at a fixed offered rate and reports what the service did with it:
-// latency percentiles for served requests, how much was shed (429) and
-// how much failed outright. It drives the target open-loop — requests
-// fire on schedule whether or not earlier ones returned — because that
-// is the arrival process a shedding server must survive: a closed-loop
-// client would politely slow down exactly when the test should hurt.
+// and reports what the service did with it: latency percentiles for
+// served requests, how much was shed (429) and how much failed
+// outright. It drives the target open-loop — requests fire on schedule
+// whether or not earlier ones returned — because that is the arrival
+// process a shedding server must survive: a closed-loop client would
+// politely slow down exactly when the test should hurt.
+//
+// Two firing modes share one outcome ledger:
+//
+//   - Run offers a fixed uniform rate (the classic constant-QPS loop);
+//   - RunSchedule fires a pre-planned workloadgen.Schedule — skewed
+//     clients, bursty interarrivals, per-arrival SLO classes — and the
+//     Report additionally splits outcomes per SLO class and per client.
 package loadgen
 
 import (
@@ -26,9 +33,14 @@ type Estimate func(ctx context.Context, q *query.Query) (float64, error)
 
 // Config shapes one load run.
 type Config struct {
-	// QPS is the offered request rate (required, > 0).
+	// QPS is the offered request rate (required, > 0 for Run; ignored
+	// by RunSchedule, where the schedule defines the timing). The
+	// usable ceiling is bounded by the scheduler tick: intervals
+	// truncate at 1ns, so rates beyond ~1e9 QPS all collapse to
+	// back-to-back ticks rather than panicking.
 	QPS float64
-	// Duration is how long to offer load (default 10s).
+	// Duration is how long to offer load (default 10s; ignored by
+	// RunSchedule, which runs to the end of its schedule).
 	Duration time.Duration
 	// Timeout bounds each request (default 5s); a request that exceeds
 	// it counts as an error, not a success with huge latency.
@@ -52,12 +64,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// ClassReport is one SLO class's slice of the ledger: counts and
+// latency/shed percentiles over exactly the requests that class fired.
+type ClassReport struct {
+	Offered int64 `json:"offered"`
+	Sent    int64 `json:"sent"`
+	OK      int64 `json:"ok"`
+	Shed    int64 `json:"shed_429"`
+	// Errors folds invalid, unavailable and everything else — per-class
+	// triage uses the top-level Report; the class split is about
+	// service differentiation (who got served, who got shed, how fast).
+	Errors        int64 `json:"errors"`
+	ClientDropped int64 `json:"client_dropped"`
+
+	LatencyMsP50 float64 `json:"latency_ms_p50"`
+	LatencyMsP90 float64 `json:"latency_ms_p90"`
+	LatencyMsP99 float64 `json:"latency_ms_p99"`
+	ShedMsP99    float64 `json:"shed_ms_p99"`
+	// ShedFraction is Shed/Offered — the class's probability of being
+	// turned away, the headline of the uniform-vs-bursty comparison.
+	ShedFraction float64 `json:"shed_fraction"`
+}
+
+// ClientReport is one client identity's outcome split.
+type ClientReport struct {
+	Class   string `json:"class,omitempty"`
+	Offered int64  `json:"offered"`
+	Sent    int64  `json:"sent"`
+	OK      int64  `json:"ok"`
+	Shed    int64  `json:"shed_429"`
+	Errors  int64  `json:"errors"`
+	ClientDropped int64 `json:"client_dropped"`
+}
+
 // Report is the outcome of one load run. Latencies are milliseconds.
 type Report struct {
 	TargetQPS   float64 `json:"target_qps"`
 	AchievedQPS float64 `json:"achieved_qps"` // completed (any outcome) per second
 	DurationSec float64 `json:"duration_sec"`
 
+	// Offered counts every planned arrival; each lands in exactly one
+	// of the outcome buckets below or in ClientDropped. Sent counts the
+	// arrivals that actually fired (Offered − ClientDropped), so one
+	// arrival is never double-booked as both sent and dropped.
+	Offered int64 `json:"offered"`
 	Sent    int64 `json:"sent"`
 	OK      int64 `json:"ok"`
 	Shed    int64 `json:"shed_429"`
@@ -79,6 +129,12 @@ type Report struct {
 	// only helps if rejection is much cheaper than service.
 	ShedMsP99 float64 `json:"shed_ms_p99"`
 
+	// Classes and Clients split the ledger per SLO class and per client
+	// identity. Filled by RunSchedule (the uniform Run has no class or
+	// client structure to split on).
+	Classes map[string]ClassReport  `json:"classes,omitempty"`
+	Clients map[string]ClientReport `json:"clients,omitempty"`
+
 	// Wire accounting, filled when the lane exposes its client's Stats:
 	// the data codec that actually served the lane ("json" may appear
 	// after a sticky 415 downgrade of a "binary" lane) and the request/
@@ -89,23 +145,208 @@ type Report struct {
 	WireBytesIn  int64  `json:"wire_bytes_in,omitempty"`
 }
 
+// outcome is the classified result of one fired request.
+type outcome int
+
+const (
+	outOK outcome = iota
+	outShed
+	outInvalid
+	outUnavailable
+	outError
+)
+
+// classify maps an estimate error onto the ledger's buckets.
+func classify(err error) outcome {
+	switch {
+	case err == nil:
+		return outOK
+	case errors.Is(err, remote.ErrOverloaded):
+		return outShed
+	case errors.Is(err, ce.ErrInvalidQuery):
+		return outInvalid
+	case errors.Is(err, remote.ErrUnavailable):
+		return outUnavailable
+	default:
+		return outError
+	}
+}
+
+// classAcc accumulates one SLO class's (or one client's latency-free)
+// slice of the ledger under the collector's lock.
+type classAcc struct {
+	rep       ClassReport
+	latencies []float64
+	shedLats  []float64
+}
+
+// collector folds fired-request outcomes into a Report. One lock
+// guards everything; request goroutines touch it once per completion.
+type collector struct {
+	mu        sync.Mutex
+	rep       Report
+	latencies []float64
+	shedLats  []float64
+	classes   map[string]*classAcc
+	clients   map[string]*ClientReport
+}
+
+// record books one completed request. class and client are "" for the
+// uniform loop (no splits).
+func (c *collector) record(out outcome, ms float64, class, client string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch out {
+	case outOK:
+		c.rep.OK++
+		c.latencies = append(c.latencies, ms)
+	case outShed:
+		c.rep.Shed++
+		c.shedLats = append(c.shedLats, ms)
+	case outInvalid:
+		c.rep.Invalid++
+	case outUnavailable:
+		c.rep.Unavailable++
+	case outError:
+		c.rep.Errors++
+	}
+	if class != "" {
+		ca := c.classAcc(class)
+		ca.rep.Sent++
+		switch out {
+		case outOK:
+			ca.rep.OK++
+			ca.latencies = append(ca.latencies, ms)
+		case outShed:
+			ca.rep.Shed++
+			ca.shedLats = append(ca.shedLats, ms)
+		default:
+			ca.rep.Errors++
+		}
+	}
+	if client != "" {
+		cl := c.clientAcc(client)
+		cl.Sent++
+		switch out {
+		case outOK:
+			cl.OK++
+		case outShed:
+			cl.Shed++
+		default:
+			cl.Errors++
+		}
+	}
+}
+
+// arrival books one planned arrival and whether it was dropped at the
+// in-flight cap (one arrival, one outcome: dropped arrivals never also
+// count as sent).
+func (c *collector) arrival(dropped bool, class, client string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.Offered++
+	if dropped {
+		c.rep.ClientDropped++
+	} else {
+		c.rep.Sent++
+	}
+	if class != "" {
+		ca := c.classAcc(class)
+		ca.rep.Offered++
+		if dropped {
+			ca.rep.ClientDropped++
+		}
+	}
+	if client != "" {
+		cl := c.clientAcc(client)
+		cl.Offered++
+		if dropped {
+			cl.ClientDropped++
+		}
+	}
+}
+
+func (c *collector) classAcc(class string) *classAcc {
+	if c.classes == nil {
+		c.classes = make(map[string]*classAcc)
+	}
+	ca := c.classes[class]
+	if ca == nil {
+		ca = &classAcc{}
+		c.classes[class] = ca
+	}
+	return ca
+}
+
+func (c *collector) clientAcc(client string) *ClientReport {
+	if c.clients == nil {
+		c.clients = make(map[string]*ClientReport)
+	}
+	cl := c.clients[client]
+	if cl == nil {
+		cl = &ClientReport{}
+		c.clients[client] = cl
+	}
+	return cl
+}
+
+// finish computes the derived columns and returns the report.
+func (c *collector) finish(targetQPS float64, elapsed time.Duration) Report {
+	rep := c.rep
+	rep.TargetQPS = targetQPS
+	rep.DurationSec = elapsed.Seconds()
+	completed := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
+	}
+	rep.LatencyMsP50 = metrics.Percentile(c.latencies, 50)
+	rep.LatencyMsP90 = metrics.Percentile(c.latencies, 90)
+	rep.LatencyMsP99 = metrics.Percentile(c.latencies, 99)
+	rep.LatencyMsMax = metrics.Percentile(c.latencies, 100)
+	rep.ShedMsP99 = metrics.Percentile(c.shedLats, 99)
+	if len(c.classes) > 0 {
+		rep.Classes = make(map[string]ClassReport, len(c.classes))
+		for name, ca := range c.classes {
+			cr := ca.rep
+			cr.LatencyMsP50 = metrics.Percentile(ca.latencies, 50)
+			cr.LatencyMsP90 = metrics.Percentile(ca.latencies, 90)
+			cr.LatencyMsP99 = metrics.Percentile(ca.latencies, 99)
+			cr.ShedMsP99 = metrics.Percentile(ca.shedLats, 99)
+			if cr.Offered > 0 {
+				cr.ShedFraction = float64(cr.Shed) / float64(cr.Offered)
+			}
+			rep.Classes[name] = cr
+		}
+	}
+	if len(c.clients) > 0 {
+		rep.Clients = make(map[string]ClientReport, len(c.clients))
+		for name, cl := range c.clients {
+			rep.Clients[name] = *cl
+		}
+	}
+	return rep
+}
+
 // Run offers cfg.QPS of estimate traffic over the queries (round-robin)
 // for cfg.Duration, then waits for stragglers and reports. ctx cancels
 // the run early.
 func Run(ctx context.Context, est Estimate, queries []*query.Query, cfg Config) Report {
 	cfg = cfg.withDefaults()
 	interval := time.Duration(float64(time.Second) / cfg.QPS)
+	// Clamp: above ~1e9 QPS the computed tick truncates to zero, and
+	// time.NewTicker panics on non-positive intervals. 1ns is the
+	// effective rate ceiling — ticks then fire back to back and the
+	// achieved rate is whatever the host can schedule.
+	if interval < time.Nanosecond {
+		interval = time.Nanosecond
+	}
 	deadline := time.Now().Add(cfg.Duration)
 
 	var (
-		mu        sync.Mutex
-		latencies []float64
-		shedLats  []float64
-		rep       Report
-		inFlight  atomic.Int64
-		wg        sync.WaitGroup
+		col      collector
+		inFlight atomic.Int64
+		wg       sync.WaitGroup
 	)
-	rep.TargetQPS = cfg.QPS
 
 	start := time.Now()
 	ticker := time.NewTicker(interval)
@@ -120,9 +361,9 @@ loop:
 		}
 		q := queries[i%len(queries)]
 		i++
-		rep.Sent++
-		if inFlight.Load() >= int64(cfg.MaxInFlight) {
-			rep.ClientDropped++
+		dropped := inFlight.Load() >= int64(cfg.MaxInFlight)
+		col.arrival(dropped, "", "")
+		if dropped {
 			continue
 		}
 		inFlight.Add(1)
@@ -135,38 +376,11 @@ loop:
 			t0 := time.Now()
 			_, err := est(rctx, q)
 			ms := float64(time.Since(t0).Microseconds()) / 1e3
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case err == nil:
-				rep.OK++
-				latencies = append(latencies, ms)
-			case errors.Is(err, remote.ErrOverloaded):
-				rep.Shed++
-				shedLats = append(shedLats, ms)
-			case errors.Is(err, ce.ErrInvalidQuery):
-				rep.Invalid++
-			case errors.Is(err, remote.ErrUnavailable):
-				rep.Unavailable++
-			default:
-				rep.Errors++
-			}
+			col.record(classify(err), ms, "", "")
 		}()
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-
-	rep.DurationSec = elapsed.Seconds()
-	completed := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors
-	if elapsed > 0 {
-		rep.AchievedQPS = float64(completed) / elapsed.Seconds()
-	}
-	rep.LatencyMsP50 = metrics.Percentile(latencies, 50)
-	rep.LatencyMsP90 = metrics.Percentile(latencies, 90)
-	rep.LatencyMsP99 = metrics.Percentile(latencies, 99)
-	rep.LatencyMsMax = metrics.Percentile(latencies, 100)
-	rep.ShedMsP99 = metrics.Percentile(shedLats, 99)
-	return rep
+	return col.finish(cfg.QPS, time.Since(start))
 }
 
 // Lane is one tenant's traffic stream in a multi-tenant run: its own
@@ -185,6 +399,13 @@ type Lane struct {
 	Queries []*query.Query
 	// Config shapes the lane's offered load.
 	Config Config
+	// Schedule, when set, replaces the uniform loop: the lane fires
+	// this planned stream (RunSchedule) and FireAs routes per-client
+	// identities. Queries and Config.QPS are ignored.
+	Schedule *Schedule
+	// FireAs fires one estimate under a client identity; nil lanes
+	// fall back to Est for every client.
+	FireAs Fire
 }
 
 // Ledger is the per-tenant outcome of a multi-tenant run: one Report per
@@ -194,18 +415,20 @@ type Lane struct {
 type Ledger map[string]Report
 
 // Aggregate folds a ledger into one fleet-level report: counts, rates
-// and wire bytes sum across lanes; latency percentiles take the
-// worst lane (the isolation claim is "no lane degrades", so the
-// aggregate's percentile column is the weakest tenant's); the codec
-// column is kept only when every lane agrees. TargetQPS and
-// AchievedQPS become the fleet's aggregate offered and admitted rates —
-// the capacity-scaling column of the bench harness.
+// and wire bytes sum across lanes (per-class and per-client splits
+// included); latency percentiles take the worst lane (the isolation
+// claim is "no lane degrades", so the aggregate's percentile column is
+// the weakest tenant's); the codec column is kept only when every lane
+// agrees. TargetQPS and AchievedQPS become the fleet's aggregate
+// offered and admitted rates — the capacity-scaling column of the
+// bench harness.
 func (l Ledger) Aggregate() Report {
 	var agg Report
 	first := true
 	for _, rep := range l {
 		agg.TargetQPS += rep.TargetQPS
 		agg.AchievedQPS += rep.AchievedQPS
+		agg.Offered += rep.Offered
 		agg.Sent += rep.Sent
 		agg.OK += rep.OK
 		agg.Shed += rep.Shed
@@ -229,6 +452,18 @@ func (l Ledger) Aggregate() Report {
 				*p.dst = *p.src
 			}
 		}
+		for name, cr := range rep.Classes {
+			if agg.Classes == nil {
+				agg.Classes = make(map[string]ClassReport)
+			}
+			agg.Classes[name] = mergeClass(agg.Classes[name], cr)
+		}
+		for name, cl := range rep.Clients {
+			if agg.Clients == nil {
+				agg.Clients = make(map[string]ClientReport)
+			}
+			agg.Clients[name] = mergeClient(agg.Clients[name], cl)
+		}
 		if first {
 			agg.Codec = rep.Codec
 			first = false
@@ -237,6 +472,45 @@ func (l Ledger) Aggregate() Report {
 		}
 	}
 	return agg
+}
+
+// mergeClass folds one lane's class slice into the aggregate: counts
+// sum, percentiles take the worst lane, and the shed fraction is
+// recomputed over the summed counts.
+func mergeClass(a, b ClassReport) ClassReport {
+	a.Offered += b.Offered
+	a.Sent += b.Sent
+	a.OK += b.OK
+	a.Shed += b.Shed
+	a.Errors += b.Errors
+	a.ClientDropped += b.ClientDropped
+	for _, p := range []struct{ dst, src *float64 }{
+		{&a.LatencyMsP50, &b.LatencyMsP50},
+		{&a.LatencyMsP90, &b.LatencyMsP90},
+		{&a.LatencyMsP99, &b.LatencyMsP99},
+		{&a.ShedMsP99, &b.ShedMsP99},
+	} {
+		if *p.src > *p.dst {
+			*p.dst = *p.src
+		}
+	}
+	if a.Offered > 0 {
+		a.ShedFraction = float64(a.Shed) / float64(a.Offered)
+	}
+	return a
+}
+
+func mergeClient(a, b ClientReport) ClientReport {
+	if a.Class == "" {
+		a.Class = b.Class
+	}
+	a.Offered += b.Offered
+	a.Sent += b.Sent
+	a.OK += b.OK
+	a.Shed += b.Shed
+	a.Errors += b.Errors
+	a.ClientDropped += b.ClientDropped
+	return a
 }
 
 // RunLanes offers every lane's load concurrently against its own tenant
@@ -252,7 +526,18 @@ func RunLanes(ctx context.Context, lanes []Lane) Ledger {
 			if lane.Stats != nil {
 				before = lane.Stats()
 			}
-			rep := Run(ctx, lane.Est, lane.Queries, lane.Config)
+			var rep Report
+			if lane.Schedule != nil {
+				fire := lane.FireAs
+				if fire == nil {
+					fire = func(ctx context.Context, _ string, q *query.Query) (float64, error) {
+						return lane.Est(ctx, q)
+					}
+				}
+				rep = RunSchedule(ctx, fire, lane.Schedule, lane.Config)
+			} else {
+				rep = Run(ctx, lane.Est, lane.Queries, lane.Config)
+			}
 			if lane.Stats != nil {
 				after := lane.Stats()
 				rep.Codec = after.Codec

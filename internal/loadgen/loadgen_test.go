@@ -54,9 +54,13 @@ func TestRunAccountsEveryOutcome(t *testing.T) {
 		t.Fatal("no requests sent")
 	}
 	completed := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors
-	if completed+rep.ClientDropped != rep.Sent {
-		t.Errorf("ledger leak: sent %d != ok %d + shed %d + invalid %d + unavailable %d + errors %d + dropped %d",
-			rep.Sent, rep.OK, rep.Shed, rep.Invalid, rep.Unavailable, rep.Errors, rep.ClientDropped)
+	if completed != rep.Sent {
+		t.Errorf("ledger leak: sent %d != ok %d + shed %d + invalid %d + unavailable %d + errors %d",
+			rep.Sent, rep.OK, rep.Shed, rep.Invalid, rep.Unavailable, rep.Errors)
+	}
+	if rep.Offered != rep.Sent+rep.ClientDropped {
+		t.Errorf("arrival leak: offered %d != sent %d + dropped %d",
+			rep.Offered, rep.Sent, rep.ClientDropped)
 	}
 	// The outcome mix must show up in every bucket.
 	for name, got := range map[string]int64{
@@ -99,8 +103,12 @@ func TestRunCapsInFlight(t *testing.T) {
 	if rep.OK != 0 {
 		t.Errorf("%d requests served by a target that never answers", rep.OK)
 	}
-	if got := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors + rep.ClientDropped; got != rep.Sent {
+	if got := rep.OK + rep.Shed + rep.Invalid + rep.Unavailable + rep.Errors; got != rep.Sent {
 		t.Errorf("ledger leak: sent %d, accounted %d", rep.Sent, got)
+	}
+	if rep.Offered != rep.Sent+rep.ClientDropped {
+		t.Errorf("arrival double-booked: offered %d != sent %d + dropped %d",
+			rep.Offered, rep.Sent, rep.ClientDropped)
 	}
 }
 
@@ -120,5 +128,85 @@ func TestRunHonorsCancel(t *testing.T) {
 	}
 	if rep.Sent == 0 {
 		t.Error("nothing sent before cancel")
+	}
+}
+
+// TestRunClampsExtremeQPS: a QPS high enough to truncate the tick to
+// zero must clamp to the 1ns floor instead of panicking time.NewTicker.
+func TestRunClampsExtremeQPS(t *testing.T) {
+	est := func(ctx context.Context, q *query.Query) (float64, error) { return 1, nil }
+	rep := Run(context.Background(), est, testQueries(), Config{
+		QPS:      5e9, // tick would truncate to 0ns
+		Duration: 20 * time.Millisecond,
+	})
+	if rep.Offered == 0 {
+		t.Error("clamped run offered nothing")
+	}
+}
+
+// TestAggregateEmptyLedger: folding zero lanes must yield an all-zero
+// report — in particular no NaN rates from 0/0 divisions.
+func TestAggregateEmptyLedger(t *testing.T) {
+	agg := Ledger{}.Aggregate()
+	if agg.Offered != 0 || agg.Sent != 0 || agg.OK != 0 || agg.Codec != "" ||
+		agg.Classes != nil || agg.Clients != nil {
+		t.Errorf("empty ledger aggregated to %+v, want zero report", agg)
+	}
+	for name, v := range map[string]float64{
+		"target_qps": agg.TargetQPS, "achieved_qps": agg.AchievedQPS,
+		"p50": agg.LatencyMsP50, "p99": agg.LatencyMsP99,
+	} {
+		if v != 0 || v != v { // v != v catches NaN
+			t.Errorf("%s = %v in empty aggregate, want 0", name, v)
+		}
+	}
+}
+
+// TestAggregateCodecDisagreement: lanes served by different codecs must
+// clear the aggregate codec column — a fleet number can only claim a
+// codec when every lane used it.
+func TestAggregateCodecDisagreement(t *testing.T) {
+	l := Ledger{
+		"a": Report{Codec: "binary", OK: 1},
+		"b": Report{Codec: "json", OK: 2},
+	}
+	if agg := l.Aggregate(); agg.Codec != "" {
+		t.Errorf("mixed-codec aggregate claims codec %q, want empty", agg.Codec)
+	}
+	same := Ledger{
+		"a": Report{Codec: "binary", OK: 1},
+		"b": Report{Codec: "binary", OK: 2},
+	}
+	if agg := same.Aggregate(); agg.Codec != "binary" {
+		t.Errorf("unanimous aggregate codec = %q, want binary", agg.Codec)
+	}
+}
+
+// TestAggregateMergesClassSplits: per-SLO-class splits sum counts and
+// take the worst-lane percentile, and the shed fraction is recomputed
+// over the summed counts.
+func TestAggregateMergesClassSplits(t *testing.T) {
+	l := Ledger{
+		"a": Report{Classes: map[string]ClassReport{
+			"gold": {Offered: 100, Sent: 100, OK: 90, Shed: 10, LatencyMsP99: 2.0, ShedFraction: 0.1},
+		}},
+		"b": Report{Classes: map[string]ClassReport{
+			"gold":   {Offered: 100, Sent: 100, OK: 60, Shed: 40, LatencyMsP99: 5.0, ShedFraction: 0.4},
+			"bronze": {Offered: 50, Sent: 50, OK: 50, LatencyMsP99: 1.0},
+		}},
+	}
+	agg := l.Aggregate()
+	gold := agg.Classes["gold"]
+	if gold.Offered != 200 || gold.Shed != 50 {
+		t.Errorf("gold counts offered=%d shed=%d, want 200/50", gold.Offered, gold.Shed)
+	}
+	if gold.LatencyMsP99 != 5.0 {
+		t.Errorf("gold p99 = %v, want worst lane 5.0", gold.LatencyMsP99)
+	}
+	if gold.ShedFraction != 0.25 {
+		t.Errorf("gold shed fraction = %v, want 0.25", gold.ShedFraction)
+	}
+	if _, ok := agg.Classes["bronze"]; !ok {
+		t.Error("bronze class lost in aggregation")
 	}
 }

@@ -1,0 +1,91 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pace/internal/query"
+	"pace/internal/workloadgen"
+)
+
+// Schedule aliases the workloadgen plan so lane construction reads
+// naturally without every caller importing both packages.
+type Schedule = workloadgen.Schedule
+
+// Fire fires one estimate under a client identity (sent as
+// X-Pace-Client, so the server's per-client token buckets see the
+// planned population, not one monolithic load generator).
+type Fire func(ctx context.Context, client string, q *query.Query) (float64, error)
+
+// RunSchedule fires a planned request stream open-loop: every arrival
+// fires at its recorded offset from run start (or immediately once
+// behind schedule), regardless of whether earlier requests returned.
+// The report splits outcomes per SLO class and per client on top of
+// the usual ledger. cfg.QPS and cfg.Duration are ignored — the
+// schedule defines both the timing and the horizon; Timeout and
+// MaxInFlight apply as in Run. ctx cancels the run early.
+func RunSchedule(ctx context.Context, fire Fire, sched *Schedule, cfg Config) Report {
+	cfg = cfg.withDefaults()
+
+	var (
+		col      collector
+		inFlight atomic.Int64
+		wg       sync.WaitGroup
+	)
+
+	start := time.Now()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+loop:
+	for _, a := range sched.Arrivals {
+		if wait := a.T - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				break loop
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			break loop
+		}
+		client := sched.Clients[a.Client]
+		q := sched.Queries[a.Query]
+		dropped := inFlight.Load() >= int64(cfg.MaxInFlight)
+		col.arrival(dropped, client.Class, client.ID)
+		if dropped {
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		go func(client workloadgen.Client, q *query.Query) {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			rctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+			defer cancel()
+			t0 := time.Now()
+			_, err := fire(rctx, client.ID, q)
+			ms := float64(time.Since(t0).Microseconds()) / 1e3
+			col.record(classify(err), ms, client.Class, client.ID)
+		}(client, q)
+	}
+	wg.Wait()
+	rep := col.finish(sched.Spec.Clients.MeanQPS, time.Since(start))
+	// Stamp each client's class onto its split (the collector only sees
+	// identities at record time).
+	for name, cl := range rep.Clients {
+		for _, c := range sched.Clients {
+			if c.ID == name {
+				cl.Class = c.Class
+				rep.Clients[name] = cl
+				break
+			}
+		}
+	}
+	return rep
+}

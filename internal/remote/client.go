@@ -65,6 +65,20 @@ func (c *Client) Target(id string) *RemoteTarget {
 	return &RemoteTarget{base: c.base, prefix: prefix, opts: c.opts, client: c.httpc, codec: c.codec}
 }
 
+// TargetAs is Target with a per-target client identity: the returned
+// target sends clientID as X-Pace-Client instead of the Client-wide
+// identity. Targets stay cheap (they share the pool), so a workload
+// replayer hands out one per planned client and the server's per-client
+// token buckets see the planned population instead of one monolithic
+// load generator. An empty clientID falls back to the Client identity.
+func (c *Client) TargetAs(id, clientID string) *RemoteTarget {
+	t := c.Target(id)
+	if clientID != "" {
+		t.opts.ClientID = clientID
+	}
+	return t
+}
+
 // Admin hands out the tenant admin surface (always JSON on the wire).
 func (c *Client) Admin() *Admin {
 	t := c.Target("")

@@ -1,0 +1,81 @@
+package workloadgen
+
+import (
+	"fmt"
+	"math"
+
+	"pace/internal/engine"
+)
+
+// Client is one member of the generated population: a stable identity
+// (sent as X-Pace-Client so the server's per-client token buckets see a
+// realistic mix), its mean offered rate, and its SLO class.
+type Client struct {
+	ID    string  `json:"id"`
+	Rate  float64 `json:"rate_qps"`
+	Class string  `json:"class"`
+}
+
+// Seed-derivation offsets: the population's rate and class draws use
+// streams disjoint from every per-client arrival/query stream (which
+// use non-negative offsets 2i and 2i+1).
+const (
+	rateSeedIdx  int64 = -1
+	classSeedIdx int64 = -2
+)
+
+// population builds the client roster of a validated spec: N clients
+// with RateDist-skewed rates summing to MeanQPS, each assigned an SLO
+// class by weighted draw. Construction is serial and draws only from
+// dedicated streams, so the roster is a pure function of the spec.
+func population(spec Spec) []Client {
+	n := spec.Clients.N
+	weights := make([]float64, n)
+	switch spec.Clients.RateDist {
+	case "zipf":
+		// Rank-frequency: client k carries weight 1/(k+1)^s. The head
+		// clients dominate traffic the way a few hot applications
+		// dominate a shared estimator service.
+		for i := range weights {
+			weights[i] = 1 / math.Pow(float64(i+1), spec.Clients.ZipfS)
+		}
+	case "lognormal":
+		rng := engine.SplitRNG(spec.Seed, rateSeedIdx)
+		for i := range weights {
+			weights[i] = math.Exp(spec.Clients.Sigma * rng.NormFloat64())
+		}
+	case "uniform":
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+
+	classRng := engine.SplitRNG(spec.Seed, classSeedIdx)
+	var classSum float64
+	for _, c := range spec.Classes {
+		classSum += c.Weight
+	}
+
+	out := make([]Client, n)
+	for i := range out {
+		r := classRng.Float64() * classSum
+		class := spec.Classes[len(spec.Classes)-1].Name
+		for _, c := range spec.Classes {
+			if r < c.Weight {
+				class = c.Name
+				break
+			}
+			r -= c.Weight
+		}
+		out[i] = Client{
+			ID:    fmt.Sprintf("c%03d", i),
+			Rate:  spec.Clients.MeanQPS * weights[i] / sum,
+			Class: class,
+		}
+	}
+	return out
+}

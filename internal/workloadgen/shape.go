@@ -1,0 +1,151 @@
+package workloadgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"pace/internal/query"
+)
+
+// Empirical query-shape fitting: instead of replaying a pool
+// round-robin, the generator draws queries whose *shape mix* matches a
+// fitted source workload — how many tables they join (the join bits),
+// how many predicates they carry, and how wide those predicates are.
+// Fit a ShapeDist from a historical workload file, build a Sampler over
+// the pool to replay, and the replayed stream presents the shape
+// distribution the estimator actually saw in production, even when the
+// concrete queries differ.
+
+// shapeSig is one bucket of the shape histogram.
+type shapeSig struct {
+	// Tables is the number of joined tables (the popcount of the join
+	// bits).
+	Tables int
+	// Preds is the number of non-open predicates.
+	Preds int
+	// WidthB buckets the mean width of non-open predicates into
+	// widthBuckets equal bins; a query with no predicates lands in the
+	// widest bin.
+	WidthB int
+}
+
+const widthBuckets = 4
+
+// signatureOf computes a query's shape bucket.
+func signatureOf(q *query.Query) shapeSig {
+	var sig shapeSig
+	for _, in := range q.Tables {
+		if in {
+			sig.Tables++
+		}
+	}
+	var widthSum float64
+	for _, b := range q.Bounds {
+		if b[0] > 0 || b[1] < 1 {
+			sig.Preds++
+			widthSum += b[1] - b[0]
+		}
+	}
+	if sig.Preds == 0 {
+		sig.WidthB = widthBuckets - 1
+		return sig
+	}
+	w := widthSum / float64(sig.Preds)
+	sig.WidthB = int(w * widthBuckets)
+	if sig.WidthB >= widthBuckets {
+		sig.WidthB = widthBuckets - 1
+	}
+	return sig
+}
+
+// ShapeDist is an empirical joint histogram over query shapes.
+type ShapeDist struct {
+	counts map[shapeSig]int
+	total  int
+}
+
+// FitShapes builds the shape histogram of a workload.
+func FitShapes(qs []*query.Query) *ShapeDist {
+	d := &ShapeDist{counts: make(map[shapeSig]int)}
+	for _, q := range qs {
+		d.counts[signatureOf(q)]++
+		d.total++
+	}
+	return d
+}
+
+// Sampler draws pool indices so the drawn stream's shape mix tracks a
+// fitted distribution. A nil Sampler (or one built from a nil dist)
+// draws uniformly — the round-robin-equivalent fallback.
+type Sampler struct {
+	pool int
+	// groups[g] lists the pool indexes in shape bucket g; cum[g] is the
+	// cumulative fitted weight through bucket g. Buckets are sorted so
+	// construction order never leaks into draws.
+	groups [][]int
+	cum    []float64
+}
+
+// NewSampler matches the fitted distribution against the replay pool.
+// Shape buckets present in the fit but absent from the pool contribute
+// nothing (logged by the caller if it cares); pool queries whose bucket
+// the fit never saw are drawn only if no bucket overlaps at all, in
+// which case the sampler degrades to uniform.
+func NewSampler(d *ShapeDist, pool []*query.Query) *Sampler {
+	s := &Sampler{pool: len(pool)}
+	if d == nil || d.total == 0 || len(pool) == 0 {
+		return s
+	}
+	bySig := make(map[shapeSig][]int)
+	for i, q := range pool {
+		sig := signatureOf(q)
+		bySig[sig] = append(bySig[sig], i)
+	}
+	sigs := make([]shapeSig, 0, len(bySig))
+	for sig := range bySig {
+		if d.counts[sig] > 0 {
+			sigs = append(sigs, sig)
+		}
+	}
+	if len(sigs) == 0 {
+		return s // no overlap: uniform fallback
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		a, b := sigs[i], sigs[j]
+		if a.Tables != b.Tables {
+			return a.Tables < b.Tables
+		}
+		if a.Preds != b.Preds {
+			return a.Preds < b.Preds
+		}
+		return a.WidthB < b.WidthB
+	})
+	var acc float64
+	for _, sig := range sigs {
+		acc += float64(d.counts[sig])
+		s.groups = append(s.groups, bySig[sig])
+		s.cum = append(s.cum, acc)
+	}
+	return s
+}
+
+// Draw picks one pool index from rng.
+func (s *Sampler) Draw(rng *rand.Rand) int {
+	if s == nil || len(s.groups) == 0 {
+		return rng.Intn(s.poolSize())
+	}
+	r := rng.Float64() * s.cum[len(s.cum)-1]
+	g := sort.SearchFloat64s(s.cum, r)
+	if g >= len(s.groups) {
+		g = len(s.groups) - 1
+	}
+	grp := s.groups[g]
+	return grp[rng.Intn(len(grp))]
+}
+
+func (s *Sampler) poolSize() int {
+	if s == nil || s.pool == 0 {
+		return 1
+	}
+	return s.pool
+}
